@@ -1,0 +1,57 @@
+// Figure 10: scheduling with announced updates (§5.3).
+//
+// Overcommit fixed at 1; the AMR announces its updates `announce interval`
+// seconds ahead and keeps computing on its current allocation meanwhile.
+// Reported vs the announce interval, as medians over seeds:
+//   - AMR end-time increase relative to the spontaneous run (grows),
+//   - PSA waste as % of its allocation (drops to 0 once the interval
+//     reaches dtask = 600 s),
+//   - used resources % (roughly flat, with resonances near dtask
+//     divisors).
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "coorm/exp/table.hpp"
+
+using namespace coorm;
+
+int main() {
+  std::cout << "=== Figure 10: announced updates (overcommit = 1) ===\n";
+  std::cout << coorm::bench::scaleLabel() << "\n\n";
+
+  const std::vector<Time> announces = coorm::bench::quick()
+                                          ? std::vector<Time>{0, sec(150),
+                                                              sec(300),
+                                                              sec(550),
+                                                              sec(600),
+                                                              sec(700)}
+                                          : std::vector<Time>{0, sec(100),
+                                                              sec(200),
+                                                              sec(300),
+                                                              sec(400),
+                                                              sec(500),
+                                                              sec(550),
+                                                              sec(600),
+                                                              sec(650),
+                                                              sec(700)};
+
+  const auto points =
+      runFig10(announces, coorm::bench::seedCount(), /*baseSeed=*/2000,
+               coorm::bench::evalParams());
+
+  TablePrinter table({"announce(s)", "AMR-end-time-incr(%)", "PSA-waste(%)",
+                      "used-resources(%)"});
+  for (const auto& point : points) {
+    table.addRow({TablePrinter::num(toSeconds(point.announceInterval), 0),
+                  TablePrinter::num(point.endTimeIncreasePct, 2),
+                  TablePrinter::num(point.psaWastePct, 2),
+                  TablePrinter::num(point.usedResourcesPct, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPaper checks: end-time increase grows with the announce "
+               "interval; PSA waste decreases and reaches 0 once the "
+               "interval >= dtask (600 s); used resources stay high "
+               "throughout.\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 2: the AMR speed-up model t(n,S) = A·S/n + B·n + C·S + D fitted
+// against measurements (§2.2).
+//
+// We print the model's step duration over the paper's grid (five mesh
+// sizes, 1..16k nodes) and validate the fitting machinery: a weighted
+// least-squares fit against noisy synthetic measurements must recover the
+// constants within the paper's <15 % per-point error bound.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "coorm/exp/table.hpp"
+
+using namespace coorm;
+
+int main() {
+  std::cout << "=== Figure 2: speed-up model and fit ===\n";
+  const Fig2Result result = runFig2(/*seed=*/42);
+
+  TablePrinter table({"nodes", "12GiB", "48GiB", "196GiB", "784GiB",
+                      "3136GiB"});
+  for (NodeCount n = 1; n <= 16384; n *= 2) {
+    std::vector<std::string> row{TablePrinter::integer(n)};
+    for (const double sizeGiB : {12.0, 48.0, 196.0, 784.0, 3136.0}) {
+      for (const Fig2Point& point : result.points) {
+        if (point.nodes == n && point.sizeGiB == sizeGiB) {
+          row.push_back(TablePrinter::num(point.durationSeconds, 2));
+        }
+      }
+    }
+    table.addRow(std::move(row));
+  }
+  std::cout << "Step duration t(n, S) in seconds:\n";
+  table.print(std::cout);
+
+  std::cout << "\nFit recovery from noisy synthetic measurements (10 % "
+               "noise):\n";
+  TablePrinter fit({"param", "paper", "recovered"});
+  fit.addRow({"A (s·node/MiB)", "7.26e-3",
+              TablePrinter::num(result.recovered.a * 1e3, 3) + "e-3"});
+  fit.addRow({"B (s/node)", "1.23e-4",
+              TablePrinter::num(result.recovered.b * 1e4, 3) + "e-4"});
+  fit.addRow({"C (s/MiB)", "1.13e-6",
+              TablePrinter::num(result.recovered.c * 1e6, 3) + "e-6"});
+  fit.addRow({"D (s)", "1.38", TablePrinter::num(result.recovered.d, 3)});
+  fit.print(std::cout);
+  std::cout << "max relative error vs measurements: "
+            << TablePrinter::num(result.fitMaxRelativeError * 100.0, 2)
+            << " %  (paper bound: < 15 %)\n";
+  return result.fitMaxRelativeError < 0.15 ? 0 : 1;
+}

@@ -1,0 +1,136 @@
+// Scheduler throughput (§3.2).
+//
+// The paper's Python+C++ prototype handled ~500 requests/second on one
+// core of a 2009-era CPU, with linear complexity in the number of
+// requests. We measure the pure C++ scheduler (Algorithm 4) over synthetic
+// request populations of varying size, reporting requests/second and
+// verifying the roughly-linear scaling.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "coorm/common/rng.hpp"
+#include "coorm/rms/scheduler.hpp"
+
+namespace coorm {
+namespace {
+
+const ClusterId kC{0};
+
+struct Population {
+  std::vector<std::unique_ptr<Request>> owned;
+  std::vector<std::unique_ptr<RequestSet>> sets;
+  std::vector<AppSchedule> apps;
+  std::size_t requestCount = 0;
+
+  // A mix mirroring the evaluation: each application has a pre-allocation,
+  // a couple of chained NP requests inside it, and a preemptible request.
+  explicit Population(int napps, int extraNpPerApp, std::uint64_t seed) {
+    Rng rng(seed);
+    std::int64_t nextId = 0;
+    apps.reserve(static_cast<std::size_t>(napps));
+    for (int a = 0; a < napps; ++a) {
+      sets.push_back(std::make_unique<RequestSet>());
+      RequestSet* pa = sets.back().get();
+      sets.push_back(std::make_unique<RequestSet>());
+      RequestSet* np = sets.back().get();
+      sets.push_back(std::make_unique<RequestSet>());
+      RequestSet* p = sets.back().get();
+
+      auto add = [&](RequestSet* set, NodeCount nodes, Time duration,
+                     RequestType type, Relation how,
+                     Request* parent) -> Request* {
+        auto r = std::make_unique<Request>();
+        r->id = RequestId{nextId++};
+        r->cluster = kC;
+        r->nodes = nodes;
+        r->duration = duration;
+        r->type = type;
+        r->relatedHow = how;
+        r->relatedTo = parent;
+        set->add(r.get());
+        owned.push_back(std::move(r));
+        ++requestCount;
+        return owned.back().get();
+      };
+
+      Request* prealloc = add(pa, rng.uniformInt(4, 64),
+                              sec(rng.uniformInt(600, 7200)),
+                              RequestType::kPreAllocation, Relation::kFree,
+                              nullptr);
+      Request* inner =
+          add(np, rng.uniformInt(1, prealloc->nodes),
+              sec(rng.uniformInt(300, 3600)), RequestType::kNonPreemptible,
+              Relation::kCoAlloc, prealloc);
+      for (int k = 0; k < extraNpPerApp; ++k) {
+        inner = add(np, rng.uniformInt(1, prealloc->nodes),
+                    sec(rng.uniformInt(300, 3600)),
+                    RequestType::kNonPreemptible, Relation::kNext, inner);
+      }
+      add(p, rng.uniformInt(1, 32), kTimeInf, RequestType::kPreemptible,
+          Relation::kFree, nullptr);
+
+      AppSchedule app;
+      app.app = AppId{a};
+      app.preAllocations = pa;
+      app.nonPreemptible = np;
+      app.preemptible = p;
+      apps.push_back(std::move(app));
+    }
+  }
+};
+
+void BM_SchedulePass(benchmark::State& state) {
+  const int napps = static_cast<int>(state.range(0));
+  const int chain = static_cast<int>(state.range(1));
+  Population population(napps, chain, 99);
+  Scheduler scheduler(Machine::single(4096));
+  Time now = 0;
+  for (auto _ : state) {
+    scheduler.schedule(population.apps, now);
+    now += sec(1);
+    benchmark::DoNotOptimize(population.apps.front().preemptiveView);
+  }
+  state.counters["requests"] =
+      static_cast<double>(population.requestCount);
+  state.counters["requests/s"] = benchmark::Counter(
+      static_cast<double>(population.requestCount),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+BENCHMARK(BM_SchedulePass)
+    ->Args({4, 2})
+    ->Args({16, 2})
+    ->Args({64, 2})
+    ->Args({16, 8})
+    ->Args({64, 8})
+    ->Args({128, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_ToView(benchmark::State& state) {
+  Population population(static_cast<int>(state.range(0)), 8, 7);
+  for (auto _ : state) {
+    for (const AppSchedule& app : population.apps) {
+      benchmark::DoNotOptimize(Scheduler::toView(*app.nonPreemptible));
+    }
+  }
+}
+BENCHMARK(BM_ToView)->Arg(16)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+void BM_Fit(benchmark::State& state) {
+  Population population(static_cast<int>(state.range(0)), 8, 7);
+  Scheduler scheduler(Machine::single(4096));
+  const View machine = scheduler.machineView();
+  for (auto _ : state) {
+    for (const AppSchedule& app : population.apps) {
+      benchmark::DoNotOptimize(
+          Scheduler::fit(*app.nonPreemptible, machine, 0));
+    }
+  }
+}
+BENCHMARK(BM_Fit)->Arg(16)->Arg(128)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace coorm
+
+BENCHMARK_MAIN();

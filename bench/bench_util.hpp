@@ -1,0 +1,46 @@
+// Shared knobs for the figure-reproduction binaries.
+//
+// Every bench honours two environment variables:
+//   COORM_BENCH_SEEDS  — number of random seeds per sweep point (default 3)
+//   COORM_BENCH_QUICK  — if set (non-empty), run a reduced, fast
+//                        configuration (smaller working sets, fewer steps)
+//                        so `for b in build/bench/*; do $b; done` finishes
+//                        in minutes. Unset it for paper-scale runs.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "coorm/exp/experiments.hpp"
+
+namespace coorm::bench {
+
+inline int seedCount() {
+  if (const char* env = std::getenv("COORM_BENCH_SEEDS")) {
+    const int value = std::atoi(env);
+    if (value > 0) return value;
+  }
+  return 3;
+}
+
+inline bool quick() {
+  const char* env = std::getenv("COORM_BENCH_QUICK");
+  return env != nullptr && env[0] != '\0';
+}
+
+/// Evaluation parameters: paper scale by default, reduced under QUICK.
+inline EvalParams evalParams() {
+  EvalParams eval;  // paper defaults: Smax = 3.16 TiB, 1000 steps
+  if (quick()) {
+    eval.steps = 200;
+    eval.smaxMiB = kPaperSmaxMiB / 8.0;  // ~400 GiB peak
+  }
+  return eval;
+}
+
+inline const char* scaleLabel() {
+  return quick() ? "quick scale (COORM_BENCH_QUICK set)"
+                 : "paper scale (set COORM_BENCH_QUICK=1 for a fast run)";
+}
+
+}  // namespace coorm::bench

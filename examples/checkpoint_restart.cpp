@@ -1,0 +1,72 @@
+// "Probable execution" (paper §4): an evolving application whose
+// pre-allocation turns out to be too small.
+//
+// The application optimistically pre-allocates less than its eventual
+// peak. When the working set outgrows the pre-allocation, updates are no
+// longer guaranteed; the application checkpoints, terminates its requests,
+// and resumes under a new, larger pre-allocation (possibly queueing behind
+// other work).
+//
+//   $ ./examples/checkpoint_restart
+#include <algorithm>
+#include <iostream>
+
+#include "coorm/exp/scenario.hpp"
+
+using namespace coorm;
+
+int main() {
+  ScenarioConfig config;
+  config.nodes = 96;
+  Scenario sc(config);
+  const ClusterId cluster = sc.cluster();
+
+  // Phase 1: optimistic run with a 24-node pre-allocation. The profile
+  // needs up to ~64 nodes at 75 % efficiency, so the app runs capped.
+  std::vector<double> sizes;
+  for (int i = 0; i < 24; ++i) sizes.push_back(3000.0 * (i + 1));
+
+  const SpeedupModel model;
+  // "In the worst case, nmax is the whole machine" (§4): the efficient
+  // allocation for the final working set exceeds the cluster, so the
+  // resume pre-allocates everything it can get.
+  const NodeCount peakNeed =
+      std::min<NodeCount>(model.nodesForEfficiency(sizes.back(), 0.75), 96);
+  std::cout << "peak need at 75% efficiency (clamped to the machine): "
+            << peakNeed << " nodes; optimistic pre-allocation: 24 nodes\n";
+
+  AmrApp::Config first;
+  first.cluster = cluster;
+  first.sizesMiB = std::vector<double>(sizes.begin(), sizes.begin() + 12);
+  first.preallocNodes = 24;
+  first.walltime = hours(2);
+  AmrApp& attempt = sc.addAmr(first, "attempt");
+  sc.runUntilFinished(attempt, hours(4));
+  std::cout << "[t=" << toSeconds(sc.engine().now())
+            << "s] first half done (capped at 24 nodes); working set now "
+            << sizes[11] << " MiB -> checkpoint and re-submit with a "
+            << "bigger pre-allocation\n";
+
+  // Phase 2: resume from the checkpoint under a sufficient pre-allocation
+  // ("It can later resume its computations by submitting a new, larger
+  // pre-allocation", §4).
+  AmrApp::Config second;
+  second.cluster = cluster;
+  second.sizesMiB = std::vector<double>(sizes.begin() + 12, sizes.end());
+  second.preallocNodes = peakNeed;
+  second.walltime = hours(2);
+  AmrApp& resumed = sc.addAmr(second, "resumed");
+  sc.runUntilFinished(resumed, hours(6));
+
+  std::cout << "[t=" << toSeconds(sc.engine().now())
+            << "s] resumed run finished: " << resumed.stepsCompleted()
+            << " steps, peak allocation "
+            << (resumed.stepNodes().empty()
+                    ? NodeCount{0}
+                    : *std::max_element(resumed.stepNodes().begin(),
+                                        resumed.stepNodes().end()))
+            << " nodes\n";
+  std::cout << "total allocated area: "
+            << sc.metrics().totalAllocatedNodeSeconds() << " node·s\n";
+  return 0;
+}

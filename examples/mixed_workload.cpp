@@ -1,0 +1,79 @@
+// A mixed workload: every application type of paper §4 sharing one
+// cluster — rigid, moldable, fully-predictably evolving, malleable (PSA)
+// and non-predictably evolving (AMR).
+//
+//   $ ./examples/mixed_workload
+#include <iostream>
+
+#include "coorm/exp/scenario.hpp"
+#include "coorm/exp/table.hpp"
+
+using namespace coorm;
+
+int main() {
+  ScenarioConfig config;
+  config.nodes = 128;
+  Scenario sc(config);
+  const ClusterId cluster = sc.cluster();
+
+  // Non-predictably evolving AMR ("sure execution" inside a 48-node PA).
+  AmrApp::Config amrCfg;
+  amrCfg.cluster = cluster;
+  for (int i = 0; i < 20; ++i) {
+    amrCfg.sizesMiB.push_back(4000.0 * (i + 1));
+  }
+  amrCfg.preallocNodes = 48;
+  amrCfg.walltime = hours(4);
+  AmrApp& amr = sc.addAmr(amrCfg, "amr");
+
+  // Rigid: 16 nodes for 10 minutes, no adaptation.
+  RigidApp& rigid = sc.addRigid({cluster, 16, minutes(10)}, "rigid");
+
+  // Moldable: picks its node-count from the non-preemptive view.
+  MoldableApp::Config moldCfg;
+  moldCfg.cluster = cluster;
+  moldCfg.sizeMiB = 8.0 * 1024.0;
+  moldCfg.steps = 60;
+  moldCfg.candidates = {2, 4, 8, 16, 32};
+  MoldableApp& moldable = sc.addMoldable(moldCfg, "moldable");
+
+  // Fully predictable: declares its three phases up front (NEXT chain).
+  PredictableApp& predictable = sc.addPredictable(
+      {cluster, {{4, minutes(5)}, {12, minutes(5)}, {6, minutes(5)}}},
+      "predictable");
+
+  // Malleable parameter sweep filling the leftovers.
+  PsaApp::Config psaCfg;
+  psaCfg.cluster = cluster;
+  psaCfg.taskDuration = minutes(1);
+  PsaApp& psa = sc.addPsa(psaCfg, "psa");
+
+  sc.runUntilFinished(amr, hours(8));
+  sc.runFor(hours(1));  // let the longer batch jobs finish too
+
+  const Time horizon = sc.engine().now();
+  TablePrinter table({"application", "status", "allocated(node·s)"});
+  auto row = [&](const Application& app, bool finished) {
+    table.addRow({app.name(), finished ? "finished" : "running",
+                  TablePrinter::num(
+                      sc.metrics().allocatedNodeSeconds(app.appId()), 0)});
+  };
+  row(amr, amr.finished());
+  row(rigid, rigid.finished());
+  row(moldable, moldable.finished());
+  row(predictable, predictable.finished());
+  row(psa, false);
+
+  std::cout << "=== Mixed workload on a 128-node cluster ===\n";
+  table.print(std::cout);
+
+  const double capacity = 128.0 * toSeconds(horizon);
+  const double used =
+      sc.metrics().totalAllocatedNodeSeconds() - psa.wasteNodeSeconds();
+  std::cout << "\nmoldable chose " << moldable.chosenNodes() << " nodes\n"
+            << "PSA: " << psa.tasksCompleted() << " tasks done, "
+            << psa.tasksKilled() << " killed\n"
+            << "overall used resources: "
+            << TablePrinter::num(used / capacity * 100.0, 1) << " %\n";
+  return 0;
+}

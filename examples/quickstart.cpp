@@ -1,0 +1,109 @@
+// Quickstart: the smallest complete CooRMv2 program.
+//
+// Builds a simulated 32-node cluster managed by a CooRMv2 server, connects
+// a hand-written evolving application that pre-allocates its expected peak
+// and grows its actual allocation half-way through, and prints what
+// happened.
+//
+//   $ ./examples/quickstart
+#include <iostream>
+
+#include "coorm/rms/server.hpp"
+#include "coorm/sim/engine.hpp"
+
+using namespace coorm;
+
+namespace {
+
+const ClusterId kCluster{0};
+
+/// A tiny evolving application written directly against AppEndpoint: it
+/// computes on 4 nodes for 60 s, then *non-predictably* discovers it needs
+/// 12 nodes for another 60 s. The pre-allocation of 12 makes the growth
+/// guaranteed ("sure execution", paper §4).
+class TinyEvolvingApp : public AppEndpoint {
+ public:
+  TinyEvolvingApp(Executor& executor, Server& server) : executor_(executor) {
+    session_ = server.connect(*this);
+  }
+
+  void onViews(const View& nonPreemptive, const View&) override {
+    if (submitted_) return;
+    submitted_ = true;
+    std::cout << "[app] connected; the cluster offers "
+              << nonPreemptive.at(kCluster, executor_.now())
+              << " nodes non-preemptively\n";
+
+    RequestSpec pa;
+    pa.cluster = kCluster;
+    pa.nodes = 12;            // expected *peak* usage
+    pa.duration = minutes(10);
+    pa.type = RequestType::kPreAllocation;
+    preallocation_ = session_->request(pa);
+
+    RequestSpec np;
+    np.cluster = kCluster;
+    np.nodes = 4;             // what we need *now*
+    np.duration = minutes(10);
+    np.type = RequestType::kNonPreemptible;
+    np.relatedHow = Relation::kCoAlloc;
+    np.relatedTo = preallocation_;
+    current_ = session_->request(np);
+  }
+
+  void onStarted(RequestId id, const std::vector<NodeId>& nodes) override {
+    if (id != current_) return;
+    std::cout << "[app] t=" << toSeconds(executor_.now()) << "s: running on "
+              << nodes.size() << " nodes\n";
+    if (!grew_) {
+      // After 60 s of computing, grow to 12 nodes: a spontaneous update
+      // (request NEXT + done), guaranteed because it stays inside the
+      // pre-allocation.
+      executor_.after(sec(60), [this] {
+        std::cout << "[app] t=" << toSeconds(executor_.now())
+                  << "s: adaptive refinement! growing 4 -> 12 nodes\n";
+        RequestSpec grow;
+        grow.cluster = kCluster;
+        grow.nodes = 12;
+        grow.duration = minutes(10);
+        grow.type = RequestType::kNonPreemptible;
+        grow.relatedHow = Relation::kNext;
+        grow.relatedTo = current_;
+        const RequestId next = session_->request(grow);
+        session_->done(current_);
+        current_ = next;
+        grew_ = true;
+      });
+    } else {
+      executor_.after(sec(60), [this] {
+        std::cout << "[app] t=" << toSeconds(executor_.now())
+                  << "s: computation finished, releasing everything\n";
+        session_->done(current_);
+        session_->done(preallocation_);
+        session_->disconnect();
+      });
+    }
+  }
+
+ private:
+  Executor& executor_;
+  Session* session_ = nullptr;
+  RequestId preallocation_{};
+  RequestId current_{};
+  bool submitted_ = false;
+  bool grew_ = false;
+};
+
+}  // namespace
+
+int main() {
+  Engine engine;
+  Server server(engine, Machine::single(32));
+
+  TinyEvolvingApp app(engine, server);
+  engine.run();
+
+  std::cout << "[sim] simulation drained at t=" << toSeconds(engine.now())
+            << "s; free nodes: " << server.pool().freeCount(kCluster) << "/32\n";
+  return 0;
+}

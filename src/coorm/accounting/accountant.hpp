@@ -1,0 +1,97 @@
+// Accounting for CooRMv2 (the paper's first future-work item, §7: "study
+// how accounting should be done in CooRMv2, so as to determine users to
+// efficiently use resources").
+//
+// The tension: a pre-allocation reserves capacity (other applications can
+// only use it preemptibly), but only actual node allocations do work. A
+// charging policy decides how that reservation is priced:
+//  - kUsedOnly      — pay for allocated node-time only. No incentive to
+//                     keep pre-allocations honest (users would pre-allocate
+//                     the whole machine "just in case").
+//  - kPreAllocated  — pay for the pre-allocation window, like a classic
+//                     rigid reservation. No incentive to release unused
+//                     nodes dynamically (the paper's problem statement).
+//  - kBlend         — pay for used node-time plus a discounted rate on the
+//                     pre-allocated-but-unused area. Rewards both honest
+//                     peak estimates and dynamic release — the incentive
+//                     structure CooRMv2 wants.
+//
+// Preemptible node-time is billed at its own (discounted) rate: it comes
+// with a kill risk, like spot/best-effort classes.
+#pragma once
+
+#include <map>
+#include <ostream>
+
+#include "coorm/rms/server.hpp"
+
+namespace coorm {
+
+enum class ChargePolicy {
+  kUsedOnly,
+  kPreAllocated,
+  kBlend,
+};
+
+[[nodiscard]] const char* toString(ChargePolicy policy);
+
+struct AccountingRates {
+  ChargePolicy policy = ChargePolicy::kBlend;
+  /// Price of one node-hour of non-preemptible allocation.
+  double nodeHour = 1.0;
+  /// Preemptible node-hours are discounted (kill risk).
+  double preemptibleDiscount = 0.25;  ///< price factor, 0..1
+  /// kBlend: price factor for pre-allocated-but-unused node-hours. Must
+  /// stay well below 1: a dynamic application holds its reservation for
+  /// longer (it runs at the efficient allocation, not the over-provisioned
+  /// one), so a high factor would tax exactly the behaviour the blend
+  /// policy is meant to reward.
+  double reservationFactor = 0.1;  ///< 0 = free, 1 = as if used
+};
+
+/// Per-application resource consumption and its price.
+struct Invoice {
+  double nonPreemptibleNodeHours = 0.0;
+  double preemptibleNodeHours = 0.0;
+  double preallocatedNodeHours = 0.0;
+  /// Pre-allocated capacity that was never backed by an allocation.
+  [[nodiscard]] double unusedReservationNodeHours() const {
+    return std::max(preallocatedNodeHours - nonPreemptibleNodeHours, 0.0);
+  }
+  [[nodiscard]] double cost(const AccountingRates& rates) const;
+};
+
+/// Observes a server's allocation changes and produces invoices.
+class Accountant final : public AllocationObserver {
+ public:
+  explicit Accountant(AccountingRates rates = {});
+
+  void onAllocationChanged(AppId app, ClusterId cluster, NodeCount delta,
+                           RequestType type, Time at) override;
+
+  /// Flush integrals up to `at`; call before reading invoices.
+  void finalize(Time at);
+
+  [[nodiscard]] Invoice invoice(AppId app) const;
+  [[nodiscard]] double cost(AppId app) const;
+  [[nodiscard]] const AccountingRates& rates() const { return rates_; }
+
+  /// Applications with any recorded consumption.
+  [[nodiscard]] std::vector<AppId> billedApps() const;
+
+  /// Render an itemized statement for every billed application.
+  void statement(std::ostream& out) const;
+
+ private:
+  struct Meter {
+    Time lastAt = 0;
+    NodeCount current = 0;
+    double nodeSeconds = 0.0;
+    void advance(Time at);
+  };
+
+  AccountingRates rates_;
+  std::map<std::pair<std::int32_t, int>, Meter> meters_;
+};
+
+}  // namespace coorm

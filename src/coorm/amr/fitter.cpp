@@ -1,0 +1,100 @@
+#include "coorm/amr/fitter.hpp"
+
+#include <array>
+#include <cmath>
+
+#include "coorm/common/check.hpp"
+
+namespace coorm {
+
+namespace {
+
+/// Solve a 4x4 linear system by Gaussian elimination with partial pivoting.
+std::optional<std::array<double, 4>> solve4(
+    std::array<std::array<double, 4>, 4> m, std::array<double, 4> rhs) {
+  constexpr int kN = 4;
+  for (int col = 0; col < kN; ++col) {
+    int pivot = col;
+    for (int row = col + 1; row < kN; ++row) {
+      if (std::fabs(m[row][col]) > std::fabs(m[pivot][col])) pivot = row;
+    }
+    if (std::fabs(m[pivot][col]) < 1e-300) return std::nullopt;
+    std::swap(m[col], m[pivot]);
+    std::swap(rhs[col], rhs[pivot]);
+    for (int row = 0; row < kN; ++row) {
+      if (row == col) continue;
+      const double factor = m[row][col] / m[col][col];
+      for (int k = col; k < kN; ++k) m[row][k] -= factor * m[col][k];
+      rhs[row] -= factor * rhs[col];
+    }
+  }
+  std::array<double, 4> solution{};
+  for (int i = 0; i < kN; ++i) solution[i] = rhs[i] / m[i][i];
+  return solution;
+}
+
+std::array<double, 4> features(NodeCount nodes, double sizeMiB) {
+  const double n = static_cast<double>(nodes);
+  return {sizeMiB / n, n, sizeMiB, 1.0};
+}
+
+}  // namespace
+
+std::optional<SpeedupParams> SpeedupFitter::fit(
+    const std::vector<SpeedupSample>& samples) {
+  if (samples.size() < 4) return std::nullopt;
+
+  std::array<std::array<double, 4>, 4> normal{};
+  std::array<double, 4> rhs{};
+  for (const SpeedupSample& sample : samples) {
+    COORM_CHECK(sample.durationSeconds > 0.0);
+    const auto x = features(sample.nodes, sample.sizeMiB);
+    // Weight 1/t^2: minimizing sum w·(t_model - t)^2 approximates the
+    // paper's logarithmic fit (relative errors instead of absolute).
+    const double w = 1.0 / (sample.durationSeconds * sample.durationSeconds);
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) normal[i][j] += w * x[i] * x[j];
+      rhs[i] += w * x[i] * sample.durationSeconds;
+    }
+  }
+
+  const auto solution = solve4(normal, rhs);
+  if (!solution) return std::nullopt;
+  SpeedupParams params;
+  params.a = (*solution)[0];
+  params.b = (*solution)[1];
+  params.c = (*solution)[2];
+  params.d = (*solution)[3];
+  return params;
+}
+
+double SpeedupFitter::maxRelativeError(
+    const SpeedupParams& params, const std::vector<SpeedupSample>& samples) {
+  const SpeedupModel model(params);
+  double worst = 0.0;
+  for (const SpeedupSample& sample : samples) {
+    const double predicted = model.stepDuration(sample.nodes, sample.sizeMiB);
+    const double error =
+        std::fabs(predicted - sample.durationSeconds) / sample.durationSeconds;
+    worst = std::max(worst, error);
+  }
+  return worst;
+}
+
+std::vector<SpeedupSample> SpeedupFitter::synthesize(
+    const SpeedupParams& reference, const std::vector<NodeCount>& nodes,
+    const std::vector<double>& sizesMiB, double noiseAmplitude, Rng& rng) {
+  const SpeedupModel model(reference);
+  std::vector<SpeedupSample> samples;
+  samples.reserve(nodes.size() * sizesMiB.size());
+  for (const double size : sizesMiB) {
+    for (const NodeCount n : nodes) {
+      const double noise = rng.uniformReal(-noiseAmplitude, noiseAmplitude);
+      samples.push_back(
+          {n, size, model.stepDuration(n, size) * (1.0 + noise)});
+    }
+  }
+  return samples;
+}
+
+}  // namespace coorm

@@ -1,0 +1,54 @@
+#include "coorm/amr/speedup.hpp"
+
+#include "coorm/common/check.hpp"
+
+namespace coorm {
+
+SpeedupModel::SpeedupModel(SpeedupParams params) : params_(params) {
+  COORM_CHECK(params_.a >= 0 && params_.b >= 0 && params_.c >= 0 &&
+              params_.d >= 0);
+}
+
+double SpeedupModel::stepDuration(NodeCount nodes, double sizeMiB) const {
+  COORM_CHECK(nodes >= 1);
+  COORM_CHECK(sizeMiB >= 0);
+  const double n = static_cast<double>(nodes);
+  return params_.a * sizeMiB / n + params_.b * n + params_.c * sizeMiB +
+         params_.d;
+}
+
+double SpeedupModel::efficiency(NodeCount nodes, double sizeMiB) const {
+  const double serial = stepDuration(1, sizeMiB);
+  return serial / (static_cast<double>(nodes) * stepDuration(nodes, sizeMiB));
+}
+
+double SpeedupModel::stepArea(NodeCount nodes, double sizeMiB) const {
+  return static_cast<double>(nodes) * stepDuration(nodes, sizeMiB);
+}
+
+NodeCount SpeedupModel::nodesForEfficiency(double sizeMiB,
+                                           double target) const {
+  COORM_CHECK(target > 0.0 && target <= 1.0);
+  if (efficiency(1, sizeMiB) < target) return 1;  // cannot happen: e(1) == 1
+
+  // e(n) decreases in n: exponential search for the first n violating the
+  // target, then binary search the boundary.
+  NodeCount lo = 1;  // satisfies target
+  NodeCount hi = 2;
+  while (efficiency(hi, sizeMiB) >= target) {
+    lo = hi;
+    hi *= 2;
+    if (hi > (NodeCount{1} << 40)) break;  // defensive bound
+  }
+  while (lo + 1 < hi) {
+    const NodeCount mid = lo + (hi - lo) / 2;
+    if (efficiency(mid, sizeMiB) >= target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace coorm

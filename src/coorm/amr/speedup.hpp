@@ -1,0 +1,59 @@
+// The AMR speed-up model (paper §2.2).
+//
+// The duration of one AMR step on n nodes with working-set size S is
+//
+//     t(n, S) = A·S/n + B·n + C·S + D
+//
+// where A is the perfectly-parallelisable work, B the parallelisation
+// overhead, C the per-node cost per unit of data (limits weak scaling) and
+// D a constant. The paper fits the formula against Uintah AMR measurements
+// and obtains the constants below, which we use verbatim.
+#pragma once
+
+#include <optional>
+
+#include "coorm/common/ids.hpp"
+
+namespace coorm {
+
+struct SpeedupParams {
+  double a = 7.26e-3;  ///< s·node/MiB
+  double b = 1.23e-4;  ///< s/node
+  double c = 1.13e-6;  ///< s/MiB
+  double d = 1.38;     ///< s
+
+  friend bool operator==(const SpeedupParams&, const SpeedupParams&) = default;
+};
+
+/// Constants published in §2.2.
+[[nodiscard]] constexpr SpeedupParams paperSpeedupParams() { return {}; }
+
+/// Paper Smax = 3.16 TiB, in MiB.
+inline constexpr double kPaperSmaxMiB = 3.16 * 1024.0 * 1024.0;
+
+class SpeedupModel {
+ public:
+  explicit SpeedupModel(SpeedupParams params = paperSpeedupParams());
+
+  /// t(n, S): duration of one step, in seconds.
+  [[nodiscard]] double stepDuration(NodeCount nodes, double sizeMiB) const;
+
+  /// Parallel efficiency e(n, S) = t(1,S) / (n · t(n,S)); e(1, S) == 1 and
+  /// e decreases monotonically with n.
+  [[nodiscard]] double efficiency(NodeCount nodes, double sizeMiB) const;
+
+  /// Consumed area of one step: n · t(n, S), in node-seconds.
+  [[nodiscard]] double stepArea(NodeCount nodes, double sizeMiB) const;
+
+  /// Largest node-count that still runs at >= target efficiency for the
+  /// given working-set size (>= 1; target must be in (0, 1]).
+  [[nodiscard]] NodeCount nodesForEfficiency(double sizeMiB,
+                                             double target) const;
+
+  [[nodiscard]] const SpeedupParams& params() const { return params_; }
+
+ private:
+  SpeedupParams params_;
+};
+
+}  // namespace coorm

@@ -1,0 +1,114 @@
+#include "coorm/amr/static_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "coorm/common/check.hpp"
+
+namespace coorm {
+
+StaticAnalysis::StaticAnalysis(SpeedupModel model, std::vector<double> sizes)
+    : model_(model), sizes_(std::move(sizes)) {
+  COORM_CHECK(!sizes_.empty());
+}
+
+StaticAnalysis::DynamicRun StaticAnalysis::dynamicRun(
+    double targetEfficiency, NodeCount capNodes) const {
+  DynamicRun run;
+  run.nodesPerStep.reserve(sizes_.size());
+  for (const double size : sizes_) {
+    NodeCount n = model_.nodesForEfficiency(size, targetEfficiency);
+    if (capNodes > 0) n = std::min(n, capNodes);
+    const double duration = model_.stepDuration(n, size);
+    run.nodesPerStep.push_back(n);
+    run.durationSeconds += duration;
+    run.areaNodeSeconds += static_cast<double>(n) * duration;
+  }
+  return run;
+}
+
+double StaticAnalysis::staticDuration(NodeCount nodes) const {
+  double total = 0.0;
+  for (const double size : sizes_) total += model_.stepDuration(nodes, size);
+  return total;
+}
+
+double StaticAnalysis::staticArea(NodeCount nodes) const {
+  return static_cast<double>(nodes) * staticDuration(nodes);
+}
+
+std::optional<NodeCount> StaticAnalysis::equivalentStatic(
+    double targetEfficiency) const {
+  const double target = dynamicRun(targetEfficiency).areaNodeSeconds;
+  if (staticArea(1) > target) return std::nullopt;
+
+  // staticArea(n) = A·sum(S) + B·n²·k + C·n·sum(S) + D·n·k grows strictly
+  // with n, so binary search the crossing point.
+  NodeCount lo = 1;
+  NodeCount hi = 2;
+  while (staticArea(hi) < target) {
+    lo = hi;
+    hi *= 2;
+    COORM_CHECK(hi < (NodeCount{1} << 40));
+  }
+  while (lo + 1 < hi) {
+    const NodeCount mid = lo + (hi - lo) / 2;
+    if (staticArea(mid) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  // Pick whichever side is closer in area.
+  const double below = target - staticArea(lo);
+  const double above = staticArea(hi) - target;
+  return below <= above ? lo : hi;
+}
+
+std::optional<double> StaticAnalysis::endTimeIncrease(
+    double targetEfficiency) const {
+  const auto neq = equivalentStatic(targetEfficiency);
+  if (!neq) return std::nullopt;
+  const double dynamicDuration = dynamicRun(targetEfficiency).durationSeconds;
+  return (staticDuration(*neq) - dynamicDuration) / dynamicDuration;
+}
+
+StaticAnalysis::ChoiceRange StaticAnalysis::staticChoiceRange(
+    double targetEfficiency, double areaSlack,
+    double memoryPerNodeMiB) const {
+  COORM_CHECK(memoryPerNodeMiB > 0.0);
+  ChoiceRange range;
+  range.minNodes = static_cast<NodeCount>(
+      std::ceil(peakSizeMiB() / memoryPerNodeMiB));
+  range.minNodes = std::max<NodeCount>(range.minNodes, 1);
+
+  const double budget =
+      (1.0 + areaSlack) * dynamicRun(targetEfficiency).areaNodeSeconds;
+  if (staticArea(1) > budget) {
+    range.maxNodes = 0;  // even a single node over-consumes
+    return range;
+  }
+  NodeCount lo = 1;  // within budget
+  NodeCount hi = 2;
+  while (staticArea(hi) <= budget) {
+    lo = hi;
+    hi *= 2;
+    COORM_CHECK(hi < (NodeCount{1} << 40));
+  }
+  while (lo + 1 < hi) {
+    const NodeCount mid = lo + (hi - lo) / 2;
+    if (staticArea(mid) <= budget) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  range.maxNodes = lo;
+  return range;
+}
+
+double StaticAnalysis::peakSizeMiB() const {
+  return *std::max_element(sizes_.begin(), sizes_.end());
+}
+
+}  // namespace coorm

@@ -1,0 +1,74 @@
+// Analysis of the AMR model (paper §2.3): dynamic vs static allocations.
+//
+// Given an evolution profile S_1..S_k and a target efficiency e_t:
+//  - the *dynamic* run allocates, for every step, the largest node-count
+//    still meeting e_t; its consumed area is A(e_t);
+//  - the *equivalent static allocation* n_eq is the constant node-count
+//    whose consumed area equals A(e_t) (computable only with a-posteriori
+//    knowledge of the profile);
+//  - Fig. 3 reports the end-time increase of running at n_eq instead of
+//    dynamically; Fig. 4 the feasible range of static choices (no
+//    out-of-memory, at most (1+slack)·A(e_t) consumed).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "coorm/amr/speedup.hpp"
+
+namespace coorm {
+
+class StaticAnalysis {
+ public:
+  StaticAnalysis(SpeedupModel model, std::vector<double> sizesMiB);
+
+  struct DynamicRun {
+    double areaNodeSeconds = 0.0;  ///< A(e_t)
+    double durationSeconds = 0.0;
+    std::vector<NodeCount> nodesPerStep;
+  };
+
+  /// Run every step at the largest node-count meeting the target
+  /// efficiency, optionally capped (cap = pre-allocation size).
+  [[nodiscard]] DynamicRun dynamicRun(double targetEfficiency,
+                                      NodeCount capNodes = 0) const;
+
+  /// Consumed area of a constant allocation: n · sum_i t(n, S_i).
+  [[nodiscard]] double staticArea(NodeCount nodes) const;
+
+  /// End time of a constant allocation: sum_i t(n, S_i).
+  [[nodiscard]] double staticDuration(NodeCount nodes) const;
+
+  /// The equivalent static allocation n_eq: the node-count whose area is
+  /// closest to A(e_t) (area grows monotonically with n, so this is a
+  /// binary search). nullopt when even one node over-consumes.
+  [[nodiscard]] std::optional<NodeCount> equivalentStatic(
+      double targetEfficiency) const;
+
+  /// Fig. 3: (T_static(n_eq) - T_dynamic) / T_dynamic; nullopt if n_eq
+  /// does not exist.
+  [[nodiscard]] std::optional<double> endTimeIncrease(
+      double targetEfficiency) const;
+
+  struct ChoiceRange {
+    NodeCount minNodes = 0;  ///< memory floor: peak working set must fit
+    NodeCount maxNodes = 0;  ///< area ceiling: <= (1+slack)·A(e_t)
+    [[nodiscard]] bool feasible() const { return minNodes <= maxNodes; }
+  };
+
+  /// Fig. 4: the static node-counts a user could pick so that the
+  /// application neither runs out of memory nor consumes more than
+  /// (1+areaSlack)·A(e_t).
+  [[nodiscard]] ChoiceRange staticChoiceRange(double targetEfficiency,
+                                              double areaSlack,
+                                              double memoryPerNodeMiB) const;
+
+  [[nodiscard]] double peakSizeMiB() const;
+  [[nodiscard]] const std::vector<double>& sizesMiB() const { return sizes_; }
+
+ private:
+  SpeedupModel model_;
+  std::vector<double> sizes_;
+};
+
+}  // namespace coorm

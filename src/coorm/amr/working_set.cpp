@@ -1,0 +1,67 @@
+#include "coorm/amr/working_set.hpp"
+
+#include <algorithm>
+
+#include "coorm/common/check.hpp"
+
+namespace coorm {
+
+WorkingSetModel::WorkingSetModel(WorkingSetParams params) : params_(params) {
+  COORM_CHECK(params_.steps > 0);
+  COORM_CHECK(params_.minPhaseSteps >= 1);
+  COORM_CHECK(params_.maxPhaseSteps >= params_.minPhaseSteps);
+  COORM_CHECK(params_.decay >= 0.0 && params_.decay < 1.0);
+  COORM_CHECK(params_.normalizedMax > 0.0);
+}
+
+std::vector<double> WorkingSetModel::generateNormalized(Rng& rng) const {
+  std::vector<double> sizes;
+  sizes.reserve(static_cast<std::size_t>(params_.steps));
+
+  double s = 0.0;
+  double v = 0.0;
+  bool evenPhase = true;
+  int produced = 0;
+  while (produced < params_.steps) {
+    const int phaseLength = static_cast<int>(
+        rng.uniformInt(params_.minPhaseSteps, params_.maxPhaseSteps));
+    for (int i = 0; i < phaseLength && produced < params_.steps;
+         ++i, ++produced) {
+      if (evenPhase) {
+        v += params_.acceleration;
+      } else {
+        v *= params_.decay;
+      }
+      s += v;
+      const double noisy = s + rng.gaussian(0.0, params_.noiseSigma);
+      sizes.push_back(std::max(noisy, 0.0));
+    }
+    evenPhase = !evenPhase;
+  }
+
+  // Normalize so the maximum of the series is `normalizedMax`.
+  const double peak = *std::max_element(sizes.begin(), sizes.end());
+  if (peak > 0.0) {
+    const double scale = params_.normalizedMax / peak;
+    for (double& value : sizes) value *= scale;
+  }
+  return sizes;
+}
+
+std::vector<double> WorkingSetModel::toSizesMiB(
+    const std::vector<double>& normalized, double smaxMiB) const {
+  COORM_CHECK(smaxMiB > 0.0);
+  std::vector<double> result;
+  result.reserve(normalized.size());
+  for (double s : normalized) {
+    result.push_back(s / params_.normalizedMax * smaxMiB);
+  }
+  return result;
+}
+
+std::vector<double> WorkingSetModel::generateSizesMiB(Rng& rng,
+                                                      double smaxMiB) const {
+  return toSizesMiB(generateNormalized(rng), smaxMiB);
+}
+
+}  // namespace coorm

@@ -1,0 +1,53 @@
+// The AMR working-set evolution model (paper §2.1).
+//
+// The "acceleration–deceleration" model: the normalized data size s_i is
+// driven by a velocity v_i (s_i = s_{i-1} + v_i). The run is divided into
+// phases of uniformly random length in [1, 200] steps; even phases
+// accelerate the growth (v_i = v_{i-1} + 0.01) and odd phases decay it
+// (v_i = v_{i-1} · 0.95). Gaussian noise (sigma = 2) is added to the size,
+// and the profile is normalized so its maximum is 1000. The resulting
+// profiles are mostly increasing, with regions of sudden increase and of
+// constancy, plus noise — the features the paper extracted from published
+// AMR runs.
+#pragma once
+
+#include <vector>
+
+#include "coorm/common/rng.hpp"
+
+namespace coorm {
+
+struct WorkingSetParams {
+  int steps = 1000;
+  int minPhaseSteps = 1;
+  int maxPhaseSteps = 200;
+  double acceleration = 0.01;  ///< additive velocity growth in even phases
+  double decay = 0.95;         ///< multiplicative velocity decay in odd phases
+  double noiseSigma = 2.0;     ///< Gaussian noise on the (normalized) size
+  double normalizedMax = 1000.0;
+};
+
+class WorkingSetModel {
+ public:
+  explicit WorkingSetModel(WorkingSetParams params = {});
+
+  /// One normalized evolution profile: `steps` values in
+  /// [0, normalizedMax], with max == normalizedMax.
+  [[nodiscard]] std::vector<double> generateNormalized(Rng& rng) const;
+
+  /// Scale a normalized profile to actual sizes: S_i = s_i / normalizedMax
+  /// * smaxMiB (so the peak working set is smaxMiB).
+  [[nodiscard]] std::vector<double> toSizesMiB(
+      const std::vector<double>& normalized, double smaxMiB) const;
+
+  /// Convenience: generate + scale.
+  [[nodiscard]] std::vector<double> generateSizesMiB(Rng& rng,
+                                                     double smaxMiB) const;
+
+  [[nodiscard]] const WorkingSetParams& params() const { return params_; }
+
+ private:
+  WorkingSetParams params_;
+};
+
+}  // namespace coorm

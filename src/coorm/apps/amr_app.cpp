@@ -1,0 +1,246 @@
+#include "coorm/apps/amr_app.hpp"
+
+#include <algorithm>
+
+#include "coorm/common/check.hpp"
+
+namespace coorm {
+
+AmrApp::AmrApp(Executor& executor, std::string name, Config config)
+    : Application(executor, std::move(name)), config_(std::move(config)) {
+  COORM_CHECK(!config_.sizesMiB.empty());
+  COORM_CHECK(config_.preallocNodes >= 1);
+  COORM_CHECK(config_.targetEfficiency > 0.0 &&
+              config_.targetEfficiency <= 1.0);
+}
+
+NodeCount AmrApp::desiredNodes(std::size_t stepIndex) const {
+  if (config_.mode == Mode::kStatic) return config_.preallocNodes;
+  std::size_t index = std::min(stepIndex, config_.sizesMiB.size() - 1);
+  if (config_.linearPrediction && config_.announceInterval > 0 &&
+      stepIndex > 0 && stepIndex < config_.sizesMiB.size()) {
+    // Extension (footnote 2): extrapolate where the working set will be
+    // when the announced update is granted.
+    const double current = config_.sizesMiB[stepIndex];
+    const double previous = config_.sizesMiB[stepIndex - 1];
+    const double slope = current - previous;  // per step
+    const double stepLength = config_.model.stepDuration(
+        std::max<NodeCount>(heldNodes(), 1), current);
+    const double stepsAhead =
+        stepLength > 0.0 ? toSeconds(config_.announceInterval) / stepLength
+                         : 0.0;
+    const double predicted = std::max(current + slope * stepsAhead, 0.0);
+    const NodeCount n = config_.model.nodesForEfficiency(
+        predicted, config_.targetEfficiency);
+    return std::clamp<NodeCount>(n, 1, config_.preallocNodes);
+  }
+  const NodeCount n = config_.model.nodesForEfficiency(
+      config_.sizesMiB[index], config_.targetEfficiency);
+  return std::clamp<NodeCount>(n, 1, config_.preallocNodes);
+}
+
+Time AmrApp::remainingWalltime() const {
+  const Time anchor = paStartedAt_ == kNever ? executor().now() : paStartedAt_;
+  const Time end = satAdd(anchor, config_.walltime);
+  return std::max<Time>(end - executor().now(), sec(1));
+}
+
+void AmrApp::handleViews() {
+  if (submitted_) return;
+  submitted_ = true;
+
+  // "Sure execution" (§4): pre-allocate the expected peak, then allocate
+  // the initial working allocation inside it.
+  RequestSpec pa;
+  pa.cluster = config_.cluster;
+  pa.nodes = config_.preallocNodes;
+  pa.duration = config_.walltime;
+  pa.type = RequestType::kPreAllocation;
+  pa_ = session().request(pa);
+
+  RequestSpec np;
+  np.cluster = config_.cluster;
+  np.nodes = desiredNodes(0);
+  np.duration = config_.walltime;
+  np.type = RequestType::kNonPreemptible;
+  np.relatedHow = Relation::kCoAlloc;
+  np.relatedTo = pa_;
+  current_ = session().request(np);
+}
+
+void AmrApp::handleStarted(RequestId id, const std::vector<NodeId>& nodes) {
+  if (id == pa_) {
+    paStartedAt_ = executor().now();
+    return;
+  }
+  if (id == current_ && runStartTime_ == kNever) {
+    // Initial allocation granted: the computation begins.
+    runStartTime_ = executor().now();
+    held_ = nodes;
+    beginStep();
+    return;
+  }
+  if (id == bridge_) {
+    held_ = nodes;  // same allocation, carried across the bridge
+    return;
+  }
+  if (id == pendingNew_) {
+    current_ = id;
+    pendingNew_ = RequestId{};
+    held_ = nodes;
+    announceInFlight_ = false;
+    if (waitingForGrant_) {
+      waitingForGrant_ = false;
+      beginStep();
+    }
+    return;
+  }
+}
+
+void AmrApp::beginStep() {
+  if (finished_) return;
+  if (stepIndex_ >= config_.sizesMiB.size()) {
+    finish();
+    return;
+  }
+  const NodeCount n = std::max<NodeCount>(std::ssize(held_), 1);
+  const double duration =
+      config_.model.stepDuration(n, config_.sizesMiB[stepIndex_]);
+  stepNodes_.push_back(n);
+  stepArea_ += static_cast<double>(n) * duration;
+  stepEvent_ = executor().after(secF(duration), [this] { onStepDone(); });
+}
+
+void AmrApp::onStepDone() {
+  if (finished_) return;
+  ++stepIndex_;
+  if (stepIndex_ >= config_.sizesMiB.size()) {
+    finish();
+    return;
+  }
+  if (config_.mode == Mode::kStatic) {
+    beginStep();
+    return;
+  }
+  if (announceInFlight_) {
+    // An announced update is pending; keep computing on what we hold.
+    beginStep();
+    return;
+  }
+
+  const NodeCount desired = desiredNodes(stepIndex_);
+  const NodeCount have = std::ssize(held_);
+  if (desired == have) {
+    beginStep();
+    return;
+  }
+
+  if (config_.announceInterval <= 0) {
+    // Spontaneous update (§3.1.3): request the new allocation immediately
+    // and pause until it is granted (the pre-allocation guarantees it).
+    pendingNew_ = RequestId{};
+    RequestSpec spec;
+    spec.cluster = config_.cluster;
+    spec.nodes = desired;
+    spec.duration = remainingWalltime();
+    spec.type = RequestType::kNonPreemptible;
+    spec.relatedHow = Relation::kNext;
+    spec.relatedTo = current_;
+    pendingNew_ = session().request(spec);
+
+    std::vector<NodeId> released;
+    if (desired < have) released = takeFromHeld(have - desired);
+    session().done(current_, std::move(released));
+    current_ = RequestId{};
+    waitingForGrant_ = true;
+    return;
+  }
+
+  // Announced update (§5.3): hold the current allocation for the announce
+  // interval, then switch to the node-count computed *now* (it will be
+  // stale by then — that is the price the paper measures).
+  pendingDesired_ = desired;
+  RequestSpec bridgeSpec;
+  bridgeSpec.cluster = config_.cluster;
+  bridgeSpec.nodes = have;
+  bridgeSpec.duration = config_.announceInterval;
+  bridgeSpec.type = RequestType::kNonPreemptible;
+  bridgeSpec.relatedHow = Relation::kNext;
+  bridgeSpec.relatedTo = current_;
+  bridge_ = session().request(bridgeSpec);
+  if (!bridge_.valid()) {  // rejected (e.g. stale state): keep computing
+    beginStep();
+    return;
+  }
+
+  RequestSpec newSpec;
+  newSpec.cluster = config_.cluster;
+  newSpec.nodes = desired;
+  newSpec.duration = remainingWalltime();
+  newSpec.type = RequestType::kNonPreemptible;
+  newSpec.relatedHow = Relation::kNext;
+  newSpec.relatedTo = bridge_;
+  pendingNew_ = session().request(newSpec);
+
+  session().done(current_, {});
+  current_ = RequestId{};
+  announceInFlight_ = true;
+  beginStep();  // keep computing during the announce interval
+}
+
+void AmrApp::handleExpired(RequestId id) {
+  if (id == bridge_) {
+    // End of the announce interval: if shrinking, choose the IDs to free.
+    std::vector<NodeId> released;
+    const NodeCount have = std::ssize(held_);
+    if (pendingDesired_ < have) released = takeFromHeld(have - pendingDesired_);
+    bridge_ = RequestId{};
+    session().done(id, std::move(released));
+    return;
+  }
+  if (id == pa_ || id == current_) {
+    // Walltime exhausted before the computation finished: release
+    // everything and stop ("probable execution" would checkpoint here and
+    // resume under a new pre-allocation, see examples/checkpoint_restart).
+    session().done(id);
+    abortRun();
+    return;
+  }
+  session().done(id);
+}
+
+void AmrApp::abortRun() {
+  if (finished_ || aborted_) return;
+  aborted_ = true;
+  endTime_ = executor().now();
+  Executor::cancel(stepEvent_);
+  for (const RequestId id : {current_, bridge_, pendingNew_, pa_}) {
+    if (id.valid()) session().done(id);
+  }
+  current_ = bridge_ = pendingNew_ = RequestId{};
+  held_.clear();
+  if (onFinished_) onFinished_();
+  session().disconnect();
+}
+
+std::vector<NodeId> AmrApp::takeFromHeld(NodeCount count) {
+  COORM_CHECK(count >= 0 && count <= std::ssize(held_));
+  std::vector<NodeId> released(held_.end() - count, held_.end());
+  held_.resize(held_.size() - static_cast<std::size_t>(count));
+  return released;
+}
+
+void AmrApp::finish() {
+  if (aborted_) return;
+  finished_ = true;
+  endTime_ = executor().now();
+  Executor::cancel(stepEvent_);
+  for (const RequestId id : {current_, bridge_, pendingNew_, pa_}) {
+    if (id.valid()) session().done(id);
+  }
+  held_.clear();
+  if (onFinished_) onFinished_();
+  session().disconnect();
+}
+
+}  // namespace coorm

@@ -1,0 +1,114 @@
+// Non-predictably evolving AMR application (paper §4 "NEA" and §5.1.1).
+//
+// The application executes a fixed number of AMR steps; during step i the
+// working set S_i is constant and the step takes t(n, S_i) seconds on its
+// current allocation of n nodes. It knows its speed-up model but *not* the
+// future evolution of S — at each step boundary it only uses the current
+// working-set size to target an efficiency (75 % in the paper).
+//
+// It adopts the paper's "sure execution" strategy: a pre-allocation of
+// `preallocNodes` (the user's guess of the equivalent static allocation,
+// scaled by the experiment's overcommit factor) submitted up front, with
+// non-preemptible requests updated inside it:
+//  - static mode (Fig. 9 baseline): the NP request equals the whole
+//    pre-allocation for the whole run — no updates;
+//  - spontaneous updates (announceInterval == 0): at a step boundary where
+//    the desired node-count changes, request(NEXT) + done() and pause until
+//    the RMS grants the new allocation;
+//  - announced updates (announceInterval > 0, §5.3): insert a bridge
+//    request holding the current allocation for the announce interval, keep
+//    computing on it, and adopt the new node-count when the bridge expires
+//    — the application runs below target efficiency meanwhile, which is
+//    the end-time increase Fig. 10 measures.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "coorm/amr/speedup.hpp"
+#include "coorm/apps/application.hpp"
+
+namespace coorm {
+
+class AmrApp final : public Application {
+ public:
+  enum class Mode {
+    kStatic,   ///< forced to use the whole pre-allocation (Fig. 9 "static")
+    kDynamic,  ///< tracks the target efficiency with updates
+  };
+
+  struct Config {
+    ClusterId cluster{0};
+    SpeedupModel model{paperSpeedupParams()};
+    std::vector<double> sizesMiB;  ///< working-set evolution profile
+    double targetEfficiency = 0.75;
+    NodeCount preallocNodes = 100;
+    Time walltime = hours(48);
+    Mode mode = Mode::kDynamic;
+    /// 0 = spontaneous updates; > 0 = announced updates with this interval.
+    Time announceInterval = 0;
+    /// Extension (paper footnote 2): announce the node-count predicted by
+    /// linear extrapolation of the working set instead of the current one.
+    bool linearPrediction = false;
+  };
+
+  AmrApp(Executor& executor, std::string name, Config config);
+
+  /// Invoked (if set) when the last step completes, before disconnecting.
+  void setOnFinished(std::function<void()> callback) {
+    onFinished_ = std::move(callback);
+  }
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  /// True when the walltime window closed before the computation ended
+  /// (the run is over but incomplete).
+  [[nodiscard]] bool aborted() const { return aborted_; }
+  [[nodiscard]] Time runStartTime() const { return runStartTime_; }
+  [[nodiscard]] Time endTime() const { return endTime_; }
+  [[nodiscard]] std::size_t stepsCompleted() const { return stepIndex_; }
+  /// Model-level consumed area: sum over steps of n_i · t(n_i, S_i).
+  [[nodiscard]] double stepAreaNodeSeconds() const { return stepArea_; }
+  /// Node-count used for each completed step (for assertions).
+  [[nodiscard]] const std::vector<NodeCount>& stepNodes() const {
+    return stepNodes_;
+  }
+  [[nodiscard]] NodeCount heldNodes() const { return std::ssize(held_); }
+
+ private:
+  void handleViews() override;
+  void handleStarted(RequestId id, const std::vector<NodeId>& nodes) override;
+  void handleExpired(RequestId id) override;
+
+  void beginStep();
+  void onStepDone();
+  void finish();
+  void abortRun();
+  [[nodiscard]] NodeCount desiredNodes(std::size_t stepIndex) const;
+  [[nodiscard]] Time remainingWalltime() const;
+  [[nodiscard]] std::vector<NodeId> takeFromHeld(NodeCount count);
+
+  Config config_;
+  std::function<void()> onFinished_;
+
+  RequestId pa_{};
+  RequestId current_{};     ///< running NP request
+  RequestId bridge_{};      ///< announced-update bridge
+  RequestId pendingNew_{};  ///< successor waiting to start
+  NodeCount pendingDesired_ = 0;
+
+  std::vector<NodeId> held_;
+  std::size_t stepIndex_ = 0;
+  bool submitted_ = false;
+  bool waitingForGrant_ = false;  ///< spontaneous update in flight (paused)
+  bool announceInFlight_ = false;
+  bool finished_ = false;
+  bool aborted_ = false;
+  Time paStartedAt_ = kNever;
+  Time runStartTime_ = kNever;
+  Time endTime_ = kNever;
+  double stepArea_ = 0.0;
+  std::vector<NodeCount> stepNodes_;
+  EventHandle stepEvent_;
+};
+
+}  // namespace coorm

@@ -1,0 +1,55 @@
+#include "coorm/apps/application.hpp"
+
+#include "coorm/common/check.hpp"
+#include "coorm/common/log.hpp"
+
+namespace coorm {
+
+Application::Application(Executor& executor, std::string name)
+    : executor_(executor), name_(std::move(name)) {}
+
+void Application::connectTo(Server& server) {
+  COORM_CHECK(session_ == nullptr);
+  session_ = server.connect(*this);
+}
+
+AppId Application::appId() const {
+  COORM_CHECK(session_ != nullptr);
+  return session_->app();
+}
+
+void Application::onViews(const View& nonPreemptive, const View& preemptive) {
+  if (killed_) return;
+  npView_ = nonPreemptive;
+  pView_ = preemptive;
+  viewsReceived_ = true;
+  handleViews();
+}
+
+void Application::onStarted(RequestId id, const std::vector<NodeId>& nodes) {
+  if (killed_) return;
+  handleStarted(id, nodes);
+}
+
+void Application::onExpired(RequestId id) {
+  if (killed_) return;
+  handleExpired(id);
+}
+
+void Application::handleExpired(RequestId id) {
+  // Default: the request is over; give everything back.
+  session_->done(id);
+}
+
+void Application::onEnded(RequestId id) {
+  if (killed_) return;
+  handleEnded(id);
+}
+
+void Application::onKilled() {
+  killed_ = true;
+  COORM_LOG(LogLevel::kWarn, "app") << name_ << " was killed by the RMS";
+  handleKilled();
+}
+
+}  // namespace coorm

@@ -1,0 +1,72 @@
+// Application actor base class.
+//
+// Applications are event-driven actors living on the same executor as the
+// RMS server. This base class handles session bookkeeping and provides the
+// default protocol behaviour (e.g. answering onExpired with done(), which
+// ends the request releasing everything). Concrete application types (§4 of
+// the paper) override the hooks they care about.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "coorm/common/executor.hpp"
+#include "coorm/rms/server.hpp"
+
+namespace coorm {
+
+class Application : public AppEndpoint {
+ public:
+  Application(Executor& executor, std::string name);
+  ~Application() override = default;
+
+  Application(const Application&) = delete;
+  Application& operator=(const Application&) = delete;
+
+  /// Connect to the RMS; views will arrive shortly after (as events).
+  void connectTo(Server& server);
+
+  [[nodiscard]] bool connected() const { return session_ != nullptr; }
+  [[nodiscard]] bool wasKilled() const { return killed_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] AppId appId() const;
+
+  /// Views most recently pushed by the RMS (for observers/benches).
+  [[nodiscard]] const View& lastNonPreemptiveView() const { return npView_; }
+  [[nodiscard]] const View& lastPreemptiveView() const { return pView_; }
+
+  // --- AppEndpoint ---------------------------------------------------------
+  void onViews(const View& nonPreemptive, const View& preemptive) final;
+  void onStarted(RequestId id, const std::vector<NodeId>& nodeIds) final;
+  void onExpired(RequestId id) final;
+  void onEnded(RequestId id) final;
+  void onKilled() final;
+
+ protected:
+  /// Hooks for subclasses; defaults do nothing (except handleExpired, which
+  /// terminates the request, releasing all of its nodes).
+  virtual void handleViews() {}
+  virtual void handleStarted(RequestId id, const std::vector<NodeId>& nodes) {
+    (void)id, (void)nodes;
+  }
+  virtual void handleExpired(RequestId id);
+  virtual void handleEnded(RequestId id) { (void)id; }
+  virtual void handleKilled() {}
+
+  [[nodiscard]] Session& session() const { return *session_; }
+  [[nodiscard]] Executor& executor() const { return executor_; }
+  [[nodiscard]] const View& npView() const { return npView_; }
+  [[nodiscard]] const View& pView() const { return pView_; }
+  [[nodiscard]] bool viewsReceived() const { return viewsReceived_; }
+
+ private:
+  Executor& executor_;
+  std::string name_;
+  Session* session_ = nullptr;
+  View npView_;
+  View pView_;
+  bool viewsReceived_ = false;
+  bool killed_ = false;
+};
+
+}  // namespace coorm

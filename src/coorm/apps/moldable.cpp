@@ -1,0 +1,64 @@
+#include "coorm/apps/moldable.hpp"
+
+#include "coorm/common/check.hpp"
+
+namespace coorm {
+
+MoldableApp::MoldableApp(Executor& executor, std::string name, Config config)
+    : Application(executor, std::move(name)), config_(std::move(config)) {
+  COORM_CHECK(!config_.candidates.empty());
+}
+
+Time MoldableApp::runtimeAt(NodeCount nodes) const {
+  return secF(static_cast<double>(config_.steps) *
+              config_.model.stepDuration(nodes, config_.sizeMiB));
+}
+
+NodeCount MoldableApp::selectNodes() const {
+  const Time now = executor().now();
+  NodeCount best = config_.candidates.front();
+  Time bestEnd = kTimeInf;
+  for (const NodeCount n : config_.candidates) {
+    const Time duration = runtimeAt(n);
+    const Time start = npView().findHole(config_.cluster, n, duration, now);
+    const Time end = satAdd(start, duration);
+    if (end < bestEnd) {
+      bestEnd = end;
+      best = n;
+    }
+  }
+  return best;
+}
+
+void MoldableApp::handleViews() {
+  if (running_ || finished_) return;
+
+  const NodeCount choice = selectNodes();
+  if (request_.valid() && choice == chosenNodes_) return;
+
+  // Re-selection: replace the waiting request (paper: "re-run its selection
+  // algorithm and update its request").
+  if (request_.valid()) session().done(request_);
+  chosenNodes_ = choice;
+  RequestSpec spec;
+  spec.cluster = config_.cluster;
+  spec.nodes = choice;
+  spec.duration = runtimeAt(choice);
+  spec.type = RequestType::kNonPreemptible;
+  request_ = session().request(spec);
+}
+
+void MoldableApp::handleStarted(RequestId id, const std::vector<NodeId>&) {
+  if (id != request_) return;
+  running_ = true;
+  startTime_ = executor().now();
+}
+
+void MoldableApp::handleEnded(RequestId id) {
+  if (id != request_ || !running_) return;
+  finished_ = true;
+  endTime_ = executor().now();
+  session().disconnect();
+}
+
+}  // namespace coorm

@@ -1,0 +1,53 @@
+// Moldable application (paper §4): waits for its non-preemptive view, runs
+// a resource-selection algorithm choosing the node-count that minimizes its
+// end time, and keeps re-selecting while it waits (the RMS pushes new views
+// when the system state changes, as in CooRM).
+#pragma once
+
+#include "coorm/amr/speedup.hpp"
+#include "coorm/apps/application.hpp"
+
+namespace coorm {
+
+class MoldableApp final : public Application {
+ public:
+  struct Config {
+    ClusterId cluster{0};
+    /// Work description: `steps` iterations over a constant working set,
+    /// timed by the speed-up model.
+    SpeedupModel model{paperSpeedupParams()};
+    double sizeMiB = 1024.0;
+    int steps = 100;
+    /// Candidate node-counts to consider (must not be empty).
+    std::vector<NodeCount> candidates{1, 2, 4, 8, 16, 32, 64, 128};
+  };
+
+  MoldableApp(Executor& executor, std::string name, Config config);
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] NodeCount chosenNodes() const { return chosenNodes_; }
+  [[nodiscard]] Time startTime() const { return startTime_; }
+  [[nodiscard]] Time endTime() const { return endTime_; }
+
+  /// Estimated runtime at a node-count (public: used by tests/benches).
+  [[nodiscard]] Time runtimeAt(NodeCount nodes) const;
+
+ private:
+  void handleViews() override;
+  void handleStarted(RequestId id, const std::vector<NodeId>& nodes) override;
+  void handleEnded(RequestId id) override;
+
+  /// Pick the candidate with the smallest estimated end time given the
+  /// current non-preemptive view.
+  [[nodiscard]] NodeCount selectNodes() const;
+
+  Config config_;
+  RequestId request_{};
+  NodeCount chosenNodes_ = 0;
+  bool running_ = false;
+  bool finished_ = false;
+  Time startTime_ = kNever;
+  Time endTime_ = kNever;
+};
+
+}  // namespace coorm

@@ -1,0 +1,70 @@
+#include "coorm/apps/predictable.hpp"
+
+#include "coorm/common/check.hpp"
+
+namespace coorm {
+
+PredictableApp::PredictableApp(Executor& executor, std::string name,
+                               Config config)
+    : Application(executor, std::move(name)), config_(std::move(config)) {
+  COORM_CHECK(!config_.phases.empty());
+}
+
+void PredictableApp::handleViews() {
+  if (submitted_) return;
+  submitted_ = true;
+  RequestId previous{};
+  for (std::size_t i = 0; i < config_.phases.size(); ++i) {
+    RequestSpec spec;
+    spec.cluster = config_.cluster;
+    spec.nodes = config_.phases[i].nodes;
+    spec.duration = config_.phases[i].duration;
+    spec.type = RequestType::kNonPreemptible;
+    if (i > 0) {
+      spec.relatedHow = Relation::kNext;
+      spec.relatedTo = previous;
+    }
+    previous = session().request(spec);
+    requests_.push_back(previous);
+  }
+}
+
+void PredictableApp::handleStarted(RequestId id,
+                                   const std::vector<NodeId>& nodes) {
+  // Phases start in order; record the observed allocation.
+  if (currentPhase_ < requests_.size() && id == requests_[currentPhase_]) {
+    held_ = nodes;
+    if (currentPhase_ == 0) startTime_ = executor().now();
+    timeline_.emplace_back(executor().now(), std::ssize(nodes));
+  }
+}
+
+void PredictableApp::handleExpired(RequestId id) {
+  if (currentPhase_ >= requests_.size() || id != requests_[currentPhase_]) {
+    session().done(id);
+    return;
+  }
+  // If the next phase needs fewer nodes, choose which IDs to free (we
+  // release from the tail); otherwise keep everything.
+  std::vector<NodeId> released;
+  if (currentPhase_ + 1 < requests_.size()) {
+    const NodeCount next = config_.phases[currentPhase_ + 1].nodes;
+    const NodeCount current = std::ssize(held_);
+    if (next < current) {
+      released.assign(held_.end() - (current - next), held_.end());
+      held_.resize(static_cast<std::size_t>(next));
+    }
+  }
+  session().done(id, std::move(released));
+  ++currentPhase_;
+}
+
+void PredictableApp::handleEnded(RequestId id) {
+  if (!requests_.empty() && id == requests_.back()) {
+    finished_ = true;
+    endTime_ = executor().now();
+    session().disconnect();
+  }
+}
+
+}  // namespace coorm

@@ -1,0 +1,53 @@
+// Fully-predictably evolving application (paper §4): its whole evolution is
+// known at submittal, so it sends one non-preemptible request per phase,
+// linked with the NEXT constraint. When a phase ends with a smaller
+// successor, the application chooses which node IDs to free; when it grows,
+// the RMS sends the additional IDs.
+#pragma once
+
+#include <vector>
+
+#include "coorm/apps/application.hpp"
+
+namespace coorm {
+
+class PredictableApp final : public Application {
+ public:
+  struct Phase {
+    NodeCount nodes = 1;
+    Time duration = sec(60);
+  };
+  struct Config {
+    ClusterId cluster{0};
+    std::vector<Phase> phases;
+  };
+
+  PredictableApp(Executor& executor, std::string name, Config config);
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] Time startTime() const { return startTime_; }
+  [[nodiscard]] Time endTime() const { return endTime_; }
+  /// (start time, node count) observed for each phase, for assertions.
+  [[nodiscard]] const std::vector<std::pair<Time, NodeCount>>& timeline()
+      const {
+    return timeline_;
+  }
+
+ private:
+  void handleViews() override;
+  void handleStarted(RequestId id, const std::vector<NodeId>& nodes) override;
+  void handleExpired(RequestId id) override;
+  void handleEnded(RequestId id) override;
+
+  Config config_;
+  std::vector<RequestId> requests_;  // one per phase
+  std::vector<NodeId> held_;
+  std::size_t currentPhase_ = 0;
+  bool submitted_ = false;
+  bool finished_ = false;
+  Time startTime_ = kNever;
+  Time endTime_ = kNever;
+  std::vector<std::pair<Time, NodeCount>> timeline_;
+};
+
+}  // namespace coorm

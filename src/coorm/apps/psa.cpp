@@ -1,0 +1,357 @@
+#include "coorm/apps/psa.hpp"
+
+#include <algorithm>
+
+#include "coorm/common/check.hpp"
+
+namespace coorm {
+
+PsaApp::PsaApp(Executor& executor, std::string name, Config config)
+    : Application(executor, std::move(name)),
+      config_(config),
+      rng_(config.rngSeed) {
+  COORM_CHECK(config_.taskDuration > 0);
+}
+
+NodeCount PsaApp::heldNodes() const {
+  return std::ssize(nodes_) + std::ssize(baseNodes_);
+}
+
+// ---------------------------------------------------------------------------
+// Planning
+// ---------------------------------------------------------------------------
+
+Time PsaApp::firstTimeBelow(NodeCount level, Time from) const {
+  const auto segments = pView().cap(config_.cluster).segments();
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    if (segments[i].value >= level) continue;
+    const Time end =
+        i + 1 < segments.size() ? segments[i + 1].start : kTimeInf;
+    if (end > from) return std::max(segments[i].start, from);
+  }
+  return kTimeInf;
+}
+
+PsaApp::Plan PsaApp::computePlan() const {
+  Plan plan;
+  const Time now = executor().now();
+  const StepFunction& profile = pView().cap(config_.cluster);
+
+  NodeCount allowed = profile.at(now);
+  if (config_.maxNodes > 0) allowed = std::min(allowed, config_.maxNodes);
+  if (allowed < 0) allowed = 0;
+
+  // Usability rule: the largest level whose availability window fits at
+  // least one task. Usability is monotone (smaller levels have longer
+  // windows), so taking the max over candidate levels is well defined.
+  NodeCount usable = 0;
+  if (allowed > 0) {
+    std::vector<NodeCount> levels{allowed};
+    for (const auto& seg : profile.segments()) {
+      if (seg.value > 0 && seg.value < allowed) levels.push_back(seg.value);
+    }
+    for (const NodeCount level : levels) {
+      if (level <= usable) continue;
+      const Time below = firstTimeBelow(level, now);
+      const bool fits = isInf(below) ||
+                        below - now >= config_.taskDuration ||
+                        !config_.takeOnlyUsable;
+      if (fits) usable = level;
+    }
+  }
+
+  // Keep nodes with running tasks as long as the view allows them, even if
+  // their remaining window is short: killing early is never useful (the
+  // drop-time kill accounts the waste, as in the paper).
+  NodeCount runningP = 0;
+  for (const auto& [node, state] : nodes_) {
+    if (state.running()) ++runningP;
+  }
+
+  plan.desired = std::max(usable, std::min(runningP, allowed));
+  plan.dropAt =
+      plan.desired > 0 ? firstTimeBelow(plan.desired, now) : kTimeInf;
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Protocol handlers
+// ---------------------------------------------------------------------------
+
+void PsaApp::handleViews() {
+  if (!baseSubmitted_) {
+    baseSubmitted_ = true;
+    if (config_.minNodes > 0) {
+      RequestSpec spec;
+      spec.cluster = config_.cluster;
+      spec.nodes = config_.minNodes;
+      spec.duration = config_.minPartDuration;
+      spec.type = RequestType::kNonPreemptible;
+      baseRequest_ = session().request(spec);
+      // Plan the malleable part once the view reflects the base part.
+      return;
+    }
+  }
+  replan();
+  scheduleWakeup();
+}
+
+void PsaApp::replan() {
+  if (wasKilled() || !connected() || !viewsReceived()) return;
+  if (updateInFlight_) return;  // re-evaluated when the successor starts
+
+  const Plan plan = computePlan();
+  if (!current_.valid()) {
+    if (plan.desired <= 0) return;
+    // Leases are open-ended: the view (plus our wakeup at its next
+    // breakpoint) tells us when to give nodes back.
+    RequestSpec spec;
+    spec.cluster = config_.cluster;
+    spec.nodes = plan.desired;
+    spec.duration = kTimeInf;
+    spec.type = RequestType::kPreemptible;
+    pending_ = session().request(spec);
+    updateInFlight_ = true;
+    currentNodes_ = plan.desired;
+    currentDropAt_ = plan.dropAt;
+    return;
+  }
+  currentDropAt_ = plan.dropAt;  // task planning follows the fresh view
+  if (plan.desired == currentNodes_ && plan.desired == std::ssize(nodes_)) {
+    return;
+  }
+  transition(current_);
+}
+
+void PsaApp::transition(RequestId endingRequest) {
+  // Spontaneous update (§3.1.3): submit the follow-up request (NEXT, so
+  // node IDs carry over), then terminate the current one, naming the IDs
+  // we give back.
+  const Plan plan = computePlan();
+  const NodeCount heldP = std::ssize(nodes_);
+
+  std::vector<NodeId> released;
+  if (plan.desired < heldP) released = yankVictims(heldP - plan.desired);
+
+  if (plan.desired > 0) {
+    RequestSpec spec;
+    spec.cluster = config_.cluster;
+    spec.nodes = plan.desired;
+    spec.duration = kTimeInf;
+    spec.type = RequestType::kPreemptible;
+    spec.relatedHow = Relation::kNext;
+    spec.relatedTo = endingRequest;
+    pending_ = session().request(spec);
+    updateInFlight_ = true;
+  } else {
+    pending_ = RequestId{};
+    updateInFlight_ = false;
+  }
+  current_ = RequestId{};
+  currentNodes_ = plan.desired;
+  currentDropAt_ = plan.dropAt;
+  session().done(endingRequest, std::move(released));
+}
+
+void PsaApp::handleStarted(RequestId id, const std::vector<NodeId>& ids) {
+  if (id == baseRequest_) {
+    baseNodes_ = ids;
+    for (const NodeId& node : baseNodes_) startTask(node);
+    return;
+  }
+  if (id != pending_) return;
+  pending_ = RequestId{};
+  updateInFlight_ = false;
+  current_ = id;
+  currentNodes_ = std::ssize(ids);
+
+  // Register new nodes as idle first: if the view changed while the grant
+  // was in flight (a race the protocol allows), replan() releases the
+  // surplus before any task is started on it.
+  for (const NodeId& node : ids) {
+    if (nodes_.find(node) == nodes_.end()) nodes_.emplace(node, NodeState{});
+  }
+  replan();
+  scheduleWakeup();
+  // Put the kept idle nodes to work (same decision rule as relaunch).
+  std::vector<NodeId> idle;
+  for (const auto& [node, state] : nodes_) {
+    if (!state.running()) idle.push_back(node);
+  }
+  std::sort(idle.begin(), idle.end());
+  for (const NodeId& node : idle) maybeStartTask(node);
+}
+
+void PsaApp::handleExpired(RequestId id) {
+  if (id == current_) {
+    // Leases are open-ended, so this only happens for externally-imposed
+    // durations; treat it like an availability drop.
+    transition(id);
+    return;
+  }
+  session().done(id);
+}
+
+void PsaApp::handleKilled() {
+  const Time now = executor().now();
+  for (auto& [node, state] : nodes_) {
+    if (state.running()) {
+      wasteNodeSeconds_ += toSeconds(now - state.taskStart);
+      ++tasksKilled_;
+      Executor::cancel(state.taskEvent);
+    }
+  }
+  nodes_.clear();
+  Executor::cancel(wakeup_);
+}
+
+// ---------------------------------------------------------------------------
+// Tasks
+// ---------------------------------------------------------------------------
+
+void PsaApp::startTask(NodeId node) {
+  auto it = nodes_.find(node);
+  NodeState* state;
+  if (it != nodes_.end()) {
+    state = &it->second;
+  } else {
+    // Base-part nodes are tracked separately: they are never released.
+    COORM_CHECK(std::find(baseNodes_.begin(), baseNodes_.end(), node) !=
+                baseNodes_.end());
+    state = &baseTasks_[node];
+  }
+  COORM_DCHECK(!state->running());
+  state->taskStart = executor().now();
+  state->taskEvent = executor().after(
+      config_.taskDuration, [this, node] { onTaskComplete(node); });
+}
+
+void PsaApp::onTaskComplete(NodeId node) {
+  if (wasKilled()) return;
+  ++tasksCompleted_;
+  completedNodeSeconds_ += toSeconds(config_.taskDuration);
+
+  const bool isBase =
+      std::find(baseNodes_.begin(), baseNodes_.end(), node) != baseNodes_.end();
+  if (isBase) {
+    startTask(node);  // the guaranteed part churns forever
+    return;
+  }
+
+  auto it = nodes_.find(node);
+  if (it == nodes_.end()) return;
+  it->second.taskStart = kNever;
+  it->second.taskEvent = nullptr;
+
+  if (!maybeStartTask(node)) {
+    replan();  // releases the idle node if it is no longer usable
+  }
+}
+
+bool PsaApp::maybeStartTask(NodeId node) {
+  const auto it = nodes_.find(node);
+  if (it == nodes_.end() || it->second.running()) return false;
+
+  const Time now = executor().now();
+  if (!config_.takeOnlyUsable || isInf(currentDropAt_) ||
+      now + config_.taskDuration <= currentDropAt_) {
+    // A greedy PSA (takeOnlyUsable == false) always launches and pays the
+    // kill at the drop.
+    startTask(node);
+    return true;
+  }
+
+  // A fresh task would cross the planned drop. It may only do so if the
+  // post-drop availability leaves room for it; otherwise the node is
+  // drained: it stays idle and the next replan releases it gracefully.
+  NodeCount allowedAtDrop = pView().cap(config_.cluster).at(currentDropAt_);
+  if (config_.maxNodes > 0) {
+    allowedAtDrop = std::min(allowedAtDrop, config_.maxNodes);
+  }
+  NodeCount crossers = 0;
+  for (const auto& [other, state] : nodes_) {
+    if (state.running() &&
+        state.taskStart + config_.taskDuration > currentDropAt_) {
+      ++crossers;
+    }
+  }
+  if (crossers < allowedAtDrop) {
+    startTask(node);
+    return true;
+  }
+  return false;
+}
+
+std::vector<NodeId> PsaApp::yankVictims(NodeCount count) {
+  std::vector<NodeId> victims;
+  if (count <= 0) return victims;
+
+  // Idle nodes go first (free to give away).
+  std::vector<NodeId> idle;
+  std::vector<std::pair<Time, NodeId>> running;
+  for (const auto& [node, state] : nodes_) {
+    if (state.running()) {
+      running.emplace_back(state.taskStart, node);
+    } else {
+      idle.push_back(node);
+    }
+  }
+  std::sort(idle.begin(), idle.end());
+  for (const NodeId& node : idle) {
+    if (std::ssize(victims) >= count) break;
+    victims.push_back(node);
+  }
+
+  if (std::ssize(victims) < count) {
+    switch (config_.victimPolicy) {
+      case VictimPolicy::kLeastElapsed:
+        // Youngest task = largest start time first.
+        std::sort(running.begin(), running.end(), [](auto& a, auto& b) {
+          return a.first != b.first ? a.first > b.first : a.second < b.second;
+        });
+        break;
+      case VictimPolicy::kMostElapsed:
+        std::sort(running.begin(), running.end(), [](auto& a, auto& b) {
+          return a.first != b.first ? a.first < b.first : a.second < b.second;
+        });
+        break;
+      case VictimPolicy::kRandom:
+        std::sort(running.begin(), running.end(),
+                  [](auto& a, auto& b) { return a.second < b.second; });
+        std::shuffle(running.begin(), running.end(), rng_.engine());
+        break;
+    }
+    const Time now = executor().now();
+    for (const auto& [start, node] : running) {
+      if (std::ssize(victims) >= count) break;
+      wasteNodeSeconds_ += toSeconds(now - start);
+      ++tasksKilled_;
+      Executor::cancel(nodes_[node].taskEvent);
+      victims.push_back(node);
+    }
+  }
+
+  for (const NodeId& node : victims) nodes_.erase(node);
+  return victims;
+}
+
+void PsaApp::scheduleWakeup() {
+  Executor::cancel(wakeup_);
+  wakeup_ = nullptr;
+  const Time now = executor().now();
+  const StepFunction& profile = pView().cap(config_.cluster);
+  Time next = kTimeInf;
+  for (const auto& seg : profile.segments()) {
+    if (seg.start > now) {
+      next = seg.start;
+      break;
+    }
+  }
+  if (isInf(next)) return;
+  wakeup_ = executor().schedule(next, [this] {
+    replan();
+    scheduleWakeup();
+  });
+}
+
+}  // namespace coorm

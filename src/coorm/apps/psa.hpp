@@ -1,0 +1,130 @@
+// Malleable Parameter-Sweep Application (paper §4 and §5.1.2).
+//
+// The PSA runs an infinite bag of single-node tasks of fixed duration
+// dtask. It monitors its preemptive view and requests exactly the
+// resources it can put to use:
+//  - it grows onto nodes whose availability window fits at least one task
+//    (a node offered for less than dtask is left "to be filled by another
+//    application", §4 — this is what lets the second PSA of §5.4 fill the
+//    short holes);
+//  - when the view announces a future availability drop, the PSA sizes its
+//    preemptible request to end exactly at the drop: tasks that complete
+//    before it are drained gracefully (their nodes are released on
+//    completion, no waste); tasks still running at the drop are killed and
+//    their elapsed node-seconds counted as *PSA waste* (§5.1.2);
+//  - when the view drops immediately (a spontaneous update of an evolving
+//    application), the RMS needs the nodes now: the PSA picks victims —
+//    idle nodes first, then running tasks by the configured policy — kills
+//    them and updates its request at once.
+//
+// A request is always sized to the PSA's *current* holdings; shrink/grow
+// transitions are spontaneous updates (request NEXT + done), exactly as in
+// §3.1.3.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "coorm/apps/application.hpp"
+#include "coorm/common/rng.hpp"
+
+namespace coorm {
+
+class PsaApp final : public Application {
+ public:
+  enum class VictimPolicy {
+    kLeastElapsed,  ///< kill the youngest tasks (least work lost) — default
+    kMostElapsed,   ///< kill the oldest tasks (worst case)
+    kRandom,        ///< uniformly random victims
+  };
+
+  struct Config {
+    ClusterId cluster{0};
+    Time taskDuration = sec(600);  ///< dtask
+    /// Upper bound on nodes the PSA will hold (0 = unlimited).
+    NodeCount maxNodes = 0;
+    /// Guaranteed part: a non-preemptible request submitted first (paper
+    /// §4 "malleable"). 0 disables it (the evaluation PSAs are fully
+    /// preemptible).
+    NodeCount minNodes = 0;
+    Time minPartDuration = kTimeInf;
+    /// Only take nodes whose availability window fits >= 1 task.
+    bool takeOnlyUsable = true;
+    VictimPolicy victimPolicy = VictimPolicy::kLeastElapsed;
+    std::uint64_t rngSeed = 1;  ///< used by VictimPolicy::kRandom
+  };
+
+  PsaApp(Executor& executor, std::string name, Config config);
+
+  // --- metrics -------------------------------------------------------------
+  [[nodiscard]] std::uint64_t tasksCompleted() const { return tasksCompleted_; }
+  [[nodiscard]] std::uint64_t tasksKilled() const { return tasksKilled_; }
+  /// Useful work: node-seconds of completed tasks.
+  [[nodiscard]] double completedNodeSeconds() const {
+    return completedNodeSeconds_;
+  }
+  /// Paper "PSA waste": node-seconds lost in killed tasks.
+  [[nodiscard]] double wasteNodeSeconds() const { return wasteNodeSeconds_; }
+  [[nodiscard]] NodeCount heldNodes() const;
+
+ private:
+  struct NodeState {
+    Time taskStart = kNever;  ///< kNever while idle
+    EventHandle taskEvent;
+    [[nodiscard]] bool running() const { return taskStart != kNever; }
+  };
+
+  void handleViews() override;
+  void handleStarted(RequestId id, const std::vector<NodeId>& nodes) override;
+  void handleExpired(RequestId id) override;
+  void handleKilled() override;
+
+  /// Recompute the wanted node-count/duration from the current view and
+  /// update the preemptible request if it changed.
+  void replan();
+  /// Shared by replan() and the request-expiry transition.
+  void transition(RequestId endingRequest);
+
+  /// Largest node-count worth holding right now (usability rule), plus the
+  /// matching drop time (kTimeInf when the view is flat).
+  struct Plan {
+    NodeCount desired = 0;
+    Time dropAt = kTimeInf;
+  };
+  [[nodiscard]] Plan computePlan() const;
+  [[nodiscard]] Time firstTimeBelow(NodeCount level, Time from) const;
+
+  void startTask(NodeId node);
+  /// Launch a task on an idle node if its availability window warrants it
+  /// (fits a whole task, or may cross the drop within the post-drop
+  /// budget). Returns false if the node was left idle.
+  bool maybeStartTask(NodeId node);
+  void onTaskComplete(NodeId node);
+  /// Pick `count` victims (idle first, then by policy), kill their tasks,
+  /// and return their IDs.
+  [[nodiscard]] std::vector<NodeId> yankVictims(NodeCount count);
+  void scheduleWakeup();
+
+  Config config_;
+  Rng rng_;
+
+  RequestId baseRequest_{};
+  RequestId current_{};       ///< started preemptible request
+  RequestId pending_{};       ///< successor submitted, not yet started
+  NodeCount currentNodes_ = 0;
+  Time currentDropAt_ = kTimeInf;
+  bool updateInFlight_ = false;
+  bool baseSubmitted_ = false;
+
+  std::unordered_map<NodeId, NodeState> nodes_;  ///< preemptible holdings
+  std::vector<NodeId> baseNodes_;
+  std::unordered_map<NodeId, NodeState> baseTasks_;
+  EventHandle wakeup_;
+
+  std::uint64_t tasksCompleted_ = 0;
+  std::uint64_t tasksKilled_ = 0;
+  double completedNodeSeconds_ = 0.0;
+  double wasteNodeSeconds_ = 0.0;
+};
+
+}  // namespace coorm

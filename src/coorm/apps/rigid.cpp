@@ -1,0 +1,31 @@
+#include "coorm/apps/rigid.hpp"
+
+namespace coorm {
+
+RigidApp::RigidApp(Executor& executor, std::string name, Config config)
+    : Application(executor, std::move(name)), config_(config) {}
+
+void RigidApp::handleViews() {
+  // A rigid job does not adapt: submit once, then ignore every view.
+  if (submitted_) return;
+  submitted_ = true;
+  RequestSpec spec;
+  spec.cluster = config_.cluster;
+  spec.nodes = config_.nodes;
+  spec.duration = config_.duration;
+  spec.type = RequestType::kNonPreemptible;
+  request_ = session().request(spec);
+}
+
+void RigidApp::handleStarted(RequestId id, const std::vector<NodeId>&) {
+  if (id == request_) startTime_ = executor().now();
+}
+
+void RigidApp::handleEnded(RequestId id) {
+  if (id != request_) return;
+  finished_ = true;
+  endTime_ = executor().now();
+  session().disconnect();
+}
+
+}  // namespace coorm

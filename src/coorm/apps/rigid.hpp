@@ -1,0 +1,37 @@
+// Rigid application (paper §4): a single non-preemptible request of the
+// user-submitted node-count and duration; views are ignored.
+#pragma once
+
+#include "coorm/apps/application.hpp"
+
+namespace coorm {
+
+class RigidApp final : public Application {
+ public:
+  struct Config {
+    ClusterId cluster{0};
+    NodeCount nodes = 1;
+    Time duration = sec(60);
+  };
+
+  RigidApp(Executor& executor, std::string name, Config config);
+
+  [[nodiscard]] bool finished() const { return finished_; }
+  [[nodiscard]] Time startTime() const { return startTime_; }
+  [[nodiscard]] Time endTime() const { return endTime_; }
+  [[nodiscard]] RequestId requestId() const { return request_; }
+
+ private:
+  void handleViews() override;
+  void handleStarted(RequestId id, const std::vector<NodeId>& nodes) override;
+  void handleEnded(RequestId id) override;
+
+  Config config_;
+  RequestId request_{};
+  bool submitted_ = false;
+  bool finished_ = false;
+  Time startTime_ = kNever;
+  Time endTime_ = kNever;
+};
+
+}  // namespace coorm

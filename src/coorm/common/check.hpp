@@ -1,0 +1,30 @@
+// Internal invariant checking.
+//
+// COORM_CHECK is always on (these are cheap pointer/size checks on cold
+// paths); COORM_DCHECK compiles out in release builds and is used inside the
+// profile arithmetic hot loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace coorm::detail {
+[[noreturn]] inline void checkFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "COORM_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+}  // namespace coorm::detail
+
+#define COORM_CHECK(expr)                                       \
+  do {                                                          \
+    if (!(expr)) ::coorm::detail::checkFailed(#expr, __FILE__, __LINE__); \
+  } while (0)
+
+#ifdef NDEBUG
+#define COORM_DCHECK(expr) \
+  do {                     \
+  } while (0)
+#else
+#define COORM_DCHECK(expr) COORM_CHECK(expr)
+#endif

@@ -1,0 +1,90 @@
+// Strong identifier types used across the RMS.
+//
+// Each identifier is a distinct struct wrapping an integer so that an AppId
+// cannot be passed where a RequestId is expected. All are hashable and
+// totally ordered so they can key standard containers.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace coorm {
+
+namespace detail {
+
+/// CRTP-free tagged integer. `Tag` makes distinct instantiations distinct
+/// types; `Rep` is the underlying representation.
+template <typename Tag, typename Rep = std::int64_t>
+struct TaggedId {
+  Rep value{kInvalid};
+
+  static constexpr Rep kInvalid = -1;
+
+  constexpr TaggedId() = default;
+  constexpr explicit TaggedId(Rep v) : value(v) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value >= 0; }
+  friend constexpr auto operator<=>(TaggedId, TaggedId) = default;
+};
+
+}  // namespace detail
+
+/// Identifies a connected application (assigned in connection order; the
+/// scheduler iterates applications in ascending AppId, which realizes the
+/// paper's "applications are sorted based on the time they connected").
+using AppId = detail::TaggedId<struct AppTag, std::int32_t>;
+
+/// Identifies a request within the whole RMS (unique across applications).
+using RequestId = detail::TaggedId<struct RequestTag, std::int64_t>;
+
+/// Identifies a cluster. The evaluation uses a single cluster (id 0), but
+/// views and the scheduler handle several, as in the paper.
+using ClusterId = detail::TaggedId<struct ClusterTag, std::int32_t>;
+
+/// Identifies one compute node within a cluster.
+struct NodeId {
+  ClusterId cluster{};
+  std::int32_t index{-1};
+
+  [[nodiscard]] constexpr bool valid() const {
+    return cluster.valid() && index >= 0;
+  }
+  friend constexpr auto operator<=>(const NodeId&, const NodeId&) = default;
+};
+
+/// Number of nodes. Signed so that profile arithmetic (differences of
+/// availability) can go transiently negative before clamping.
+using NodeCount = std::int64_t;
+
+[[nodiscard]] inline std::string toString(AppId id) {
+  return "app" + std::to_string(id.value);
+}
+[[nodiscard]] inline std::string toString(RequestId id) {
+  return "req" + std::to_string(id.value);
+}
+[[nodiscard]] inline std::string toString(ClusterId id) {
+  return "cluster" + std::to_string(id.value);
+}
+[[nodiscard]] inline std::string toString(NodeId id) {
+  return toString(id.cluster) + "/node" + std::to_string(id.index);
+}
+
+}  // namespace coorm
+
+template <typename Tag, typename Rep>
+struct std::hash<coorm::detail::TaggedId<Tag, Rep>> {
+  std::size_t operator()(coorm::detail::TaggedId<Tag, Rep> id) const noexcept {
+    return std::hash<Rep>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<coorm::NodeId> {
+  std::size_t operator()(const coorm::NodeId& id) const noexcept {
+    const auto h1 = std::hash<std::int32_t>{}(id.cluster.value);
+    const auto h2 = std::hash<std::int32_t>{}(id.index);
+    return h1 ^ (h2 + 0x9e3779b97f4a7c15ULL + (h1 << 6) + (h1 >> 2));
+  }
+};

@@ -1,0 +1,43 @@
+#include "coorm/common/log.hpp"
+
+#include <cstdio>
+
+namespace coorm {
+
+namespace {
+LogLevel g_level = LogLevel::kOff;
+std::string* g_sink = nullptr;
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level = level; }
+LogLevel logLevel() { return g_level; }
+void setLogSink(std::string* sink) { g_sink = sink; }
+
+void logMessage(LogLevel level, const std::string& component,
+                const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
+  if (g_sink != nullptr) {
+    g_sink->append(levelName(level));
+    g_sink->append(" [");
+    g_sink->append(component);
+    g_sink->append("] ");
+    g_sink->append(message);
+    g_sink->push_back('\n');
+    return;
+  }
+  std::fprintf(stderr, "%s [%s] %s\n", levelName(level), component.c_str(),
+               message.c_str());
+}
+
+}  // namespace coorm

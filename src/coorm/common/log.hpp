@@ -1,0 +1,52 @@
+// Minimal leveled logger.
+//
+// The simulator and server use this for protocol traces; it is off by
+// default so that test and benchmark output stays clean. Not thread-safe by
+// design: the simulation is single-threaded (discrete-event), and the
+// logger is only written from the simulation thread.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace coorm {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+/// Global minimum level; records below it are discarded.
+void setLogLevel(LogLevel level);
+[[nodiscard]] LogLevel logLevel();
+
+/// Emit one record (used by the COORM_LOG macro).
+void logMessage(LogLevel level, const std::string& component,
+                const std::string& message);
+
+/// Redirect log output into a string sink (for tests); pass nullptr to
+/// restore stderr.
+void setLogSink(std::string* sink);
+
+namespace detail {
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* component)
+      : level_(level), component_(component) {}
+  ~LogStream() { logMessage(level_, component_, stream_.str()); }
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* component_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+}  // namespace coorm
+
+#define COORM_LOG(level, component)                   \
+  if (static_cast<int>(level) < static_cast<int>(::coorm::logLevel())) { \
+  } else                                              \
+    ::coorm::detail::LogStream(level, component)

@@ -1,0 +1,31 @@
+#include "coorm/common/rng.hpp"
+
+namespace coorm {
+
+std::int64_t Rng::uniformInt(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::uniformReal(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+Rng Rng::fork() {
+  // Splitmix-style decorrelation of the child seed.
+  std::uint64_t s = engine_();
+  s ^= s >> 30;
+  s *= 0xbf58476d1ce4e5b9ULL;
+  s ^= s >> 27;
+  s *= 0x94d049bb133111ebULL;
+  s ^= s >> 31;
+  return Rng(s);
+}
+
+}  // namespace coorm

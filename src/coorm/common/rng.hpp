@@ -1,0 +1,38 @@
+// Seeded random number generation.
+//
+// Every stochastic component (working-set model, experiment seed sweeps,
+// victim-selection policies) draws from an explicitly seeded Rng so that
+// simulations are bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace coorm {
+
+/// Thin wrapper over std::mt19937_64 with the distributions the models need.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  [[nodiscard]] std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniformReal(double lo, double hi);
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double gaussian(double mean, double stddev);
+
+  /// Derive an independent child generator (used to give each application
+  /// in a scenario its own stream).
+  [[nodiscard]] Rng fork();
+
+  /// Access the raw engine (e.g. for std::shuffle).
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace coorm

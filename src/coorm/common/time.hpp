@@ -1,0 +1,67 @@
+// Time representation for CooRMv2.
+//
+// The simulator, the scheduler, and all availability profiles share one
+// integer time axis: milliseconds since the start of the simulation.
+// Integer time keeps profile arithmetic and event ordering exact; model-level
+// durations (e.g. the AMR speed-up model, which works in double seconds) are
+// rounded to milliseconds when they enter the system.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace coorm {
+
+/// Absolute time or duration, in milliseconds.
+using Time = std::int64_t;
+
+/// "Never happened" sentinel (used e.g. for Request::startedAt, paper A.1
+/// where the attribute is NaN before the request starts).
+inline constexpr Time kNever = std::numeric_limits<Time>::min();
+
+/// Positive infinity sentinel. Chosen far below INT64_MAX so that a handful
+/// of saturating additions cannot overflow.
+inline constexpr Time kTimeInf = std::numeric_limits<Time>::max() / 8;
+
+/// True for any time at or beyond the infinity sentinel.
+[[nodiscard]] constexpr bool isInf(Time t) noexcept { return t >= kTimeInf; }
+
+/// Saturating addition: anything involving infinity stays at infinity.
+[[nodiscard]] constexpr Time satAdd(Time a, Time b) noexcept {
+  if (isInf(a) || isInf(b)) return kTimeInf;
+  const Time s = a + b;
+  return isInf(s) ? kTimeInf : s;
+}
+
+/// Saturating subtraction mirroring satAdd (inf - finite = inf).
+[[nodiscard]] constexpr Time satSub(Time a, Time b) noexcept {
+  if (isInf(a)) return kTimeInf;
+  return a - b;
+}
+
+/// Milliseconds literal-style helper.
+[[nodiscard]] constexpr Time msec(std::int64_t ms) noexcept { return ms; }
+
+/// Whole seconds to Time.
+[[nodiscard]] constexpr Time sec(std::int64_t s) noexcept { return s * 1000; }
+
+/// Whole minutes to Time.
+[[nodiscard]] constexpr Time minutes(std::int64_t m) noexcept { return m * 60'000; }
+
+/// Whole hours to Time.
+[[nodiscard]] constexpr Time hours(std::int64_t h) noexcept { return h * 3'600'000; }
+
+/// Fractional seconds to Time (round to nearest millisecond, min 0).
+[[nodiscard]] inline Time secF(double s) noexcept {
+  if (!(s < 9.0e15)) return kTimeInf;  // also catches NaN and +inf
+  return static_cast<Time>(std::llround(s * 1000.0));
+}
+
+/// Time to fractional seconds (infinity maps to +inf).
+[[nodiscard]] inline double toSeconds(Time t) noexcept {
+  if (isInf(t)) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(t) / 1000.0;
+}
+
+}  // namespace coorm

@@ -1,0 +1,342 @@
+#include "coorm/exp/experiments.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "coorm/common/check.hpp"
+#include "coorm/exp/scenario.hpp"
+
+namespace coorm {
+
+double median(std::vector<double> values) {
+  COORM_CHECK(!values.empty());
+  std::sort(values.begin(), values.end());
+  const std::size_t n = values.size();
+  if (n % 2 == 1) return values[n / 2];
+  return 0.5 * (values[n / 2 - 1] + values[n / 2]);
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1
+// ---------------------------------------------------------------------------
+
+Fig1Result runFig1(int profileCount, std::uint64_t seed) {
+  Fig1Result result;
+  Rng rng(seed);
+  const WorkingSetModel model;
+  for (int i = 0; i < profileCount; ++i) {
+    Rng child = rng.fork();
+    result.profiles.push_back(model.generateNormalized(child));
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2
+// ---------------------------------------------------------------------------
+
+Fig2Result runFig2(std::uint64_t seed) {
+  Fig2Result result;
+  const SpeedupModel model(paperSpeedupParams());
+
+  // The five mesh sizes of the paper's Fig. 2, in GiB.
+  const std::vector<double> sizesGiB{12, 48, 196, 784, 3136};
+  for (const double sizeGiB : sizesGiB) {
+    for (NodeCount n = 1; n <= 16384; n *= 2) {
+      result.points.push_back(
+          {n, sizeGiB, model.stepDuration(n, sizeGiB * 1024.0)});
+    }
+  }
+
+  // Fit recovery: synthesize noisy measurements on the same grid (10 %
+  // multiplicative noise) and check the recovered model stays within the
+  // paper's 15 % bound against them.
+  Rng rng(seed);
+  std::vector<NodeCount> nodes;
+  for (NodeCount n = 1; n <= 16384; n *= 2) nodes.push_back(n);
+  std::vector<double> sizesMiB;
+  for (const double sizeGiB : sizesGiB) sizesMiB.push_back(sizeGiB * 1024.0);
+  const auto samples = SpeedupFitter::synthesize(paperSpeedupParams(), nodes,
+                                                 sizesMiB, 0.10, rng);
+  const auto fitted = SpeedupFitter::fit(samples);
+  COORM_CHECK(fitted.has_value());
+  result.recovered = *fitted;
+  result.fitMaxRelativeError =
+      SpeedupFitter::maxRelativeError(*fitted, samples);
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3
+// ---------------------------------------------------------------------------
+
+std::vector<Fig3Point> runFig3(int profileCount, std::uint64_t seed) {
+  const SpeedupModel model(paperSpeedupParams());
+  const WorkingSetModel wsModel;
+  Rng rng(seed);
+
+  std::vector<StaticAnalysis> analyses;
+  for (int i = 0; i < profileCount; ++i) {
+    Rng child = rng.fork();
+    analyses.emplace_back(model,
+                          wsModel.generateSizesMiB(child, kPaperSmaxMiB));
+  }
+
+  std::vector<Fig3Point> points;
+  for (double et = 0.10; et <= 0.90 + 1e-9; et += 0.05) {
+    Fig3Point point;
+    point.targetEfficiency = et;
+    point.totalProfiles = profileCount;
+    std::vector<double> increases;
+    for (const StaticAnalysis& analysis : analyses) {
+      const auto increase = analysis.endTimeIncrease(et);
+      if (increase) {
+        increases.push_back(*increase * 100.0);
+        ++point.feasibleProfiles;
+      }
+    }
+    if (!increases.empty()) {
+      point.medianIncreasePct = median(increases);
+      point.maxIncreasePct =
+          *std::max_element(increases.begin(), increases.end());
+    }
+    points.push_back(point);
+  }
+  return points;
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4
+// ---------------------------------------------------------------------------
+
+std::vector<Fig4Point> runFig4(int profileCount, std::uint64_t seed,
+                               double memoryPerNodeGiB) {
+  const SpeedupModel model(paperSpeedupParams());
+  const WorkingSetModel wsModel;
+
+  std::vector<Fig4Point> points;
+  for (double relative = 0.125; relative <= 8.0 + 1e-9; relative *= 2.0) {
+    Rng rng(seed);  // same profile shapes across sizes, as in the paper
+    std::vector<double> minima;
+    std::vector<double> maxima;
+    for (int i = 0; i < profileCount; ++i) {
+      Rng child = rng.fork();
+      const StaticAnalysis analysis(
+          model, wsModel.generateSizesMiB(child, relative * kPaperSmaxMiB));
+      const auto range = analysis.staticChoiceRange(
+          0.75, 0.10, memoryPerNodeGiB * 1024.0);
+      minima.push_back(static_cast<double>(range.minNodes));
+      maxima.push_back(static_cast<double>(range.maxNodes));
+    }
+    Fig4Point point;
+    point.relativeSize = relative;
+    point.minNodes = static_cast<NodeCount>(std::llround(median(minima)));
+    point.maxNodes = static_cast<NodeCount>(std::llround(median(maxima)));
+    points.push_back(point);
+  }
+  return points;
+}
+
+// ---------------------------------------------------------------------------
+// Figures 9-11: full-system simulation
+// ---------------------------------------------------------------------------
+
+AmrPsaResult runAmrPsaOnce(const AmrPsaConfig& config) {
+  const EvalParams& eval = config.eval;
+  const SpeedupModel model(paperSpeedupParams());
+
+  // Working-set profile for this seed.
+  Rng rng(config.seed);
+  WorkingSetParams wsParams;
+  wsParams.steps = eval.steps;
+  const WorkingSetModel wsModel(wsParams);
+  const std::vector<double> sizes =
+      wsModel.generateSizesMiB(rng, eval.smaxMiB);
+
+  // The user "guesses" the equivalent static allocation and scales it by
+  // the overcommit factor (§5.1.1); the machine is 1400·overcommit nodes
+  // (§5.2), enlarged if needed so the pre-allocation can succeed.
+  const StaticAnalysis analysis(model, sizes);
+  const auto neqOpt = analysis.equivalentStatic(eval.targetEfficiency);
+  const NodeCount neq =
+      neqOpt.value_or(analysis.dynamicRun(eval.targetEfficiency).nodesPerStep
+                          .back());
+  NodeCount prealloc = std::max<NodeCount>(
+      1, static_cast<NodeCount>(
+             std::llround(config.overcommit * static_cast<double>(neq))));
+  const NodeCount machineNodes = std::max<NodeCount>(
+      static_cast<NodeCount>(std::llround(1400.0 * config.overcommit)),
+      prealloc);
+  prealloc = std::min(prealloc, machineNodes);
+
+  // Generous walltime so the pre-allocation window always covers the run.
+  const double dynamicSeconds =
+      analysis.dynamicRun(eval.targetEfficiency, prealloc).durationSeconds;
+  const double staticSeconds = analysis.staticDuration(prealloc);
+  // Announced updates stretch the run: each of the <= `steps` updates can
+  // stall progress for up to the announce interval.
+  const Time announceSlack =
+      config.announceInterval * static_cast<Time>(eval.steps);
+  const Time walltime = satAdd(
+      secF(2.0 * std::max(dynamicSeconds, staticSeconds) + 7200.0),
+      announceSlack);
+
+  ScenarioConfig scenario;
+  scenario.nodes = machineNodes;
+  scenario.server.reschedInterval = sec(1);  // §5.1.3
+  scenario.server.strictEquiPartition = config.strictEquiPartition;
+  Scenario sc(scenario);
+
+  AmrApp::Config amrConfig;
+  amrConfig.cluster = sc.cluster();
+  amrConfig.model = model;
+  amrConfig.sizesMiB = sizes;
+  amrConfig.targetEfficiency = eval.targetEfficiency;
+  amrConfig.preallocNodes = prealloc;
+  amrConfig.walltime = walltime;
+  amrConfig.mode = config.amrMode;
+  amrConfig.announceInterval = config.announceInterval;
+  amrConfig.linearPrediction = config.linearPrediction;
+  AmrApp& amr = sc.addAmr(std::move(amrConfig));
+
+  PsaApp::Config psa1Config;
+  psa1Config.cluster = sc.cluster();
+  psa1Config.taskDuration = eval.psa1TaskDuration;
+  psa1Config.rngSeed = config.seed * 31 + 1;
+  PsaApp& psa1 = sc.addPsa(psa1Config, "psa1");
+
+  PsaApp* psa2 = nullptr;
+  if (config.secondPsa) {
+    PsaApp::Config psa2Config;
+    psa2Config.cluster = sc.cluster();
+    psa2Config.taskDuration = eval.psa2TaskDuration;
+    psa2Config.rngSeed = config.seed * 31 + 2;
+    psa2 = &sc.addPsa(psa2Config, "psa2");
+  }
+
+  const Time stop = sc.runUntilFinished(amr, satAdd(walltime, walltime));
+
+  AmrPsaResult result;
+  result.machineNodes = machineNodes;
+  result.preallocNodes = prealloc;
+  result.amrFinished = amr.finished();
+  result.amrEndTime = amr.finished() ? amr.endTime() : stop;
+  result.amrAllocatedNodeSeconds = sc.metrics().allocatedNodeSeconds(
+      amr.appId(), RequestType::kNonPreemptible);
+  result.psa1AllocatedNodeSeconds =
+      sc.metrics().allocatedNodeSeconds(psa1.appId());
+  result.psa1WasteNodeSeconds = psa1.wasteNodeSeconds();
+  if (psa2 != nullptr) {
+    result.psa2AllocatedNodeSeconds =
+        sc.metrics().allocatedNodeSeconds(psa2->appId());
+    result.psa2WasteNodeSeconds = psa2->wasteNodeSeconds();
+  }
+
+  const double horizonSeconds = toSeconds(result.amrEndTime);
+  const double capacity =
+      static_cast<double>(machineNodes) * horizonSeconds;
+  const double allocated = result.amrAllocatedNodeSeconds +
+                           result.psa1AllocatedNodeSeconds +
+                           result.psa2AllocatedNodeSeconds;
+  const double waste =
+      result.psa1WasteNodeSeconds + result.psa2WasteNodeSeconds;
+  result.usedResourcesPct =
+      capacity > 0.0 ? (allocated - waste) / capacity * 100.0 : 0.0;
+  return result;
+}
+
+std::vector<Fig9Point> runFig9(const std::vector<double>& overcommits,
+                               int seeds, std::uint64_t baseSeed,
+                               const EvalParams& eval) {
+  std::vector<Fig9Point> points;
+  for (const double overcommit : overcommits) {
+    std::vector<double> usedStatic;
+    std::vector<double> usedDynamic;
+    std::vector<double> waste;
+    for (int s = 0; s < seeds; ++s) {
+      AmrPsaConfig config;
+      config.seed = baseSeed + static_cast<std::uint64_t>(s);
+      config.overcommit = overcommit;
+      config.eval = eval;
+
+      config.amrMode = AmrApp::Mode::kStatic;
+      usedStatic.push_back(runAmrPsaOnce(config).amrAllocatedNodeSeconds);
+
+      config.amrMode = AmrApp::Mode::kDynamic;
+      const AmrPsaResult dynamic = runAmrPsaOnce(config);
+      usedDynamic.push_back(dynamic.amrAllocatedNodeSeconds);
+      waste.push_back(dynamic.psa1WasteNodeSeconds);
+    }
+    points.push_back({overcommit, median(usedStatic), median(usedDynamic),
+                      median(waste)});
+  }
+  return points;
+}
+
+std::vector<Fig10Point> runFig10(const std::vector<Time>& announceIntervals,
+                                 int seeds, std::uint64_t baseSeed,
+                                 const EvalParams& eval,
+                                 bool linearPrediction) {
+  // Baseline: spontaneous updates, per seed.
+  std::vector<double> baselineEnd(static_cast<std::size_t>(seeds));
+  for (int s = 0; s < seeds; ++s) {
+    AmrPsaConfig config;
+    config.seed = baseSeed + static_cast<std::uint64_t>(s);
+    config.eval = eval;
+    baselineEnd[static_cast<std::size_t>(s)] =
+        toSeconds(runAmrPsaOnce(config).amrEndTime);
+  }
+
+  std::vector<Fig10Point> points;
+  for (const Time announce : announceIntervals) {
+    std::vector<double> increase;
+    std::vector<double> wastePct;
+    std::vector<double> usedPct;
+    for (int s = 0; s < seeds; ++s) {
+      AmrPsaConfig config;
+      config.seed = baseSeed + static_cast<std::uint64_t>(s);
+      config.announceInterval = announce;
+      config.linearPrediction = linearPrediction;
+      config.eval = eval;
+      const AmrPsaResult result = runAmrPsaOnce(config);
+      const double base = baselineEnd[static_cast<std::size_t>(s)];
+      increase.push_back(
+          (toSeconds(result.amrEndTime) - base) / base * 100.0);
+      wastePct.push_back(result.psa1AllocatedNodeSeconds > 0.0
+                             ? result.psa1WasteNodeSeconds /
+                                   result.psa1AllocatedNodeSeconds * 100.0
+                             : 0.0);
+      usedPct.push_back(result.usedResourcesPct);
+    }
+    points.push_back(
+        {announce, median(increase), median(wastePct), median(usedPct)});
+  }
+  return points;
+}
+
+std::vector<Fig11Point> runFig11(const std::vector<Time>& announceIntervals,
+                                 int seeds, std::uint64_t baseSeed,
+                                 const EvalParams& eval) {
+  std::vector<Fig11Point> points;
+  for (const Time announce : announceIntervals) {
+    std::vector<double> filling;
+    std::vector<double> strict;
+    for (int s = 0; s < seeds; ++s) {
+      AmrPsaConfig config;
+      config.seed = baseSeed + static_cast<std::uint64_t>(s);
+      config.announceInterval = announce;
+      config.secondPsa = true;
+      config.eval = eval;
+
+      config.strictEquiPartition = false;
+      filling.push_back(runAmrPsaOnce(config).usedResourcesPct);
+
+      config.strictEquiPartition = true;
+      strict.push_back(runAmrPsaOnce(config).usedResourcesPct);
+    }
+    points.push_back({announce, median(filling), median(strict)});
+  }
+  return points;
+}
+
+}  // namespace coorm

@@ -1,0 +1,131 @@
+// Experiment drivers: one function per figure of the paper's evaluation.
+// The bench binaries (bench/) call these and print the series; expected
+// paper values and our measurements are recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "coorm/amr/fitter.hpp"
+#include "coorm/amr/static_analysis.hpp"
+#include "coorm/amr/working_set.hpp"
+#include "coorm/apps/amr_app.hpp"
+
+namespace coorm {
+
+/// Shared model-level parameters of the evaluation (§5.1).
+struct EvalParams {
+  double targetEfficiency = 0.75;
+  double smaxMiB = kPaperSmaxMiB;
+  int steps = 1000;
+  Time psa1TaskDuration = sec(600);
+  Time psa2TaskDuration = sec(60);
+};
+
+// --- Figure 1: working-set evolution samples -------------------------------
+
+struct Fig1Result {
+  std::vector<std::vector<double>> profiles;  ///< normalized, max == 1000
+};
+[[nodiscard]] Fig1Result runFig1(int profileCount, std::uint64_t seed);
+
+// --- Figure 2: speed-up model + fit recovery -------------------------------
+
+struct Fig2Point {
+  NodeCount nodes = 0;
+  double sizeGiB = 0.0;
+  double durationSeconds = 0.0;  ///< model t(n, S)
+};
+struct Fig2Result {
+  std::vector<Fig2Point> points;
+  SpeedupParams recovered;     ///< fit against noisy synthetic measurements
+  double fitMaxRelativeError;  ///< paper bound: < 0.15
+};
+[[nodiscard]] Fig2Result runFig2(std::uint64_t seed);
+
+// --- Figure 3: equivalent static allocation --------------------------------
+
+struct Fig3Point {
+  double targetEfficiency = 0.0;
+  double medianIncreasePct = 0.0;
+  double maxIncreasePct = 0.0;
+  int feasibleProfiles = 0;
+  int totalProfiles = 0;
+};
+[[nodiscard]] std::vector<Fig3Point> runFig3(int profileCount,
+                                             std::uint64_t seed);
+
+// --- Figure 4: static allocation choices -----------------------------------
+
+struct Fig4Point {
+  double relativeSize = 0.0;  ///< Smax multiplier (1/8 .. 8)
+  NodeCount minNodes = 0;     ///< memory floor (median over profiles)
+  NodeCount maxNodes = 0;     ///< area ceiling (median over profiles)
+};
+[[nodiscard]] std::vector<Fig4Point> runFig4(int profileCount,
+                                             std::uint64_t seed,
+                                             double memoryPerNodeGiB = 16.0);
+
+// --- Figures 9-11: full-system simulations ----------------------------------
+
+/// One simulation of the §5.2-5.4 setup: one AMR (+1 or 2 PSAs) on a
+/// machine of 1400·overcommit nodes.
+struct AmrPsaConfig {
+  std::uint64_t seed = 1;
+  double overcommit = 1.0;
+  AmrApp::Mode amrMode = AmrApp::Mode::kDynamic;
+  Time announceInterval = 0;
+  bool strictEquiPartition = false;
+  bool secondPsa = false;
+  bool linearPrediction = false;
+  EvalParams eval{};
+};
+
+struct AmrPsaResult {
+  NodeCount machineNodes = 0;
+  NodeCount preallocNodes = 0;
+  bool amrFinished = false;
+  Time amrEndTime = kNever;
+  double amrAllocatedNodeSeconds = 0.0;  ///< Fig. 9 "AMR used resources"
+  double psa1AllocatedNodeSeconds = 0.0;
+  double psa1WasteNodeSeconds = 0.0;     ///< Fig. 9/10 "PSA waste"
+  double psa2AllocatedNodeSeconds = 0.0;
+  double psa2WasteNodeSeconds = 0.0;
+  double usedResourcesPct = 0.0;         ///< Fig. 10/11 "used resources"
+};
+[[nodiscard]] AmrPsaResult runAmrPsaOnce(const AmrPsaConfig& config);
+
+struct Fig9Point {
+  double overcommit = 0.0;
+  double amrUsedStatic = 0.0;   ///< node·s, median over seeds
+  double amrUsedDynamic = 0.0;  ///< node·s, median over seeds
+  double psaWasteDynamic = 0.0; ///< node·s, median over seeds
+};
+[[nodiscard]] std::vector<Fig9Point> runFig9(
+    const std::vector<double>& overcommits, int seeds, std::uint64_t baseSeed,
+    const EvalParams& eval = {});
+
+struct Fig10Point {
+  Time announceInterval = 0;
+  double endTimeIncreasePct = 0.0;  ///< vs the spontaneous run (same seed)
+  double psaWastePct = 0.0;         ///< waste / PSA allocated
+  double usedResourcesPct = 0.0;
+};
+[[nodiscard]] std::vector<Fig10Point> runFig10(
+    const std::vector<Time>& announceIntervals, int seeds,
+    std::uint64_t baseSeed, const EvalParams& eval = {},
+    bool linearPrediction = false);
+
+struct Fig11Point {
+  Time announceInterval = 0;
+  double usedFillingPct = 0.0;  ///< equi-partitioning with filling
+  double usedStrictPct = 0.0;   ///< strict equi-partitioning
+};
+[[nodiscard]] std::vector<Fig11Point> runFig11(
+    const std::vector<Time>& announceIntervals, int seeds,
+    std::uint64_t baseSeed, const EvalParams& eval = {});
+
+/// Median helper (used by the drivers; exposed for tests).
+[[nodiscard]] double median(std::vector<double> values);
+
+}  // namespace coorm

@@ -1,0 +1,85 @@
+#include "coorm/exp/metrics.hpp"
+
+#include "coorm/common/check.hpp"
+
+namespace coorm {
+
+MetricsRecorder::Entry& MetricsRecorder::entry(AppId app, RequestType type) {
+  return entries_[Key{app.value, static_cast<int>(type)}];
+}
+
+void MetricsRecorder::onAllocationChanged(AppId app, ClusterId /*cluster*/,
+                                          NodeCount delta, RequestType type,
+                                          Time at) {
+  Entry& e = entry(app, type);
+  COORM_CHECK(at >= e.lastAt);
+  e.nodeSeconds +=
+      static_cast<double>(e.current) * toSeconds(at - e.lastAt);
+  e.current += delta;
+  e.lastAt = at;
+  COORM_CHECK(e.current >= 0);
+}
+
+void MetricsRecorder::onAppKilled(AppId app, Time at) {
+  killedAt_[app.value] = at;
+}
+
+void MetricsRecorder::finalize(Time at) {
+  for (auto& [key, e] : entries_) {
+    if (at > e.lastAt) {
+      e.nodeSeconds +=
+          static_cast<double>(e.current) * toSeconds(at - e.lastAt);
+      e.lastAt = at;
+    }
+  }
+}
+
+double MetricsRecorder::allocatedNodeSeconds(AppId app,
+                                             RequestType type) const {
+  const auto it = entries_.find(Key{app.value, static_cast<int>(type)});
+  return it != entries_.end() ? it->second.nodeSeconds : 0.0;
+}
+
+namespace {
+bool isNodeBacked(int type) {
+  return type != static_cast<int>(RequestType::kPreAllocation);
+}
+}  // namespace
+
+double MetricsRecorder::allocatedNodeSeconds(AppId app) const {
+  double total = 0.0;
+  for (const auto& [key, e] : entries_) {
+    if (key.first == app.value && isNodeBacked(key.second)) {
+      total += e.nodeSeconds;
+    }
+  }
+  return total;
+}
+
+double MetricsRecorder::totalAllocatedNodeSeconds() const {
+  double total = 0.0;
+  for (const auto& [key, e] : entries_) {
+    if (isNodeBacked(key.second)) total += e.nodeSeconds;
+  }
+  return total;
+}
+
+double MetricsRecorder::preallocatedNodeSeconds(AppId app) const {
+  const auto it = entries_.find(
+      Key{app.value, static_cast<int>(RequestType::kPreAllocation)});
+  return it != entries_.end() ? it->second.nodeSeconds : 0.0;
+}
+
+NodeCount MetricsRecorder::currentAllocation(AppId app) const {
+  NodeCount total = 0;
+  for (const auto& [key, e] : entries_) {
+    if (key.first == app.value) total += e.current;
+  }
+  return total;
+}
+
+bool MetricsRecorder::appWasKilled(AppId app) const {
+  return killedAt_.count(app.value) > 0;
+}
+
+}  // namespace coorm

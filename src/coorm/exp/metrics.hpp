@@ -1,0 +1,51 @@
+// Allocation metrics: integrates per-application, per-request-type node
+// allocations over time (node-seconds), fed by the server's
+// AllocationObserver hook. This is how the evaluation measures "AMR used
+// resources", PSA allocations and overall utilization (§5).
+#pragma once
+
+#include <map>
+
+#include "coorm/rms/server.hpp"
+
+namespace coorm {
+
+class MetricsRecorder final : public AllocationObserver {
+ public:
+  void onAllocationChanged(AppId app, ClusterId cluster, NodeCount delta,
+                           RequestType type, Time at) override;
+  void onAppKilled(AppId app, Time at) override;
+
+  /// Flush all integrals up to `at`. Call once at the end of a run before
+  /// reading areas.
+  void finalize(Time at);
+
+  /// Integrated allocation of one application and request type.
+  [[nodiscard]] double allocatedNodeSeconds(AppId app, RequestType type) const;
+  /// Integrated *node* allocation of one application (non-preemptible +
+  /// preemptible; pre-allocations mark capacity but hold no nodes).
+  [[nodiscard]] double allocatedNodeSeconds(AppId app) const;
+  /// Integrated node allocation over every application (excludes
+  /// pre-allocations, see above).
+  [[nodiscard]] double totalAllocatedNodeSeconds() const;
+  /// Integrated pre-allocated capacity of one application.
+  [[nodiscard]] double preallocatedNodeSeconds(AppId app) const;
+
+  [[nodiscard]] NodeCount currentAllocation(AppId app) const;
+  [[nodiscard]] bool appWasKilled(AppId app) const;
+
+ private:
+  struct Entry {
+    Time lastAt = 0;
+    NodeCount current = 0;
+    double nodeSeconds = 0.0;
+  };
+  using Key = std::pair<std::int32_t, int>;  // (app, type)
+
+  Entry& entry(AppId app, RequestType type);
+
+  std::map<Key, Entry> entries_;
+  std::map<std::int32_t, Time> killedAt_;
+};
+
+}  // namespace coorm

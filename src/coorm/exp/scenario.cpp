@@ -1,0 +1,58 @@
+#include "coorm/exp/scenario.hpp"
+
+namespace coorm {
+
+Scenario::Scenario(const ScenarioConfig& config) : nodes_(config.nodes) {
+  server_ = std::make_unique<Server>(engine_, Machine::single(config.nodes),
+                                     config.server);
+  server_->addObserver(&metrics_);
+  server_->addObserver(&timeline_);
+  if (config.recordTrace) server_->setTrace(&trace_);
+}
+
+template <typename App, typename Cfg>
+App& Scenario::addApp(Cfg config, std::string name) {
+  auto app = std::make_unique<App>(engine_, std::move(name), std::move(config));
+  App& ref = *app;
+  apps_.push_back(std::move(app));
+  ref.connectTo(*server_);
+  timeline_.setName(ref.appId(), ref.name());
+  return ref;
+}
+
+AmrApp& Scenario::addAmr(AmrApp::Config config, std::string name) {
+  return addApp<AmrApp>(std::move(config), std::move(name));
+}
+PsaApp& Scenario::addPsa(PsaApp::Config config, std::string name) {
+  return addApp<PsaApp>(std::move(config), std::move(name));
+}
+RigidApp& Scenario::addRigid(RigidApp::Config config, std::string name) {
+  return addApp<RigidApp>(std::move(config), std::move(name));
+}
+MoldableApp& Scenario::addMoldable(MoldableApp::Config config,
+                                   std::string name) {
+  return addApp<MoldableApp>(std::move(config), std::move(name));
+}
+PredictableApp& Scenario::addPredictable(PredictableApp::Config config,
+                                         std::string name) {
+  return addApp<PredictableApp>(std::move(config), std::move(name));
+}
+
+Time Scenario::runUntilFinished(const AmrApp& app, Time maxTime) {
+  while (!app.finished() && !app.aborted() && engine_.now() <= maxTime &&
+         engine_.step()) {
+  }
+  const Time stop =
+      app.finished() || app.aborted() ? app.endTime() : engine_.now();
+  metrics_.finalize(stop);
+  return stop;
+}
+
+Time Scenario::runFor(Time duration) {
+  const Time until = satAdd(engine_.now(), duration);
+  engine_.runUntil(until);
+  metrics_.finalize(until);
+  return until;
+}
+
+}  // namespace coorm

@@ -1,0 +1,69 @@
+// Scenario builder: wires an Engine, a Server, a MetricsRecorder and a set
+// of applications together, and drives the simulation (the evaluation
+// setup of §5: one homogeneous cluster, re-scheduling interval of 1 s).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coorm/apps/amr_app.hpp"
+#include "coorm/apps/moldable.hpp"
+#include "coorm/apps/predictable.hpp"
+#include "coorm/apps/psa.hpp"
+#include "coorm/apps/rigid.hpp"
+#include "coorm/exp/metrics.hpp"
+#include "coorm/exp/timeline.hpp"
+#include "coorm/sim/engine.hpp"
+
+namespace coorm {
+
+struct ScenarioConfig {
+  NodeCount nodes = 100;           ///< single homogeneous cluster
+  Server::Config server{};
+  bool recordTrace = false;
+};
+
+class Scenario {
+ public:
+  explicit Scenario(const ScenarioConfig& config);
+
+  [[nodiscard]] Engine& engine() { return engine_; }
+  [[nodiscard]] Server& server() { return *server_; }
+  [[nodiscard]] MetricsRecorder& metrics() { return metrics_; }
+  [[nodiscard]] TimelineRecorder& timeline() { return timeline_; }
+  [[nodiscard]] Trace& trace() { return trace_; }
+  [[nodiscard]] ClusterId cluster() const { return ClusterId{0}; }
+  [[nodiscard]] NodeCount totalNodes() const { return nodes_; }
+
+  /// Add an application (connected immediately, in call order — connection
+  /// order is the scheduler's priority order).
+  AmrApp& addAmr(AmrApp::Config config, std::string name = "amr");
+  PsaApp& addPsa(PsaApp::Config config, std::string name = "psa");
+  RigidApp& addRigid(RigidApp::Config config, std::string name = "rigid");
+  MoldableApp& addMoldable(MoldableApp::Config config,
+                           std::string name = "moldable");
+  PredictableApp& addPredictable(PredictableApp::Config config,
+                                 std::string name = "predictable");
+
+  /// Run until `app` finishes (or maxTime passes, or the event queue
+  /// drains). Finalizes metrics; returns the stop time.
+  Time runUntilFinished(const AmrApp& app, Time maxTime = hours(24 * 30));
+
+  /// Run for a fixed amount of simulated time; finalizes metrics.
+  Time runFor(Time duration);
+
+ private:
+  template <typename App, typename Cfg>
+  App& addApp(Cfg config, std::string name);
+
+  NodeCount nodes_;
+  Engine engine_;
+  Trace trace_;
+  MetricsRecorder metrics_;
+  TimelineRecorder timeline_;
+  std::unique_ptr<Server> server_;
+  std::vector<std::unique_ptr<Application>> apps_;
+};
+
+}  // namespace coorm

@@ -1,0 +1,64 @@
+#include "coorm/exp/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "coorm/common/check.hpp"
+
+namespace coorm {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::addRow(std::vector<std::string> cells) {
+  COORM_CHECK(cells.size() == headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto printRow = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << (i == 0 ? "" : "  ") << std::setw(static_cast<int>(widths[i]))
+          << row[i];
+    }
+    out << '\n';
+  };
+  printRow(headers_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) printRow(row);
+}
+
+void TablePrinter::printCsv(std::ostream& out) const {
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << (i == 0 ? "" : ",") << row[i];
+    }
+    out << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string TablePrinter::num(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+std::string TablePrinter::integer(long long value) {
+  return std::to_string(value);
+}
+
+}  // namespace coorm

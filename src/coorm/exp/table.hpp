@@ -1,0 +1,27 @@
+// Fixed-width ASCII table / CSV output for benches and examples.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace coorm {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void addRow(std::vector<std::string> cells);
+  void print(std::ostream& out) const;
+  void printCsv(std::ostream& out) const;
+
+  /// Format helpers.
+  [[nodiscard]] static std::string num(double value, int precision = 2);
+  [[nodiscard]] static std::string integer(long long value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace coorm

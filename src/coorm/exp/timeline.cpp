@@ -1,0 +1,90 @@
+#include "coorm/exp/timeline.hpp"
+
+#include <algorithm>
+#include <iomanip>
+
+#include "coorm/common/check.hpp"
+
+namespace coorm {
+
+void TimelineRecorder::onAllocationChanged(AppId app, ClusterId /*cluster*/,
+                                           NodeCount delta, RequestType type,
+                                           Time at) {
+  if (type == RequestType::kPreAllocation) return;  // capacity, not nodes
+
+  auto [it, inserted] = tracks_.try_emplace(app.value);
+  Track& track = it->second;
+  if (inserted) {
+    track.name = toString(app);
+    order_.push_back(app);
+  }
+  track.current += delta;
+  COORM_CHECK(track.current >= 0);
+  if (!track.deltas.empty() && track.deltas.back().start == at) {
+    track.deltas.back().value = track.current;
+  } else {
+    track.deltas.push_back({at, track.current});
+  }
+}
+
+void TimelineRecorder::setName(AppId app, std::string name) {
+  auto [it, inserted] = tracks_.try_emplace(app.value);
+  it->second.name = std::move(name);
+  if (inserted) order_.push_back(app);
+}
+
+StepFunction TimelineRecorder::profile(AppId app) const {
+  const auto it = tracks_.find(app.value);
+  if (it == tracks_.end()) return StepFunction{};
+  std::vector<StepFunction::Segment> segments;
+  if (it->second.deltas.empty() || it->second.deltas.front().start > 0) {
+    segments.push_back({0, 0});
+  }
+  segments.insert(segments.end(), it->second.deltas.begin(),
+                  it->second.deltas.end());
+  return StepFunction::fromSegments(std::move(segments));
+}
+
+std::vector<AppId> TimelineRecorder::apps() const { return order_; }
+
+void TimelineRecorder::render(std::ostream& out, Time t0, Time t1,
+                              NodeCount machineNodes, int columns) const {
+  COORM_CHECK(t0 < t1);
+  COORM_CHECK(columns > 0);
+  COORM_CHECK(machineNodes > 0);
+
+  static constexpr char kGlyphs[] = " .:-=+*#%@";
+  const Time slice = std::max<Time>((t1 - t0) / columns, 1);
+
+  std::size_t nameWidth = 4;
+  for (const auto& [id, track] : tracks_) {
+    nameWidth = std::max(nameWidth, track.name.size());
+  }
+
+  out << std::setw(static_cast<int>(nameWidth)) << "time" << " |";
+  out << " " << toSeconds(t0) << "s .. " << toSeconds(t1)
+      << "s  (each column ~" << toSeconds(slice) << "s; scale: ' '=0, '@'="
+      << machineNodes << " nodes)\n";
+
+  for (const AppId app : order_) {
+    const StepFunction track = profile(app);
+    out << std::setw(static_cast<int>(nameWidth))
+        << tracks_.at(app.value).name << " |";
+    for (int c = 0; c < columns; ++c) {
+      const Time sliceStart = t0 + slice * c;
+      const Time sliceEnd = std::min<Time>(sliceStart + slice, t1);
+      if (sliceStart >= t1) break;
+      const double mean =
+          track.integralNodeSeconds(sliceStart, sliceEnd) /
+          toSeconds(sliceEnd - sliceStart);
+      const double fraction =
+          std::clamp(mean / static_cast<double>(machineNodes), 0.0, 1.0);
+      const int glyph = static_cast<int>(
+          std::min<double>(fraction * 9.0 + (fraction > 0 ? 1.0 : 0.0), 9.0));
+      out << kGlyphs[glyph];
+    }
+    out << "|\n";
+  }
+}
+
+}  // namespace coorm

@@ -1,0 +1,49 @@
+// Allocation timeline recording and ASCII rendering.
+//
+// Records each application's node allocation as a step function over time
+// (driven by the server's AllocationObserver hook) and renders the stacked
+// timelines as an ASCII chart — the textual equivalent of the Gantt-style
+// plots RMS papers use. Used by the examples and the CLI tool.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "coorm/profile/step_function.hpp"
+#include "coorm/rms/server.hpp"
+
+namespace coorm {
+
+class TimelineRecorder final : public AllocationObserver {
+ public:
+  void onAllocationChanged(AppId app, ClusterId cluster, NodeCount delta,
+                           RequestType type, Time at) override;
+
+  /// Register a display name for an application (defaults to "appN").
+  void setName(AppId app, std::string name);
+
+  /// The recorded allocation profile of one application (all clusters).
+  [[nodiscard]] StepFunction profile(AppId app) const;
+
+  /// Applications seen so far, in first-allocation order.
+  [[nodiscard]] std::vector<AppId> apps() const;
+
+  /// Render stacked per-application charts covering [t0, t1) with the
+  /// given width in character columns. `machineNodes` scales the bars.
+  void render(std::ostream& out, Time t0, Time t1, NodeCount machineNodes,
+              int columns = 72) const;
+
+ private:
+  struct Track {
+    std::string name;
+    std::vector<StepFunction::Segment> deltas;  // (time, running total)
+    NodeCount current = 0;
+  };
+
+  std::map<std::int32_t, Track> tracks_;
+  std::vector<AppId> order_;
+};
+
+}  // namespace coorm

@@ -1,0 +1,136 @@
+#include "coorm/profile/view.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+#include "coorm/common/check.hpp"
+
+namespace coorm {
+
+namespace {
+const StepFunction& zeroProfile() {
+  static const StepFunction kZero;
+  return kZero;
+}
+}  // namespace
+
+const View::Entry* View::find(ClusterId cid) const {
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), cid,
+      [](const Entry& e, ClusterId id) { return e.cluster < id; });
+  if (it != entries_.end() && it->cluster == cid) return &*it;
+  return nullptr;
+}
+
+View::Entry* View::find(ClusterId cid) {
+  return const_cast<Entry*>(std::as_const(*this).find(cid));
+}
+
+const StepFunction& View::cap(ClusterId cid) const {
+  const Entry* entry = find(cid);
+  return entry != nullptr ? entry->profile : zeroProfile();
+}
+
+StepFunction& View::capRef(ClusterId cid) {
+  Entry* entry = find(cid);
+  if (entry != nullptr) return entry->profile;
+  const auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), cid,
+      [](const Entry& e, ClusterId id) { return e.cluster < id; });
+  return entries_.insert(it, Entry{cid, StepFunction{}})->profile;
+}
+
+void View::setCap(ClusterId cid, StepFunction profile) {
+  capRef(cid) = std::move(profile);
+}
+
+NodeCount View::at(ClusterId cid, Time t) const { return cap(cid).at(t); }
+
+template <typename Op>
+void View::combineWith(const View& other, Op op) {
+  for (const Entry& theirs : other.entries_) {
+    StepFunction& mine = capRef(theirs.cluster);
+    op(mine, theirs.profile);
+  }
+}
+
+View& View::operator+=(const View& other) {
+  combineWith(other,
+              [](StepFunction& a, const StepFunction& b) { a += b; });
+  return *this;
+}
+
+View& View::operator-=(const View& other) {
+  combineWith(other,
+              [](StepFunction& a, const StepFunction& b) { a -= b; });
+  return *this;
+}
+
+View& View::unionMax(const View& other) {
+  combineWith(other, [](StepFunction& a, const StepFunction& b) {
+    a.pointwiseMax(b);
+  });
+  return *this;
+}
+
+View& View::clampMin(NodeCount floor) {
+  for (Entry& entry : entries_) entry.profile.clampMin(floor);
+  return *this;
+}
+
+NodeCount View::alloc(ClusterId cid, Time start, Time duration,
+                      NodeCount wanted) const {
+  if (wanted <= 0 || duration <= 0) return 0;
+  if (isInf(start)) return 0;  // a request scheduled "never" gets nothing
+  const Time end = satAdd(start, duration);
+  const NodeCount available = cap(cid).minOver(start, end);
+  return std::clamp<NodeCount>(available, 0, wanted);
+}
+
+Time View::findHole(ClusterId cid, NodeCount need, Time duration,
+                    Time earliest) const {
+  return cap(cid).firstFit(earliest, duration, need);
+}
+
+double View::integralNodeSeconds(Time t0, Time t1) const {
+  double total = 0.0;
+  for (const Entry& entry : entries_) {
+    total += entry.profile.integralNodeSeconds(t0, t1);
+  }
+  return total;
+}
+
+std::vector<ClusterId> View::clusters() const {
+  std::vector<ClusterId> result;
+  result.reserve(entries_.size());
+  for (const Entry& entry : entries_) result.push_back(entry.cluster);
+  return result;
+}
+
+bool View::sameAs(const View& other) const {
+  // Profiles must match on the union of cluster sets; absent means zero.
+  for (const Entry& entry : entries_) {
+    if (!(entry.profile == other.cap(entry.cluster))) return false;
+  }
+  for (const Entry& entry : other.entries_) {
+    if (find(entry.cluster) == nullptr && !entry.profile.isZero()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string View::toString() const {
+  std::ostringstream out;
+  out << '{';
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) out << ", ";
+    out << coorm::toString(entries_[i].cluster) << ": "
+        << entries_[i].profile.toString();
+  }
+  out << '}';
+  return out.str();
+}
+
+}  // namespace coorm

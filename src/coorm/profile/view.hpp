@@ -1,0 +1,100 @@
+// Views: per-cluster availability profiles (paper §3.1.4 and Appendix A.3).
+//
+// A View maps each cluster to a Cluster Availability Profile (a
+// StepFunction). The RMS computes a non-preemptive and a preemptive view
+// for every application; applications scan views to decide what to request.
+// The operations defined here are exactly those of Appendix A.3: union,
+// sum, difference, alloc() and findHole().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "coorm/common/ids.hpp"
+#include "coorm/common/time.hpp"
+#include "coorm/profile/step_function.hpp"
+
+namespace coorm {
+
+/// A set of per-cluster availability profiles.
+///
+/// Clusters not present behave as the zero profile. The container is a
+/// sorted vector keyed by ClusterId (views hold a handful of clusters; the
+/// evaluation uses one).
+class View {
+ public:
+  View() = default;
+
+  /// Availability profile of a cluster (zero profile if never set).
+  [[nodiscard]] const StepFunction& cap(ClusterId cid) const;
+
+  /// Mutable profile of a cluster (inserted as zero if absent).
+  [[nodiscard]] StepFunction& capRef(ClusterId cid);
+
+  /// Replace a cluster's profile.
+  void setCap(ClusterId cid, StepFunction profile);
+
+  /// Shorthand for cap(cid).at(t).
+  [[nodiscard]] NodeCount at(ClusterId cid, Time t) const;
+
+  /// Pointwise sum over every cluster present in either view.
+  View& operator+=(const View& other);
+  /// Pointwise difference. May produce negative availability; callers that
+  /// need non-negative views apply clampMin(0) (the scheduler does).
+  View& operator-=(const View& other);
+  /// Pointwise maximum — the paper's view union operator.
+  View& unionMax(const View& other);
+  /// Clamp every profile to >= floor.
+  View& clampMin(NodeCount floor);
+
+  friend View operator+(View lhs, const View& rhs) {
+    lhs += rhs;
+    return lhs;
+  }
+  friend View operator-(View lhs, const View& rhs) {
+    lhs -= rhs;
+    return lhs;
+  }
+
+  /// Paper A.3 alloc(): the node-count that can be granted on `cid` over
+  /// [start, start+duration) without changing the start time, limited both
+  /// by availability and by the wanted count. Never negative.
+  [[nodiscard]] NodeCount alloc(ClusterId cid, Time start, Time duration,
+                                NodeCount wanted) const;
+
+  /// Paper A.3 findHole(): earliest time >= earliest at which `need` nodes
+  /// are continuously available on `cid` for `duration`. kTimeInf if never.
+  [[nodiscard]] Time findHole(ClusterId cid, NodeCount need, Time duration,
+                              Time earliest) const;
+
+  /// Total node-seconds available over [t0, t1) summed across clusters.
+  [[nodiscard]] double integralNodeSeconds(Time t0, Time t1) const;
+
+  /// Clusters with an explicitly set profile.
+  [[nodiscard]] std::vector<ClusterId> clusters() const;
+
+  /// Semantic equality: profiles compare equal cluster-by-cluster, treating
+  /// missing clusters as zero.
+  [[nodiscard]] bool sameAs(const View& other) const;
+
+  friend bool operator==(const View&, const View&) = default;
+
+  [[nodiscard]] std::string toString() const;
+
+ private:
+  struct Entry {
+    ClusterId cluster;
+    StepFunction profile;
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+
+  [[nodiscard]] const Entry* find(ClusterId cid) const;
+  [[nodiscard]] Entry* find(ClusterId cid);
+
+  template <typename Op>
+  void combineWith(const View& other, Op op);
+
+  std::vector<Entry> entries_;  // sorted by cluster id
+};
+
+}  // namespace coorm

@@ -1,0 +1,46 @@
+// Description of the managed resources.
+//
+// The paper's evaluation uses "one single, large homogeneous cluster of n
+// nodes" (§5.1.3), but the RMS (like the paper's views) is written for a
+// set of clusters, each with its own availability profile.
+#pragma once
+
+#include <vector>
+
+#include "coorm/common/check.hpp"
+#include "coorm/common/ids.hpp"
+
+namespace coorm {
+
+/// One homogeneous cluster.
+struct ClusterSpec {
+  ClusterId id{};
+  NodeCount nodes = 0;
+};
+
+/// The whole machine: a list of clusters.
+struct Machine {
+  std::vector<ClusterSpec> clusters;
+
+  /// Convenience: a machine with a single cluster (id 0) of n nodes.
+  [[nodiscard]] static Machine single(NodeCount n) {
+    Machine m;
+    m.clusters.push_back({ClusterId{0}, n});
+    return m;
+  }
+
+  [[nodiscard]] NodeCount nodesOn(ClusterId cid) const {
+    for (const ClusterSpec& c : clusters) {
+      if (c.id == cid) return c.nodes;
+    }
+    return 0;
+  }
+
+  [[nodiscard]] NodeCount totalNodes() const {
+    NodeCount total = 0;
+    for (const ClusterSpec& c : clusters) total += c.nodes;
+    return total;
+  }
+};
+
+}  // namespace coorm

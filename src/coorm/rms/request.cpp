@@ -1,0 +1,41 @@
+#include "coorm/rms/request.hpp"
+
+#include <sstream>
+
+namespace coorm {
+
+const char* toString(RequestType type) {
+  switch (type) {
+    case RequestType::kPreAllocation: return "PA";
+    case RequestType::kNonPreemptible: return "NP";
+    case RequestType::kPreemptible: return "P";
+  }
+  return "?";
+}
+
+const char* toString(Relation relation) {
+  switch (relation) {
+    case Relation::kFree: return "FREE";
+    case Relation::kCoAlloc: return "COALLOC";
+    case Relation::kNext: return "NEXT";
+  }
+  return "?";
+}
+
+std::string Request::describe() const {
+  std::ostringstream out;
+  out << toString(id) << '(' << coorm::toString(type) << " n=" << nodes
+      << " d=";
+  if (isInf(duration)) {
+    out << "inf";
+  } else {
+    out << duration;
+  }
+  out << " " << coorm::toString(relatedHow);
+  if (relatedTo != nullptr) out << "->" << coorm::toString(relatedTo->id);
+  if (started()) out << " started@" << startedAt;
+  out << ')';
+  return out.str();
+}
+
+}  // namespace coorm

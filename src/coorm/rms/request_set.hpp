@@ -1,0 +1,47 @@
+// Request sets with tree navigation (paper Appendix A.2).
+//
+// For each application the RMS keeps three request sets (pre-allocations,
+// non-preemptible, preemptible). Within a set, constraints form forests:
+// requests that are unconstrained, or whose constraint target lies outside
+// the set, are roots; COALLOC/NEXT edges define parent-child relations.
+#pragma once
+
+#include <vector>
+
+#include "coorm/rms/request.hpp"
+
+namespace coorm {
+
+/// Non-owning, insertion-ordered collection of requests.
+///
+/// Ownership stays with the server (which controls request lifetime across
+/// sets); the scheduler only navigates and mutates scheduling attributes.
+class RequestSet {
+ public:
+  RequestSet() = default;
+
+  void add(Request* request);
+  /// Removes the request from the set (does not destroy it).
+  void remove(RequestId id);
+
+  [[nodiscard]] bool contains(const Request* request) const;
+  [[nodiscard]] Request* find(RequestId id) const;
+
+  /// Paper A.2 roots(): requests with relatedHow == FREE or whose
+  /// relatedTo is not a member of this set.
+  [[nodiscard]] std::vector<Request*> roots() const;
+
+  /// Paper A.2 children(): members of this set whose relatedTo is r.
+  [[nodiscard]] std::vector<Request*> children(const Request& r) const;
+
+  [[nodiscard]] bool empty() const { return items_.empty(); }
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+
+  [[nodiscard]] auto begin() const { return items_.begin(); }
+  [[nodiscard]] auto end() const { return items_.end(); }
+
+ private:
+  std::vector<Request*> items_;
+};
+
+}  // namespace coorm

@@ -1,0 +1,385 @@
+#include "coorm/rms/scheduler.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_set>
+
+#include "coorm/common/check.hpp"
+
+namespace coorm {
+
+namespace {
+
+/// Preemptible grants are leases: what is available at the start instant
+/// is granted, and future reductions are delivered through preemptive views
+/// (and the violation protocol), not encoded in the grant. Min-over-window
+/// (View::alloc) would make an open-ended lease unserveable whenever any
+/// future drop exists.
+NodeCount grantAtStart(const View& view, const Request& r, Time at) {
+  if (isInf(at)) return 0;
+  return std::clamp<NodeCount>(view.at(r.cluster, at), 0, r.nodes);
+}
+
+/// Occupation pulse of one scheduled request.
+void addOccupation(View& view, const Request& r) {
+  if (isInf(r.scheduledAt) || r.nAlloc <= 0 || r.duration <= 0) return;
+  view.capRef(r.cluster) +=
+      StepFunction::pulse(r.scheduledAt, r.duration, r.nAlloc);
+}
+
+/// Fair distribution of `capacity` among demands, one round-robin share at
+/// a time (paper Algorithm 3, lines 10–18). Deterministic in input order.
+std::vector<NodeCount> fairDistribute(NodeCount capacity,
+                                      const std::vector<NodeCount>& wants) {
+  std::vector<NodeCount> gives(wants.size(), 0);
+  NodeCount remaining = std::max<NodeCount>(capacity, 0);
+  while (remaining > 0) {
+    NodeCount unsatisfied = 0;
+    for (std::size_t i = 0; i < wants.size(); ++i) {
+      if (gives[i] < wants[i]) ++unsatisfied;
+    }
+    if (unsatisfied == 0) break;
+    const NodeCount share = std::max<NodeCount>(remaining / unsatisfied, 1);
+    bool progressed = false;
+    for (std::size_t i = 0; i < wants.size() && remaining > 0; ++i) {
+      if (gives[i] >= wants[i]) continue;
+      const NodeCount grant =
+          std::min({share, wants[i] - gives[i], remaining});
+      gives[i] += grant;
+      remaining -= grant;
+      if (grant > 0) progressed = true;
+    }
+    if (!progressed) break;
+  }
+  return gives;
+}
+
+}  // namespace
+
+Scheduler::Scheduler(Machine machine) : Scheduler(std::move(machine), Config{}) {}
+
+Scheduler::Scheduler(Machine machine, Config config)
+    : machine_(std::move(machine)), config_(config) {}
+
+View Scheduler::machineView() const {
+  View view;
+  for (const ClusterSpec& cluster : machine_.clusters) {
+    view.setCap(cluster.id, StepFunction::constant(cluster.nodes));
+  }
+  return view;
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1: toView
+// ---------------------------------------------------------------------------
+View Scheduler::toView(const RequestSet& set, const View* available,
+                       Time now) {
+  View out;
+  for (Request* r : set) r->fixed = false;
+
+  std::deque<Request*> queue;
+  std::unordered_set<Request*> visited;
+  for (Request* r : set) {
+    if (r->started()) queue.push_back(r);
+  }
+
+  while (!queue.empty()) {
+    Request* r = queue.front();
+    queue.pop_front();
+    if (!visited.insert(r).second) continue;
+
+    if (r->started()) {
+      // Ground truth beats the derived time for running requests.
+      r->scheduledAt = r->startedAt;
+    } else {
+      const Request* parent = r->relatedTo;
+      COORM_DCHECK(parent != nullptr);
+      switch (r->relatedHow) {
+        case Relation::kNext:
+          r->scheduledAt = satAdd(parent->scheduledAt, parent->duration);
+          break;
+        case Relation::kCoAlloc:
+          r->scheduledAt = parent->scheduledAt;
+          break;
+        case Relation::kFree:
+          continue;  // children() never yields these; defensive
+      }
+    }
+
+    if (r->started() && r->type == RequestType::kPreemptible) {
+      // A running preemptible request occupies what it actually holds.
+      r->nAlloc = std::ssize(r->nodeIds);
+    } else if (available != nullptr &&
+               r->type == RequestType::kPreemptible) {
+      // Pending leases are granted from *current* availability: the
+      // scheduled start may lie in the past (the parent ended a while
+      // ago), where the view no longer means anything.
+      r->nAlloc =
+          grantAtStart(*available, *r, std::max(r->scheduledAt, now));
+    } else if (available != nullptr) {
+      r->nAlloc = available->alloc(r->cluster, r->scheduledAt, r->duration,
+                                   r->nodes);
+    } else {
+      r->nAlloc = r->nodes;
+    }
+    r->fixed = true;
+    addOccupation(out, *r);
+
+    for (Request* child : set.children(*r)) queue.push_back(child);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 2: fit
+// ---------------------------------------------------------------------------
+View Scheduler::fit(const RequestSet& set, const View& available, Time t0) {
+  std::deque<Request*> queue;
+  std::size_t nonFixed = 0;
+  for (Request* r : set) {
+    if (r->fixed) continue;
+    r->earliestScheduleAt = t0;  // nothing can be scheduled earlier than t0
+    r->scheduledAt = kTimeInf;   // in case of error, the request never starts
+    r->nAlloc = 0;
+    ++nonFixed;
+  }
+  for (Request* r : set.roots()) queue.push_back(r);
+
+  // The constraint-propagation loop converges because earliestScheduleAt
+  // only moves forward; the guard bounds pathological inputs.
+  std::size_t budget = 64 * (nonFixed + set.size() + 1);
+
+  while (!queue.empty() && budget-- > 0) {
+    Request* r = queue.front();
+    queue.pop_front();
+
+    if (r->fixed) {
+      // Start times of fixed requests cannot move; just visit children.
+      for (Request* child : set.children(*r)) queue.push_back(child);
+      continue;
+    }
+
+    Request* parent = r->relatedTo;
+    r->nAlloc = r->nodes;  // default; preemptible branches override below
+    const Time before = r->scheduledAt;
+
+    switch (r->relatedHow) {
+      case Relation::kFree: {
+        if (r->type == RequestType::kPreemptible) {
+          // Preemptible requests are not guaranteed (A.1): they are leases,
+          // granted whatever is free at the earliest instant anything is
+          // free (the race with an evolving application's update resolves
+          // by shrinking the grant, exactly the appendix's nAlloc story).
+          r->scheduledAt = available.findHole(r->cluster, 1, msec(1),
+                                              r->earliestScheduleAt);
+          r->nAlloc = grantAtStart(available, *r, r->scheduledAt);
+        } else {
+          r->scheduledAt = available.findHole(
+              r->cluster, r->nodes, r->duration, r->earliestScheduleAt);
+        }
+        break;
+      }
+      case Relation::kCoAlloc: {
+        if (parent == nullptr) break;
+        if (r->type == RequestType::kPreemptible &&
+            parent->type != RequestType::kPreemptible) {
+          r->scheduledAt = parent->scheduledAt;
+          r->nAlloc = grantAtStart(available, *r, r->scheduledAt);
+        } else {
+          r->scheduledAt = available.findHole(
+              r->cluster, r->nodes, r->duration,
+              std::max(parent->scheduledAt, r->earliestScheduleAt));
+          if (r->scheduledAt != parent->scheduledAt && !parent->fixed &&
+              set.contains(parent)) {
+            // The parent must be delayed for the constraint to hold.
+            parent->earliestScheduleAt = r->scheduledAt;
+            queue.push_back(parent);
+          }
+        }
+        break;
+      }
+      case Relation::kNext: {
+        if (parent == nullptr) break;
+        const Time parentEnd =
+            satAdd(parent->scheduledAt, parent->duration);
+        if (r->type == RequestType::kPreemptible) {
+          r->scheduledAt = parentEnd;
+          r->nAlloc = grantAtStart(available, *r, r->scheduledAt);
+        } else {
+          r->scheduledAt = available.findHole(
+              r->cluster, r->nodes, r->duration,
+              std::max(parentEnd, r->earliestScheduleAt));
+          if (r->scheduledAt != parentEnd && !parent->fixed &&
+              set.contains(parent)) {
+            parent->earliestScheduleAt = satSub(r->scheduledAt, parent->duration);
+            queue.push_back(parent);
+          }
+        }
+        break;
+      }
+    }
+
+    if (before != r->scheduledAt) {
+      for (Request* child : set.children(*r)) queue.push_back(child);
+    }
+  }
+
+  // Schedule converged (or budget exhausted): emit the generated view.
+  View out;
+  for (Request* r : set) {
+    if (!r->fixed) addOccupation(out, *r);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 3: eqSchedule
+// ---------------------------------------------------------------------------
+void Scheduler::eqSchedule(std::span<AppSchedule> apps, const View& available,
+                           Time now, bool strict) {
+  const std::size_t napps = apps.size();
+  if (napps == 0) return;
+
+  View avail = available;
+  avail.clampMin(0);
+
+  // Step 1: preliminary occupation views (started + newly fitted requests).
+  std::vector<View> occupation(napps);
+  for (std::size_t i = 0; i < napps; ++i) {
+    occupation[i] = toView(*apps[i].preemptible, &avail, now);
+    View freeForMe = avail - occupation[i];
+    freeForMe.clampMin(0);
+    occupation[i] += fit(*apps[i].preemptible, freeForMe, now);
+    apps[i].preemptiveView = View{};
+  }
+
+  // Step 2: per piece-wise-constant interval, decide what each application
+  // may have.
+  std::vector<ClusterId> clusterIds = avail.clusters();
+  for (const View& occ : occupation) {
+    for (ClusterId cid : occ.clusters()) {
+      if (std::find(clusterIds.begin(), clusterIds.end(), cid) ==
+          clusterIds.end()) {
+        clusterIds.push_back(cid);
+      }
+    }
+  }
+  std::sort(clusterIds.begin(), clusterIds.end());
+
+  std::vector<NodeCount> wants(napps);
+  for (ClusterId cid : clusterIds) {
+    // Breakpoints: union of all involved profiles' segment starts.
+    std::vector<Time> breakpoints;
+    for (const auto& seg : avail.cap(cid).segments()) {
+      breakpoints.push_back(seg.start);
+    }
+    for (const View& occ : occupation) {
+      for (const auto& seg : occ.cap(cid).segments()) {
+        breakpoints.push_back(seg.start);
+      }
+    }
+    std::sort(breakpoints.begin(), breakpoints.end());
+    breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end()),
+                      breakpoints.end());
+
+    std::vector<std::vector<StepFunction::Segment>> outSegments(napps);
+    for (Time t : breakpoints) {
+      const NodeCount vin = std::max<NodeCount>(avail.at(cid, t), 0);
+      NodeCount sumWant = 0;
+      NodeCount active = 0;
+      for (std::size_t i = 0; i < napps; ++i) {
+        wants[i] = std::max<NodeCount>(occupation[i].at(cid, t), 0);
+        sumWant += wants[i];
+        if (wants[i] > 0) ++active;
+      }
+      const bool anyInactive = active < static_cast<NodeCount>(napps);
+
+      for (std::size_t i = 0; i < napps; ++i) outSegments[i].push_back({t, 0});
+
+      if (strict) {
+        // Strict equi-partitioning (§5.4 baseline): a fixed share per
+        // application that uses preemptible resources, with no filling of
+        // unused partitions.
+        NodeCount participants = 0;
+        for (std::size_t i = 0; i < napps; ++i) {
+          if (!apps[i].preemptible->empty()) ++participants;
+        }
+        const NodeCount share =
+            vin / std::max<NodeCount>(participants, 1);
+        for (std::size_t i = 0; i < napps; ++i) {
+          outSegments[i].back().value = share;
+        }
+      } else if (sumWant > vin) {
+        // Congested: distribute equally until nothing is left (paper lines
+        // 8–18). Every application's view shows at least the partition it
+        // is entitled to.
+        const auto gives = fairDistribute(vin, wants);
+        const NodeCount partitions = active + (anyInactive ? 1 : 0);
+        const NodeCount share = partitions > 0 ? vin / partitions : 0;
+        for (std::size_t i = 0; i < napps; ++i) {
+          outSegments[i].back().value = std::max(gives[i], share);
+        }
+      } else {
+        // Uncongested: each application sees what the others leave unused,
+        // but never less than its equi-partition (paper lines 19–25).
+        for (std::size_t i = 0; i < napps; ++i) {
+          const NodeCount partitions = active + (wants[i] > 0 ? 0 : 1);
+          const NodeCount share = partitions > 0 ? vin / partitions : vin;
+          const NodeCount leftover = vin - (sumWant - wants[i]);
+          outSegments[i].back().value = std::max(leftover, share);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < napps; ++i) {
+      apps[i].preemptiveView.setCap(
+          cid, StepFunction::fromSegments(std::move(outSegments[i])));
+    }
+  }
+
+  // Step 3: reschedule every application's preemptible requests against its
+  // final view so scheduledAt and nAlloc are consistent with what we will
+  // actually grant.
+  for (std::size_t i = 0; i < napps; ++i) {
+    const View own =
+        toView(*apps[i].preemptible, &apps[i].preemptiveView, now);
+    View rest = apps[i].preemptiveView - own;
+    rest.clampMin(0);
+    fit(*apps[i].preemptible, rest, now);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 4: main scheduling algorithm
+// ---------------------------------------------------------------------------
+void Scheduler::schedule(std::span<AppSchedule> apps, Time now) const {
+  View vnp = machineView();  // non-preemptible resources still available
+  View vp = machineView();   // preemptible resources still available
+
+  // Subtract resources held by started pre-allocations / NP requests.
+  for (AppSchedule& app : apps) {
+    vnp -= toView(*app.preAllocations);
+    vp -= toView(*app.nonPreemptible);
+  }
+
+  // Non-preemptive views and start times, in connection order.
+  for (AppSchedule& app : apps) {
+    const View ownStartedPa = toView(*app.preAllocations);
+    app.nonPreemptiveView = ownStartedPa + vnp;
+    app.nonPreemptiveView.clampMin(0);
+
+    const View occPa = fit(*app.preAllocations, app.nonPreemptiveView, now);
+
+    View npAvailable =
+        ownStartedPa + occPa - toView(*app.nonPreemptible);
+    npAvailable.clampMin(0);
+    const View occNp = fit(*app.nonPreemptible, npAvailable, now);
+
+    vnp -= occPa;
+    vp -= occNp;
+  }
+
+  vp.clampMin(0);
+  eqSchedule(apps, vp, now, config_.strictEquiPartition);
+}
+
+}  // namespace coorm

@@ -1,0 +1,695 @@
+#include "coorm/rms/server.hpp"
+
+#include <algorithm>
+
+#include "coorm/common/check.hpp"
+#include "coorm/common/log.hpp"
+
+namespace coorm {
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+RequestId Session::request(const RequestSpec& spec) {
+  Server::SessionState* st = server_->findSession(app_);
+  COORM_CHECK(st != nullptr);
+  if (st->killed || st->disconnected) return RequestId{};
+  return server_->handleRequest(*st, spec);
+}
+
+void Session::done(RequestId id, std::vector<NodeId> released) {
+  Server::SessionState* st = server_->findSession(app_);
+  COORM_CHECK(st != nullptr);
+  if (st->killed || st->disconnected) return;
+  server_->handleDone(*st, id, std::move(released));
+}
+
+void Session::disconnect() {
+  Server::SessionState* st = server_->findSession(app_);
+  COORM_CHECK(st != nullptr);
+  if (st->killed || st->disconnected) return;
+  server_->handleDisconnect(*st);
+}
+
+bool Session::killed() const {
+  return server_->findSession(app_)->killed;
+}
+
+const View& Session::nonPreemptiveView() const {
+  return server_->findSession(app_)->lastNonPreemptive;
+}
+
+const View& Session::preemptiveView() const {
+  return server_->findSession(app_)->lastPreemptive;
+}
+
+// ---------------------------------------------------------------------------
+// Server: construction & sessions
+// ---------------------------------------------------------------------------
+
+Server::Server(Executor& executor, Machine machine)
+    : Server(executor, std::move(machine), Config{}) {}
+
+Server::Server(Executor& executor, Machine machine, Config config)
+    : executor_(executor),
+      scheduler_(machine, Scheduler::Config{config.strictEquiPartition}),
+      pool_(machine),
+      config_(config) {}
+
+Server::~Server() = default;
+
+Session* Server::connect(AppEndpoint& endpoint) {
+  auto st = std::make_unique<SessionState>();
+  st->app = AppId{nextAppId_++};
+  st->endpoint = &endpoint;
+  st->session.reset(new Session(this, st->app));
+  Session* session = st->session.get();
+  sessions_.push_back(std::move(st));
+  trace(toString(session->app()), "connect");
+  requestReschedule();
+  return session;
+}
+
+Server::SessionState* Server::findSession(AppId app) {
+  for (auto& st : sessions_) {
+    if (st->app == app) return st.get();
+  }
+  return nullptr;
+}
+
+RequestSet& Server::setFor(SessionState& st, RequestType type) {
+  switch (type) {
+    case RequestType::kPreAllocation: return st.preAllocations;
+    case RequestType::kNonPreemptible: return st.nonPreemptible;
+    case RequestType::kPreemptible: return st.preemptible;
+  }
+  COORM_CHECK(false && "bad request type");
+  __builtin_unreachable();
+}
+
+const Request* Server::findRequest(RequestId id) const {
+  const auto it = requestIndex_.find(id.value);
+  return it != requestIndex_.end() ? it->second.second : nullptr;
+}
+
+void Server::trace(const std::string& actor, const std::string& what) {
+  if (trace_ != nullptr) trace_->record(executor_.now(), actor, what);
+  COORM_LOG(LogLevel::kDebug, "rms") << actor << ": " << what;
+}
+
+// ---------------------------------------------------------------------------
+// Message handlers
+// ---------------------------------------------------------------------------
+
+RequestId Server::handleRequest(SessionState& st, const RequestSpec& spec) {
+  COORM_CHECK(spec.nodes > 0);
+  COORM_CHECK(spec.duration > 0);
+  COORM_CHECK(scheduler_.machine().nodesOn(spec.cluster) > 0);
+
+  Request* related = nullptr;
+  if (spec.relatedHow != Relation::kFree) {
+    const auto it = requestIndex_.find(spec.relatedTo.value);
+    if (it == requestIndex_.end() || it->second.first != st.app) {
+      // Constraint target unknown (e.g. already pruned) or not owned by
+      // this application: reject (paper A.6: invalid requests are not
+      // handled gracefully — but they must not take the RMS down).
+      COORM_LOG(LogLevel::kWarn, "rms")
+          << toString(st.app) << " constraint target "
+          << toString(spec.relatedTo) << " rejected";
+      trace(toString(st.app), "request rejected (bad constraint target)");
+      return RequestId{};
+    }
+    related = it->second.second;
+  }
+
+  // Implicit pre-allocation wrap (§3.2): a bare non-preemptible request of
+  // an application that manages no explicit pre-allocation gets a shadow PA
+  // of the same shape, so it is schedulable "inside a pre-allocation".
+  Request* wrapper = nullptr;
+  if (spec.type == RequestType::kNonPreemptible && config_.implicitWrap) {
+    bool hasExplicitPa = false;
+    for (const Request* pa : st.preAllocations) {
+      if (!pa->implicit && !pa->ended()) {
+        hasExplicitPa = true;
+        break;
+      }
+    }
+    if (!hasExplicitPa) {
+      auto wrapped = std::make_unique<Request>();
+      wrapped->id = RequestId{nextRequestId_++};
+      wrapped->app = st.app;
+      wrapped->cluster = spec.cluster;
+      wrapped->nodes = spec.nodes;
+      wrapped->duration = spec.duration;
+      wrapped->type = RequestType::kPreAllocation;
+      wrapped->relatedHow = spec.relatedHow;
+      wrapped->implicit = true;
+      if (related != nullptr) {
+        // Mirror the NP chain on the PA side when the target has a wrapper.
+        const auto wit = st.wrapperOf.find(related);
+        wrapped->relatedTo =
+            wit != st.wrapperOf.end() ? wit->second : related;
+      }
+      wrapper = wrapped.get();
+      st.preAllocations.add(wrapper);
+      requestIndex_.emplace(wrapper->id.value,
+                            std::make_pair(st.app, wrapper));
+      st.owned.push_back(std::move(wrapped));
+    }
+  }
+
+  auto request = std::make_unique<Request>();
+  request->id = RequestId{nextRequestId_++};
+  request->app = st.app;
+  request->cluster = spec.cluster;
+  request->nodes = spec.nodes;
+  request->duration = spec.duration;
+  request->type = spec.type;
+  request->relatedHow = spec.relatedHow;
+  request->relatedTo = related;
+  if (wrapper != nullptr && spec.relatedHow == Relation::kFree) {
+    // Anchor the bare NP request to its shadow PA so they start together.
+    // NEXT/COALLOC relations are kept as sent (node-ID inheritance relies
+    // on them); their wrappers mirror the chain instead.
+    request->relatedHow = Relation::kCoAlloc;
+    request->relatedTo = wrapper;
+  }
+
+  Request* raw = request.get();
+  setFor(st, spec.type).add(raw);
+  requestIndex_.emplace(raw->id.value, std::make_pair(st.app, raw));
+  st.owned.push_back(std::move(request));
+  if (wrapper != nullptr) st.wrapperOf.emplace(raw, wrapper);
+
+  trace(toString(st.app), "request " + raw->describe());
+  requestReschedule();
+  return raw->id;
+}
+
+void Server::handleDone(SessionState& st, RequestId id,
+                        std::vector<NodeId> released) {
+  const auto it = requestIndex_.find(id.value);
+  if (it == requestIndex_.end() || it->second.first != st.app) return;
+  Request* r = it->second.second;
+  if (r->ended()) return;
+
+  trace(toString(st.app),
+        "done " + toString(id) + " releasing " +
+            std::to_string(released.size()) + " nodes");
+  if (!r->started()) {
+    cancelUnstarted(st, *r);
+  } else {
+    endRequest(st, *r, std::move(released));
+  }
+  requestReschedule();
+}
+
+void Server::handleDisconnect(SessionState& st) {
+  trace(toString(st.app), "disconnect");
+  for (auto& owned : st.owned) {
+    Request& r = *owned;
+    if (r.ended()) continue;
+    const auto timer = expiryTimers_.find(r.id.value);
+    if (timer != expiryTimers_.end()) {
+      Executor::cancel(timer->second);
+      expiryTimers_.erase(timer);
+    }
+    releaseAllIds(st, r);
+    r.endedAt = executor_.now();
+    notifyPaEnd(st, r);
+  }
+  st.disconnected = true;
+  Executor::cancel(st.violationTimer);
+  requestReschedule();
+}
+
+// ---------------------------------------------------------------------------
+// Request lifecycle
+// ---------------------------------------------------------------------------
+
+void Server::notifyPaEnd(SessionState& st, Request& r) {
+  if (r.type != RequestType::kPreAllocation || !r.started()) return;
+  for (AllocationObserver* observer : observers_) {
+    observer->onAllocationChanged(st.app, r.cluster, -r.nodes, r.type,
+                                  executor_.now());
+  }
+}
+
+void Server::releaseIds(SessionState& st, Request& r,
+                        std::vector<NodeId> ids) {
+  if (ids.empty()) return;
+  // Keep only IDs the request actually holds (tolerate sloppy callers).
+  std::vector<NodeId> actual;
+  for (const NodeId& id : ids) {
+    const auto it = std::find(r.nodeIds.begin(), r.nodeIds.end(), id);
+    if (it != r.nodeIds.end()) {
+      r.nodeIds.erase(it);
+      actual.push_back(id);
+    }
+  }
+  if (actual.empty()) return;
+  pool_.release(actual);
+  for (AllocationObserver* observer : observers_) {
+    observer->onAllocationChanged(st.app, r.cluster, -std::ssize(actual),
+                                  r.type, executor_.now());
+  }
+}
+
+void Server::releaseAllIds(SessionState& st, Request& r) {
+  releaseIds(st, r, r.nodeIds);
+}
+
+Request* Server::findUnstartedNextChild(SessionState& st, Request& r) {
+  for (Request* candidate : setFor(st, r.type)) {
+    if (candidate->relatedTo == &r &&
+        candidate->relatedHow == Relation::kNext && !candidate->started() &&
+        !candidate->ended()) {
+      return candidate;
+    }
+  }
+  return nullptr;
+}
+
+void Server::endRequest(SessionState& st, Request& r,
+                        std::vector<NodeId> released) {
+  COORM_CHECK(r.started() && !r.ended());
+  const Time now = executor_.now();
+
+  const auto timer = expiryTimers_.find(r.id.value);
+  if (timer != expiryTimers_.end()) {
+    Executor::cancel(timer->second);
+    expiryTimers_.erase(timer);
+  }
+
+  // Paper done(): the duration becomes the time actually used.
+  r.duration = std::max<Time>(now - r.startedAt, 0);
+  r.endedAt = now;
+  notifyPaEnd(st, r);
+
+  Request* successor = findUnstartedNextChild(st, r);
+  if (successor != nullptr) {
+    // NEXT transition: the application keeps common resources. Whatever it
+    // chose to release goes back to the pool; the rest moves to the
+    // successor (extra IDs, if the successor grows, are attached when it
+    // starts).
+    releaseIds(st, r, std::move(released));
+    successor->nodeIds.insert(successor->nodeIds.end(), r.nodeIds.begin(),
+                              r.nodeIds.end());
+    r.nodeIds.clear();
+  } else {
+    releaseAllIds(st, r);
+  }
+
+  // An implicit wrapper PA lives exactly as long as the request it wraps.
+  const auto wit = st.wrapperOf.find(&r);
+  if (wit != st.wrapperOf.end()) {
+    Request* wrapper = wit->second;
+    st.wrapperOf.erase(wit);
+    if (!wrapper->ended()) {
+      if (wrapper->started()) {
+        wrapper->duration = std::max<Time>(now - wrapper->startedAt, 0);
+        wrapper->endedAt = now;
+        notifyPaEnd(st, *wrapper);
+      } else {
+        cancelUnstarted(st, *wrapper);
+      }
+    }
+  }
+
+  if (!st.killed && !st.disconnected && !r.implicit) {
+    AppEndpoint* endpoint = st.endpoint;
+    const RequestId id = r.id;
+    executor_.after(0, [endpoint, id] { endpoint->onEnded(id); });
+  }
+}
+
+void Server::cancelUnstarted(SessionState& st, Request& r) {
+  COORM_CHECK(!r.started() && !r.ended());
+  // Inherited node IDs stashed on a pending NEXT successor go back.
+  releaseAllIds(st, r);
+  // Orphan children: they lose their constraint rather than dangle.
+  for (auto& owned : st.owned) {
+    if (owned->relatedTo == &r) {
+      owned->relatedTo = nullptr;
+      owned->relatedHow = Relation::kFree;
+    }
+  }
+  r.endedAt = executor_.now();
+  // Cancel the implicit wrapper PA along with the request it wraps.
+  const auto wit = st.wrapperOf.find(&r);
+  if (wit != st.wrapperOf.end()) {
+    Request* wrapper = wit->second;
+    st.wrapperOf.erase(wit);
+    if (!wrapper->ended()) {
+      if (wrapper->started()) {
+        wrapper->duration =
+            std::max<Time>(executor_.now() - wrapper->startedAt, 0);
+        wrapper->endedAt = executor_.now();
+        notifyPaEnd(st, *wrapper);
+      } else {
+        cancelUnstarted(st, *wrapper);
+      }
+    }
+  }
+  if (!st.killed && !st.disconnected && !r.implicit) {
+    AppEndpoint* endpoint = st.endpoint;
+    const RequestId id = r.id;
+    executor_.after(0, [endpoint, id] { endpoint->onEnded(id); });
+  }
+}
+
+void Server::onExpiryTimer(AppId app, RequestId id) {
+  SessionState* st = findSession(app);
+  if (st == nullptr || st->killed || st->disconnected) return;
+  const auto it = requestIndex_.find(id.value);
+  if (it == requestIndex_.end()) return;
+  Request* r = it->second.second;
+  if (r->ended()) return;
+
+  expiryTimers_.erase(id.value);
+  trace("rms", "expiry of " + toString(id));
+
+  // Pre-allocations carry no node IDs, so there is nothing the application
+  // must decide at their end; implicit wrappers in particular must stay
+  // invisible. End them server-side.
+  if (r->type == RequestType::kPreAllocation) {
+    endRequest(*st, *r, {});
+    return;
+  }
+
+  // The application decides what happens at the end of a request (which
+  // node IDs move to a NEXT successor, whether to re-request, ...), so ask
+  // it — but arm a backstop: not answering is a protocol violation.
+  AppEndpoint* endpoint = st->endpoint;
+  executor_.after(0, [endpoint, id] { endpoint->onExpired(id); });
+
+  executor_.after(config_.violationGrace, [this, app, id] {
+    SessionState* session = findSession(app);
+    if (session == nullptr || session->killed || session->disconnected) return;
+    const auto entry = requestIndex_.find(id.value);
+    if (entry == requestIndex_.end()) return;
+    if (!entry->second.second->ended()) {
+      trace("rms", "killing " + toString(app) + ": request " + toString(id) +
+                       " not terminated after expiry");
+      killApp(*session);
+    }
+  });
+}
+
+void Server::killApp(SessionState& st) {
+  st.killed = true;
+  Executor::cancel(st.violationTimer);
+  for (auto& owned : st.owned) {
+    Request& r = *owned;
+    if (r.ended()) continue;
+    const auto timer = expiryTimers_.find(r.id.value);
+    if (timer != expiryTimers_.end()) {
+      Executor::cancel(timer->second);
+      expiryTimers_.erase(timer);
+    }
+    releaseAllIds(st, r);
+    r.endedAt = executor_.now();
+    notifyPaEnd(st, r);
+  }
+  for (AllocationObserver* observer : observers_) {
+    observer->onAppKilled(st.app, executor_.now());
+  }
+  AppEndpoint* endpoint = st.endpoint;
+  executor_.after(0, [endpoint] { endpoint->onKilled(); });
+  requestReschedule();
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling passes
+// ---------------------------------------------------------------------------
+
+void Server::requestReschedule() {
+  if (passPending_) return;
+  const Time now = executor_.now();
+  const Time due = lastPassAt_ == kNever
+                       ? now
+                       : std::max(now, satAdd(lastPassAt_, config_.reschedInterval));
+  passPending_ = true;
+  executor_.schedule(due, [this] {
+    passPending_ = false;
+    runPass();
+  });
+}
+
+void Server::runSchedulingPassNow() { runPass(); }
+
+void Server::runPass() {
+  lastPassAt_ = executor_.now();
+  ++passCount_;
+
+  pruneEnded();
+
+  std::vector<AppSchedule> apps;
+  std::vector<SessionState*> live;
+  for (auto& st : sessions_) {
+    if (st->killed || st->disconnected) continue;
+    AppSchedule app;
+    app.app = st->app;
+    app.preAllocations = &st->preAllocations;
+    app.nonPreemptible = &st->nonPreemptible;
+    app.preemptible = &st->preemptible;
+    apps.push_back(std::move(app));
+    live.push_back(st.get());
+  }
+
+  scheduler_.schedule(apps, executor_.now());
+
+  // Stash freshly computed views before starting requests so violation
+  // checks and pushes see consistent data.
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    live[i]->lastNonPreemptive = std::move(apps[i].nonPreemptiveView);
+    live[i]->lastPreemptive = std::move(apps[i].preemptiveView);
+  }
+
+  // Push views before start notifications so applications react to starts
+  // with fresh availability information (the grant may race a view change;
+  // events are delivered in queue order).
+  pushViews();
+  startDueRequests();
+  checkViolations();
+}
+
+void Server::startDueRequests() {
+  const Time now = executor_.now();
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& st : sessions_) {
+      if (st->killed || st->disconnected) continue;
+      for (const RequestType type :
+           {RequestType::kPreAllocation, RequestType::kNonPreemptible,
+            RequestType::kPreemptible}) {
+        for (Request* r : setFor(*st, type)) {
+          if (r->started() || r->ended()) continue;
+          if (r->scheduledAt > now) continue;
+          if (tryStart(*st, *r)) progress = true;
+        }
+      }
+    }
+  }
+}
+
+bool Server::tryStart(SessionState& st, Request& r) {
+  // Implicit wrapper PAs start in lockstep with the request they wrap
+  // (below); if they started on their own while the wrapped request was
+  // still waiting for node IDs, their window would no longer cover it.
+  if (r.implicit) return false;
+
+  // NEXT successors wait for their parent to finish; COALLOC children wait
+  // for the parent to start (an unstarted implicit wrapper parent is fine:
+  // it starts together with us).
+  if (r.relatedTo != nullptr) {
+    if (r.relatedHow == Relation::kNext && !r.relatedTo->ended()) return false;
+    if (r.relatedHow == Relation::kCoAlloc && !r.relatedTo->started() &&
+        !r.relatedTo->ended() && !r.relatedTo->implicit) {
+      return false;
+    }
+  }
+
+  const Time now = executor_.now();
+  if (r.type != RequestType::kPreAllocation) {
+    const NodeCount needed =
+        r.type == RequestType::kPreemptible ? r.nAlloc : r.nodes;
+    const NodeCount have = std::ssize(r.nodeIds);
+    if (have > needed) {
+      // The application released fewer IDs than the shrink required; trim
+      // deterministically from the tail.
+      std::vector<NodeId> excess(r.nodeIds.begin() + needed, r.nodeIds.end());
+      COORM_LOG(LogLevel::kWarn, "rms")
+          << toString(r.id) << " over-inherited; trimming "
+          << excess.size() << " nodes";
+      releaseIds(st, r, std::move(excess));
+    } else if (have < needed) {
+      const NodeCount extra = needed - have;
+      if (pool_.freeCount(r.cluster) < extra) return false;  // stay pending
+      std::vector<NodeId> fresh = pool_.allocate(r.cluster, extra);
+      r.nodeIds.insert(r.nodeIds.end(), fresh.begin(), fresh.end());
+      for (AllocationObserver* observer : observers_) {
+        observer->onAllocationChanged(st.app, r.cluster, extra, r.type, now);
+      }
+    }
+    if (r.type != RequestType::kPreemptible) r.nAlloc = r.nodes;
+  }
+
+  r.startedAt = now;
+  if (!isInf(r.duration)) {
+    const AppId app = st.app;
+    const RequestId id = r.id;
+    expiryTimers_[id.value] = executor_.schedule(
+        r.plannedEnd(), [this, app, id] { onExpiryTimer(app, id); });
+  }
+
+  // Start the implicit wrapper PA together with the request it wraps.
+  const auto wit = st.wrapperOf.find(&r);
+  if (wit != st.wrapperOf.end() && !wit->second->started()) {
+    Request& wrapper = *wit->second;
+    wrapper.startedAt = now;
+    wrapper.scheduledAt = now;
+    wrapper.nAlloc = wrapper.nodes;
+    for (AllocationObserver* observer : observers_) {
+      observer->onAllocationChanged(st.app, wrapper.cluster, wrapper.nodes,
+                                    wrapper.type, now);
+    }
+    if (!isInf(wrapper.duration)) {
+      const AppId app = st.app;
+      const RequestId id = wrapper.id;
+      expiryTimers_[id.value] = executor_.schedule(
+          wrapper.plannedEnd(), [this, app, id] { onExpiryTimer(app, id); });
+    }
+  }
+
+  if (r.type == RequestType::kPreAllocation) {
+    // Pre-allocations carry no node IDs but occupy capacity: report them
+    // so accounting can charge for marked-but-unused resources (§7).
+    for (AllocationObserver* observer : observers_) {
+      observer->onAllocationChanged(st.app, r.cluster, r.nodes, r.type, now);
+    }
+  }
+
+  trace("rms", "start " + r.describe() + " with " +
+                   std::to_string(r.nodeIds.size()) + " nodes");
+  if (!r.implicit) {  // shadow pre-allocations stay invisible to the app
+    AppEndpoint* endpoint = st.endpoint;
+    const RequestId id = r.id;
+    const std::vector<NodeId> ids = r.nodeIds;
+    executor_.after(0, [endpoint, id, ids] { endpoint->onStarted(id, ids); });
+  }
+  return true;
+}
+
+void Server::checkViolations() {
+  const Time now = executor_.now();
+  for (auto& stPtr : sessions_) {
+    SessionState& st = *stPtr;
+    if (st.killed || st.disconnected) continue;
+
+    bool violating = false;
+    for (const ClusterSpec& cluster : scheduler_.machine().clusters) {
+      NodeCount held = 0;
+      for (const Request* r : st.preemptible) {
+        if (r->started() && !r->ended() && r->cluster == cluster.id) {
+          held += std::ssize(r->nodeIds);
+        }
+      }
+      if (held > st.lastPreemptive.at(cluster.id, now)) {
+        violating = true;
+        break;
+      }
+    }
+
+    if (!violating) {
+      Executor::cancel(st.violationTimer);
+      st.violationTimer = nullptr;
+      continue;
+    }
+    if (st.violationTimer != nullptr && !st.violationTimer->cancelled) {
+      continue;  // already armed
+    }
+    const AppId app = st.app;
+    st.violationTimer =
+        executor_.after(config_.violationGrace, [this, app] {
+          SessionState* session = findSession(app);
+          if (session == nullptr || session->killed || session->disconnected) {
+            return;
+          }
+          const Time fireTime = executor_.now();
+          for (const ClusterSpec& cluster : scheduler_.machine().clusters) {
+            NodeCount held = 0;
+            for (const Request* r : session->preemptible) {
+              if (r->started() && !r->ended() && r->cluster == cluster.id) {
+                held += std::ssize(r->nodeIds);
+              }
+            }
+            if (held > session->lastPreemptive.at(cluster.id, fireTime)) {
+              trace("rms", "killing " + toString(app) +
+                               ": preemptible resources not released");
+              killApp(*session);
+              return;
+            }
+          }
+          session->violationTimer = nullptr;
+        });
+  }
+}
+
+void Server::pushViews() {
+  for (auto& stPtr : sessions_) {
+    SessionState& st = *stPtr;
+    if (st.killed || st.disconnected) continue;
+    // lastNonPreemptive/lastPreemptive were refreshed by runPass(); push
+    // them if the application has not seen these exact views yet.
+    if (st.viewsEverSent && st.sentNonPreemptive.sameAs(st.lastNonPreemptive) &&
+        st.sentPreemptive.sameAs(st.lastPreemptive)) {
+      continue;
+    }
+    st.viewsEverSent = true;
+    st.sentNonPreemptive = st.lastNonPreemptive;
+    st.sentPreemptive = st.lastPreemptive;
+    AppEndpoint* endpoint = st.endpoint;
+    const View np = st.lastNonPreemptive;
+    const View p = st.lastPreemptive;
+    trace("rms", "views -> " + toString(st.app));
+    executor_.after(0, [endpoint, np, p] { endpoint->onViews(np, p); });
+  }
+}
+
+void Server::pruneEnded() {
+  for (auto& stPtr : sessions_) {
+    SessionState& st = *stPtr;
+    // A request can be destroyed once it has ended and nothing references
+    // it any more (constraint targets must stay resolvable, and wrapper
+    // PAs must outlive the request they wrap).
+    std::vector<const Request*> referenced;
+    for (const auto& owned : st.owned) {
+      if (owned->relatedTo != nullptr) referenced.push_back(owned->relatedTo);
+    }
+    for (const auto& [np, pa] : st.wrapperOf) {
+      referenced.push_back(np);
+      referenced.push_back(pa);
+    }
+    auto isReferenced = [&](const Request* r) {
+      return std::find(referenced.begin(), referenced.end(), r) !=
+             referenced.end();
+    };
+
+    for (auto it = st.owned.begin(); it != st.owned.end();) {
+      Request* r = it->get();
+      if (r->ended() && !isReferenced(r)) {
+        setFor(st, r->type).remove(r->id);
+        requestIndex_.erase(r->id.value);
+        expiryTimers_.erase(r->id.value);
+        it = st.owned.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+}  // namespace coorm

@@ -1,0 +1,229 @@
+// The CooRMv2 RMS server: sessions, the request/done protocol, view pushes,
+// start notifications, node-ID management and protocol enforcement
+// (paper §3.2, §3.3 and Appendix A.5).
+//
+// The server wraps the pure Scheduler with everything stateful:
+//  - applications connect() and obtain a Session through which they submit
+//    request() and done() messages;
+//  - a scheduling pass runs at most once per re-scheduling interval
+//    (administrator parameter, §3.2), coalescing bursts of messages;
+//  - when a request's computed start time arrives and enough node IDs are
+//    free, the request starts and the application is notified (startNotify);
+//    otherwise it stays pending until other applications release nodes
+//    (Appendix A.5, "nodeIDs" discussion);
+//  - NEXT-chained requests inherit node IDs across the transition: a grown
+//    request receives additional IDs, a shrunk one returns the IDs the
+//    application chose to release (§3.1.2);
+//  - new views are pushed to an application whenever they change (§3.1.4);
+//  - an application that holds more preemptible nodes than its preemptive
+//    view allows past a grace period is killed (§3.1.4).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "coorm/common/executor.hpp"
+#include "coorm/common/ids.hpp"
+#include "coorm/profile/view.hpp"
+#include "coorm/rms/machine.hpp"
+#include "coorm/rms/node_pool.hpp"
+#include "coorm/rms/request_set.hpp"
+#include "coorm/rms/scheduler.hpp"
+#include "coorm/sim/trace.hpp"
+
+namespace coorm {
+
+/// Callbacks the RMS delivers to an application. All notifications are
+/// posted as zero-delay events on the server's executor, so application
+/// code never runs inside the scheduling pass.
+class AppEndpoint {
+ public:
+  virtual ~AppEndpoint() = default;
+
+  /// New non-preemptive and preemptive views (paper steps 2/12 of Fig. 8).
+  virtual void onViews(const View& nonPreemptive, const View& preemptive) {
+    (void)nonPreemptive;
+    (void)preemptive;
+  }
+
+  /// The request started; `nodeIds` is the complete set now attached to it
+  /// (startNotify).
+  virtual void onStarted(RequestId id, const std::vector<NodeId>& nodeIds) {
+    (void)id;
+    (void)nodeIds;
+  }
+
+  /// The request reached the end of its duration and has a NEXT successor
+  /// that needs fewer nodes: the application must call done(id, released)
+  /// choosing which node IDs to give back. Failing to answer within the
+  /// violation grace period kills the application.
+  virtual void onExpired(RequestId id) { (void)id; }
+
+  /// The request is over (done processed, natural end, or cancellation).
+  virtual void onEnded(RequestId id) { (void)id; }
+
+  /// The RMS terminated the session (protocol violation).
+  virtual void onKilled() {}
+};
+
+class Server;
+
+/// An application's handle on the RMS.
+class Session {
+ public:
+  /// Submit a request; returns its id immediately (paper request()).
+  RequestId request(const RequestSpec& spec);
+
+  /// Terminate a request now (paper done()). For NEXT-shrink transitions,
+  /// `released` names the node IDs given back. Calling done() on a request
+  /// that has not started cancels it.
+  void done(RequestId id, std::vector<NodeId> released = {});
+
+  /// Leave the system, releasing everything.
+  void disconnect();
+
+  [[nodiscard]] AppId app() const { return app_; }
+  [[nodiscard]] bool killed() const;
+
+  /// Last views pushed to this application.
+  [[nodiscard]] const View& nonPreemptiveView() const;
+  [[nodiscard]] const View& preemptiveView() const;
+
+ private:
+  friend class Server;
+  Session(Server* server, AppId app) : server_(server), app_(app) {}
+  Server* server_;
+  AppId app_;
+};
+
+/// Observer of node-ID allocation changes, used by the experiment harness
+/// to integrate per-application resource areas.
+class AllocationObserver {
+ public:
+  virtual ~AllocationObserver() = default;
+  /// `delta` nodes were granted (positive) or released (negative).
+  virtual void onAllocationChanged(AppId app, ClusterId cluster,
+                                   NodeCount delta, RequestType type,
+                                   Time at) = 0;
+  virtual void onAppKilled(AppId app, Time at) { (void)app, (void)at; }
+};
+
+class Server {
+ public:
+  struct Config {
+    /// Minimum spacing between scheduling passes (paper: 1 s, §5.1.3).
+    Time reschedInterval = sec(1);
+    /// How long an application may hold preemptible nodes beyond what its
+    /// preemptive view allows before being killed.
+    Time violationGrace = sec(5);
+    /// Strict equi-partitioning (Fig. 11 baseline) instead of filling.
+    bool strictEquiPartition = false;
+    /// Wrap bare non-preemptible requests of applications without an
+    /// explicit pre-allocation in implicit pre-allocations (§3.2).
+    bool implicitWrap = true;
+  };
+
+  Server(Executor& executor, Machine machine);  // default config
+  Server(Executor& executor, Machine machine, Config config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Connect an application. The endpoint must outlive the session.
+  Session* connect(AppEndpoint& endpoint);
+
+  /// Register an allocation observer (several may be attached; they are
+  /// invoked in registration order).
+  void addObserver(AllocationObserver* observer) {
+    observers_.push_back(observer);
+  }
+  void setTrace(Trace* trace) { trace_ = trace; }
+
+  [[nodiscard]] const Machine& machine() const { return scheduler_.machine(); }
+  [[nodiscard]] const NodePool& pool() const { return pool_; }
+
+  /// Number of scheduling passes run so far (test/bench introspection).
+  [[nodiscard]] std::uint64_t passCount() const { return passCount_; }
+
+  /// Force a scheduling pass now, bypassing the re-scheduling interval
+  /// (used by tests and the throughput benchmark).
+  void runSchedulingPassNow();
+
+  /// Look up a request (nullptr if unknown or already pruned). Test helper.
+  [[nodiscard]] const Request* findRequest(RequestId id) const;
+
+ private:
+  friend class Session;
+
+  struct SessionState {
+    AppId app{};
+    AppEndpoint* endpoint = nullptr;
+    std::unique_ptr<Session> session;
+    std::vector<std::unique_ptr<Request>> owned;
+    RequestSet preAllocations;
+    RequestSet nonPreemptible;
+    RequestSet preemptible;
+    View lastNonPreemptive;   ///< most recently computed views
+    View lastPreemptive;
+    View sentNonPreemptive;   ///< views last pushed to the application
+    View sentPreemptive;
+    bool viewsEverSent = false;
+    bool killed = false;
+    bool disconnected = false;
+    EventHandle violationTimer;
+    /// Implicit pre-allocation wrapping a given NP request (§3.2).
+    std::unordered_map<Request*, Request*> wrapperOf;
+  };
+
+  // --- message handlers (called from Session) -----------------------------
+  RequestId handleRequest(SessionState& st, const RequestSpec& spec);
+  void handleDone(SessionState& st, RequestId id,
+                  std::vector<NodeId> released);
+  void handleDisconnect(SessionState& st);
+
+  // --- scheduling ----------------------------------------------------------
+  void requestReschedule();
+  void runPass();
+  void startDueRequests();
+  bool tryStart(SessionState& st, Request& r);
+  void pushViews();
+  void checkViolations();
+  void pruneEnded();
+
+  // --- request lifecycle ---------------------------------------------------
+  void endRequest(SessionState& st, Request& r, std::vector<NodeId> released);
+  void cancelUnstarted(SessionState& st, Request& r);
+  void onExpiryTimer(AppId app, RequestId id);
+  void killApp(SessionState& st);
+  void releaseIds(SessionState& st, Request& r, std::vector<NodeId> ids);
+  /// Report the end of a started pre-allocation to observers.
+  void notifyPaEnd(SessionState& st, Request& r);
+  void releaseAllIds(SessionState& st, Request& r);
+
+  [[nodiscard]] SessionState* findSession(AppId app);
+  [[nodiscard]] RequestSet& setFor(SessionState& st, RequestType type);
+  [[nodiscard]] Request* findUnstartedNextChild(SessionState& st, Request& r);
+  void notifyViews(SessionState& st);
+  void trace(const std::string& actor, const std::string& what);
+
+  Executor& executor_;
+  Scheduler scheduler_;
+  NodePool pool_;
+  Config config_;
+  std::vector<AllocationObserver*> observers_;
+  Trace* trace_ = nullptr;
+
+  std::vector<std::unique_ptr<SessionState>> sessions_;  // connection order
+  std::unordered_map<std::int64_t, std::pair<AppId, Request*>> requestIndex_;
+  std::unordered_map<std::int64_t, EventHandle> expiryTimers_;
+
+  std::int32_t nextAppId_ = 0;
+  std::int64_t nextRequestId_ = 0;
+  Time lastPassAt_ = kNever;
+  bool passPending_ = false;
+  std::uint64_t passCount_ = 0;
+};
+
+}  // namespace coorm

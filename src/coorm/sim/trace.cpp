@@ -1,0 +1,25 @@
+#include "coorm/sim/trace.hpp"
+
+#include <iomanip>
+
+namespace coorm {
+
+void Trace::record(Time at, std::string actor, std::string what) {
+  entries_.push_back({at, std::move(actor), std::move(what)});
+}
+
+bool Trace::contains(const std::string& needle) const {
+  for (const Entry& entry : entries_) {
+    if (entry.what.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+void Trace::dump(std::ostream& out) const {
+  for (const Entry& entry : entries_) {
+    out << std::setw(10) << toSeconds(entry.at) << "s  " << std::setw(8)
+        << entry.actor << "  " << entry.what << '\n';
+  }
+}
+
+}  // namespace coorm

@@ -1,0 +1,39 @@
+// Protocol trace recording.
+//
+// Optional sink for RMS <-> application protocol events, used to print
+// Figure-8-style interaction timelines (see examples/interaction.cpp) and
+// to assert protocol ordering in tests.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "coorm/common/time.hpp"
+
+namespace coorm {
+
+class Trace {
+ public:
+  struct Entry {
+    Time at;
+    std::string actor;  ///< "rms", "app3", ...
+    std::string what;   ///< human-readable message description
+  };
+
+  void record(Time at, std::string actor, std::string what);
+
+  [[nodiscard]] const std::vector<Entry>& entries() const { return entries_; }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  void clear() { entries_.clear(); }
+
+  /// True if some entry's text contains `needle` (test helper).
+  [[nodiscard]] bool contains(const std::string& needle) const;
+
+  void dump(std::ostream& out) const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace coorm

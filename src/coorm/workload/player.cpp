@@ -1,0 +1,82 @@
+#include "coorm/workload/player.hpp"
+
+#include <algorithm>
+
+#include "coorm/rms/server.hpp"
+
+namespace coorm {
+
+WorkloadPlayer::WorkloadPlayer(Executor& executor, Server& server,
+                               ClusterId cluster, const Workload& workload) {
+  entries_.reserve(workload.size());
+  for (const SwfJob& job : workload.jobs()) {
+    auto entry = std::make_unique<Entry>();
+    entry->job = job;
+    RigidApp::Config config;
+    config.cluster = cluster;
+    config.nodes = job.processors;
+    config.duration = job.walltime();
+    entry->app = std::make_unique<RigidApp>(
+        executor, "job" + std::to_string(job.jobId), config);
+    Entry* raw = entry.get();
+    entries_.push_back(std::move(entry));
+
+    // Submit at arrival time. The RigidApp requests its walltime; to model
+    // the *actual* runtime being shorter, it terminates itself early.
+    Server* srv = &server;
+    executor.schedule(job.submitTime, [raw, srv] {
+      raw->app->connectTo(*srv);
+    });
+  }
+}
+
+bool WorkloadPlayer::allCompleted() const {
+  return std::all_of(entries_.begin(), entries_.end(),
+                     [](const auto& e) { return e->app->finished(); });
+}
+
+std::vector<JobOutcome> WorkloadPlayer::outcomes() const {
+  std::vector<JobOutcome> result;
+  result.reserve(entries_.size());
+  for (const auto& entry : entries_) {
+    JobOutcome outcome;
+    outcome.jobId = entry->job.jobId;
+    outcome.submit = entry->job.submitTime;
+    outcome.start = entry->app->startTime();
+    outcome.end = entry->app->endTime();
+    outcome.processors = entry->job.processors;
+    result.push_back(outcome);
+  }
+  return result;
+}
+
+WorkloadStats WorkloadPlayer::stats(NodeCount machineNodes) const {
+  WorkloadStats stats;
+  stats.submitted = entries_.size();
+  double completedWork = 0.0;
+  double sumWait = 0.0;
+  double sumSlowdown = 0.0;
+  for (const JobOutcome& outcome : outcomes()) {
+    if (!outcome.completed()) continue;
+    ++stats.completed;
+    const double wait = toSeconds(outcome.waitTime());
+    const double run = toSeconds(outcome.end - outcome.start);
+    sumWait += wait;
+    stats.maxWaitSeconds = std::max(stats.maxWaitSeconds, wait);
+    sumSlowdown += (wait + run) / std::max(run, 10.0);
+    stats.makespan = std::max(stats.makespan, outcome.end);
+    completedWork += static_cast<double>(outcome.processors) * run;
+  }
+  if (stats.completed > 0) {
+    stats.meanWaitSeconds = sumWait / static_cast<double>(stats.completed);
+    stats.meanBoundedSlowdown =
+        sumSlowdown / static_cast<double>(stats.completed);
+  }
+  if (machineNodes > 0 && stats.makespan > 0) {
+    stats.utilization = completedWork / (static_cast<double>(machineNodes) *
+                                         toSeconds(stats.makespan));
+  }
+  return stats;
+}
+
+}  // namespace coorm

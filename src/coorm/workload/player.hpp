@@ -1,0 +1,61 @@
+// Workload player: replays a rigid workload (SWF trace or synthetic)
+// against a CooRMv2 server, submitting each job at its arrival time as a
+// RigidApp, and collects the classic batch metrics (wait time, bounded
+// slowdown, makespan, utilization).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "coorm/apps/rigid.hpp"
+#include "coorm/workload/swf.hpp"
+
+namespace coorm {
+
+class Server;
+
+/// Per-job outcome after a replay.
+struct JobOutcome {
+  int jobId = 0;
+  Time submit = 0;
+  Time start = kNever;
+  Time end = kNever;
+  NodeCount processors = 0;
+  [[nodiscard]] bool completed() const { return end != kNever; }
+  [[nodiscard]] Time waitTime() const {
+    return start == kNever ? kNever : start - submit;
+  }
+};
+
+struct WorkloadStats {
+  std::size_t submitted = 0;
+  std::size_t completed = 0;
+  double meanWaitSeconds = 0.0;
+  double maxWaitSeconds = 0.0;
+  /// Mean bounded slowdown: (wait + run) / max(run, 10 s).
+  double meanBoundedSlowdown = 0.0;
+  Time makespan = 0;
+  /// Completed work / (machine nodes x makespan).
+  double utilization = 0.0;
+};
+
+class WorkloadPlayer {
+ public:
+  /// Schedules the submission of every job on `executor`; apps connect to
+  /// `server` at their submit times. Call before running the engine.
+  WorkloadPlayer(Executor& executor, Server& server, ClusterId cluster,
+                 const Workload& workload);
+
+  [[nodiscard]] bool allCompleted() const;
+  [[nodiscard]] std::vector<JobOutcome> outcomes() const;
+  [[nodiscard]] WorkloadStats stats(NodeCount machineNodes) const;
+
+ private:
+  struct Entry {
+    SwfJob job;
+    std::unique_ptr<RigidApp> app;
+  };
+  std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace coorm

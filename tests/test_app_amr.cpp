@@ -1,0 +1,150 @@
+// Non-predictably evolving AMR application (§4, §5.1.1).
+#include <gtest/gtest.h>
+
+#include "coorm/exp/scenario.hpp"
+
+namespace coorm {
+namespace {
+
+const ClusterId kC{0};
+
+/// Small synthetic profile: grows, plateaus, shrinks.
+std::vector<double> rampProfile(int steps = 30, double peakMiB = 200000.0) {
+  std::vector<double> sizes;
+  for (int i = 0; i < steps; ++i) {
+    const double x = static_cast<double>(i) / (steps - 1);
+    sizes.push_back(peakMiB * (x < 0.7 ? x / 0.7 : 1.0 - 0.3 * (x - 0.7)));
+  }
+  return sizes;
+}
+
+AmrApp::Config amrConfig(std::vector<double> sizes, NodeCount prealloc,
+                         AmrApp::Mode mode = AmrApp::Mode::kDynamic,
+                         Time announce = 0) {
+  AmrApp::Config config;
+  config.cluster = kC;
+  config.sizesMiB = std::move(sizes);
+  config.preallocNodes = prealloc;
+  config.walltime = hours(20);
+  config.mode = mode;
+  config.announceInterval = announce;
+  return config;
+}
+
+TEST(AmrApp, CompletesAllStepsDynamic) {
+  ScenarioConfig cfg;
+  cfg.nodes = 200;
+  Scenario sc(cfg);
+  AmrApp& amr = sc.addAmr(amrConfig(rampProfile(), 150));
+  sc.runUntilFinished(amr, hours(40));
+  EXPECT_TRUE(amr.finished());
+  EXPECT_EQ(amr.stepsCompleted(), 30u);
+  EXPECT_EQ(sc.server().pool().freeCount(kC), 200);
+}
+
+TEST(AmrApp, DynamicTracksDesiredNodesPerStep) {
+  ScenarioConfig cfg;
+  cfg.nodes = 200;
+  Scenario sc(cfg);
+  const auto sizes = rampProfile();
+  AmrApp& amr = sc.addAmr(amrConfig(sizes, 150));
+  sc.runUntilFinished(amr, hours(40));
+  const SpeedupModel model;
+  ASSERT_EQ(amr.stepNodes().size(), sizes.size());
+  // After the first step the allocation follows the working set (clamped
+  // by the pre-allocation). The first step uses the initial request.
+  for (std::size_t i = 1; i < sizes.size(); ++i) {
+    const NodeCount expected = std::clamp<NodeCount>(
+        model.nodesForEfficiency(sizes[i], 0.75), 1, 150);
+    EXPECT_EQ(amr.stepNodes()[i], expected) << "step " << i;
+  }
+}
+
+TEST(AmrApp, StaticModeHoldsPreallocationThroughout) {
+  ScenarioConfig cfg;
+  cfg.nodes = 200;
+  Scenario sc(cfg);
+  AmrApp& amr =
+      sc.addAmr(amrConfig(rampProfile(), 120, AmrApp::Mode::kStatic));
+  sc.runUntilFinished(amr, hours(40));
+  EXPECT_TRUE(amr.finished());
+  for (const NodeCount n : amr.stepNodes()) EXPECT_EQ(n, 120);
+}
+
+TEST(AmrApp, StaticUsesMoreAreaThanDynamicWhenOvercommitted) {
+  // With a generous pre-allocation (overcommit > 1), dynamic allocation
+  // releases what it cannot use efficiently — the core of Fig. 9.
+  auto runMode = [](AmrApp::Mode mode) {
+    ScenarioConfig cfg;
+    cfg.nodes = 700;
+    Scenario sc(cfg);
+    // Pre-allocation of 600 vs an efficient allocation of <= ~285 nodes.
+    AmrApp& amr = sc.addAmr(amrConfig(rampProfile(), 600, mode));
+    sc.runUntilFinished(amr, hours(60));
+    return amr.stepAreaNodeSeconds();
+  };
+  EXPECT_GT(runMode(AmrApp::Mode::kStatic),
+            1.3 * runMode(AmrApp::Mode::kDynamic));
+}
+
+TEST(AmrApp, SpontaneousUpdatesGetNodesBackFromPsa) {
+  ScenarioConfig cfg;
+  cfg.nodes = 200;
+  Scenario sc(cfg);
+  AmrApp& amr = sc.addAmr(amrConfig(rampProfile(), 150));
+  PsaApp::Config psaCfg;
+  psaCfg.cluster = kC;
+  psaCfg.taskDuration = sec(30);  // the run is only a few minutes long
+  PsaApp& psa = sc.addPsa(psaCfg);
+  sc.runUntilFinished(amr, hours(40));
+  EXPECT_TRUE(amr.finished());
+  // The AMR grew while the PSA was holding everything: the PSA must have
+  // lost some tasks (spontaneous updates give it no warning).
+  EXPECT_GT(psa.tasksKilled(), 0u);
+  EXPECT_GT(psa.completedNodeSeconds(), 0.0);
+  EXPECT_FALSE(psa.wasKilled());  // cooperative: never killed by the RMS
+}
+
+TEST(AmrApp, AnnouncedUpdatesIncreaseEndTime) {
+  const auto sizes = rampProfile();
+  auto runWith = [&](Time announce) {
+    ScenarioConfig cfg;
+    cfg.nodes = 200;
+    Scenario sc(cfg);
+    AmrApp& amr = sc.addAmr(amrConfig(sizes, 150, AmrApp::Mode::kDynamic,
+                                      announce));
+    sc.runUntilFinished(amr, hours(60));
+    EXPECT_TRUE(amr.finished());
+    return toSeconds(amr.endTime());
+  };
+  const double spontaneous = runWith(0);
+  const double announced = runWith(sec(300));
+  EXPECT_GT(announced, spontaneous);
+}
+
+TEST(AmrApp, PreallocationCapsGrowth) {
+  ScenarioConfig cfg;
+  cfg.nodes = 200;
+  Scenario sc(cfg);
+  AmrApp& amr = sc.addAmr(amrConfig(rampProfile(), 40));
+  sc.runUntilFinished(amr, hours(60));
+  EXPECT_TRUE(amr.finished());
+  for (const NodeCount n : amr.stepNodes()) EXPECT_LE(n, 40);
+}
+
+TEST(AmrApp, StepAreaMatchesMetricsRoughly) {
+  ScenarioConfig cfg;
+  cfg.nodes = 200;
+  Scenario sc(cfg);
+  AmrApp& amr = sc.addAmr(amrConfig(rampProfile(), 150));
+  sc.runUntilFinished(amr, hours(40));
+  const double measured = sc.metrics().allocatedNodeSeconds(
+      amr.appId(), RequestType::kNonPreemptible);
+  // Metrics integrate real holdings (including ~1 s update pauses), so
+  // they exceed the model-level step area by a small margin only.
+  EXPECT_GE(measured, amr.stepAreaNodeSeconds() * 0.99);
+  EXPECT_LE(measured, amr.stepAreaNodeSeconds() * 1.25);
+}
+
+}  // namespace
+}  // namespace coorm

@@ -1,0 +1,78 @@
+// Fully-predictably evolving application (§4): NEXT-chained phases.
+#include <gtest/gtest.h>
+
+#include "coorm/exp/scenario.hpp"
+
+namespace coorm {
+namespace {
+
+TEST(PredictableApp, SinglePhaseBehavesLikeRigid) {
+  ScenarioConfig cfg;
+  cfg.nodes = 10;
+  Scenario sc(cfg);
+  PredictableApp& app = sc.addPredictable({ClusterId{0}, {{4, sec(60)}}});
+  sc.runFor(sec(200));
+  EXPECT_TRUE(app.finished());
+  ASSERT_EQ(app.timeline().size(), 1u);
+  EXPECT_EQ(app.timeline()[0].second, 4);
+}
+
+TEST(PredictableApp, GrowingPhasesGetMoreNodes) {
+  ScenarioConfig cfg;
+  cfg.nodes = 10;
+  Scenario sc(cfg);
+  PredictableApp& app = sc.addPredictable(
+      {ClusterId{0}, {{2, sec(30)}, {5, sec(30)}, {9, sec(30)}}});
+  sc.runFor(sec(300));
+  EXPECT_TRUE(app.finished());
+  ASSERT_EQ(app.timeline().size(), 3u);
+  EXPECT_EQ(app.timeline()[0].second, 2);
+  EXPECT_EQ(app.timeline()[1].second, 5);
+  EXPECT_EQ(app.timeline()[2].second, 9);
+  // Phases are contiguous: each starts when the previous ends.
+  EXPECT_EQ(app.timeline()[1].first - app.timeline()[0].first, sec(30));
+  EXPECT_EQ(app.timeline()[2].first - app.timeline()[1].first, sec(30));
+}
+
+TEST(PredictableApp, ShrinkingPhasesReleaseNodes) {
+  ScenarioConfig cfg;
+  cfg.nodes = 10;
+  Scenario sc(cfg);
+  PredictableApp& app = sc.addPredictable(
+      {ClusterId{0}, {{8, sec(30)}, {3, sec(30)}}});
+  sc.runFor(sec(200));
+  EXPECT_TRUE(app.finished());
+  ASSERT_EQ(app.timeline().size(), 2u);
+  EXPECT_EQ(app.timeline()[1].second, 3);
+  EXPECT_EQ(sc.server().pool().freeCount(ClusterId{0}), 10);
+}
+
+TEST(PredictableApp, ReleasedNodesAreReusableByOthers) {
+  ScenarioConfig cfg;
+  cfg.nodes = 10;
+  Scenario sc(cfg);
+  PredictableApp& evolving = sc.addPredictable(
+      {ClusterId{0}, {{8, sec(30)}, {2, sec(60)}}});
+  // A rigid app needing 6 nodes can only start once the first phase ends.
+  RigidApp& rigid = sc.addRigid({ClusterId{0}, 6, sec(30)});
+  sc.runFor(sec(300));
+  EXPECT_TRUE(evolving.finished());
+  EXPECT_TRUE(rigid.finished());
+  EXPECT_GE(rigid.startTime(), sec(30));
+  EXPECT_LT(rigid.startTime(), sec(40));
+}
+
+TEST(PredictableApp, WholeRunAllocationAreaIsExact) {
+  ScenarioConfig cfg;
+  cfg.nodes = 10;
+  Scenario sc(cfg);
+  PredictableApp& app = sc.addPredictable(
+      {ClusterId{0}, {{2, sec(50)}, {6, sec(25)}}});
+  sc.runFor(sec(300));
+  ASSERT_TRUE(app.finished());
+  EXPECT_NEAR(sc.metrics().allocatedNodeSeconds(app.appId()),
+              2.0 * 50.0 + 6.0 * 25.0, 10.0);
+}
+
+}  // namespace
+}  // namespace coorm

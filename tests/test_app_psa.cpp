@@ -1,0 +1,202 @@
+// Malleable parameter-sweep application (§5.1.2): growth, graceful drains,
+// forced kills and waste accounting.
+#include <gtest/gtest.h>
+
+#include "coorm/exp/scenario.hpp"
+
+namespace coorm {
+namespace {
+
+const ClusterId kC{0};
+
+PsaApp::Config psaConfig(Time dtask = sec(600)) {
+  PsaApp::Config config;
+  config.cluster = kC;
+  config.taskDuration = dtask;
+  return config;
+}
+
+TEST(PsaApp, FillsIdleMachine) {
+  ScenarioConfig cfg;
+  cfg.nodes = 10;
+  Scenario sc(cfg);
+  PsaApp& psa = sc.addPsa(psaConfig());
+  sc.runFor(sec(30));
+  EXPECT_EQ(psa.heldNodes(), 10);
+}
+
+TEST(PsaApp, CompletesTasksOverTime) {
+  ScenarioConfig cfg;
+  cfg.nodes = 10;
+  Scenario sc(cfg);
+  PsaApp& psa = sc.addPsa(psaConfig(sec(100)));
+  sc.runFor(sec(1000) + sec(30));
+  // ~10 nodes * ~9-10 completed generations.
+  EXPECT_GE(psa.tasksCompleted(), 80u);
+  EXPECT_EQ(psa.wasteNodeSeconds(), 0.0);
+  EXPECT_NEAR(psa.completedNodeSeconds(),
+              static_cast<double>(psa.tasksCompleted()) * 100.0, 1e-6);
+}
+
+TEST(PsaApp, SpontaneousYankKillsTasksAndCountsWaste) {
+  ScenarioConfig cfg;
+  cfg.nodes = 10;
+  Scenario sc(cfg);
+  PsaApp& psa = sc.addPsa(psaConfig(sec(600)));
+  sc.runFor(sec(50));
+  ASSERT_EQ(psa.heldNodes(), 10);
+
+  // A rigid NP request arrives: the RMS needs 6 nodes *now*.
+  sc.addRigid({kC, 6, sec(100)});
+  sc.runFor(sec(20));
+  EXPECT_EQ(psa.heldNodes(), 4);
+  EXPECT_GE(psa.tasksKilled(), 6u);
+  // Killed tasks had run for ~50-70 s each.
+  EXPECT_GT(psa.wasteNodeSeconds(), 6 * 40.0);
+  EXPECT_LT(psa.wasteNodeSeconds(), 6 * 80.0);
+}
+
+TEST(PsaApp, DoesNotTakeNodesWithTooShortAWindow) {
+  // 8 nodes are available only until t=301 (a fully-predictable app grows
+  // then): a PSA with 600 s tasks must not grab them — the window does not
+  // fit a single task (§4: "it can request fewer nodes, leaving the other
+  // to be filled by another application").
+  ScenarioConfig cfg;
+  cfg.nodes = 10;
+  Scenario sc(cfg);
+  sc.addPredictable({kC, {{2, sec(300)}, {10, sec(600)}}});
+  PsaApp& psa = sc.addPsa(psaConfig(sec(600)));
+  sc.runFor(sec(30));
+  EXPECT_EQ(psa.heldNodes(), 0);
+  sc.runFor(sec(400));
+  EXPECT_EQ(psa.tasksKilled(), 0u);
+  EXPECT_EQ(psa.wasteNodeSeconds(), 0.0);
+}
+
+TEST(PsaApp, TakeOnlyUsableCanBeDisabled) {
+  // Same setup, but a greedy PSA grabs the short-window nodes and pays for
+  // it: its tasks are killed when the predictable app grows.
+  ScenarioConfig cfg;
+  cfg.nodes = 10;
+  Scenario sc(cfg);
+  sc.addPredictable({kC, {{2, sec(300)}, {10, sec(600)}}});
+  PsaApp::Config config = psaConfig(sec(600));
+  config.takeOnlyUsable = false;
+  PsaApp& psa = sc.addPsa(config);
+  sc.runFor(sec(30));
+  EXPECT_EQ(psa.heldNodes(), 8);
+  sc.runFor(sec(400));
+  EXPECT_GE(psa.tasksKilled(), 8u);
+  EXPECT_GT(psa.wasteNodeSeconds(), 0.0);
+}
+
+TEST(PsaApp, MaxNodesCapRespected) {
+  ScenarioConfig cfg;
+  cfg.nodes = 10;
+  Scenario sc(cfg);
+  PsaApp::Config config = psaConfig();
+  config.maxNodes = 3;
+  PsaApp& psa = sc.addPsa(config);
+  sc.runFor(sec(30));
+  EXPECT_EQ(psa.heldNodes(), 3);
+}
+
+TEST(PsaApp, GracefulDrainWhenDropIsAnnounced) {
+  // A fully-predictable application declares up front that it will grow
+  // from 2 to 10 nodes at t=650: the PSA's 8 extra nodes have a 650 s
+  // window. One 600 s task fits on each; the nodes are released at task
+  // completion — no kills, no waste.
+  ScenarioConfig cfg;
+  cfg.nodes = 10;
+  Scenario sc(cfg);
+  sc.addPredictable({kC, {{2, sec(650)}, {10, sec(600)}}});
+  PsaApp& psa = sc.addPsa(psaConfig(sec(600)));
+  sc.runFor(sec(60));
+  ASSERT_EQ(psa.heldNodes(), 8);
+  sc.runFor(sec(640));  // to t=700, past the announced growth
+  EXPECT_EQ(psa.heldNodes(), 0);
+  EXPECT_EQ(psa.tasksKilled(), 0u);
+  EXPECT_EQ(psa.wasteNodeSeconds(), 0.0);
+  EXPECT_GE(psa.tasksCompleted(), 8u);
+}
+
+TEST(PsaApp, TwoPsasSplitTheMachine) {
+  ScenarioConfig cfg;
+  cfg.nodes = 10;
+  Scenario sc(cfg);
+  PsaApp& a = sc.addPsa(psaConfig(sec(600)), "psa1");
+  PsaApp& b = sc.addPsa(psaConfig(sec(60)), "psa2");
+  sc.runFor(sec(60));
+  EXPECT_LE(a.heldNodes() + b.heldNodes(), 10);
+  EXPECT_GE(a.heldNodes(), 5);
+  EXPECT_GE(b.heldNodes(), 5);
+}
+
+TEST(PsaApp, SecondPsaFillsWhatFirstLeaves) {
+  // First PSA capped at 2 nodes: with filling, the second PSA takes 8.
+  ScenarioConfig cfg;
+  cfg.nodes = 10;
+  Scenario sc(cfg);
+  PsaApp::Config capped = psaConfig(sec(600));
+  capped.maxNodes = 2;
+  PsaApp& small = sc.addPsa(capped, "small");
+  PsaApp& big = sc.addPsa(psaConfig(sec(60)), "big");
+  sc.runFor(sec(60));
+  EXPECT_EQ(small.heldNodes(), 2);
+  EXPECT_EQ(big.heldNodes(), 8);
+}
+
+TEST(PsaApp, StrictEquiPartitionPreventsFilling) {
+  ScenarioConfig cfg;
+  cfg.nodes = 10;
+  cfg.server.strictEquiPartition = true;
+  Scenario sc(cfg);
+  PsaApp::Config capped = psaConfig(sec(600));
+  capped.maxNodes = 2;
+  PsaApp& small = sc.addPsa(capped, "small");
+  PsaApp& big = sc.addPsa(psaConfig(sec(60)), "big");
+  sc.runFor(sec(60));
+  EXPECT_EQ(small.heldNodes(), 2);
+  EXPECT_EQ(big.heldNodes(), 5);  // stuck at its strict half
+}
+
+TEST(PsaApp, MinNodesBasePartIsNonPreemptible) {
+  ScenarioConfig cfg;
+  cfg.nodes = 10;
+  Scenario sc(cfg);
+  PsaApp::Config config = psaConfig(sec(100));
+  config.minNodes = 3;
+  config.minPartDuration = sec(5000);
+  PsaApp& psa = sc.addPsa(config);
+  sc.runFor(sec(30));
+  EXPECT_EQ(psa.heldNodes(), 10);  // 3 guaranteed + 7 preemptible
+  // A rigid job takes everything preemptible, but the base part survives.
+  sc.addRigid({kC, 7, sec(100)});
+  sc.runFor(sec(20));
+  EXPECT_EQ(psa.heldNodes(), 3);
+}
+
+TEST(PsaApp, VictimPolicyLeastElapsedWastesLessThanMostElapsed) {
+  auto runWithPolicy = [](PsaApp::VictimPolicy policy) {
+    ScenarioConfig cfg;
+    cfg.nodes = 10;
+    Scenario sc(cfg);
+    PsaApp::Config config;
+    config.cluster = kC;
+    config.taskDuration = sec(600);
+    config.victimPolicy = policy;
+    PsaApp& psa = sc.addPsa(config);
+    // Stagger task starts by yanking a node early: add rigid load later.
+    sc.runFor(sec(400));
+    sc.addRigid({kC, 5, sec(100)});
+    sc.runFor(sec(50));
+    return psa.wasteNodeSeconds();
+  };
+  // All tasks started together here, so both policies kill same-age tasks;
+  // least-elapsed must never waste more.
+  EXPECT_LE(runWithPolicy(PsaApp::VictimPolicy::kLeastElapsed),
+            runWithPolicy(PsaApp::VictimPolicy::kMostElapsed) + 1e-6);
+}
+
+}  // namespace
+}  // namespace coorm

@@ -1,0 +1,81 @@
+// Rigid and moldable application behaviour (§4).
+#include <gtest/gtest.h>
+
+#include "coorm/exp/scenario.hpp"
+
+namespace coorm {
+namespace {
+
+ScenarioConfig smallMachine(NodeCount nodes = 10) {
+  ScenarioConfig config;
+  config.nodes = nodes;
+  return config;
+}
+
+TEST(RigidApp, RunsForItsDurationAndFinishes) {
+  Scenario sc(smallMachine());
+  RigidApp& app = sc.addRigid({ClusterId{0}, 4, sec(60)});
+  sc.runFor(sec(120));
+  EXPECT_TRUE(app.finished());
+  EXPECT_EQ(app.endTime() - app.startTime(), sec(60));
+  EXPECT_EQ(sc.server().pool().freeCount(ClusterId{0}), 10);
+}
+
+TEST(RigidApp, TwoRigidJobsQueue) {
+  Scenario sc(smallMachine());
+  RigidApp& a = sc.addRigid({ClusterId{0}, 8, sec(60)}, "a");
+  RigidApp& b = sc.addRigid({ClusterId{0}, 8, sec(60)}, "b");
+  sc.runFor(sec(300));
+  EXPECT_TRUE(a.finished());
+  EXPECT_TRUE(b.finished());
+  EXPECT_GE(b.startTime(), a.endTime());
+}
+
+TEST(RigidApp, AllocationRecordedInMetrics) {
+  Scenario sc(smallMachine());
+  RigidApp& app = sc.addRigid({ClusterId{0}, 4, sec(60)});
+  sc.runFor(sec(120));
+  EXPECT_NEAR(sc.metrics().allocatedNodeSeconds(app.appId()), 4.0 * 60.0,
+              1.0);
+}
+
+TEST(MoldableApp, PicksLargeAllocationOnIdleMachine) {
+  Scenario sc(smallMachine(64));
+  MoldableApp::Config config;
+  config.sizeMiB = 50.0 * 1024.0;
+  config.steps = 10;
+  config.candidates = {1, 2, 4, 8, 16, 32, 64};
+  MoldableApp& app = sc.addMoldable(config);
+  sc.runFor(hours(12));
+  EXPECT_TRUE(app.finished());
+  // On an idle machine the end time is minimized by the fastest
+  // node-count; for this size the more nodes the faster (up to 64).
+  EXPECT_EQ(app.chosenNodes(), 64);
+}
+
+TEST(MoldableApp, PrefersFewerNodesSoonerOverMoreNodesLater) {
+  Scenario sc(smallMachine(64));
+  // A rigid job holds 60 nodes for a long time: only 4 remain free now.
+  sc.addRigid({ClusterId{0}, 60, hours(10)}, "blocker");
+  MoldableApp::Config config;
+  config.sizeMiB = 1024.0;  // small working set: 4 nodes are decent
+  config.steps = 50;
+  config.candidates = {4, 64};
+  MoldableApp& app = sc.addMoldable(config);
+  sc.runFor(sec(30));
+  EXPECT_EQ(app.chosenNodes(), 4);
+}
+
+TEST(MoldableApp, RuntimeEstimateMatchesModel) {
+  Scenario sc(smallMachine(8));
+  MoldableApp::Config config;
+  config.sizeMiB = 2048.0;
+  config.steps = 7;
+  MoldableApp& app = sc.addMoldable(config);
+  const SpeedupModel model;
+  EXPECT_EQ(app.runtimeAt(4), secF(7 * model.stepDuration(4, 2048.0)));
+  sc.runFor(hours(1));
+}
+
+}  // namespace
+}  // namespace coorm

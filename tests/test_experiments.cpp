@@ -1,0 +1,138 @@
+// Experiment drivers (smoke-scale): shapes of the paper's results on small
+// configurations so the full benches stay fast to validate.
+#include <gtest/gtest.h>
+
+#include "coorm/exp/experiments.hpp"
+
+namespace coorm {
+namespace {
+
+TEST(Experiments, MedianHelper) {
+  EXPECT_DOUBLE_EQ(median({3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({1.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Experiments, Fig1ProfilesAreWellFormed) {
+  const Fig1Result result = runFig1(4, 7);
+  ASSERT_EQ(result.profiles.size(), 4u);
+  for (const auto& profile : result.profiles) {
+    EXPECT_EQ(profile.size(), 1000u);
+    const double peak = *std::max_element(profile.begin(), profile.end());
+    EXPECT_NEAR(peak, 1000.0, 1e-9);
+  }
+  EXPECT_NE(result.profiles[0], result.profiles[1]);
+}
+
+TEST(Experiments, Fig2FitWithinPaperBound) {
+  const Fig2Result result = runFig2(3);
+  EXPECT_FALSE(result.points.empty());
+  EXPECT_LT(result.fitMaxRelativeError, 0.15);
+  // The recovered constants resemble the paper's.
+  EXPECT_NEAR(result.recovered.a, 7.26e-3, 2e-3);
+}
+
+TEST(Experiments, Fig3IncreaseStaysSmall) {
+  const auto points = runFig3(5, 11);
+  ASSERT_FALSE(points.empty());
+  for (const auto& point : points) {
+    if (point.feasibleProfiles == 0) continue;
+    EXPECT_LT(point.medianIncreasePct, 6.0)
+        << "et=" << point.targetEfficiency;
+  }
+  // Mid-range efficiencies are always feasible.
+  for (const auto& point : points) {
+    if (point.targetEfficiency > 0.29 && point.targetEfficiency < 0.76) {
+      EXPECT_EQ(point.feasibleProfiles, point.totalProfiles);
+    }
+  }
+}
+
+TEST(Experiments, Fig4RangesScaleWithDataSize) {
+  const auto points = runFig4(3, 5);
+  ASSERT_EQ(points.size(), 7u);  // 1/8 .. 8 in powers of two
+  // The memory floor grows with the data size.
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].minNodes, points[i - 1].minNodes);
+  }
+  // Ranges are feasible in the paper's regime.
+  for (const auto& point : points) {
+    EXPECT_LE(point.minNodes, point.maxNodes)
+        << "relative size " << point.relativeSize;
+  }
+}
+
+// Small-scale end-to-end simulation smoke test. Full-scale sweeps live in
+// the bench binaries.
+EvalParams tinyEval() {
+  EvalParams eval;
+  eval.steps = 60;
+  eval.smaxMiB = 40000.0;  // ~39 GiB peak -> tens of nodes
+  eval.psa1TaskDuration = sec(120);
+  eval.psa2TaskDuration = sec(30);
+  return eval;
+}
+
+TEST(Experiments, AmrPsaOnceDynamicBeatsStatic) {
+  AmrPsaConfig config;
+  config.seed = 5;
+  config.overcommit = 3.0;
+  config.eval = tinyEval();
+
+  config.amrMode = AmrApp::Mode::kStatic;
+  const AmrPsaResult staticRun = runAmrPsaOnce(config);
+  config.amrMode = AmrApp::Mode::kDynamic;
+  const AmrPsaResult dynamicRun = runAmrPsaOnce(config);
+
+  ASSERT_TRUE(staticRun.amrFinished);
+  ASSERT_TRUE(dynamicRun.amrFinished);
+  // Overcommitted static allocation burns more resources (Fig. 9). At this
+  // smoke-test scale (tiny working sets, 1 s grant latencies comparable to
+  // step durations) the gap is modest; the paper-scale factor is measured
+  // by bench_fig9_spontaneous.
+  EXPECT_GT(staticRun.amrAllocatedNodeSeconds,
+            1.1 * dynamicRun.amrAllocatedNodeSeconds);
+  // The PSA fills what the dynamic AMR leaves.
+  EXPECT_GT(dynamicRun.psa1AllocatedNodeSeconds, 0.0);
+  EXPECT_GT(dynamicRun.usedResourcesPct, 80.0);
+}
+
+TEST(Experiments, AnnouncedUpdatesReduceWasteIncreaseEndTime) {
+  EvalParams eval = tinyEval();
+
+  AmrPsaConfig spontaneous;
+  spontaneous.seed = 2;
+  spontaneous.eval = eval;
+  const AmrPsaResult base = runAmrPsaOnce(spontaneous);
+
+  AmrPsaConfig announced = spontaneous;
+  announced.announceInterval = eval.psa1TaskDuration;  // >= dtask: no waste
+  const AmrPsaResult result = runAmrPsaOnce(announced);
+
+  ASSERT_TRUE(base.amrFinished);
+  ASSERT_TRUE(result.amrFinished);
+  EXPECT_LT(result.psa1WasteNodeSeconds, base.psa1WasteNodeSeconds + 1e-9);
+  EXPECT_EQ(result.psa1WasteNodeSeconds, 0.0);
+  EXPECT_GT(result.amrEndTime, base.amrEndTime);
+}
+
+TEST(Experiments, FillingBeatsStrictWithTwoPsas) {
+  AmrPsaConfig config;
+  config.seed = 3;
+  config.eval = tinyEval();
+  config.secondPsa = true;
+  config.announceInterval = sec(60);
+
+  config.strictEquiPartition = false;
+  const AmrPsaResult filling = runAmrPsaOnce(config);
+  config.strictEquiPartition = true;
+  const AmrPsaResult strict = runAmrPsaOnce(config);
+
+  ASSERT_TRUE(filling.amrFinished);
+  ASSERT_TRUE(strict.amrFinished);
+  EXPECT_GE(filling.usedResourcesPct, strict.usedResourcesPct - 0.5);
+}
+
+}  // namespace
+}  // namespace coorm

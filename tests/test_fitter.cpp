@@ -1,0 +1,80 @@
+// Speed-up model fitting (§2.2): recovery of the constants from data.
+#include <gtest/gtest.h>
+
+#include "coorm/amr/fitter.hpp"
+
+namespace coorm {
+namespace {
+
+std::vector<NodeCount> gridNodes() {
+  std::vector<NodeCount> nodes;
+  for (NodeCount n = 1; n <= 16384; n *= 2) nodes.push_back(n);
+  return nodes;
+}
+
+std::vector<double> gridSizes() {
+  return {12 * 1024.0, 48 * 1024.0, 196 * 1024.0, 784 * 1024.0,
+          3136 * 1024.0};
+}
+
+TEST(Fitter, ExactRecoveryFromNoiselessData) {
+  Rng rng(1);
+  const auto samples = SpeedupFitter::synthesize(paperSpeedupParams(),
+                                                 gridNodes(), gridSizes(),
+                                                 0.0, rng);
+  const auto fitted = SpeedupFitter::fit(samples);
+  ASSERT_TRUE(fitted.has_value());
+  EXPECT_NEAR(fitted->a, 7.26e-3, 1e-8);
+  EXPECT_NEAR(fitted->b, 1.23e-4, 1e-8);
+  EXPECT_NEAR(fitted->c, 1.13e-6, 1e-10);
+  EXPECT_NEAR(fitted->d, 1.38, 1e-5);
+  EXPECT_LT(SpeedupFitter::maxRelativeError(*fitted, samples), 1e-6);
+}
+
+TEST(Fitter, NoisyRecoveryWithinPaperBound) {
+  // The paper reports <15 % error on every point; with 10 % measurement
+  // noise our fit must stay within that bound too.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    const auto samples = SpeedupFitter::synthesize(paperSpeedupParams(),
+                                                   gridNodes(), gridSizes(),
+                                                   0.10, rng);
+    const auto fitted = SpeedupFitter::fit(samples);
+    ASSERT_TRUE(fitted.has_value());
+    EXPECT_LT(SpeedupFitter::maxRelativeError(*fitted, samples), 0.15)
+        << "seed " << seed;
+  }
+}
+
+TEST(Fitter, TooFewSamplesFails) {
+  std::vector<SpeedupSample> samples{{1, 100.0, 2.0}, {2, 100.0, 1.5}};
+  EXPECT_FALSE(SpeedupFitter::fit(samples).has_value());
+}
+
+TEST(Fitter, DegenerateSamplesFail) {
+  // Same point repeated: the normal equations are singular.
+  std::vector<SpeedupSample> samples(8, SpeedupSample{4, 1000.0, 3.0});
+  EXPECT_FALSE(SpeedupFitter::fit(samples).has_value());
+}
+
+TEST(Fitter, SynthesizeGridShape) {
+  Rng rng(1);
+  const auto samples = SpeedupFitter::synthesize(
+      paperSpeedupParams(), {1, 2, 4}, {100.0, 200.0}, 0.0, rng);
+  EXPECT_EQ(samples.size(), 6u);
+  for (const auto& s : samples) EXPECT_GT(s.durationSeconds, 0.0);
+}
+
+TEST(Fitter, MaxRelativeErrorDefinition) {
+  const SpeedupModel model;
+  std::vector<SpeedupSample> samples{
+      {1, 1000.0, model.stepDuration(1, 1000.0) * 1.10},
+      {2, 1000.0, model.stepDuration(2, 1000.0)},
+  };
+  const double err =
+      SpeedupFitter::maxRelativeError(paperSpeedupParams(), samples);
+  EXPECT_NEAR(err, 0.10 / 1.10, 1e-9);
+}
+
+}  // namespace
+}  // namespace coorm

@@ -1,0 +1,49 @@
+#include "coorm/common/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace coorm {
+namespace {
+
+TEST(Ids, DefaultIsInvalid) {
+  EXPECT_FALSE(AppId{}.valid());
+  EXPECT_FALSE(RequestId{}.valid());
+  EXPECT_FALSE(ClusterId{}.valid());
+  EXPECT_FALSE(NodeId{}.valid());
+}
+
+TEST(Ids, ExplicitValuesAreValid) {
+  EXPECT_TRUE(AppId{0}.valid());
+  EXPECT_TRUE(RequestId{17}.valid());
+  EXPECT_TRUE((NodeId{ClusterId{0}, 3}).valid());
+}
+
+TEST(Ids, Ordering) {
+  EXPECT_LT(AppId{1}, AppId{2});
+  EXPECT_EQ(RequestId{5}, RequestId{5});
+  EXPECT_LT((NodeId{ClusterId{0}, 9}), (NodeId{ClusterId{1}, 0}));
+  EXPECT_LT((NodeId{ClusterId{0}, 1}), (NodeId{ClusterId{0}, 2}));
+}
+
+TEST(Ids, Hashable) {
+  std::unordered_set<RequestId> requests{RequestId{1}, RequestId{2},
+                                         RequestId{1}};
+  EXPECT_EQ(requests.size(), 2u);
+
+  std::unordered_set<NodeId> nodes;
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 100; ++i) nodes.insert(NodeId{ClusterId{c}, i});
+  }
+  EXPECT_EQ(nodes.size(), 300u);
+}
+
+TEST(Ids, ToString) {
+  EXPECT_EQ(toString(AppId{3}), "app3");
+  EXPECT_EQ(toString(RequestId{7}), "req7");
+  EXPECT_EQ(toString(NodeId{ClusterId{1}, 4}), "cluster1/node4");
+}
+
+}  // namespace
+}  // namespace coorm

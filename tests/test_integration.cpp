@@ -1,0 +1,189 @@
+// Cross-module integration: the Fig. 8 interaction, mixed workloads, and
+// whole-system invariants.
+#include <gtest/gtest.h>
+
+#include "coorm/exp/scenario.hpp"
+
+namespace coorm {
+namespace {
+
+const ClusterId kC{0};
+
+std::vector<double> rampProfile(int steps, double peakMiB) {
+  std::vector<double> sizes;
+  for (int i = 0; i < steps; ++i) {
+    sizes.push_back(peakMiB * static_cast<double>(i + 1) / steps);
+  }
+  return sizes;
+}
+
+TEST(Integration, Figure8Interaction) {
+  // One NEA + one malleable application: the message sequence of Fig. 8.
+  ScenarioConfig cfg;
+  cfg.nodes = 100;
+  cfg.recordTrace = true;
+  Scenario sc(cfg);
+
+  AmrApp::Config amrCfg;
+  amrCfg.cluster = kC;
+  amrCfg.sizesMiB = rampProfile(10, 100000.0);
+  amrCfg.preallocNodes = 80;
+  amrCfg.walltime = hours(10);
+  AmrApp& amr = sc.addAmr(amrCfg);
+
+  PsaApp::Config psaCfg;
+  psaCfg.cluster = kC;
+  psaCfg.taskDuration = sec(30);  // short tasks: the AMR run is ~4 min
+  PsaApp& psa = sc.addPsa(psaCfg);
+
+  sc.runUntilFinished(amr, hours(20));
+  ASSERT_TRUE(amr.finished());
+
+  const Trace& trace = sc.trace();
+  EXPECT_TRUE(trace.contains("connect"));
+  EXPECT_TRUE(trace.contains("request"));       // pre-allocation + NP + P
+  EXPECT_TRUE(trace.contains("views"));         // view pushes
+  EXPECT_TRUE(trace.contains("start"));         // startNotify
+  EXPECT_TRUE(trace.contains("done"));          // updates
+  EXPECT_FALSE(trace.contains("killing"));      // everyone cooperated
+  EXPECT_GT(psa.tasksCompleted(), 0u);
+}
+
+TEST(Integration, MixedWorkloadAllFiveAppTypes) {
+  ScenarioConfig cfg;
+  cfg.nodes = 64;
+  Scenario sc(cfg);
+
+  AmrApp::Config amrCfg;
+  amrCfg.cluster = kC;
+  amrCfg.sizesMiB = rampProfile(8, 30000.0);
+  amrCfg.preallocNodes = 24;
+  amrCfg.walltime = hours(10);
+  AmrApp& amr = sc.addAmr(amrCfg);
+
+  RigidApp& rigid = sc.addRigid({kC, 8, sec(120)});
+
+  MoldableApp::Config moldCfg;
+  moldCfg.sizeMiB = 4096.0;
+  moldCfg.steps = 20;
+  moldCfg.candidates = {1, 2, 4, 8};
+  MoldableApp& moldable = sc.addMoldable(moldCfg);
+
+  PredictableApp& predictable =
+      sc.addPredictable({kC, {{2, sec(100)}, {6, sec(100)}}});
+
+  PsaApp::Config psaCfg;
+  psaCfg.cluster = kC;
+  psaCfg.taskDuration = sec(60);
+  PsaApp& psa = sc.addPsa(psaCfg);
+
+  sc.runUntilFinished(amr, hours(40));
+  EXPECT_TRUE(amr.finished());
+  // The AMR is the shortest job here; let the others run to completion.
+  sc.runFor(hours(2));
+  EXPECT_TRUE(rigid.finished());
+  EXPECT_TRUE(moldable.finished());
+  EXPECT_TRUE(predictable.finished());
+  EXPECT_GT(psa.tasksCompleted(), 0u);
+  EXPECT_FALSE(psa.wasKilled());
+}
+
+TEST(Integration, NoOversubscriptionEver) {
+  // Sample the pool during a busy scenario: allocations must never exceed
+  // the machine.
+  ScenarioConfig cfg;
+  cfg.nodes = 32;
+  Scenario sc(cfg);
+
+  AmrApp::Config amrCfg;
+  amrCfg.cluster = kC;
+  amrCfg.sizesMiB = rampProfile(12, 20000.0);
+  amrCfg.preallocNodes = 20;
+  amrCfg.walltime = hours(10);
+  AmrApp& amr = sc.addAmr(amrCfg);
+
+  PsaApp::Config psaCfg;
+  psaCfg.cluster = kC;
+  psaCfg.taskDuration = sec(120);
+  sc.addPsa(psaCfg);
+
+  // Step manually and check the pool invariant throughout.
+  while (!amr.finished() && sc.engine().step()) {
+    ASSERT_GE(sc.server().pool().freeCount(kC), 0);
+    ASSERT_LE(sc.server().pool().freeCount(kC), 32);
+  }
+  EXPECT_TRUE(amr.finished());
+}
+
+TEST(Integration, TwoNeasQueueWhenPreallocationsDoNotFit) {
+  // §4: two NEAs whose pre-allocations cannot fit simultaneously run one
+  // after the other, so updates inside both pre-allocations remain
+  // guaranteed.
+  ScenarioConfig cfg;
+  cfg.nodes = 100;
+  Scenario sc(cfg);
+
+  AmrApp::Config a;
+  a.cluster = kC;
+  a.sizesMiB = rampProfile(6, 80000.0);
+  a.preallocNodes = 70;
+  a.walltime = hours(5);
+  AmrApp& first = sc.addAmr(a, "nea1");
+
+  AmrApp::Config b = a;
+  b.preallocNodes = 70;
+  AmrApp& second = sc.addAmr(b, "nea2");
+
+  sc.runUntilFinished(second, hours(40));
+  ASSERT_TRUE(first.finished());
+  ASSERT_TRUE(second.finished());
+  // The second could only compute after the first released its PA.
+  EXPECT_GE(second.runStartTime(), first.endTime() - sec(5));
+}
+
+TEST(Integration, TwoNeasRunTogetherWhenPreallocationsFit) {
+  ScenarioConfig cfg;
+  cfg.nodes = 100;
+  Scenario sc(cfg);
+
+  AmrApp::Config a;
+  a.cluster = kC;
+  a.sizesMiB = rampProfile(6, 40000.0);
+  a.preallocNodes = 40;
+  a.walltime = hours(5);
+  AmrApp& first = sc.addAmr(a, "nea1");
+  AmrApp& second = sc.addAmr(a, "nea2");
+
+  sc.runUntilFinished(second, hours(40));
+  ASSERT_TRUE(first.finished());
+  ASSERT_TRUE(second.finished());
+  // Both computed from (almost) the start.
+  EXPECT_LT(first.runStartTime(), sec(10));
+  EXPECT_LT(second.runStartTime(), sec(10));
+}
+
+TEST(Integration, DeterministicEndToEnd) {
+  auto runOnce = [] {
+    ScenarioConfig cfg;
+    cfg.nodes = 48;
+    Scenario sc(cfg);
+    AmrApp::Config amrCfg;
+    amrCfg.cluster = kC;
+    amrCfg.sizesMiB = rampProfile(10, 25000.0);
+    amrCfg.preallocNodes = 30;
+    amrCfg.walltime = hours(10);
+    AmrApp& amr = sc.addAmr(amrCfg);
+    PsaApp::Config psaCfg;
+    psaCfg.cluster = kC;
+    psaCfg.taskDuration = sec(90);
+    PsaApp& psa = sc.addPsa(psaCfg);
+    sc.runUntilFinished(amr, hours(40));
+    return std::make_tuple(amr.endTime(), psa.tasksCompleted(),
+                           psa.wasteNodeSeconds(),
+                           sc.metrics().totalAllocatedNodeSeconds());
+  };
+  EXPECT_EQ(runOnce(), runOnce());
+}
+
+}  // namespace
+}  // namespace coorm

@@ -1,0 +1,50 @@
+#include "coorm/common/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coorm {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    setLogSink(&sink_);
+    setLogLevel(LogLevel::kTrace);
+  }
+  void TearDown() override {
+    setLogSink(nullptr);
+    setLogLevel(LogLevel::kOff);
+  }
+  std::string sink_;
+};
+
+TEST_F(LogTest, MessageReachesSink) {
+  COORM_LOG(LogLevel::kInfo, "test") << "hello " << 42;
+  EXPECT_NE(sink_.find("INFO [test] hello 42"), std::string::npos);
+}
+
+TEST_F(LogTest, BelowLevelIsDiscarded) {
+  setLogLevel(LogLevel::kWarn);
+  COORM_LOG(LogLevel::kDebug, "test") << "quiet";
+  EXPECT_TRUE(sink_.empty());
+}
+
+TEST_F(LogTest, OffDiscardsEverything) {
+  setLogLevel(LogLevel::kOff);
+  COORM_LOG(LogLevel::kWarn, "test") << "quiet";
+  EXPECT_TRUE(sink_.empty());
+}
+
+TEST_F(LogTest, StreamedExpressionsNotEvaluatedWhenDisabled) {
+  setLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 1;
+  };
+  COORM_LOG(LogLevel::kDebug, "test") << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace coorm

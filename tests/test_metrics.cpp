@@ -1,0 +1,70 @@
+#include "coorm/exp/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coorm {
+namespace {
+
+const AppId kApp{0};
+const AppId kOther{1};
+const ClusterId kC{0};
+
+TEST(Metrics, IntegratesConstantAllocation) {
+  MetricsRecorder m;
+  m.onAllocationChanged(kApp, kC, 4, RequestType::kNonPreemptible, sec(10));
+  m.finalize(sec(70));
+  EXPECT_DOUBLE_EQ(
+      m.allocatedNodeSeconds(kApp, RequestType::kNonPreemptible), 240.0);
+}
+
+TEST(Metrics, HandlesGrowAndShrink) {
+  MetricsRecorder m;
+  m.onAllocationChanged(kApp, kC, 4, RequestType::kPreemptible, 0);
+  m.onAllocationChanged(kApp, kC, 4, RequestType::kPreemptible, sec(10));
+  m.onAllocationChanged(kApp, kC, -6, RequestType::kPreemptible, sec(20));
+  m.finalize(sec(30));
+  // 4*10 + 8*10 + 2*10 = 140.
+  EXPECT_DOUBLE_EQ(m.allocatedNodeSeconds(kApp, RequestType::kPreemptible),
+                   140.0);
+  EXPECT_EQ(m.currentAllocation(kApp), 2);
+}
+
+TEST(Metrics, SeparatesTypesAndApps) {
+  MetricsRecorder m;
+  m.onAllocationChanged(kApp, kC, 2, RequestType::kNonPreemptible, 0);
+  m.onAllocationChanged(kApp, kC, 3, RequestType::kPreemptible, 0);
+  m.onAllocationChanged(kOther, kC, 5, RequestType::kPreemptible, 0);
+  m.finalize(sec(10));
+  EXPECT_DOUBLE_EQ(
+      m.allocatedNodeSeconds(kApp, RequestType::kNonPreemptible), 20.0);
+  EXPECT_DOUBLE_EQ(m.allocatedNodeSeconds(kApp, RequestType::kPreemptible),
+                   30.0);
+  EXPECT_DOUBLE_EQ(m.allocatedNodeSeconds(kApp), 50.0);
+  EXPECT_DOUBLE_EQ(m.allocatedNodeSeconds(kOther), 50.0);
+  EXPECT_DOUBLE_EQ(m.totalAllocatedNodeSeconds(), 100.0);
+}
+
+TEST(Metrics, FinalizeIsIdempotent) {
+  MetricsRecorder m;
+  m.onAllocationChanged(kApp, kC, 1, RequestType::kPreemptible, 0);
+  m.finalize(sec(10));
+  m.finalize(sec(10));
+  EXPECT_DOUBLE_EQ(m.allocatedNodeSeconds(kApp), 10.0);
+}
+
+TEST(Metrics, KillTracking) {
+  MetricsRecorder m;
+  EXPECT_FALSE(m.appWasKilled(kApp));
+  m.onAppKilled(kApp, sec(5));
+  EXPECT_TRUE(m.appWasKilled(kApp));
+  EXPECT_FALSE(m.appWasKilled(kOther));
+}
+
+TEST(Metrics, UnknownAppIsZero) {
+  const MetricsRecorder m;
+  EXPECT_DOUBLE_EQ(m.allocatedNodeSeconds(AppId{99}), 0.0);
+  EXPECT_EQ(m.currentAllocation(AppId{99}), 0);
+}
+
+}  // namespace
+}  // namespace coorm

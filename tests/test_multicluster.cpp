@@ -1,0 +1,145 @@
+// Multi-cluster behaviour: views, scheduler and node pool keep clusters
+// separate (paper: "a request consists of ... the cluster on which the
+// allocation should take place"; "in practice, separate batch queues are
+// used for each cluster").
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "coorm/rms/server.hpp"
+#include "coorm/sim/engine.hpp"
+
+namespace coorm {
+namespace {
+
+const ClusterId kA{0};
+const ClusterId kB{1};
+
+Machine twoClusters(NodeCount a, NodeCount b) {
+  Machine machine;
+  machine.clusters.push_back({kA, a});
+  machine.clusters.push_back({kB, b});
+  return machine;
+}
+
+class RecordingApp : public AppEndpoint {
+ public:
+  void onViews(const View& np, const View& p) override {
+    nonPreemptive = np;
+    preemptive = p;
+  }
+  void onStarted(RequestId id, const std::vector<NodeId>& ids) override {
+    started[id] = ids;
+  }
+  void onExpired(RequestId id) override { session->done(id); }
+  Session* session = nullptr;
+  View nonPreemptive, preemptive;
+  std::map<RequestId, std::vector<NodeId>> started;
+};
+
+RequestSpec np(ClusterId cluster, NodeCount nodes, Time duration) {
+  RequestSpec spec;
+  spec.cluster = cluster;
+  spec.nodes = nodes;
+  spec.duration = duration;
+  spec.type = RequestType::kNonPreemptible;
+  return spec;
+}
+
+class MultiClusterTest : public ::testing::Test {
+ protected:
+  MultiClusterTest() : server_(engine_, twoClusters(8, 4)) {}
+  Session* connect(RecordingApp& app) {
+    app.session = server_.connect(app);
+    return app.session;
+  }
+  Engine engine_;
+  Server server_;
+};
+
+TEST_F(MultiClusterTest, ViewsCoverBothClusters) {
+  RecordingApp app;
+  connect(app);
+  engine_.run();
+  EXPECT_EQ(app.nonPreemptive.at(kA, 0), 8);
+  EXPECT_EQ(app.nonPreemptive.at(kB, 0), 4);
+  EXPECT_EQ(app.preemptive.at(kA, 0), 8);
+  EXPECT_EQ(app.preemptive.at(kB, 0), 4);
+}
+
+TEST_F(MultiClusterTest, AllocationsAreClusterLocal) {
+  RecordingApp app;
+  Session* s = connect(app);
+  engine_.run();
+  const RequestId onB = s->request(np(kB, 3, sec(60)));
+  engine_.runUntil(sec(5));
+  ASSERT_TRUE(app.started.count(onB));
+  for (const NodeId& node : app.started[onB]) EXPECT_EQ(node.cluster, kB);
+  EXPECT_EQ(server_.pool().freeCount(kA), 8);
+  EXPECT_EQ(server_.pool().freeCount(kB), 1);
+}
+
+TEST_F(MultiClusterTest, LoadOnOneClusterDoesNotQueueTheOther) {
+  RecordingApp a, b;
+  Session* sa = connect(a);
+  Session* sb = connect(b);
+  engine_.run();
+  sa->request(np(kA, 8, sec(600)));     // saturates cluster A
+  const RequestId rb = sb->request(np(kB, 4, sec(60)));
+  engine_.runUntil(sec(5));
+  EXPECT_TRUE(b.started.count(rb));     // B is unaffected
+}
+
+TEST_F(MultiClusterTest, ViewsReflectPerClusterLoad) {
+  RecordingApp a, b;
+  Session* sa = connect(a);
+  connect(b);
+  engine_.run();
+  sa->request(np(kA, 6, sec(600)));
+  engine_.runUntil(sec(5));
+  EXPECT_EQ(b.nonPreemptive.at(kA, sec(5)), 2);
+  EXPECT_EQ(b.nonPreemptive.at(kB, sec(5)), 4);
+}
+
+TEST_F(MultiClusterTest, QueueingIsPerCluster) {
+  RecordingApp a, b, c;
+  Session* sa = connect(a);
+  Session* sb = connect(b);
+  Session* sc = connect(c);
+  engine_.run();
+  sa->request(np(kA, 8, sec(100)));
+  const RequestId rb = sb->request(np(kA, 8, sec(100)));  // queues behind a
+  const RequestId rc = sc->request(np(kB, 4, sec(100)));  // immediate on B
+  engine_.runUntil(sec(10));
+  EXPECT_FALSE(b.started.count(rb));
+  EXPECT_TRUE(c.started.count(rc));
+  engine_.runUntil(sec(120));
+  EXPECT_TRUE(b.started.count(rb));
+}
+
+TEST(MultiClusterScheduler, MoldableAcrossClustersPicksTheFreerOne) {
+  // An application scanning its view can pick the cluster where it starts
+  // earliest — the "moldable" pattern generalized across clusters.
+  Engine engine;
+  Server server(engine, twoClusters(8, 4));
+  RecordingApp loader, chooser;
+  loader.session = server.connect(loader);
+  chooser.session = server.connect(chooser);
+  engine.run();
+  loader.session->request(np(kA, 8, sec(600)));
+  engine.runUntil(sec(3));
+
+  // The chooser wants 4 nodes for 60 s; its view says cluster A is busy
+  // for 600 s while B is free now.
+  const Time startA =
+      chooser.nonPreemptive.findHole(kA, 4, sec(60), engine.now());
+  const Time startB =
+      chooser.nonPreemptive.findHole(kB, 4, sec(60), engine.now());
+  EXPECT_LT(startB, startA);
+  const RequestId id = chooser.session->request(np(kB, 4, sec(60)));
+  engine.runUntil(sec(10));
+  EXPECT_TRUE(chooser.started.count(id));
+}
+
+}  // namespace
+}  // namespace coorm

@@ -1,0 +1,76 @@
+#include "coorm/rms/node_pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coorm {
+namespace {
+
+const ClusterId kC{0};
+
+TEST(NodePool, InitialState) {
+  NodePool pool(Machine::single(10));
+  EXPECT_EQ(pool.freeCount(kC), 10);
+  EXPECT_EQ(pool.totalCount(kC), 10);
+  EXPECT_TRUE(pool.isFree(NodeId{kC, 0}));
+}
+
+TEST(NodePool, AllocateLowestIndicesFirst) {
+  NodePool pool(Machine::single(10));
+  const auto nodes = pool.allocate(kC, 3);
+  ASSERT_EQ(nodes.size(), 3u);
+  EXPECT_EQ(nodes[0].index, 0);
+  EXPECT_EQ(nodes[1].index, 1);
+  EXPECT_EQ(nodes[2].index, 2);
+  EXPECT_EQ(pool.freeCount(kC), 7);
+  EXPECT_FALSE(pool.isFree(nodes[0]));
+}
+
+TEST(NodePool, ReleaseMakesNodesReusable) {
+  NodePool pool(Machine::single(4));
+  auto nodes = pool.allocate(kC, 4);
+  EXPECT_EQ(pool.freeCount(kC), 0);
+  pool.release(std::vector<NodeId>{nodes[1], nodes[3]});
+  EXPECT_EQ(pool.freeCount(kC), 2);
+  const auto again = pool.allocate(kC, 2);
+  EXPECT_EQ(again[0].index, 1);
+  EXPECT_EQ(again[1].index, 3);
+}
+
+TEST(NodePool, AllocateZeroIsEmpty) {
+  NodePool pool(Machine::single(4));
+  EXPECT_TRUE(pool.allocate(kC, 0).empty());
+  EXPECT_EQ(pool.freeCount(kC), 4);
+}
+
+TEST(NodePool, MultipleClusters) {
+  Machine machine;
+  machine.clusters.push_back({ClusterId{0}, 2});
+  machine.clusters.push_back({ClusterId{1}, 5});
+  NodePool pool(machine);
+  EXPECT_EQ(pool.freeCount(ClusterId{0}), 2);
+  EXPECT_EQ(pool.freeCount(ClusterId{1}), 5);
+  const auto a = pool.allocate(ClusterId{1}, 4);
+  EXPECT_EQ(pool.freeCount(ClusterId{1}), 1);
+  EXPECT_EQ(pool.freeCount(ClusterId{0}), 2);
+  for (const NodeId& n : a) EXPECT_EQ(n.cluster, ClusterId{1});
+}
+
+TEST(NodePool, ExhaustAndRefill) {
+  NodePool pool(Machine::single(3));
+  auto all = pool.allocate(kC, 3);
+  EXPECT_EQ(pool.freeCount(kC), 0);
+  pool.release(all);
+  EXPECT_EQ(pool.freeCount(kC), 3);
+  all = pool.allocate(kC, 3);
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(Machine, Helpers) {
+  const Machine m = Machine::single(1400);
+  EXPECT_EQ(m.totalNodes(), 1400);
+  EXPECT_EQ(m.nodesOn(ClusterId{0}), 1400);
+  EXPECT_EQ(m.nodesOn(ClusterId{9}), 0);
+}
+
+}  // namespace
+}  // namespace coorm

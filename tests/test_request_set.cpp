@@ -1,0 +1,130 @@
+#include "coorm/rms/request_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coorm {
+namespace {
+
+Request makeRequest(std::int64_t id, Relation how = Relation::kFree,
+                    Request* parent = nullptr) {
+  Request r;
+  r.id = RequestId{id};
+  r.relatedHow = how;
+  r.relatedTo = parent;
+  return r;
+}
+
+TEST(RequestSet, AddFindRemove) {
+  Request a = makeRequest(1);
+  RequestSet set;
+  EXPECT_TRUE(set.empty());
+  set.add(&a);
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.find(RequestId{1}), &a);
+  EXPECT_TRUE(set.contains(&a));
+  set.remove(RequestId{1});
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.find(RequestId{1}), nullptr);
+}
+
+TEST(RequestSet, RemoveMissingIsNoop) {
+  Request a = makeRequest(1);
+  RequestSet set;
+  set.add(&a);
+  set.remove(RequestId{99});
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(RequestSet, FreeRequestsAreRoots) {
+  Request a = makeRequest(1);
+  Request b = makeRequest(2);
+  RequestSet set;
+  set.add(&a);
+  set.add(&b);
+  const auto roots = set.roots();
+  EXPECT_EQ(roots.size(), 2u);
+}
+
+TEST(RequestSet, ConstrainedChildIsNotRoot) {
+  Request a = makeRequest(1);
+  Request b = makeRequest(2, Relation::kNext, &a);
+  RequestSet set;
+  set.add(&a);
+  set.add(&b);
+  const auto roots = set.roots();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], &a);
+  const auto children = set.children(a);
+  ASSERT_EQ(children.size(), 1u);
+  EXPECT_EQ(children[0], &b);
+}
+
+TEST(RequestSet, ConstraintOutsideSetMakesRoot) {
+  // Paper A.2: a request whose relatedTo is not a member of the set is a
+  // root of its own tree (e.g. an NP request COALLOC'd with a PA).
+  Request pa = makeRequest(1);
+  Request np = makeRequest(2, Relation::kCoAlloc, &pa);
+  RequestSet npSet;
+  npSet.add(&np);
+  const auto roots = npSet.roots();
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(roots[0], &np);
+}
+
+TEST(RequestSet, MultiLevelTree) {
+  Request a = makeRequest(1);
+  Request b = makeRequest(2, Relation::kNext, &a);
+  Request c = makeRequest(3, Relation::kNext, &b);
+  Request d = makeRequest(4, Relation::kCoAlloc, &a);
+  RequestSet set;
+  set.add(&a);
+  set.add(&b);
+  set.add(&c);
+  set.add(&d);
+  EXPECT_EQ(set.roots().size(), 1u);
+  EXPECT_EQ(set.children(a).size(), 2u);
+  EXPECT_EQ(set.children(b).size(), 1u);
+  EXPECT_EQ(set.children(c).size(), 0u);
+}
+
+TEST(RequestSet, IterationPreservesInsertionOrder) {
+  Request a = makeRequest(10);
+  Request b = makeRequest(5);
+  Request c = makeRequest(7);
+  RequestSet set;
+  set.add(&a);
+  set.add(&b);
+  set.add(&c);
+  std::vector<std::int64_t> order;
+  for (const Request* r : set) order.push_back(r->id.value);
+  EXPECT_EQ(order, (std::vector<std::int64_t>{10, 5, 7}));
+}
+
+TEST(RequestDescribe, MentionsTypeAndConstraint) {
+  Request a = makeRequest(1);
+  a.type = RequestType::kPreAllocation;
+  a.nodes = 10;
+  a.duration = sec(60);
+  Request b = makeRequest(2, Relation::kNext, &a);
+  b.type = RequestType::kNonPreemptible;
+  b.nodes = 5;
+  b.duration = kTimeInf;
+  EXPECT_NE(a.describe().find("PA"), std::string::npos);
+  EXPECT_NE(b.describe().find("NEXT->req1"), std::string::npos);
+  EXPECT_NE(b.describe().find("inf"), std::string::npos);
+}
+
+TEST(RequestLifecycle, StartedAndEndedFlags) {
+  Request r = makeRequest(1);
+  EXPECT_FALSE(r.started());
+  EXPECT_FALSE(r.ended());
+  r.startedAt = sec(5);
+  r.duration = sec(10);
+  EXPECT_TRUE(r.started());
+  EXPECT_EQ(r.plannedEnd(), sec(15));
+  r.endedAt = sec(12);
+  EXPECT_TRUE(r.ended());
+}
+
+}  // namespace
+}  // namespace coorm

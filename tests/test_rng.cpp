@@ -1,0 +1,84 @@
+#include "coorm/common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coorm {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniformInt(0, 1'000'000), b.uniformInt(0, 1'000'000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniformInt(0, 1'000'000) != b.uniformInt(0, 1'000'000)) {
+      ++differences;
+    }
+  }
+  EXPECT_GT(differences, 90);
+}
+
+TEST(Rng, UniformIntWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto value = rng.uniformInt(1, 200);
+    EXPECT_GE(value, 1);
+    EXPECT_LE(value, 200);
+  }
+}
+
+TEST(Rng, UniformRealWithinBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double value = rng.uniformReal(-0.1, 0.1);
+    EXPECT_GE(value, -0.1);
+    EXPECT_LT(value, 0.1);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  double sum = 0.0;
+  double sumSq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.gaussian(0.0, 2.0);
+    sum += x;
+    sumSq += x * x;
+  }
+  const double mean = sum / kN;
+  const double variance = sumSq / kN - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  EXPECT_NEAR(variance, 4.0, 0.2);
+}
+
+TEST(Rng, ForkDecorrelates) {
+  Rng parent(42);
+  Rng childA = parent.fork();
+  Rng childB = parent.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (childA.uniformInt(0, 1'000'000) == childB.uniformInt(0, 1'000'000)) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(9);
+  Rng b(9);
+  Rng ca = a.fork();
+  Rng cb = b.fork();
+  EXPECT_EQ(ca.uniformInt(0, 1 << 30), cb.uniformInt(0, 1 << 30));
+}
+
+}  // namespace
+}  // namespace coorm

@@ -1,0 +1,208 @@
+// Algorithm 3 (eqSchedule): equi-partitioning of preemptible resources,
+// with and without filling.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "coorm/rms/scheduler.hpp"
+
+namespace coorm {
+namespace {
+
+const ClusterId kC{0};
+
+struct EqFixture {
+  EqFixture() { apps.reserve(16); }  // addApp returns stable references
+
+  std::vector<std::unique_ptr<RequestSet>> sets;
+  std::vector<std::unique_ptr<Request>> owned;
+  std::vector<AppSchedule> apps;
+  RequestSet emptyPa;
+  RequestSet emptyNp;
+
+  AppSchedule& addApp() {
+    sets.push_back(std::make_unique<RequestSet>());
+    AppSchedule app;
+    app.app = AppId{static_cast<std::int32_t>(apps.size())};
+    app.preAllocations = &emptyPa;
+    app.nonPreemptible = &emptyNp;
+    app.preemptible = sets.back().get();
+    apps.push_back(std::move(app));
+    return apps.back();
+  }
+
+  Request* addStartedPreemptible(AppSchedule& app, NodeCount held,
+                                 NodeCount wanted = -1) {
+    auto r = std::make_unique<Request>();
+    r->id = RequestId{static_cast<std::int64_t>(owned.size() + 1)};
+    r->cluster = kC;
+    r->nodes = wanted < 0 ? held : wanted;
+    r->duration = kTimeInf;
+    r->type = RequestType::kPreemptible;
+    r->startedAt = 0;
+    for (NodeCount i = 0; i < held; ++i) {
+      r->nodeIds.push_back(NodeId{kC, static_cast<std::int32_t>(
+                                           owned.size() * 1000 + i)});
+    }
+    app.preemptible->add(r.get());
+    owned.push_back(std::move(r));
+    return owned.back().get();
+  }
+};
+
+View capacity(NodeCount n) {
+  View v;
+  v.setCap(kC, StepFunction::constant(n));
+  return v;
+}
+
+TEST(EqSchedule, SingleAppSeesEverything) {
+  EqFixture fx;
+  AppSchedule& app = fx.addApp();
+  Scheduler::eqSchedule(fx.apps, capacity(10), 0, /*strict=*/false);
+  EXPECT_EQ(app.preemptiveView.at(kC, 0), 10);
+}
+
+TEST(EqSchedule, TwoIdleAppsSeeHalfEach) {
+  EqFixture fx;
+  fx.addApp();
+  fx.addApp();
+  Scheduler::eqSchedule(fx.apps, capacity(10), 0, false);
+  // Both inactive: each sees the partition it would get if it became
+  // active (n / (active + 1) = 10 / 1 = 10)... with no active apps each
+  // sees the full free pool.
+  EXPECT_EQ(fx.apps[0].preemptiveView.at(kC, 0), 10);
+  EXPECT_EQ(fx.apps[1].preemptiveView.at(kC, 0), 10);
+}
+
+TEST(EqSchedule, CongestionSplitsEqually) {
+  EqFixture fx;
+  AppSchedule& a = fx.addApp();
+  AppSchedule& b = fx.addApp();
+  fx.addStartedPreemptible(a, 10);
+  fx.addStartedPreemptible(b, 10);
+  Scheduler::eqSchedule(fx.apps, capacity(10), 0, false);
+  EXPECT_EQ(a.preemptiveView.at(kC, 0), 5);
+  EXPECT_EQ(b.preemptiveView.at(kC, 0), 5);
+}
+
+TEST(EqSchedule, FillingLetsOneAppUseWhatTheOtherLeaves) {
+  EqFixture fx;
+  AppSchedule& a = fx.addApp();
+  AppSchedule& b = fx.addApp();
+  fx.addStartedPreemptible(a, 2);  // app a only uses 2 of its partition
+  fx.addStartedPreemptible(b, 8);
+  Scheduler::eqSchedule(fx.apps, capacity(10), 0, false);
+  // Uncongested (2 + 8 = 10): b may keep what a leaves unused.
+  EXPECT_EQ(b.preemptiveView.at(kC, 0), 8);
+  // a's view never drops below its entitled partition (paper Alg. 3
+  // line 25): it may grow back to 5 whenever it wants.
+  EXPECT_EQ(a.preemptiveView.at(kC, 0), 5);
+}
+
+TEST(EqSchedule, StrictModeNeverFills) {
+  EqFixture fx;
+  AppSchedule& a = fx.addApp();
+  AppSchedule& b = fx.addApp();
+  fx.addStartedPreemptible(a, 2);
+  fx.addStartedPreemptible(b, 5);
+  Scheduler::eqSchedule(fx.apps, capacity(10), 0, /*strict=*/true);
+  EXPECT_EQ(a.preemptiveView.at(kC, 0), 5);
+  EXPECT_EQ(b.preemptiveView.at(kC, 0), 5);
+}
+
+TEST(EqSchedule, InactiveAppSeesItsWouldBePartition) {
+  EqFixture fx;
+  AppSchedule& active = fx.addApp();
+  AppSchedule& idle = fx.addApp();
+  fx.addStartedPreemptible(active, 10);
+  Scheduler::eqSchedule(fx.apps, capacity(10), 0, false);
+  // One active app, one idle: the idle one is told it could get
+  // 10 / (1 + 1) = 5 if it joined.
+  EXPECT_EQ(idle.preemptiveView.at(kC, 0), 5);
+  EXPECT_EQ(active.preemptiveView.at(kC, 0), 10);
+}
+
+TEST(EqSchedule, TimeVaryingAvailability) {
+  EqFixture fx;
+  AppSchedule& a = fx.addApp();
+  fx.addStartedPreemptible(a, 4);
+  View avail = capacity(10);
+  avail.capRef(kC) -= StepFunction::pulse(sec(100), kTimeInf, 7);
+  Scheduler::eqSchedule(fx.apps, avail, 0, false);
+  EXPECT_EQ(a.preemptiveView.at(kC, 0), 10);
+  EXPECT_EQ(a.preemptiveView.at(kC, sec(100)), 3);
+}
+
+TEST(EqSchedule, NegativeAvailabilityTreatedAsZero) {
+  EqFixture fx;
+  AppSchedule& a = fx.addApp();
+  View avail;
+  avail.setCap(kC, StepFunction::constant(-5));
+  Scheduler::eqSchedule(fx.apps, avail, 0, false);
+  EXPECT_EQ(a.preemptiveView.at(kC, 0), 0);
+}
+
+TEST(EqSchedule, ThreeAppsCongested) {
+  EqFixture fx;
+  AppSchedule& a = fx.addApp();
+  AppSchedule& b = fx.addApp();
+  AppSchedule& c = fx.addApp();
+  fx.addStartedPreemptible(a, 9);
+  fx.addStartedPreemptible(b, 9);
+  fx.addStartedPreemptible(c, 9);
+  Scheduler::eqSchedule(fx.apps, capacity(9), 0, false);
+  EXPECT_EQ(a.preemptiveView.at(kC, 0), 3);
+  EXPECT_EQ(b.preemptiveView.at(kC, 0), 3);
+  EXPECT_EQ(c.preemptiveView.at(kC, 0), 3);
+}
+
+TEST(EqSchedule, CongestedUnevenRequestsCapAtDemand) {
+  EqFixture fx;
+  AppSchedule& small = fx.addApp();
+  AppSchedule& big = fx.addApp();
+  fx.addStartedPreemptible(small, 2);
+  fx.addStartedPreemptible(big, 20);
+  Scheduler::eqSchedule(fx.apps, capacity(10), 0, false);
+  // small is satisfied with 2; big gets the rest (8), and its view shows
+  // at least that.
+  EXPECT_GE(big.preemptiveView.at(kC, 0), 8);
+  EXPECT_GE(small.preemptiveView.at(kC, 0), 2);
+}
+
+TEST(EqSchedule, SchedulesPendingRequestThatFits) {
+  EqFixture fx;
+  AppSchedule& a = fx.addApp();
+  auto r = std::make_unique<Request>();
+  r->id = RequestId{1};
+  r->cluster = kC;
+  r->nodes = 8;
+  r->duration = kTimeInf;
+  r->type = RequestType::kPreemptible;
+  a.preemptible->add(r.get());
+  Scheduler::eqSchedule(fx.apps, capacity(10), sec(1), false);
+  EXPECT_EQ(r->scheduledAt, sec(1));
+  EXPECT_EQ(r->nAlloc, 8);
+}
+
+TEST(EqSchedule, OversizedFreePreemptibleRequestIsShrunk) {
+  // Preemptible requests are not guaranteed (paper A.1): a FREE request
+  // larger than what is available is granted whatever can be had — this is
+  // exactly the race between a malleable and an evolving application the
+  // appendix describes when motivating nAlloc.
+  EqFixture fx;
+  AppSchedule& a = fx.addApp();
+  auto r = std::make_unique<Request>();
+  r->id = RequestId{1};
+  r->cluster = kC;
+  r->nodes = 50;
+  r->duration = kTimeInf;
+  r->type = RequestType::kPreemptible;
+  a.preemptible->add(r.get());
+  Scheduler::eqSchedule(fx.apps, capacity(10), sec(1), false);
+  EXPECT_EQ(r->scheduledAt, sec(1));
+  EXPECT_EQ(r->nAlloc, 10);
+}
+
+}  // namespace
+}  // namespace coorm

@@ -1,0 +1,193 @@
+// Algorithm 2 (fit): placing non-fixed requests into an availability view.
+#include <gtest/gtest.h>
+
+#include "coorm/rms/scheduler.hpp"
+
+namespace coorm {
+namespace {
+
+const ClusterId kC{0};
+
+Request make(std::int64_t id, NodeCount nodes, Time duration,
+             RequestType type = RequestType::kNonPreemptible,
+             Relation how = Relation::kFree, Request* parent = nullptr) {
+  Request r;
+  r.id = RequestId{id};
+  r.cluster = kC;
+  r.nodes = nodes;
+  r.duration = duration;
+  r.type = type;
+  r.relatedHow = how;
+  r.relatedTo = parent;
+  return r;
+}
+
+View capacity(NodeCount n) {
+  View v;
+  v.setCap(kC, StepFunction::constant(n));
+  return v;
+}
+
+TEST(Fit, FreeRequestGoesToEarliestHole) {
+  Request r = make(1, 4, sec(60));
+  RequestSet set;
+  set.add(&r);
+  const View occupied = Scheduler::fit(set, capacity(10), sec(5));
+  EXPECT_EQ(r.scheduledAt, sec(5));  // not before t0
+  EXPECT_EQ(r.nAlloc, 4);
+  EXPECT_EQ(occupied.at(kC, sec(30)), 4);
+  EXPECT_EQ(occupied.at(kC, sec(66)), 0);
+}
+
+TEST(Fit, FreeRequestWaitsForBusyWindow) {
+  View available = capacity(10);
+  available.capRef(kC) -= StepFunction::pulse(0, sec(100), 8);
+  Request r = make(1, 4, sec(60));
+  RequestSet set;
+  set.add(&r);
+  Scheduler::fit(set, available, 0);
+  EXPECT_EQ(r.scheduledAt, sec(100));
+}
+
+TEST(Fit, ImpossibleRequestIsScheduledAtInfinity) {
+  Request r = make(1, 40, sec(60));
+  RequestSet set;
+  set.add(&r);
+  const View occupied = Scheduler::fit(set, capacity(10), 0);
+  EXPECT_TRUE(isInf(r.scheduledAt));
+  EXPECT_TRUE(occupied.cap(kC).isZero());
+}
+
+TEST(Fit, CoAllocStartsWithParent) {
+  Request pa = make(1, 8, sec(100), RequestType::kPreAllocation);
+  Request np = make(2, 4, sec(50), RequestType::kNonPreemptible,
+                    Relation::kCoAlloc, &pa);
+  RequestSet paSet;
+  paSet.add(&pa);
+  RequestSet npSet;
+  npSet.add(&np);
+
+  const View occPa = Scheduler::fit(paSet, capacity(10), 0);
+  // The NP request fits inside the PA's occupation (Alg. 4 wiring).
+  Scheduler::fit(npSet, occPa, 0);
+  EXPECT_EQ(pa.scheduledAt, 0);
+  EXPECT_EQ(np.scheduledAt, 0);
+}
+
+TEST(Fit, NextChildStartsAfterParent) {
+  Request a = make(1, 4, sec(60));
+  Request b = make(2, 4, sec(30), RequestType::kNonPreemptible,
+                   Relation::kNext, &a);
+  RequestSet set;
+  set.add(&a);
+  set.add(&b);
+  Scheduler::fit(set, capacity(4), 0);
+  EXPECT_EQ(a.scheduledAt, 0);
+  EXPECT_EQ(b.scheduledAt, sec(60));
+}
+
+TEST(Fit, NextChildTooBigDelaysParent) {
+  // The child needs 8 nodes which are only free from t=100; the parent must
+  // be delayed so the NEXT constraint holds (Alg. 2 lines 30-33).
+  View available = capacity(8);
+  available.capRef(kC) -= StepFunction::pulse(0, sec(100), 4);
+  Request a = make(1, 4, sec(60));
+  Request b = make(2, 8, sec(30), RequestType::kNonPreemptible,
+                   Relation::kNext, &a);
+  RequestSet set;
+  set.add(&a);
+  set.add(&b);
+  Scheduler::fit(set, available, 0);
+  EXPECT_EQ(b.scheduledAt, satAdd(a.scheduledAt, a.duration));
+  EXPECT_GE(b.scheduledAt, sec(100));
+}
+
+TEST(Fit, PreemptibleNextChildShrinksInsteadOfDelaying)
+{
+  // Preemptible follow-ups are never delayed: they start right after the
+  // parent with whatever is available (Alg. 2 lines 26-28).
+  View available = capacity(8);
+  available.capRef(kC) -= StepFunction::pulse(0, sec(1000), 5);
+  Request a = make(1, 3, sec(60), RequestType::kPreemptible);
+  Request b = make(2, 8, sec(30), RequestType::kPreemptible, Relation::kNext,
+                   &a);
+  RequestSet set;
+  set.add(&a);
+  set.add(&b);
+  Scheduler::fit(set, available, 0);
+  EXPECT_EQ(b.scheduledAt, satAdd(a.scheduledAt, a.duration));
+  EXPECT_EQ(b.nAlloc, 3);  // shrunk to what is available
+}
+
+TEST(Fit, PreemptibleCoAllocWithNonPreemptibleParent) {
+  Request np = make(1, 4, sec(60), RequestType::kNonPreemptible);
+  np.startedAt = 0;
+  np.fixed = true;
+  np.scheduledAt = 0;
+  Request p = make(2, 10, sec(60), RequestType::kPreemptible,
+                   Relation::kCoAlloc, &np);
+  RequestSet set;
+  set.add(&p);
+  View available = capacity(6);
+  Scheduler::fit(set, available, 0);
+  EXPECT_EQ(p.scheduledAt, 0);
+  EXPECT_EQ(p.nAlloc, 6);
+}
+
+TEST(Fit, FixedRequestsAreLeftAlone) {
+  Request r = make(1, 4, sec(60));
+  r.fixed = true;
+  r.scheduledAt = sec(42);
+  RequestSet set;
+  set.add(&r);
+  const View occupied = Scheduler::fit(set, capacity(10), 0);
+  EXPECT_EQ(r.scheduledAt, sec(42));
+  // Fixed requests belong to toView's output, not fit's.
+  EXPECT_TRUE(occupied.cap(kC).isZero());
+}
+
+TEST(Fit, TwoIndependentAppsSequentialFitQueues) {
+  // Conservative-backfilling behaviour across fit calls: the second set is
+  // fitted into what the first left over.
+  View available = capacity(10);
+  Request a = make(1, 8, sec(100));
+  RequestSet setA;
+  setA.add(&a);
+  const View occA = Scheduler::fit(setA, available, 0);
+
+  View remaining = available - occA;
+  remaining.clampMin(0);
+  Request b = make(2, 8, sec(50));
+  RequestSet setB;
+  setB.add(&b);
+  Scheduler::fit(setB, remaining, 0);
+
+  EXPECT_EQ(a.scheduledAt, 0);
+  EXPECT_EQ(b.scheduledAt, sec(100));  // queued behind a
+}
+
+TEST(Fit, BackfillSmallerRequestIntoEarlierHole) {
+  // 10 nodes; app A holds 8 from 0 to 100; a 2-node request backfills at 0.
+  View available = capacity(10);
+  available.capRef(kC) -= StepFunction::pulse(0, sec(100), 8);
+  Request small = make(1, 2, sec(50));
+  RequestSet set;
+  set.add(&small);
+  Scheduler::fit(set, available, 0);
+  EXPECT_EQ(small.scheduledAt, 0);
+}
+
+TEST(Fit, InfiniteDurationRequestNeedsStableAvailability) {
+  View available = capacity(10);
+  available.capRef(kC) -= StepFunction::pulse(sec(50), kTimeInf, 8);
+  Request r = make(1, 4, kTimeInf);
+  RequestSet set;
+  set.add(&r);
+  Scheduler::fit(set, available, 0);
+  // Only 2 nodes remain from t=50 on; 4 nodes forever never fits after 50,
+  // and a window starting at 0 is cut at 50.
+  EXPECT_TRUE(isInf(r.scheduledAt));
+}
+
+}  // namespace
+}  // namespace coorm

@@ -1,0 +1,220 @@
+// Preemptible requests: equi-partition views, filling, yanking resources
+// back for non-preemptible growth, and protocol-violation kills.
+#include <gtest/gtest.h>
+
+#include "coorm/rms/server.hpp"
+#include "coorm/sim/engine.hpp"
+
+namespace coorm {
+namespace {
+
+const ClusterId kC{0};
+
+/// Minimal cooperative malleable endpoint: keeps its preemptible request
+/// sized to its preemptive view (like a PSA without tasks).
+class MiniMalleable : public AppEndpoint {
+ public:
+  explicit MiniMalleable(bool cooperative = true)
+      : cooperative_(cooperative) {}
+
+  void onViews(const View& np, const View& p) override {
+    (void)np;
+    view = p;
+    ++viewPushes;
+    replan();
+  }
+  void onStarted(RequestId id, const std::vector<NodeId>& ids) override {
+    if (id != pending) return;
+    pending = RequestId{};
+    current = id;
+    held = ids;
+    inFlight = false;
+    replan();
+  }
+  void onExpired(RequestId id) override { session->done(id); }
+  void onKilled() override { killed = true; }
+
+  void replan() {
+    if (!cooperative_ || session == nullptr || inFlight || killed) return;
+    const NodeCount allowed = view.at(kC, now());
+    const NodeCount have = std::ssize(held);
+    if (allowed == have && current.valid()) return;
+    RequestSpec spec;
+    spec.cluster = kC;
+    spec.nodes = allowed;
+    spec.duration = kTimeInf;
+    spec.type = RequestType::kPreemptible;
+    if (current.valid()) {
+      spec.relatedHow = Relation::kNext;
+      spec.relatedTo = current;
+      if (allowed <= 0) {
+        // Give everything back.
+        std::vector<NodeId> all = held;
+        held.clear();
+        session->done(current, all);
+        current = RequestId{};
+        return;
+      }
+      pending = session->request(spec);
+      inFlight = true;
+      std::vector<NodeId> released;
+      if (allowed < have) {
+        released.assign(held.begin() + allowed, held.end());
+        held.resize(static_cast<std::size_t>(allowed));
+      }
+      session->done(current, released);
+      current = RequestId{};
+    } else if (allowed > 0) {
+      pending = session->request(spec);
+      inFlight = true;
+    }
+  }
+
+  [[nodiscard]] Time now() const { return exec->now(); }
+
+  Session* session = nullptr;
+  const Executor* exec = nullptr;
+  View view;
+  std::vector<NodeId> held;
+  RequestId current, pending;
+  bool inFlight = false;
+  bool killed = false;
+  int viewPushes = 0;
+  bool cooperative_;
+};
+
+class RigidEndpoint : public AppEndpoint {
+ public:
+  void onStarted(RequestId id, const std::vector<NodeId>&) override {
+    started.push_back(id);
+  }
+  void onExpired(RequestId id) override { session->done(id); }
+  Session* session = nullptr;
+  std::vector<RequestId> started;
+};
+
+class PreemptionTest : public ::testing::Test {
+ protected:
+  PreemptionTest() : server_(engine_, Machine::single(10), config()) {}
+
+  static Server::Config config() {
+    Server::Config c;
+    c.reschedInterval = sec(1);
+    c.violationGrace = sec(5);
+    return c;
+  }
+
+  void attach(MiniMalleable& app) {
+    app.session = server_.connect(app);
+    app.exec = &engine_;
+  }
+
+  void runUntil(Time t) { engine_.runUntil(t); }
+
+  Engine engine_;
+  Server server_;
+};
+
+TEST_F(PreemptionTest, MalleableFillsWholeIdleMachine) {
+  MiniMalleable psa;
+  attach(psa);
+  runUntil(sec(3));
+  EXPECT_EQ(std::ssize(psa.held), 10);
+}
+
+TEST_F(PreemptionTest, TwoMalleablesConvergeToEquiPartition) {
+  MiniMalleable a, b;
+  attach(a);
+  attach(b);
+  runUntil(sec(30));
+  // Between them they must not exceed the machine...
+  EXPECT_LE(std::ssize(a.held) + std::ssize(b.held), 10);
+  // ...and each holds at least its entitled half.
+  EXPECT_GE(std::ssize(a.held), 5);
+  EXPECT_GE(std::ssize(b.held), 5);
+}
+
+TEST_F(PreemptionTest, NonPreemptibleGrowthYanksPreemptibleNodes) {
+  MiniMalleable psa;
+  attach(psa);
+  RigidEndpoint rigid;
+  rigid.session = server_.connect(rigid);
+  runUntil(sec(3));
+  ASSERT_EQ(std::ssize(psa.held), 10);
+
+  RequestSpec np;
+  np.cluster = kC;
+  np.nodes = 6;
+  np.duration = sec(100);
+  np.type = RequestType::kNonPreemptible;
+  const RequestId id = rigid.session->request(np);
+  runUntil(sec(10));
+  EXPECT_EQ(rigid.started, std::vector<RequestId>{id});
+  EXPECT_EQ(std::ssize(psa.held), 4);
+}
+
+TEST_F(PreemptionTest, PreemptibleComesBackWhenNpEnds) {
+  MiniMalleable psa;
+  attach(psa);
+  RigidEndpoint rigid;
+  rigid.session = server_.connect(rigid);
+  runUntil(sec(3));
+
+  RequestSpec np;
+  np.cluster = kC;
+  np.nodes = 6;
+  np.duration = sec(20);
+  np.type = RequestType::kNonPreemptible;
+  rigid.session->request(np);
+  runUntil(sec(15));
+  EXPECT_EQ(std::ssize(psa.held), 4);
+  runUntil(sec(40));
+  EXPECT_EQ(std::ssize(psa.held), 10);
+}
+
+TEST_F(PreemptionTest, UncooperativeAppIsKilled) {
+  MiniMalleable good;
+  attach(good);
+  runUntil(sec(3));
+  ASSERT_EQ(std::ssize(good.held), 10);
+  good.cooperative_ = false;  // stops reacting from now on
+
+  RigidEndpoint rigid;
+  rigid.session = server_.connect(rigid);
+  RequestSpec np;
+  np.cluster = kC;
+  np.nodes = 6;
+  np.duration = sec(100);
+  np.type = RequestType::kNonPreemptible;
+  const RequestId id = rigid.session->request(np);
+
+  runUntil(sec(30));  // beyond the violation grace
+  EXPECT_TRUE(good.killed);
+  // The rigid app got its nodes after the kill.
+  EXPECT_EQ(rigid.started, std::vector<RequestId>{id});
+}
+
+TEST_F(PreemptionTest, PreemptibleViewSignalsFutureDrop) {
+  // A queued NP request with a future start must show up as a future drop
+  // in the preemptive view, not an immediate one.
+  MiniMalleable psa;
+  attach(psa);
+  RigidEndpoint rigid;
+  rigid.session = server_.connect(rigid);
+  runUntil(sec(3));
+
+  RequestSpec first;
+  first.cluster = kC;
+  first.nodes = 10;
+  first.duration = sec(50);
+  first.type = RequestType::kNonPreemptible;
+  rigid.session->request(first);
+  runUntil(sec(10));
+  // Machine fully non-preemptible: the PSA holds nothing.
+  EXPECT_EQ(std::ssize(psa.held), 0);
+  // Its view promises capacity back when the NP job ends.
+  EXPECT_GT(psa.view.at(kC, sec(120)), 0);
+}
+
+}  // namespace
+}  // namespace coorm

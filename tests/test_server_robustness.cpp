@@ -1,0 +1,118 @@
+// Regression tests for protocol-liveness bugs: stale constraint targets,
+// walltime exhaustion, and the pending-grow deadlock.
+#include <gtest/gtest.h>
+
+#include "coorm/exp/scenario.hpp"
+
+namespace coorm {
+namespace {
+
+const ClusterId kC{0};
+
+TEST(ServerRobustness, UnknownConstraintTargetIsRejectedNotFatal) {
+  ScenarioConfig cfg;
+  cfg.nodes = 8;
+  Scenario sc(cfg);
+  RigidApp& rigid = sc.addRigid({kC, 2, sec(30)});
+  sc.runFor(sec(5));
+
+  // Forge a request against a non-existent target through the session of a
+  // live app: the server must reject it (invalid id), not abort.
+  class Probe : public Application {
+   public:
+    using Application::Application;
+    RequestId probe() {
+      RequestSpec spec;
+      spec.cluster = kC;
+      spec.nodes = 1;
+      spec.duration = sec(10);
+      spec.type = RequestType::kNonPreemptible;
+      spec.relatedHow = Relation::kNext;
+      spec.relatedTo = RequestId{999999};
+      return session().request(spec);
+    }
+  };
+  Probe probe(sc.engine(), "probe");
+  probe.connectTo(sc.server());
+  sc.runFor(sec(2));
+  EXPECT_FALSE(probe.probe().valid());
+  sc.runFor(sec(60));
+  EXPECT_TRUE(rigid.finished());  // the rest of the system is unaffected
+}
+
+TEST(ServerRobustness, AmrAbortsCleanlyWhenWalltimeExpires) {
+  ScenarioConfig cfg;
+  cfg.nodes = 64;
+  Scenario sc(cfg);
+  AmrApp::Config amrCfg;
+  amrCfg.cluster = kC;
+  // A working set that needs far longer than the walltime permits.
+  amrCfg.sizesMiB = std::vector<double>(500, 50000.0);
+  amrCfg.preallocNodes = 8;
+  amrCfg.walltime = minutes(10);
+  AmrApp& amr = sc.addAmr(amrCfg);
+  sc.runUntilFinished(amr, hours(10));
+  EXPECT_FALSE(amr.finished());
+  EXPECT_TRUE(amr.aborted());
+  EXPECT_GT(amr.stepsCompleted(), 0u);
+  sc.runFor(sec(30));
+  // Everything was released on abort.
+  EXPECT_EQ(sc.server().pool().freeCount(kC), 64);
+}
+
+TEST(ServerRobustness, PendingGrowDoesNotDeadlockGuaranteedUpdates) {
+  // Regression: a PSA's pending grow request (sized from a stale view)
+  // must not reserve capacity it can never get and starve an AMR's
+  // guaranteed update. With coarse re-scheduling (5 s) this used to
+  // deadlock the whole simulation.
+  ScenarioConfig cfg;
+  cfg.nodes = 64;
+  cfg.server.reschedInterval = sec(5);
+  cfg.server.violationGrace = sec(20);
+  Scenario sc(cfg);
+
+  AmrApp::Config amrCfg;
+  amrCfg.cluster = kC;
+  for (int i = 0; i < 40; ++i) {
+    amrCfg.sizesMiB.push_back(1500.0 * (i + 1));
+  }
+  amrCfg.preallocNodes = 48;
+  amrCfg.walltime = hours(12);
+  AmrApp& amr = sc.addAmr(amrCfg);
+
+  PsaApp::Config psaCfg;
+  psaCfg.cluster = kC;
+  psaCfg.taskDuration = sec(120);
+  sc.addPsa(psaCfg);
+
+  sc.runUntilFinished(amr, hours(24));
+  EXPECT_TRUE(amr.finished());
+  EXPECT_EQ(amr.stepsCompleted(), 40u);
+}
+
+TEST(ServerRobustness, DoneOnForeignRequestIsIgnored) {
+  ScenarioConfig cfg;
+  cfg.nodes = 8;
+  Scenario sc(cfg);
+  RigidApp& victim = sc.addRigid({kC, 4, sec(120)}, "victim");
+  sc.runFor(sec(5));
+
+  class Meddler : public Application {
+   public:
+    using Application::Application;
+    void tryDone(RequestId id) { session().done(id); }
+  };
+  Meddler meddler(sc.engine(), "meddler");
+  meddler.connectTo(sc.server());
+  sc.runFor(sec(2));
+  // The victim's NP request has id 0 (first request in the system); a
+  // foreign done() must be ignored.
+  meddler.tryDone(RequestId{0});
+  sc.runFor(sec(30));
+  EXPECT_FALSE(victim.finished());  // still running, untouched
+  sc.runFor(sec(120));
+  EXPECT_TRUE(victim.finished());
+}
+
+}  // namespace
+}  // namespace coorm

@@ -1,0 +1,115 @@
+// Speed-up model t(n,S) = A·S/n + B·n + C·S + D (§2.2).
+#include <gtest/gtest.h>
+
+#include "coorm/amr/speedup.hpp"
+
+namespace coorm {
+namespace {
+
+TEST(Speedup, PaperConstants) {
+  const SpeedupParams p = paperSpeedupParams();
+  EXPECT_DOUBLE_EQ(p.a, 7.26e-3);
+  EXPECT_DOUBLE_EQ(p.b, 1.23e-4);
+  EXPECT_DOUBLE_EQ(p.c, 1.13e-6);
+  EXPECT_DOUBLE_EQ(p.d, 1.38);
+}
+
+TEST(Speedup, FormulaMatchesByHand) {
+  const SpeedupModel model;
+  const double s = 1024.0;
+  const NodeCount n = 4;
+  const double expected =
+      7.26e-3 * s / 4.0 + 1.23e-4 * 4.0 + 1.13e-6 * s + 1.38;
+  EXPECT_DOUBLE_EQ(model.stepDuration(n, s), expected);
+}
+
+TEST(Speedup, SerialEfficiencyIsOne) {
+  const SpeedupModel model;
+  EXPECT_DOUBLE_EQ(model.efficiency(1, 1000.0), 1.0);
+  EXPECT_DOUBLE_EQ(model.efficiency(1, 0.0), 1.0);
+}
+
+TEST(Speedup, EfficiencyDecreasesWithNodes) {
+  const SpeedupModel model;
+  const double s = 100.0 * 1024.0;
+  double previous = 2.0;
+  for (NodeCount n = 1; n <= 4096; n *= 2) {
+    const double e = model.efficiency(n, s);
+    EXPECT_LT(e, previous) << "n=" << n;
+    EXPECT_GT(e, 0.0);
+    previous = e;
+  }
+}
+
+TEST(Speedup, StrongScalingHasAMinimum) {
+  // For fixed S, duration first drops (A·S/n) then rises (B·n): there is a
+  // sweet spot, as in the paper's Fig. 2 curves.
+  const SpeedupModel model;
+  const double s = 784.0 * 1024.0;
+  double best = 1e300;
+  NodeCount bestN = 0;
+  for (NodeCount n = 1; n <= 65536; n *= 2) {
+    const double t = model.stepDuration(n, s);
+    if (t < best) {
+      best = t;
+      bestN = n;
+    }
+  }
+  EXPECT_GT(bestN, 1);
+  EXPECT_LT(bestN, 65536);
+  EXPECT_GT(model.stepDuration(65536, s), best);
+}
+
+TEST(Speedup, LargerDataTakesLonger) {
+  const SpeedupModel model;
+  for (NodeCount n : {1, 16, 256, 4096}) {
+    EXPECT_LT(model.stepDuration(n, 12.0 * 1024),
+              model.stepDuration(n, 3136.0 * 1024));
+  }
+}
+
+TEST(Speedup, NodesForEfficiencyRespectsTarget) {
+  const SpeedupModel model;
+  for (const double sizeMiB : {12.0 * 1024, 196.0 * 1024, kPaperSmaxMiB}) {
+    for (const double target : {0.5, 0.75, 0.9}) {
+      const NodeCount n = model.nodesForEfficiency(sizeMiB, target);
+      EXPECT_GE(model.efficiency(n, sizeMiB), target);
+      EXPECT_LT(model.efficiency(n + 1, sizeMiB), target);
+    }
+  }
+}
+
+TEST(Speedup, NodesForEfficiencyOfTinyDataIsSmall) {
+  const SpeedupModel model;
+  EXPECT_LE(model.nodesForEfficiency(0.0, 0.75), 4);
+}
+
+TEST(Speedup, PaperScaleSanity) {
+  // At Smax and 75 % efficiency the equivalent allocation is around 1400
+  // nodes — the paper sizes its machine as n = 1400·overcommit (§5.2).
+  const SpeedupModel model;
+  const NodeCount n = model.nodesForEfficiency(kPaperSmaxMiB, 0.75);
+  EXPECT_GT(n, 1000);
+  EXPECT_LT(n, 2000);
+}
+
+TEST(Speedup, StepAreaMatchesDefinition) {
+  const SpeedupModel model;
+  EXPECT_DOUBLE_EQ(model.stepArea(8, 1000.0),
+                   8.0 * model.stepDuration(8, 1000.0));
+}
+
+TEST(Speedup, MonotoneAreaInNodes) {
+  // n·t(n,S) grows with n: more nodes always consume more area.
+  const SpeedupModel model;
+  const double s = 48.0 * 1024;
+  double previous = 0.0;
+  for (NodeCount n = 1; n <= 1 << 14; n *= 2) {
+    const double area = model.stepArea(n, s);
+    EXPECT_GT(area, previous);
+    previous = area;
+  }
+}
+
+}  // namespace
+}  // namespace coorm

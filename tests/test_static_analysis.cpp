@@ -1,0 +1,116 @@
+// §2.3 analysis: dynamic runs, equivalent static allocation, Figs. 3-4.
+#include <gtest/gtest.h>
+
+#include "coorm/amr/static_analysis.hpp"
+#include "coorm/amr/working_set.hpp"
+
+namespace coorm {
+namespace {
+
+StaticAnalysis paperAnalysis(std::uint64_t seed = 1) {
+  Rng rng(seed);
+  const WorkingSetModel wsModel;
+  return StaticAnalysis(SpeedupModel(paperSpeedupParams()),
+                        wsModel.generateSizesMiB(rng, kPaperSmaxMiB));
+}
+
+TEST(StaticAnalysis, DynamicRunMeetsTargetEfficiencyEveryStep) {
+  const StaticAnalysis analysis = paperAnalysis();
+  const SpeedupModel model(paperSpeedupParams());
+  const auto run = analysis.dynamicRun(0.75);
+  ASSERT_EQ(run.nodesPerStep.size(), analysis.sizesMiB().size());
+  for (std::size_t i = 0; i < run.nodesPerStep.size(); ++i) {
+    EXPECT_GE(model.efficiency(run.nodesPerStep[i], analysis.sizesMiB()[i]),
+              0.75);
+  }
+  EXPECT_GT(run.areaNodeSeconds, 0.0);
+  EXPECT_GT(run.durationSeconds, 0.0);
+}
+
+TEST(StaticAnalysis, CapLimitsDynamicRun) {
+  const StaticAnalysis analysis = paperAnalysis();
+  const auto capped = analysis.dynamicRun(0.75, 100);
+  for (const NodeCount n : capped.nodesPerStep) EXPECT_LE(n, 100);
+  // Capping means fewer nodes on the big steps, hence a longer run.
+  EXPECT_GT(capped.durationSeconds,
+            analysis.dynamicRun(0.75).durationSeconds);
+}
+
+TEST(StaticAnalysis, StaticAreaGrowsWithNodes) {
+  const StaticAnalysis analysis = paperAnalysis();
+  EXPECT_LT(analysis.staticArea(10), analysis.staticArea(100));
+  EXPECT_LT(analysis.staticArea(100), analysis.staticArea(1000));
+}
+
+TEST(StaticAnalysis, StaticDurationShrinksWithNodesInRange) {
+  const StaticAnalysis analysis = paperAnalysis();
+  EXPECT_GT(analysis.staticDuration(10), analysis.staticDuration(100));
+  EXPECT_GT(analysis.staticDuration(100), analysis.staticDuration(1000));
+}
+
+TEST(StaticAnalysis, EquivalentStaticMatchesDynamicArea) {
+  const StaticAnalysis analysis = paperAnalysis();
+  const auto neq = analysis.equivalentStatic(0.75);
+  ASSERT_TRUE(neq.has_value());
+  const double target = analysis.dynamicRun(0.75).areaNodeSeconds;
+  // Within one node of the crossing, the areas agree to ~1 %.
+  EXPECT_NEAR(analysis.staticArea(*neq) / target, 1.0, 0.01);
+}
+
+TEST(StaticAnalysis, EquivalentStaticScaleMatchesPaper) {
+  // Paper §5.2: around 1400 nodes for the full-size profile at 75 %.
+  const StaticAnalysis analysis = paperAnalysis();
+  const auto neq = analysis.equivalentStatic(0.75);
+  ASSERT_TRUE(neq.has_value());
+  EXPECT_GT(*neq, 400);
+  EXPECT_LT(*neq, 2000);
+}
+
+TEST(StaticAnalysis, EndTimeIncreaseIsSmall) {
+  // Fig. 3: the equivalent static allocation costs at most a few percent
+  // of end time across target efficiencies.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const StaticAnalysis analysis = paperAnalysis(seed);
+    for (const double et : {0.3, 0.5, 0.75}) {
+      const auto increase = analysis.endTimeIncrease(et);
+      ASSERT_TRUE(increase.has_value()) << "seed " << seed << " et " << et;
+      EXPECT_GE(*increase, -0.01);
+      EXPECT_LT(*increase, 0.06) << "seed " << seed << " et " << et;
+    }
+  }
+}
+
+TEST(StaticAnalysis, ChoiceRangeMemoryFloor) {
+  const StaticAnalysis analysis = paperAnalysis();
+  const auto range = analysis.staticChoiceRange(0.75, 0.10, 8.0 * 1024.0);
+  // Peak ~3.16 TiB and 8 GiB per node: at least ~404 nodes.
+  EXPECT_NEAR(static_cast<double>(range.minNodes),
+              analysis.peakSizeMiB() / (8.0 * 1024.0), 1.0);
+  EXPECT_TRUE(range.feasible());
+  EXPECT_GT(range.maxNodes, range.minNodes);
+}
+
+TEST(StaticAnalysis, ChoiceRangeInfeasibleWhenMemoryTiny) {
+  const StaticAnalysis analysis = paperAnalysis();
+  // 0.5 GiB per node forces more nodes than the 10 % area slack allows.
+  const auto range = analysis.staticChoiceRange(0.75, 0.10, 512.0);
+  EXPECT_GT(range.minNodes, range.maxNodes);
+  EXPECT_FALSE(range.feasible());
+}
+
+TEST(StaticAnalysis, AreaCeilingRespectsSlack) {
+  const StaticAnalysis analysis = paperAnalysis();
+  const auto range = analysis.staticChoiceRange(0.75, 0.10, 8.0 * 1024.0);
+  const double budget = 1.10 * analysis.dynamicRun(0.75).areaNodeSeconds;
+  EXPECT_LE(analysis.staticArea(range.maxNodes), budget);
+  EXPECT_GT(analysis.staticArea(range.maxNodes + 1), budget);
+}
+
+TEST(StaticAnalysis, PeakSize) {
+  const StaticAnalysis analysis(SpeedupModel(paperSpeedupParams()),
+                                {10.0, 30.0, 20.0});
+  EXPECT_DOUBLE_EQ(analysis.peakSizeMiB(), 30.0);
+}
+
+}  // namespace
+}  // namespace coorm

@@ -1,0 +1,210 @@
+#include "coorm/profile/step_function.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coorm {
+namespace {
+
+TEST(StepFunction, DefaultIsZeroEverywhere) {
+  const StepFunction f;
+  EXPECT_TRUE(f.isZero());
+  EXPECT_EQ(f.at(0), 0);
+  EXPECT_EQ(f.at(1'000'000), 0);
+  EXPECT_EQ(f.segmentCount(), 1u);
+}
+
+TEST(StepFunction, ConstantFunction) {
+  const auto f = StepFunction::constant(7);
+  EXPECT_EQ(f.at(0), 7);
+  EXPECT_EQ(f.at(kTimeInf - 1), 7);
+  EXPECT_EQ(f.tailValue(), 7);
+  EXPECT_FALSE(f.isZero());
+}
+
+TEST(StepFunction, PulseBasics) {
+  const auto f = StepFunction::pulse(sec(10), sec(5), 3);
+  EXPECT_EQ(f.at(0), 0);
+  EXPECT_EQ(f.at(sec(10) - 1), 0);
+  EXPECT_EQ(f.at(sec(10)), 3);       // inclusive start
+  EXPECT_EQ(f.at(sec(15) - 1), 3);
+  EXPECT_EQ(f.at(sec(15)), 0);       // exclusive end
+}
+
+TEST(StepFunction, PulseAtZero) {
+  const auto f = StepFunction::pulse(0, sec(1), 5);
+  EXPECT_EQ(f.at(0), 5);
+  EXPECT_EQ(f.at(sec(1)), 0);
+}
+
+TEST(StepFunction, InfinitePulseNeverEnds) {
+  const auto f = StepFunction::pulse(sec(3), kTimeInf, 2);
+  EXPECT_EQ(f.at(sec(2)), 0);
+  EXPECT_EQ(f.at(sec(3)), 2);
+  EXPECT_EQ(f.tailValue(), 2);
+}
+
+TEST(StepFunction, ZeroDurationPulseIsZero) {
+  EXPECT_TRUE(StepFunction::pulse(sec(3), 0, 9).isZero());
+}
+
+TEST(StepFunction, ZeroValuePulseIsZero) {
+  EXPECT_TRUE(StepFunction::pulse(sec(3), sec(4), 0).isZero());
+}
+
+TEST(StepFunction, NegativeTimeClampsToZero) {
+  const auto f = StepFunction::pulse(0, sec(1), 5);
+  EXPECT_EQ(f.at(-100), 5);
+}
+
+TEST(StepFunction, FromSegmentsMergesAdjacentEqualValues) {
+  const auto f = StepFunction::fromSegments(
+      {{0, 1}, {sec(1), 1}, {sec(2), 2}, {sec(3), 2}, {sec(4), 0}});
+  EXPECT_EQ(f.segmentCount(), 3u);
+  EXPECT_EQ(f.at(sec(1)), 1);
+  EXPECT_EQ(f.at(sec(3)), 2);
+  EXPECT_EQ(f.at(sec(4)), 0);
+}
+
+TEST(StepFunction, Addition) {
+  const auto a = StepFunction::pulse(sec(0), sec(10), 2);
+  const auto b = StepFunction::pulse(sec(5), sec(10), 3);
+  const auto sum = a + b;
+  EXPECT_EQ(sum.at(sec(0)), 2);
+  EXPECT_EQ(sum.at(sec(5)), 5);
+  EXPECT_EQ(sum.at(sec(10)), 3);
+  EXPECT_EQ(sum.at(sec(15)), 0);
+}
+
+TEST(StepFunction, Subtraction) {
+  const auto a = StepFunction::constant(10);
+  const auto b = StepFunction::pulse(sec(2), sec(3), 4);
+  const auto diff = a - b;
+  EXPECT_EQ(diff.at(0), 10);
+  EXPECT_EQ(diff.at(sec(2)), 6);
+  EXPECT_EQ(diff.at(sec(5)), 10);
+}
+
+TEST(StepFunction, SubtractionMayGoNegative) {
+  const auto a = StepFunction::constant(1);
+  const auto b = StepFunction::pulse(sec(1), sec(1), 5);
+  const auto diff = a - b;
+  EXPECT_EQ(diff.at(sec(1)), -4);
+  EXPECT_EQ(diff.minValue(), -4);
+}
+
+TEST(StepFunction, ClampMin) {
+  auto f = StepFunction::constant(1) - StepFunction::pulse(sec(1), sec(1), 5);
+  f.clampMin(0);
+  EXPECT_EQ(f.at(sec(1)), 0);
+  EXPECT_EQ(f.at(0), 1);
+}
+
+TEST(StepFunction, PointwiseMax) {
+  auto a = StepFunction::pulse(0, sec(4), 3);
+  const auto b = StepFunction::pulse(sec(2), sec(4), 5);
+  a.pointwiseMax(b);
+  EXPECT_EQ(a.at(sec(1)), 3);
+  EXPECT_EQ(a.at(sec(3)), 5);
+  EXPECT_EQ(a.at(sec(5)), 5);
+  EXPECT_EQ(a.at(sec(6)), 0);
+}
+
+TEST(StepFunction, PointwiseMin) {
+  auto a = StepFunction::constant(4);
+  a.pointwiseMin(StepFunction::pulse(sec(1), sec(2), 2));
+  EXPECT_EQ(a.at(0), 0);       // pulse is 0 before sec(1)
+  EXPECT_EQ(a.at(sec(1)), 2);
+  EXPECT_EQ(a.at(sec(3)), 0);
+}
+
+TEST(StepFunction, MinMaxOverWindow) {
+  const auto f = StepFunction::fromSegments({{0, 5}, {sec(10), 2}, {sec(20), 8}});
+  EXPECT_EQ(f.minOver(0, sec(5)), 5);
+  EXPECT_EQ(f.minOver(0, sec(15)), 2);
+  EXPECT_EQ(f.minOver(sec(15), kTimeInf), 2);
+  EXPECT_EQ(f.maxOver(0, sec(15)), 5);
+  EXPECT_EQ(f.maxOver(sec(5), kTimeInf), 8);
+  // Right-open window: the value at sec(10) is excluded.
+  EXPECT_EQ(f.minOver(0, sec(10)), 5);
+}
+
+TEST(StepFunction, IntegralNodeSeconds) {
+  const auto f = StepFunction::pulse(sec(10), sec(20), 4);
+  EXPECT_DOUBLE_EQ(f.integralNodeSeconds(0, sec(100)), 80.0);
+  EXPECT_DOUBLE_EQ(f.integralNodeSeconds(sec(15), sec(100)), 60.0);
+  EXPECT_DOUBLE_EQ(f.integralNodeSeconds(0, sec(10)), 0.0);
+  EXPECT_DOUBLE_EQ(f.integralNodeSeconds(sec(12), sec(14)), 8.0);
+}
+
+TEST(StepFunction, IntegralOfEmptyWindowIsZero) {
+  const auto f = StepFunction::constant(3);
+  EXPECT_DOUBLE_EQ(f.integralNodeSeconds(sec(5), sec(5)), 0.0);
+}
+
+TEST(StepFunction, FirstFitOnConstantFunction) {
+  const auto f = StepFunction::constant(4);
+  EXPECT_EQ(f.firstFit(0, sec(10), 4), 0);
+  EXPECT_EQ(f.firstFit(sec(3), sec(10), 4), sec(3));
+  EXPECT_EQ(f.firstFit(0, sec(10), 5), kTimeInf);
+  EXPECT_EQ(f.firstFit(0, kTimeInf, 4), 0);
+}
+
+TEST(StepFunction, FirstFitSkipsBusyRegion) {
+  // 4 nodes, but only 1 available during [10s, 20s).
+  const auto f = StepFunction::constant(4) -
+                 StepFunction::pulse(sec(10), sec(10), 3);
+  EXPECT_EQ(f.firstFit(0, sec(10), 2), 0);        // fits before the dip
+  EXPECT_EQ(f.firstFit(0, sec(11), 2), sec(20));  // too long: after the dip
+  EXPECT_EQ(f.firstFit(sec(5), sec(6), 2), sec(20));
+  EXPECT_EQ(f.firstFit(sec(12), sec(1), 1), sec(12));  // 1 node is enough
+}
+
+TEST(StepFunction, FirstFitWindowSpanningSegments) {
+  const auto f = StepFunction::fromSegments({{0, 2}, {sec(5), 3}, {sec(9), 2}});
+  // Need 2 nodes for 20 s: available everywhere.
+  EXPECT_EQ(f.firstFit(0, sec(20), 2), 0);
+  // Need 3 nodes: only within [5s, 9s).
+  EXPECT_EQ(f.firstFit(0, sec(4), 3), sec(5));
+  EXPECT_EQ(f.firstFit(0, sec(5), 3), kTimeInf);
+}
+
+TEST(StepFunction, FirstFitZeroDurationOrNeed) {
+  const auto f = StepFunction::constant(0);
+  EXPECT_EQ(f.firstFit(sec(7), 0, 5), sec(7));
+  EXPECT_EQ(f.firstFit(sec(7), sec(5), 0), sec(7));
+}
+
+TEST(StepFunction, FirstFitInfiniteEarliest) {
+  const auto f = StepFunction::constant(4);
+  EXPECT_EQ(f.firstFit(kTimeInf, sec(1), 1), kTimeInf);
+}
+
+TEST(StepFunction, FirstFitOnTailSegment) {
+  const auto f = StepFunction::fromSegments({{0, 0}, {sec(100), 6}});
+  EXPECT_EQ(f.firstFit(0, kTimeInf, 6), sec(100));
+  EXPECT_EQ(f.firstFit(sec(200), sec(10), 6), sec(200));
+}
+
+TEST(StepFunction, EqualityIsCanonical) {
+  const auto a = StepFunction::fromSegments({{0, 1}, {sec(2), 1}, {sec(4), 0}});
+  const auto b = StepFunction::pulse(0, sec(4), 1);
+  EXPECT_EQ(a, b);
+}
+
+TEST(StepFunction, ToStringFormat) {
+  const auto f = StepFunction::pulse(1000, 2000, 3);
+  EXPECT_EQ(f.toString(), "[0:0 1000:3 3000:0]");
+}
+
+TEST(StepFunction, AdditionIdentity) {
+  const auto f = StepFunction::pulse(sec(1), sec(2), 3);
+  EXPECT_EQ(f + StepFunction{}, f);
+}
+
+TEST(StepFunction, SelfSubtractionIsZero) {
+  const auto f = StepFunction::pulse(sec(1), sec(2), 3);
+  EXPECT_TRUE((f - f).isZero());
+}
+
+}  // namespace
+}  // namespace coorm

@@ -1,0 +1,147 @@
+// Property-based tests: random step functions, algebraic laws checked by
+// sampling, and consistency between firstFit / minOver / integral.
+#include <gtest/gtest.h>
+
+#include "coorm/common/rng.hpp"
+#include "coorm/profile/step_function.hpp"
+
+namespace coorm {
+namespace {
+
+StepFunction randomFunction(Rng& rng, NodeCount maxValue = 20) {
+  StepFunction f;
+  const int pulses = static_cast<int>(rng.uniformInt(0, 6));
+  for (int i = 0; i < pulses; ++i) {
+    const Time start = sec(rng.uniformInt(0, 100));
+    const Time duration =
+        rng.uniformInt(0, 4) == 0 ? kTimeInf : sec(rng.uniformInt(1, 50));
+    f += StepFunction::pulse(start, duration,
+                             rng.uniformInt(1, maxValue));
+  }
+  return f;
+}
+
+std::vector<Time> samplePoints(Rng& rng) {
+  std::vector<Time> points{0, 1, sec(1)};
+  for (int i = 0; i < 32; ++i) points.push_back(sec(rng.uniformInt(0, 200)));
+  points.push_back(kTimeInf - 1);
+  return points;
+}
+
+class StepFunctionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StepFunctionProperty, AdditionIsPointwise) {
+  Rng rng(GetParam());
+  const auto a = randomFunction(rng);
+  const auto b = randomFunction(rng);
+  const auto sum = a + b;
+  for (const Time t : samplePoints(rng)) {
+    EXPECT_EQ(sum.at(t), a.at(t) + b.at(t)) << "t=" << t;
+  }
+}
+
+TEST_P(StepFunctionProperty, SubtractionIsPointwise) {
+  Rng rng(GetParam() ^ 0x9e37);
+  const auto a = randomFunction(rng);
+  const auto b = randomFunction(rng);
+  const auto diff = a - b;
+  for (const Time t : samplePoints(rng)) {
+    EXPECT_EQ(diff.at(t), a.at(t) - b.at(t)) << "t=" << t;
+  }
+}
+
+TEST_P(StepFunctionProperty, MaxIsPointwiseAndCommutative) {
+  Rng rng(GetParam() ^ 0xabcd);
+  const auto a = randomFunction(rng);
+  const auto b = randomFunction(rng);
+  auto ab = a;
+  ab.pointwiseMax(b);
+  auto ba = b;
+  ba.pointwiseMax(a);
+  EXPECT_EQ(ab, ba);
+  for (const Time t : samplePoints(rng)) {
+    EXPECT_EQ(ab.at(t), std::max(a.at(t), b.at(t))) << "t=" << t;
+  }
+}
+
+TEST_P(StepFunctionProperty, AdditionAssociates) {
+  Rng rng(GetParam() ^ 0x1111);
+  const auto a = randomFunction(rng);
+  const auto b = randomFunction(rng);
+  const auto c = randomFunction(rng);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+}
+
+TEST_P(StepFunctionProperty, AddThenSubtractRoundTrips) {
+  Rng rng(GetParam() ^ 0x2222);
+  const auto a = randomFunction(rng);
+  const auto b = randomFunction(rng);
+  EXPECT_EQ((a + b) - b, a);
+}
+
+TEST_P(StepFunctionProperty, CanonicalFormInvariants) {
+  Rng rng(GetParam() ^ 0x3333);
+  const auto f = randomFunction(rng);
+  const auto segments = f.segments();
+  ASSERT_FALSE(segments.empty());
+  EXPECT_EQ(segments.front().start, 0);
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    EXPECT_LT(segments[i - 1].start, segments[i].start);
+    EXPECT_NE(segments[i - 1].value, segments[i].value);
+  }
+}
+
+TEST_P(StepFunctionProperty, FirstFitResultActuallyFits) {
+  Rng rng(GetParam() ^ 0x4444);
+  const auto f = randomFunction(rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Time earliest = sec(rng.uniformInt(0, 150));
+    const Time duration = sec(rng.uniformInt(1, 60));
+    const NodeCount need = rng.uniformInt(1, 25);
+    const Time at = f.firstFit(earliest, duration, need);
+    if (isInf(at)) {
+      // No window: in particular the tail must not satisfy the request.
+      EXPECT_LT(f.tailValue(), need);
+      continue;
+    }
+    EXPECT_GE(at, earliest);
+    EXPECT_GE(f.minOver(at, satAdd(at, duration)), need)
+        << "window at " << at;
+    // Minimality: starting one sample earlier must not fit (check a few
+    // candidate earlier times).
+    if (at > earliest) {
+      EXPECT_LT(f.minOver(at - 1, satAdd(at - 1, duration)), need);
+    }
+  }
+}
+
+TEST_P(StepFunctionProperty, MinOverIsLowerBoundOfSamples) {
+  Rng rng(GetParam() ^ 0x5555);
+  const auto f = randomFunction(rng);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Time t0 = sec(rng.uniformInt(0, 100));
+    const Time t1 = t0 + sec(rng.uniformInt(1, 100));
+    const NodeCount lower = f.minOver(t0, t1);
+    for (Time t = t0; t < t1; t += std::max<Time>((t1 - t0) / 7, 1)) {
+      EXPECT_LE(lower, f.at(t));
+    }
+  }
+}
+
+TEST_P(StepFunctionProperty, IntegralMatchesRiemannSum) {
+  Rng rng(GetParam() ^ 0x6666);
+  const auto f = randomFunction(rng);
+  const Time t0 = sec(rng.uniformInt(0, 50));
+  const Time t1 = t0 + sec(rng.uniformInt(1, 100));
+  double sum = 0.0;
+  for (Time t = t0; t < t1; t += msec(250)) {
+    sum += static_cast<double>(f.at(t)) * 0.25;
+  }
+  EXPECT_NEAR(f.integralNodeSeconds(t0, t1), sum, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StepFunctionProperty,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace coorm

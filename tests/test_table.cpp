@@ -1,0 +1,38 @@
+#include "coorm/exp/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace coorm {
+namespace {
+
+TEST(Table, PrintAlignsColumns) {
+  TablePrinter table({"x", "value"});
+  table.addRow({"1", "10.00"});
+  table.addRow({"100", "3.14"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("x"), std::string::npos);
+  EXPECT_NE(text.find("100"), std::string::npos);
+  EXPECT_NE(text.find("3.14"), std::string::npos);
+  EXPECT_NE(text.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  TablePrinter table({"a", "b"});
+  table.addRow({"1", "2"});
+  std::ostringstream out;
+  table.printCsv(out);
+  EXPECT_EQ(out.str(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::num(1.0, 0), "1");
+  EXPECT_EQ(TablePrinter::integer(42), "42");
+}
+
+}  // namespace
+}  // namespace coorm

@@ -1,0 +1,61 @@
+#include "coorm/common/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coorm {
+namespace {
+
+TEST(Time, UnitHelpers) {
+  EXPECT_EQ(msec(1), 1);
+  EXPECT_EQ(sec(1), 1000);
+  EXPECT_EQ(minutes(2), 120'000);
+  EXPECT_EQ(hours(1), 3'600'000);
+}
+
+TEST(Time, FractionalSecondsRoundToNearestMillisecond) {
+  EXPECT_EQ(secF(1.0), 1000);
+  EXPECT_EQ(secF(0.0004), 0);
+  EXPECT_EQ(secF(0.0006), 1);
+  EXPECT_EQ(secF(21.5), 21500);
+}
+
+TEST(Time, SecFOfHugeValueIsInfinity) {
+  EXPECT_TRUE(isInf(secF(1e300)));
+  EXPECT_TRUE(isInf(secF(std::numeric_limits<double>::infinity())));
+}
+
+TEST(Time, ToSecondsRoundTrip) {
+  EXPECT_DOUBLE_EQ(toSeconds(sec(42)), 42.0);
+  EXPECT_DOUBLE_EQ(toSeconds(msec(500)), 0.5);
+  EXPECT_TRUE(std::isinf(toSeconds(kTimeInf)));
+}
+
+TEST(Time, InfinityDetection) {
+  EXPECT_TRUE(isInf(kTimeInf));
+  EXPECT_TRUE(isInf(kTimeInf + 5));
+  EXPECT_FALSE(isInf(0));
+  EXPECT_FALSE(isInf(hours(24 * 365 * 1000)));
+}
+
+TEST(Time, SaturatingAdd) {
+  EXPECT_EQ(satAdd(1, 2), 3);
+  EXPECT_EQ(satAdd(kTimeInf, 5), kTimeInf);
+  EXPECT_EQ(satAdd(5, kTimeInf), kTimeInf);
+  EXPECT_EQ(satAdd(kTimeInf, kTimeInf), kTimeInf);
+  // Near-infinity additions saturate instead of overflowing.
+  EXPECT_EQ(satAdd(kTimeInf - 1, kTimeInf - 1), kTimeInf);
+}
+
+TEST(Time, SaturatingSub) {
+  EXPECT_EQ(satSub(5, 3), 2);
+  EXPECT_EQ(satSub(kTimeInf, 100), kTimeInf);
+  EXPECT_EQ(satSub(3, 5), -2);
+}
+
+TEST(Time, NeverSentinelIsDistinctFromInfinity) {
+  EXPECT_NE(kNever, kTimeInf);
+  EXPECT_LT(kNever, 0);
+}
+
+}  // namespace
+}  // namespace coorm

@@ -1,0 +1,75 @@
+#include "coorm/exp/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "coorm/exp/scenario.hpp"
+
+namespace coorm {
+namespace {
+
+const AppId kApp{0};
+const ClusterId kC{0};
+
+TEST(Timeline, RecordsProfile) {
+  TimelineRecorder recorder;
+  recorder.onAllocationChanged(kApp, kC, 4, RequestType::kNonPreemptible,
+                               sec(10));
+  recorder.onAllocationChanged(kApp, kC, 2, RequestType::kNonPreemptible,
+                               sec(20));
+  recorder.onAllocationChanged(kApp, kC, -6, RequestType::kNonPreemptible,
+                               sec(30));
+  const StepFunction profile = recorder.profile(kApp);
+  EXPECT_EQ(profile.at(sec(5)), 0);
+  EXPECT_EQ(profile.at(sec(15)), 4);
+  EXPECT_EQ(profile.at(sec(25)), 6);
+  EXPECT_EQ(profile.at(sec(35)), 0);
+}
+
+TEST(Timeline, UnknownAppIsZeroProfile) {
+  const TimelineRecorder recorder;
+  EXPECT_TRUE(recorder.profile(AppId{42}).isZero());
+}
+
+TEST(Timeline, CoalescesSameInstantChanges) {
+  TimelineRecorder recorder;
+  recorder.onAllocationChanged(kApp, kC, 4, RequestType::kPreemptible, sec(1));
+  recorder.onAllocationChanged(kApp, kC, -2, RequestType::kPreemptible,
+                               sec(1));
+  EXPECT_EQ(recorder.profile(kApp).at(sec(1)), 2);
+}
+
+TEST(Timeline, RenderProducesOneRowPerApp) {
+  TimelineRecorder recorder;
+  recorder.setName(AppId{0}, "alpha");
+  recorder.setName(AppId{1}, "beta");
+  recorder.onAllocationChanged(AppId{0}, kC, 8, RequestType::kNonPreemptible,
+                               0);
+  recorder.onAllocationChanged(AppId{1}, kC, 2, RequestType::kPreemptible,
+                               sec(50));
+  std::ostringstream out;
+  recorder.render(out, 0, sec(100), 8, 20);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("alpha"), std::string::npos);
+  EXPECT_NE(text.find("beta"), std::string::npos);
+  // alpha holds the whole machine: densest glyph appears.
+  EXPECT_NE(text.find('@'), std::string::npos);
+}
+
+TEST(Timeline, ScenarioIntegration) {
+  ScenarioConfig cfg;
+  cfg.nodes = 10;
+  Scenario sc(cfg);
+  RigidApp& rigid = sc.addRigid({kC, 4, sec(60)}, "myjob");
+  sc.runFor(sec(120));
+  ASSERT_TRUE(rigid.finished());
+  const StepFunction profile = sc.timeline().profile(rigid.appId());
+  EXPECT_EQ(profile.maxValue(), 4);
+  std::ostringstream out;
+  sc.timeline().render(out, 0, sec(120), 10);
+  EXPECT_NE(out.str().find("myjob"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coorm

@@ -1,0 +1,44 @@
+#include "coorm/sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace coorm {
+namespace {
+
+TEST(Trace, RecordsEntriesInOrder) {
+  Trace trace;
+  EXPECT_TRUE(trace.empty());
+  trace.record(sec(1), "app0", "request");
+  trace.record(sec(2), "rms", "start");
+  ASSERT_EQ(trace.entries().size(), 2u);
+  EXPECT_EQ(trace.entries()[0].actor, "app0");
+  EXPECT_EQ(trace.entries()[1].what, "start");
+}
+
+TEST(Trace, Contains) {
+  Trace trace;
+  trace.record(0, "rms", "views -> app0");
+  EXPECT_TRUE(trace.contains("views"));
+  EXPECT_FALSE(trace.contains("kill"));
+}
+
+TEST(Trace, DumpFormatsSeconds) {
+  Trace trace;
+  trace.record(sec(90), "rms", "start req1");
+  std::ostringstream out;
+  trace.dump(out);
+  EXPECT_NE(out.str().find("90"), std::string::npos);
+  EXPECT_NE(out.str().find("start req1"), std::string::npos);
+}
+
+TEST(Trace, Clear) {
+  Trace trace;
+  trace.record(0, "a", "b");
+  trace.clear();
+  EXPECT_TRUE(trace.empty());
+}
+
+}  // namespace
+}  // namespace coorm

@@ -1,0 +1,132 @@
+#include "coorm/profile/view.hpp"
+
+#include <gtest/gtest.h>
+
+namespace coorm {
+namespace {
+
+const ClusterId kA{0};
+const ClusterId kB{1};
+
+TEST(View, MissingClusterIsZeroProfile) {
+  const View v;
+  EXPECT_TRUE(v.cap(kA).isZero());
+  EXPECT_EQ(v.at(kA, sec(100)), 0);
+}
+
+TEST(View, SetAndReadBack) {
+  View v;
+  v.setCap(kA, StepFunction::constant(4));
+  EXPECT_EQ(v.at(kA, 0), 4);
+  EXPECT_EQ(v.at(kB, 0), 0);
+  EXPECT_EQ(v.clusters().size(), 1u);
+}
+
+TEST(View, CapRefInsertsZero) {
+  View v;
+  StepFunction& f = v.capRef(kB);
+  EXPECT_TRUE(f.isZero());
+  f = StepFunction::constant(2);
+  EXPECT_EQ(v.at(kB, sec(5)), 2);
+}
+
+TEST(View, AdditionAcrossClusters) {
+  View a;
+  a.setCap(kA, StepFunction::constant(3));
+  View b;
+  b.setCap(kA, StepFunction::constant(1));
+  b.setCap(kB, StepFunction::constant(2));
+  const View sum = a + b;
+  EXPECT_EQ(sum.at(kA, 0), 4);
+  EXPECT_EQ(sum.at(kB, 0), 2);
+}
+
+TEST(View, Subtraction) {
+  View a;
+  a.setCap(kA, StepFunction::constant(5));
+  View b;
+  b.setCap(kA, StepFunction::pulse(sec(1), sec(2), 3));
+  const View diff = a - b;
+  EXPECT_EQ(diff.at(kA, 0), 5);
+  EXPECT_EQ(diff.at(kA, sec(1)), 2);
+  EXPECT_EQ(diff.at(kA, sec(3)), 5);
+}
+
+TEST(View, UnionMaxMatchesPaperUnionOperator) {
+  View a;
+  a.setCap(kA, StepFunction::pulse(0, sec(10), 4));
+  View b;
+  b.setCap(kA, StepFunction::pulse(sec(5), sec(10), 6));
+  a.unionMax(b);
+  EXPECT_EQ(a.at(kA, sec(1)), 4);
+  EXPECT_EQ(a.at(kA, sec(7)), 6);
+  EXPECT_EQ(a.at(kA, sec(12)), 6);
+}
+
+TEST(View, ClampMin) {
+  View a;
+  a.setCap(kA, StepFunction::constant(1) - StepFunction::constant(3));
+  a.clampMin(0);
+  EXPECT_EQ(a.at(kA, 0), 0);
+}
+
+TEST(View, AllocLimitedByAvailabilityAndWant) {
+  View v;
+  v.setCap(kA, StepFunction::fromSegments({{0, 10}, {sec(5), 3}}));
+  // Window entirely in the 10-node region.
+  EXPECT_EQ(v.alloc(kA, 0, sec(5), 6), 6);
+  // Window crossing into the 3-node region: limited to 3.
+  EXPECT_EQ(v.alloc(kA, sec(2), sec(10), 6), 3);
+  // Wanting less than available.
+  EXPECT_EQ(v.alloc(kA, sec(6), sec(2), 2), 2);
+}
+
+TEST(View, AllocEdgeCases) {
+  View v;
+  v.setCap(kA, StepFunction::constant(5));
+  EXPECT_EQ(v.alloc(kA, 0, sec(1), 0), 0);
+  EXPECT_EQ(v.alloc(kA, 0, 0, 5), 0);
+  EXPECT_EQ(v.alloc(kA, kTimeInf, sec(1), 5), 0);
+  // Negative availability clamps to 0.
+  View neg;
+  neg.setCap(kA, StepFunction::constant(-2));
+  EXPECT_EQ(neg.alloc(kA, 0, sec(1), 5), 0);
+}
+
+TEST(View, FindHoleDelegatesToProfile) {
+  View v;
+  v.setCap(kA, StepFunction::constant(4) -
+                   StepFunction::pulse(0, sec(30), 4));
+  EXPECT_EQ(v.findHole(kA, 2, sec(10), 0), sec(30));
+  EXPECT_EQ(v.findHole(kA, 5, sec(10), 0), kTimeInf);
+  EXPECT_EQ(v.findHole(kB, 1, sec(1), 0), kTimeInf);  // unknown cluster
+}
+
+TEST(View, IntegralSumsClusters) {
+  View v;
+  v.setCap(kA, StepFunction::constant(2));
+  v.setCap(kB, StepFunction::constant(3));
+  EXPECT_DOUBLE_EQ(v.integralNodeSeconds(0, sec(10)), 50.0);
+}
+
+TEST(View, SameAsTreatsMissingAsZero) {
+  View a;
+  a.setCap(kA, StepFunction::constant(1));
+  a.setCap(kB, StepFunction{});  // explicit zero
+  View b;
+  b.setCap(kA, StepFunction::constant(1));
+  EXPECT_TRUE(a.sameAs(b));
+  EXPECT_TRUE(b.sameAs(a));
+
+  b.setCap(kB, StepFunction::constant(1));
+  EXPECT_FALSE(a.sameAs(b));
+}
+
+TEST(View, ToStringMentionsClusters) {
+  View v;
+  v.setCap(kA, StepFunction::constant(2));
+  EXPECT_NE(v.toString().find("cluster0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace coorm

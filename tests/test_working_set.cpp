@@ -1,0 +1,132 @@
+// Working-set evolution model (§2.1): the paper's listed features, checked
+// statistically over many seeds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "coorm/amr/speedup.hpp"
+#include "coorm/amr/working_set.hpp"
+
+namespace coorm {
+namespace {
+
+TEST(WorkingSet, ProducesRequestedStepCount) {
+  WorkingSetParams params;
+  params.steps = 1000;
+  const WorkingSetModel model(params);
+  Rng rng(1);
+  EXPECT_EQ(model.generateNormalized(rng).size(), 1000u);
+}
+
+TEST(WorkingSet, NormalizedToMaximum1000) {
+  const WorkingSetModel model;
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    Rng rng(seed);
+    const auto profile = model.generateNormalized(rng);
+    const double peak = *std::max_element(profile.begin(), profile.end());
+    EXPECT_NEAR(peak, 1000.0, 1e-9) << "seed " << seed;
+  }
+}
+
+TEST(WorkingSet, ValuesStayInRange) {
+  const WorkingSetModel model;
+  Rng rng(3);
+  for (const double s : model.generateNormalized(rng)) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1000.0 + 1e-9);
+  }
+}
+
+TEST(WorkingSet, MostlyIncreasing) {
+  // Paper feature (i): the evolution is mostly increasing. Smooth the
+  // profile over windows and require most window-to-window deltas to be
+  // non-negative.
+  const WorkingSetModel model;
+  int increasingWindows = 0;
+  int totalWindows = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const auto profile = model.generateNormalized(rng);
+    constexpr std::size_t kWindow = 50;
+    double previous = -1.0;
+    for (std::size_t i = 0; i + kWindow <= profile.size(); i += kWindow) {
+      const double mean =
+          std::accumulate(profile.begin() + static_cast<long>(i),
+                          profile.begin() + static_cast<long>(i + kWindow),
+                          0.0) /
+          kWindow;
+      if (previous >= 0.0) {
+        ++totalWindows;
+        if (mean >= previous - 10.0) ++increasingWindows;  // small tolerance
+      }
+      previous = mean;
+    }
+  }
+  EXPECT_GT(static_cast<double>(increasingWindows) / totalWindows, 0.85);
+}
+
+TEST(WorkingSet, HasQuietAndActiveRegions) {
+  // Paper features (ii): sudden increases and regions of constancy.
+  const WorkingSetModel model;
+  int seedsWithBoth = 0;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    const auto profile = model.generateNormalized(rng);
+    constexpr std::size_t kWindow = 25;
+    bool quiet = false;
+    bool active = false;
+    for (std::size_t i = 0; i + kWindow < profile.size(); i += kWindow) {
+      const double delta = profile[i + kWindow] - profile[i];
+      if (std::abs(delta) < 5.0) quiet = true;
+      if (delta > 50.0) active = true;
+    }
+    if (quiet && active) ++seedsWithBoth;
+  }
+  EXPECT_GE(seedsWithBoth, 15);
+}
+
+TEST(WorkingSet, DeterministicPerSeed) {
+  const WorkingSetModel model;
+  Rng a(77);
+  Rng b(77);
+  EXPECT_EQ(model.generateNormalized(a), model.generateNormalized(b));
+}
+
+TEST(WorkingSet, DifferentSeedsGiveDifferentProfiles) {
+  const WorkingSetModel model;
+  Rng a(1);
+  Rng b(2);
+  EXPECT_NE(model.generateNormalized(a), model.generateNormalized(b));
+}
+
+TEST(WorkingSet, ScalingToSizes) {
+  const WorkingSetModel model;
+  const std::vector<double> normalized{0.0, 500.0, 1000.0};
+  const auto sizes = model.toSizesMiB(normalized, 2048.0);
+  ASSERT_EQ(sizes.size(), 3u);
+  EXPECT_DOUBLE_EQ(sizes[0], 0.0);
+  EXPECT_DOUBLE_EQ(sizes[1], 1024.0);
+  EXPECT_DOUBLE_EQ(sizes[2], 2048.0);
+}
+
+TEST(WorkingSet, GenerateSizesPeaksAtSmax) {
+  const WorkingSetModel model;
+  Rng rng(5);
+  const auto sizes = model.generateSizesMiB(rng, kPaperSmaxMiB);
+  EXPECT_NEAR(*std::max_element(sizes.begin(), sizes.end()), kPaperSmaxMiB,
+              1e-6);
+}
+
+TEST(WorkingSet, CustomPhaseLengthsRespected) {
+  WorkingSetParams params;
+  params.steps = 100;
+  params.minPhaseSteps = 5;
+  params.maxPhaseSteps = 10;
+  const WorkingSetModel model(params);
+  Rng rng(1);
+  EXPECT_EQ(model.generateNormalized(rng).size(), 100u);
+}
+
+}  // namespace
+}  // namespace coorm
