@@ -1,0 +1,11 @@
+# Defines coorm_warnings: the warning set every first-party target links
+# against (third-party code — googletest, benchmark — is deliberately left
+# out). COORM_WERROR promotes warnings to errors.
+
+add_library(coorm_warnings INTERFACE)
+
+target_compile_options(coorm_warnings INTERFACE
+  $<$<CXX_COMPILER_ID:GNU,Clang,AppleClang>:-Wall -Wextra -Wpedantic -Wshadow>
+  $<$<AND:$<BOOL:${COORM_WERROR}>,$<CXX_COMPILER_ID:GNU,Clang,AppleClang>>:-Werror>
+  $<$<CXX_COMPILER_ID:MSVC>:/W4>
+  $<$<AND:$<BOOL:${COORM_WERROR}>,$<CXX_COMPILER_ID:MSVC>>:/WX>)

@@ -1,0 +1,33 @@
+# Header self-containment gate (-DCOORM_HEADER_CHECKS=ON, used by CI).
+#
+# Generates one trivial TU per public header and compiles them all into an
+# object library: a header that silently relies on a transitive include
+# breaks this target long before it breaks a far-away consumer.
+
+function(coorm_add_header_checks)
+  file(GLOB_RECURSE _coorm_headers
+    RELATIVE ${PROJECT_SOURCE_DIR}/src
+    CONFIGURE_DEPENDS
+    ${PROJECT_SOURCE_DIR}/src/coorm/*.hpp)
+
+  set(_check_sources "")
+  foreach(header IN LISTS _coorm_headers)
+    string(REPLACE "/" "_" stem ${header})
+    string(REPLACE ".hpp" ".cpp" stem ${stem})
+    set(tu ${CMAKE_CURRENT_BINARY_DIR}/header_checks/${stem})
+    set(content "#include \"${header}\"\n#include \"${header}\"  // idempotent\n")
+    # Only touch the TU when its content changes: a reconfigure must not
+    # invalidate every header-check object.
+    set(previous "")
+    if(EXISTS ${tu})
+      file(READ ${tu} previous)
+    endif()
+    if(NOT previous STREQUAL content)
+      file(WRITE ${tu} "${content}")
+    endif()
+    list(APPEND _check_sources ${tu})
+  endforeach()
+
+  add_library(coorm_header_checks OBJECT ${_check_sources})
+  target_link_libraries(coorm_header_checks PRIVATE coorm::core coorm_warnings)
+endfunction()

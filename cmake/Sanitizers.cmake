@@ -1,0 +1,14 @@
+# Defines coorm_sanitizers: ASan + UBSan flags when COORM_SANITIZE is on,
+# empty otherwise. PUBLIC on coorm_core so every consumer (tests, tools,
+# benches) is instrumented consistently — mixing instrumented and plain TUs
+# is the classic way to get false negatives.
+
+add_library(coorm_sanitizers INTERFACE)
+
+if(COORM_SANITIZE)
+  set(_coorm_san_flags -fsanitize=address,undefined -fno-omit-frame-pointer
+      -fno-sanitize-recover=all)
+  target_compile_options(coorm_sanitizers INTERFACE ${_coorm_san_flags})
+  target_link_options(coorm_sanitizers INTERFACE -fsanitize=address,undefined)
+  unset(_coorm_san_flags)
+endif()

@@ -234,14 +234,17 @@ void PsaApp::onTaskComplete(NodeId node) {
   const bool isBase =
       std::find(baseNodes_.begin(), baseNodes_.end(), node) != baseNodes_.end();
   if (isBase) {
+    // Mark the node idle before relaunching: startTask() requires it, and
+    // the base part (unlike the malleable one) restarts in place.
+    auto base = baseTasks_.find(node);
+    if (base != baseTasks_.end()) base->second.reset();
     startTask(node);  // the guaranteed part churns forever
     return;
   }
 
   auto it = nodes_.find(node);
   if (it == nodes_.end()) return;
-  it->second.taskStart = kNever;
-  it->second.taskEvent = nullptr;
+  it->second.reset();
 
   if (!maybeStartTask(node)) {
     replan();  // releases the idle node if it is no longer usable

@@ -72,6 +72,10 @@ class PsaApp final : public Application {
     Time taskStart = kNever;  ///< kNever while idle
     EventHandle taskEvent;
     [[nodiscard]] bool running() const { return taskStart != kNever; }
+    void reset() {
+      taskStart = kNever;
+      taskEvent = nullptr;
+    }
   };
 
   void handleViews() override;

@@ -1,0 +1,128 @@
+// coorm_sim option parsing (tools/cli_options.hpp).
+#include <gtest/gtest.h>
+
+#include <initializer_list>
+#include <sstream>
+#include <vector>
+
+#include "cli_options.hpp"
+
+namespace coorm::cli {
+namespace {
+
+ParseResult parse(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"coorm_sim"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return parseArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, DefaultsWithNoArguments) {
+  const ParseResult r = parse({});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.options.nodes, 128);
+  EXPECT_EQ(r.options.seed, 1u);
+  EXPECT_FALSE(r.options.amrPeakGiB.has_value());
+  EXPECT_TRUE(r.options.psaTasks.empty());
+  EXPECT_TRUE(r.options.swfPath.empty());
+  EXPECT_EQ(r.options.until, hours(24));
+  EXPECT_FALSE(r.options.strict);
+  EXPECT_FALSE(r.options.showTimeline);
+  EXPECT_FALSE(r.options.showTrace);
+}
+
+TEST(Cli, ParsesNodes) {
+  const ParseResult r = parse({"--nodes", "256"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.options.nodes, 256);
+}
+
+TEST(Cli, NodesMissingValueIsError) {
+  const ParseResult r = parse({"--nodes"});
+  EXPECT_EQ(r.status, ParseStatus::kError);
+  EXPECT_NE(r.error.find("--nodes"), std::string::npos);
+}
+
+TEST(Cli, NonPositiveNodesIsError) {
+  EXPECT_EQ(parse({"--nodes", "0"}).status, ParseStatus::kError);
+  EXPECT_EQ(parse({"--nodes", "-4"}).status, ParseStatus::kError);
+}
+
+TEST(Cli, ParsesAmrWithModifiers) {
+  const ParseResult r = parse({"--amr", "200", "--amr-steps", "50",
+                               "--amr-static", "--overcommit", "1.5",
+                               "--announce", "600"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.options.amrPeakGiB.has_value());
+  EXPECT_DOUBLE_EQ(*r.options.amrPeakGiB, 200.0);
+  EXPECT_EQ(r.options.amrSteps, 50);
+  EXPECT_TRUE(r.options.amrStatic);
+  EXPECT_DOUBLE_EQ(r.options.overcommit, 1.5);
+  EXPECT_EQ(r.options.announce, secF(600.0));
+}
+
+TEST(Cli, PsaIsRepeatable) {
+  const ParseResult r = parse({"--psa", "600", "--psa", "60"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.options.psaTasks.size(), 2u);
+  EXPECT_EQ(r.options.psaTasks[0], secF(600.0));
+  EXPECT_EQ(r.options.psaTasks[1], secF(60.0));
+}
+
+TEST(Cli, ParsesSwfPath) {
+  const ParseResult r = parse({"--swf", "trace.swf", "--nodes", "512"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.options.swfPath, "trace.swf");
+  EXPECT_EQ(r.options.nodes, 512);
+}
+
+TEST(Cli, SwfMissingValueIsError) {
+  EXPECT_EQ(parse({"--swf"}).status, ParseStatus::kError);
+}
+
+TEST(Cli, ParsesFlagsAndHorizon) {
+  const ParseResult r = parse({"--strict", "--timeline", "--trace",
+                               "--until", "3600", "--jobs", "50",
+                               "--seed", "7"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.options.strict);
+  EXPECT_TRUE(r.options.showTimeline);
+  EXPECT_TRUE(r.options.showTrace);
+  EXPECT_EQ(r.options.until, secF(3600.0));
+  EXPECT_EQ(r.options.syntheticJobs, 50);
+  EXPECT_EQ(r.options.seed, 7u);
+}
+
+TEST(Cli, HelpShortCircuits) {
+  EXPECT_EQ(parse({"--help"}).status, ParseStatus::kHelp);
+  EXPECT_EQ(parse({"-h"}).status, ParseStatus::kHelp);
+  // --help wins over valid options before it; an invalid option before it
+  // still errors first (parsing stops at the first bad argument).
+  EXPECT_EQ(parse({"--nodes", "64", "--help"}).status, ParseStatus::kHelp);
+  EXPECT_EQ(parse({"--bogus", "--help"}).status, ParseStatus::kError);
+}
+
+TEST(Cli, UnknownOptionIsError) {
+  const ParseResult r = parse({"--bogus"});
+  EXPECT_EQ(r.status, ParseStatus::kError);
+  EXPECT_NE(r.error.find("--bogus"), std::string::npos);
+}
+
+TEST(Cli, InvalidOvercommitIsError) {
+  EXPECT_EQ(parse({"--overcommit", "0"}).status, ParseStatus::kError);
+  EXPECT_EQ(parse({"--amr-steps", "0"}).status, ParseStatus::kError);
+}
+
+TEST(Cli, UsageMentionsEveryOption) {
+  std::ostringstream out;
+  printUsage(out);
+  const std::string usage = out.str();
+  for (const char* flag :
+       {"--nodes", "--seed", "--amr", "--amr-steps", "--amr-static",
+        "--overcommit", "--announce", "--psa", "--jobs", "--swf", "--strict",
+        "--until", "--timeline", "--trace", "--help"}) {
+    EXPECT_NE(usage.find(flag), std::string::npos) << flag;
+  }
+}
+
+}  // namespace
+}  // namespace coorm::cli

@@ -1,0 +1,84 @@
+#include "cli_options.hpp"
+
+#include <cstdlib>
+#include <ostream>
+
+namespace coorm::cli {
+
+void printUsage(std::ostream& out) {
+  out << "usage: coorm_sim [options]\n"
+         "  --nodes N          cluster size (default 128)\n"
+         "  --seed S           random seed (default 1)\n"
+         "  --amr GIB          add an evolving AMR app with a working-set\n"
+         "                     peak of GIB GiB\n"
+         "  --amr-steps N      AMR steps (default 200)\n"
+         "  --amr-static       force the AMR to use its whole pre-allocation\n"
+         "  --overcommit F     pre-allocation = F x equivalent static\n"
+         "  --announce SECS    announced updates (default 0 = spontaneous)\n"
+         "  --psa SECS         add a malleable PSA with SECS-long tasks\n"
+         "                     (repeatable)\n"
+         "  --jobs N           add N synthetic rigid jobs\n"
+         "  --swf FILE         replay a rigid SWF trace\n"
+         "  --strict           strict equi-partitioning (no filling)\n"
+         "  --until SECS       horizon when no AMR is present (default 86400)\n"
+         "  --timeline         render an ASCII allocation timeline\n"
+         "  --trace            dump the protocol trace\n"
+         "  --help             this text\n";
+}
+
+ParseResult parseArgs(int argc, const char* const* argv) {
+  ParseResult result;
+  Options& options = result.options;
+  auto value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) return nullptr;
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = nullptr;
+    if (arg == "--help" || arg == "-h") {
+      result.status = ParseStatus::kHelp;
+      return result;
+    } else if (arg == "--nodes" && (v = value(i))) {
+      options.nodes = std::atoll(v);
+    } else if (arg == "--seed" && (v = value(i))) {
+      options.seed = static_cast<std::uint64_t>(std::atoll(v));
+    } else if (arg == "--amr" && (v = value(i))) {
+      options.amrPeakGiB = std::atof(v);
+    } else if (arg == "--amr-steps" && (v = value(i))) {
+      options.amrSteps = std::atoi(v);
+    } else if (arg == "--amr-static") {
+      options.amrStatic = true;
+    } else if (arg == "--overcommit" && (v = value(i))) {
+      options.overcommit = std::atof(v);
+    } else if (arg == "--announce" && (v = value(i))) {
+      options.announce = secF(std::atof(v));
+    } else if (arg == "--psa" && (v = value(i))) {
+      options.psaTasks.push_back(secF(std::atof(v)));
+    } else if (arg == "--jobs" && (v = value(i))) {
+      options.syntheticJobs = std::atoi(v);
+    } else if (arg == "--swf" && (v = value(i))) {
+      options.swfPath = v;
+    } else if (arg == "--strict") {
+      options.strict = true;
+    } else if (arg == "--until" && (v = value(i))) {
+      options.until = secF(std::atof(v));
+    } else if (arg == "--timeline") {
+      options.showTimeline = true;
+    } else if (arg == "--trace") {
+      options.showTrace = true;
+    } else {
+      result.error = "unknown or incomplete option: " + arg;
+      return result;
+    }
+  }
+  if (options.nodes <= 0 || options.amrSteps <= 0 ||
+      options.overcommit <= 0.0) {
+    result.error = "invalid numeric option";
+    return result;
+  }
+  result.status = ParseStatus::kOk;
+  return result;
+}
+
+}  // namespace coorm::cli

@@ -1,0 +1,57 @@
+// Command-line option parsing for coorm_sim.
+//
+// Kept separate from the driver so tests can exercise argument handling
+// without spawning a process: parseArgs() never exits and never touches
+// global state; it reports --help and errors through ParseResult instead.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "coorm/common/time.hpp"
+#include "coorm/rms/machine.hpp"
+
+namespace coorm::cli {
+
+/// Everything coorm_sim can be told on the command line.
+struct Options {
+  NodeCount nodes = 128;
+  std::uint64_t seed = 1;
+  std::optional<double> amrPeakGiB;
+  int amrSteps = 200;
+  double overcommit = 1.0;
+  Time announce = 0;
+  bool amrStatic = false;
+  std::vector<Time> psaTasks;
+  int syntheticJobs = 0;
+  std::string swfPath;
+  bool strict = false;
+  Time until = hours(24);
+  bool showTimeline = false;
+  bool showTrace = false;
+};
+
+enum class ParseStatus {
+  kOk,    ///< options is valid, run the simulation
+  kHelp,  ///< --help was given; print usage and exit 0
+  kError  ///< bad input; `error` explains, print usage and exit non-zero
+};
+
+struct ParseResult {
+  ParseStatus status = ParseStatus::kError;
+  Options options;
+  std::string error;
+
+  [[nodiscard]] bool ok() const { return status == ParseStatus::kOk; }
+};
+
+/// Parses argv (argv[0] is skipped as the program name). Pure: no I/O.
+[[nodiscard]] ParseResult parseArgs(int argc, const char* const* argv);
+
+/// Writes the usage/option summary to `out`.
+void printUsage(std::ostream& out);
+
+}  // namespace coorm::cli

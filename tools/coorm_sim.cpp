@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "cli_options.hpp"
 #include "coorm/amr/static_analysis.hpp"
 #include "coorm/amr/working_set.hpp"
 #include "coorm/exp/scenario.hpp"
@@ -24,160 +25,73 @@
 
 using namespace coorm;
 
-namespace {
-
-struct Options {
-  NodeCount nodes = 128;
-  std::uint64_t seed = 1;
-  std::optional<double> amrPeakGiB;
-  int amrSteps = 200;
-  double overcommit = 1.0;
-  Time announce = 0;
-  bool amrStatic = false;
-  std::vector<Time> psaTasks;
-  int syntheticJobs = 0;
-  std::string swfPath;
-  bool strict = false;
-  Time until = hours(24);
-  bool showTimeline = false;
-  bool showTrace = false;
-};
-
-void printUsage(std::ostream& out) {
-  out << "usage: coorm_sim [options]\n"
-         "  --nodes N          cluster size (default 128)\n"
-         "  --seed S           random seed (default 1)\n"
-         "  --amr GIB          add an evolving AMR app with a working-set\n"
-         "                     peak of GIB GiB\n"
-         "  --amr-steps N      AMR steps (default 200)\n"
-         "  --amr-static       force the AMR to use its whole pre-allocation\n"
-         "  --overcommit F     pre-allocation = F x equivalent static\n"
-         "  --announce SECS    announced updates (default 0 = spontaneous)\n"
-         "  --psa SECS         add a malleable PSA with SECS-long tasks\n"
-         "                     (repeatable)\n"
-         "  --jobs N           add N synthetic rigid jobs\n"
-         "  --swf FILE         replay a rigid SWF trace\n"
-         "  --strict           strict equi-partitioning (no filling)\n"
-         "  --until SECS       horizon when no AMR is present (default 86400)\n"
-         "  --timeline         render an ASCII allocation timeline\n"
-         "  --trace            dump the protocol trace\n"
-         "  --help             this text\n";
-}
-
-std::optional<Options> parseArgs(int argc, char** argv) {
-  Options options;
-  auto value = [&](int& i) -> const char* {
-    if (i + 1 >= argc) return nullptr;
-    return argv[++i];
-  };
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    const char* v = nullptr;
-    if (arg == "--help" || arg == "-h") {
-      printUsage(std::cout);
-      std::exit(0);
-    } else if (arg == "--nodes" && (v = value(i))) {
-      options.nodes = std::atoll(v);
-    } else if (arg == "--seed" && (v = value(i))) {
-      options.seed = static_cast<std::uint64_t>(std::atoll(v));
-    } else if (arg == "--amr" && (v = value(i))) {
-      options.amrPeakGiB = std::atof(v);
-    } else if (arg == "--amr-steps" && (v = value(i))) {
-      options.amrSteps = std::atoi(v);
-    } else if (arg == "--amr-static") {
-      options.amrStatic = true;
-    } else if (arg == "--overcommit" && (v = value(i))) {
-      options.overcommit = std::atof(v);
-    } else if (arg == "--announce" && (v = value(i))) {
-      options.announce = secF(std::atof(v));
-    } else if (arg == "--psa" && (v = value(i))) {
-      options.psaTasks.push_back(secF(std::atof(v)));
-    } else if (arg == "--jobs" && (v = value(i))) {
-      options.syntheticJobs = std::atoi(v);
-    } else if (arg == "--swf" && (v = value(i))) {
-      options.swfPath = v;
-    } else if (arg == "--strict") {
-      options.strict = true;
-    } else if (arg == "--until" && (v = value(i))) {
-      options.until = secF(std::atof(v));
-    } else if (arg == "--timeline") {
-      options.showTimeline = true;
-    } else if (arg == "--trace") {
-      options.showTrace = true;
-    } else {
-      std::cerr << "unknown or incomplete option: " << arg << "\n\n";
-      printUsage(std::cerr);
-      return std::nullopt;
-    }
-  }
-  if (options.nodes <= 0 || options.amrSteps <= 0 ||
-      options.overcommit <= 0.0) {
-    std::cerr << "invalid numeric option\n";
-    return std::nullopt;
-  }
-  return options;
-}
-
-}  // namespace
-
 int main(int argc, char** argv) {
-  const auto options = parseArgs(argc, argv);
-  if (!options) return 2;
+  const cli::ParseResult parsed = cli::parseArgs(argc, argv);
+  if (parsed.status == cli::ParseStatus::kHelp) {
+    cli::printUsage(std::cout);
+    return 0;
+  }
+  if (!parsed.ok()) {
+    std::cerr << parsed.error << "\n\n";
+    cli::printUsage(std::cerr);
+    return 2;
+  }
+  const cli::Options& options = parsed.options;
 
   ScenarioConfig config;
-  config.nodes = options->nodes;
-  config.server.strictEquiPartition = options->strict;
-  config.recordTrace = options->showTrace;
+  config.nodes = options.nodes;
+  config.server.strictEquiPartition = options.strict;
+  config.recordTrace = options.showTrace;
   Scenario sc(config);
-  Rng rng(options->seed);
+  Rng rng(options.seed);
 
   // Evolving AMR application.
   AmrApp* amr = nullptr;
-  if (options->amrPeakGiB) {
+  if (options.amrPeakGiB) {
     WorkingSetParams wsParams;
-    wsParams.steps = options->amrSteps;
+    wsParams.steps = options.amrSteps;
     const WorkingSetModel wsModel(wsParams);
     Rng child = rng.fork();
     const auto sizes =
-        wsModel.generateSizesMiB(child, *options->amrPeakGiB * 1024.0);
+        wsModel.generateSizesMiB(child, *options.amrPeakGiB * 1024.0);
     const SpeedupModel model;
     const StaticAnalysis analysis(model, sizes);
     const NodeCount neq = analysis.equivalentStatic(0.75).value_or(
-        options->nodes / 2);
+        options.nodes / 2);
 
     AmrApp::Config amrCfg;
     amrCfg.cluster = sc.cluster();
     amrCfg.sizesMiB = sizes;
     amrCfg.preallocNodes = std::clamp<NodeCount>(
-        static_cast<NodeCount>(options->overcommit *
+        static_cast<NodeCount>(options.overcommit *
                                static_cast<double>(neq)),
-        1, options->nodes);
+        1, options.nodes);
     amrCfg.walltime = hours(24 * 7);
     amrCfg.mode =
-        options->amrStatic ? AmrApp::Mode::kStatic : AmrApp::Mode::kDynamic;
-    amrCfg.announceInterval = options->announce;
+        options.amrStatic ? AmrApp::Mode::kStatic : AmrApp::Mode::kDynamic;
+    amrCfg.announceInterval = options.announce;
     amr = &sc.addAmr(amrCfg, "amr");
-    std::cout << "amr: peak " << *options->amrPeakGiB << " GiB, n_eq ~ "
+    std::cout << "amr: peak " << *options.amrPeakGiB << " GiB, n_eq ~ "
               << neq << ", pre-allocation " << amrCfg.preallocNodes
               << " nodes\n";
   }
 
   // Malleable PSAs.
   std::vector<PsaApp*> psas;
-  for (std::size_t i = 0; i < options->psaTasks.size(); ++i) {
+  for (std::size_t i = 0; i < options.psaTasks.size(); ++i) {
     PsaApp::Config psaCfg;
     psaCfg.cluster = sc.cluster();
-    psaCfg.taskDuration = options->psaTasks[i];
-    psaCfg.rngSeed = options->seed * 100 + i;
+    psaCfg.taskDuration = options.psaTasks[i];
+    psaCfg.rngSeed = options.seed * 100 + i;
     psas.push_back(&sc.addPsa(psaCfg, "psa" + std::to_string(i + 1)));
   }
 
   // Rigid workload: SWF trace or synthetic.
   std::unique_ptr<WorkloadPlayer> player;
-  if (!options->swfPath.empty()) {
-    std::ifstream in(options->swfPath);
+  if (!options.swfPath.empty()) {
+    std::ifstream in(options.swfPath);
     if (!in) {
-      std::cerr << "cannot open " << options->swfPath << '\n';
+      std::cerr << "cannot open " << options.swfPath << '\n';
       return 2;
     }
     std::string error;
@@ -189,10 +103,10 @@ int main(int argc, char** argv) {
     std::cout << "trace: " << workload->size() << " jobs\n";
     player = std::make_unique<WorkloadPlayer>(sc.engine(), sc.server(),
                                               sc.cluster(), *workload);
-  } else if (options->syntheticJobs > 0) {
+  } else if (options.syntheticJobs > 0) {
     SyntheticWorkloadParams params;
-    params.jobs = options->syntheticJobs;
-    params.maxProcessors = std::max<NodeCount>(options->nodes / 2, 1);
+    params.jobs = options.syntheticJobs;
+    params.maxProcessors = std::max<NodeCount>(options.nodes / 2, 1);
     Rng child = rng.fork();
     const Workload workload = generateWorkload(params, child);
     std::cout << "synthetic workload: " << workload.size() << " jobs\n";
@@ -205,7 +119,7 @@ int main(int argc, char** argv) {
   if (amr != nullptr) {
     end = sc.runUntilFinished(*amr, hours(24 * 30));
   } else {
-    end = sc.runFor(options->until);
+    end = sc.runFor(options.until);
   }
 
   // Report.
@@ -228,7 +142,7 @@ int main(int argc, char** argv) {
   table.print(std::cout);
 
   if (player != nullptr) {
-    const WorkloadStats stats = player->stats(options->nodes);
+    const WorkloadStats stats = player->stats(options.nodes);
     std::cout << "rigid jobs: " << stats.completed << '/' << stats.submitted
               << " completed, mean wait "
               << TablePrinter::num(stats.meanWaitSeconds, 0)
@@ -239,7 +153,7 @@ int main(int argc, char** argv) {
   double waste = 0.0;
   for (PsaApp* psa : psas) waste += psa->wasteNodeSeconds();
   const double capacity =
-      static_cast<double>(options->nodes) * toSeconds(end);
+      static_cast<double>(options.nodes) * toSeconds(end);
   if (capacity > 0) {
     std::cout << "used resources: "
               << TablePrinter::num((sc.metrics().totalAllocatedNodeSeconds() -
@@ -249,11 +163,11 @@ int main(int argc, char** argv) {
               << " % (waste " << TablePrinter::num(waste, 0) << " node·s)\n";
   }
 
-  if (options->showTimeline) {
+  if (options.showTimeline) {
     std::cout << "\n=== allocation timeline ===\n";
-    sc.timeline().render(std::cout, 0, end, options->nodes);
+    sc.timeline().render(std::cout, 0, end, options.nodes);
   }
-  if (options->showTrace) {
+  if (options.showTrace) {
     std::cout << "\n=== protocol trace ===\n";
     sc.trace().dump(std::cout);
   }
