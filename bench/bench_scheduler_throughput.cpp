@@ -5,6 +5,20 @@
 // requests. We measure the pure C++ scheduler (Algorithm 4) over synthetic
 // request populations of varying size, reporting requests/second and
 // verifying the roughly-linear scaling.
+//
+// Scenario families:
+//  - BM_SchedulePass: the historical mix (pre-allocation + NP chain +
+//    one preemptible per application) on a single 4096-node cluster;
+//  - BM_ScheduleLargeScale: 256–4096 applications, capacity scaled with
+//    the population so the machine stays contended but not degenerate;
+//  - BM_ScheduleDeepChains: long alternating NEXT/COALLOC constraint
+//    chains, stressing fit()'s constraint propagation;
+//  - BM_ScheduleMultiCluster: applications spread over 8 clusters;
+//  - BM_EqSchedule: Algorithm 3 in isolation (half the applications hold
+//    started preemptible allocations, half have pending ones).
+//
+// `tools/bench_report.py` turns `--benchmark_format=json` output from this
+// binary into the committed BENCH_scheduler.json trajectory.
 #include <benchmark/benchmark.h>
 
 #include <memory>
@@ -15,9 +29,18 @@
 namespace coorm {
 namespace {
 
-const ClusterId kC{0};
+struct PopulationParams {
+  int napps = 4;
+  int chain = 2;            ///< NP requests chained after the first one
+  int nclusters = 1;
+  NodeCount nodesPerCluster = 4096;
+  bool mixCoAlloc = false;  ///< alternate NEXT/COALLOC along the chain
+  bool startedPreemptibles = false;  ///< every other app holds nodes already
+  std::uint64_t seed = 99;
+};
 
 struct Population {
+  Machine machine;
   std::vector<std::unique_ptr<Request>> owned;
   std::vector<std::unique_ptr<RequestSet>> sets;
   std::vector<AppSchedule> apps;
@@ -25,11 +48,15 @@ struct Population {
 
   // A mix mirroring the evaluation: each application has a pre-allocation,
   // a couple of chained NP requests inside it, and a preemptible request.
-  explicit Population(int napps, int extraNpPerApp, std::uint64_t seed) {
-    Rng rng(seed);
+  explicit Population(const PopulationParams& params) {
+    Rng rng(params.seed);
     std::int64_t nextId = 0;
-    apps.reserve(static_cast<std::size_t>(napps));
-    for (int a = 0; a < napps; ++a) {
+    for (int c = 0; c < params.nclusters; ++c) {
+      machine.clusters.push_back({ClusterId{c}, params.nodesPerCluster});
+    }
+    apps.reserve(static_cast<std::size_t>(params.napps));
+    for (int a = 0; a < params.napps; ++a) {
+      const ClusterId cid{a % params.nclusters};
       sets.push_back(std::make_unique<RequestSet>());
       RequestSet* pa = sets.back().get();
       sets.push_back(std::make_unique<RequestSet>());
@@ -42,7 +69,7 @@ struct Population {
                      Request* parent) -> Request* {
         auto r = std::make_unique<Request>();
         r->id = RequestId{nextId++};
-        r->cluster = kC;
+        r->cluster = cid;
         r->nodes = nodes;
         r->duration = duration;
         r->type = type;
@@ -62,13 +89,24 @@ struct Population {
           add(np, rng.uniformInt(1, prealloc->nodes),
               sec(rng.uniformInt(300, 3600)), RequestType::kNonPreemptible,
               Relation::kCoAlloc, prealloc);
-      for (int k = 0; k < extraNpPerApp; ++k) {
+      for (int k = 0; k < params.chain; ++k) {
+        const Relation how = (params.mixCoAlloc && k % 2 == 1)
+                                 ? Relation::kCoAlloc
+                                 : Relation::kNext;
         inner = add(np, rng.uniformInt(1, prealloc->nodes),
                     sec(rng.uniformInt(300, 3600)),
-                    RequestType::kNonPreemptible, Relation::kNext, inner);
+                    RequestType::kNonPreemptible, how, inner);
       }
-      add(p, rng.uniformInt(1, 32), kTimeInf, RequestType::kPreemptible,
-          Relation::kFree, nullptr);
+      Request* preemptible =
+          add(p, rng.uniformInt(1, 32), kTimeInf, RequestType::kPreemptible,
+              Relation::kFree, nullptr);
+      if (params.startedPreemptibles && a % 2 == 0) {
+        preemptible->startedAt = 0;
+        for (NodeCount n = 0; n < preemptible->nodes; ++n) {
+          preemptible->nodeIds.push_back(
+              NodeId{cid, static_cast<std::int32_t>(a * 64 + n)});
+        }
+      }
 
       AppSchedule app;
       app.app = AppId{a};
@@ -80,11 +118,9 @@ struct Population {
   }
 };
 
-void BM_SchedulePass(benchmark::State& state) {
-  const int napps = static_cast<int>(state.range(0));
-  const int chain = static_cast<int>(state.range(1));
-  Population population(napps, chain, 99);
-  Scheduler scheduler(Machine::single(4096));
+void runSchedulePass(benchmark::State& state, const PopulationParams& params) {
+  Population population(params);
+  Scheduler scheduler(population.machine);
   Time now = 0;
   for (auto _ : state) {
     scheduler.schedule(population.apps, now);
@@ -98,6 +134,13 @@ void BM_SchedulePass(benchmark::State& state) {
       benchmark::Counter::kIsIterationInvariantRate);
 }
 
+void BM_SchedulePass(benchmark::State& state) {
+  PopulationParams params;
+  params.napps = static_cast<int>(state.range(0));
+  params.chain = static_cast<int>(state.range(1));
+  runSchedulePass(state, params);
+}
+
 BENCHMARK(BM_SchedulePass)
     ->Args({4, 2})
     ->Args({16, 2})
@@ -107,8 +150,79 @@ BENCHMARK(BM_SchedulePass)
     ->Args({128, 8})
     ->Unit(benchmark::kMicrosecond);
 
+void BM_ScheduleLargeScale(benchmark::State& state) {
+  PopulationParams params;
+  params.napps = static_cast<int>(state.range(0));
+  params.chain = 8;
+  params.nodesPerCluster = 16 * params.napps;  // contended but not degenerate
+  params.startedPreemptibles = true;
+  runSchedulePass(state, params);
+}
+
+BENCHMARK(BM_ScheduleLargeScale)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScheduleDeepChains(benchmark::State& state) {
+  PopulationParams params;
+  params.napps = static_cast<int>(state.range(0));
+  params.chain = static_cast<int>(state.range(1));
+  params.mixCoAlloc = true;
+  params.nodesPerCluster = 8192;
+  runSchedulePass(state, params);
+}
+
+BENCHMARK(BM_ScheduleDeepChains)
+    ->Args({64, 32})
+    ->Args({256, 32})
+    ->Args({256, 64})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScheduleMultiCluster(benchmark::State& state) {
+  PopulationParams params;
+  params.napps = static_cast<int>(state.range(0));
+  params.chain = 4;
+  params.nclusters = 8;
+  params.nodesPerCluster = 4 * params.napps;
+  params.startedPreemptibles = true;
+  runSchedulePass(state, params);
+}
+
+BENCHMARK(BM_ScheduleMultiCluster)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_EqSchedule(benchmark::State& state) {
+  PopulationParams params;
+  params.napps = static_cast<int>(state.range(0));
+  params.chain = 0;
+  params.nodesPerCluster = 8 * params.napps;
+  params.startedPreemptibles = true;
+  Population population(params);
+  Scheduler scheduler(population.machine);
+  const View vp = scheduler.machineView();
+  for (auto _ : state) {
+    Scheduler::eqSchedule(population.apps, vp, 0, /*strict=*/false);
+    benchmark::DoNotOptimize(population.apps.front().preemptiveView);
+  }
+}
+
+BENCHMARK(BM_EqSchedule)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ToView(benchmark::State& state) {
-  Population population(static_cast<int>(state.range(0)), 8, 7);
+  PopulationParams params;
+  params.napps = static_cast<int>(state.range(0));
+  params.chain = 8;
+  params.seed = 7;
+  Population population(params);
   for (auto _ : state) {
     for (const AppSchedule& app : population.apps) {
       benchmark::DoNotOptimize(Scheduler::toView(*app.nonPreemptible));
@@ -118,7 +232,11 @@ void BM_ToView(benchmark::State& state) {
 BENCHMARK(BM_ToView)->Arg(16)->Arg(128)->Unit(benchmark::kMicrosecond);
 
 void BM_Fit(benchmark::State& state) {
-  Population population(static_cast<int>(state.range(0)), 8, 7);
+  PopulationParams params;
+  params.napps = static_cast<int>(state.range(0));
+  params.chain = 8;
+  params.seed = 7;
+  Population population(params);
   Scheduler scheduler(Machine::single(4096));
   const View machine = scheduler.machineView();
   for (auto _ : state) {

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "coorm/common/check.hpp"
+#include "coorm/profile/profile_sweep.hpp"
 
 namespace coorm {
 
@@ -32,6 +33,80 @@ StepFunction StepFunction::pulse(Time start, Time duration, NodeCount value) {
 
 StepFunction StepFunction::fromSegments(std::vector<Segment> segments) {
   return StepFunction(std::move(segments));
+}
+
+StepFunction StepFunction::fromCanonical(std::vector<Segment> segments) {
+  COORM_DCHECK(!segments.empty());
+  COORM_DCHECK(segments.front().start == 0);
+#ifndef NDEBUG
+  for (std::size_t i = 1; i < segments.size(); ++i) {
+    COORM_DCHECK(segments[i - 1].start < segments[i].start);
+    COORM_DCHECK(segments[i - 1].value != segments[i].value);
+  }
+#endif
+  StepFunction fn;
+  fn.segments_ = std::move(segments);
+  return fn;
+}
+
+StepFunction StepFunction::combine(
+    std::span<const StepFunction* const> functions, CombineOp op) {
+  if (functions.empty()) return StepFunction();
+  if (functions.size() == 1) return *functions[0];
+
+  std::size_t totalSegments = 0;
+  for (const StepFunction* fn : functions) totalSegments += fn->segmentCount();
+
+  ProfileSweep sweep(functions);
+  const std::size_t n = sweep.size();
+
+  // kSum keeps a running sum updated from the sweep's change list; kMax and
+  // kMin have no cheap inverse, so they rescan the N current values per
+  // merged breakpoint and skip the bookkeeping entirely.
+  std::vector<NodeCount> last;
+  NodeCount sum = 0;
+  if (op == CombineOp::kSum) {
+    last.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      last[i] = sweep.value(i);
+      sum += last[i];
+    }
+  }
+  const auto aggregate = [&]() -> NodeCount {
+    switch (op) {
+      case CombineOp::kSum:
+        return sum;
+      case CombineOp::kMax: {
+        NodeCount best = sweep.value(0);
+        for (std::size_t i = 1; i < n; ++i)
+          best = std::max(best, sweep.value(i));
+        return best;
+      }
+      case CombineOp::kMin: {
+        NodeCount best = sweep.value(0);
+        for (std::size_t i = 1; i < n; ++i)
+          best = std::min(best, sweep.value(i));
+        return best;
+      }
+    }
+    return 0;  // unreachable
+  };
+
+  std::vector<Segment> out;
+  out.reserve(totalSegments);
+  out.push_back({0, aggregate()});
+  while (sweep.advance()) {
+    if (op == CombineOp::kSum) {
+      for (const std::uint32_t idx : sweep.changed()) {
+        const NodeCount value = sweep.value(idx);
+        sum += value - last[idx];
+        last[idx] = value;
+      }
+    }
+    const NodeCount value = aggregate();
+    if (value != out.back().value) out.push_back({sweep.time(), value});
+  }
+  return fromCanonical(std::move(out));
 }
 
 void StepFunction::canonicalize() {
@@ -64,9 +139,9 @@ NodeCount StepFunction::at(Time t) const {
 NodeCount StepFunction::minOver(Time t0, Time t1) const {
   COORM_CHECK(t0 < t1);
   if (t0 < 0) t0 = 0;
-  NodeCount result = segments_[segmentIndexAt(t0)].value;
-  for (std::size_t i = segmentIndexAt(t0) + 1;
-       i < segments_.size() && segments_[i].start < t1; ++i) {
+  std::size_t i = segmentIndexAt(t0);
+  NodeCount result = segments_[i].value;
+  for (++i; i < segments_.size() && segments_[i].start < t1; ++i) {
     result = std::min(result, segments_[i].value);
   }
   return result;
@@ -75,9 +150,9 @@ NodeCount StepFunction::minOver(Time t0, Time t1) const {
 NodeCount StepFunction::maxOver(Time t0, Time t1) const {
   COORM_CHECK(t0 < t1);
   if (t0 < 0) t0 = 0;
-  NodeCount result = segments_[segmentIndexAt(t0)].value;
-  for (std::size_t i = segmentIndexAt(t0) + 1;
-       i < segments_.size() && segments_[i].start < t1; ++i) {
+  std::size_t i = segmentIndexAt(t0);
+  NodeCount result = segments_[i].value;
+  for (++i; i < segments_.size() && segments_[i].start < t1; ++i) {
     result = std::max(result, segments_[i].value);
   }
   return result;
@@ -165,6 +240,48 @@ StepFunction& StepFunction::operator-=(const StepFunction& other) {
   return *this;
 }
 
+StepFunction& StepFunction::addPulse(Time start, Time duration,
+                                     NodeCount value) {
+  COORM_CHECK(start >= 0);
+  COORM_CHECK(duration >= 0);
+  if (duration == 0 || value == 0) return *this;
+  const Time end = satAdd(start, duration);
+
+  // Ensure breakpoints exist at start and (finite) end, bump every value
+  // in between; only the two seams can need re-merging afterwards (the
+  // interior keeps its pairwise-distinct values when shifted uniformly).
+  std::size_t first = segmentIndexAt(start);
+  if (segments_[first].start != start) {
+    segments_.insert(segments_.begin() + static_cast<std::ptrdiff_t>(first) + 1,
+                     {start, segments_[first].value});
+    ++first;
+  }
+  std::size_t bumpEnd;  // one past the last bumped segment
+  if (isInf(end)) {
+    bumpEnd = segments_.size();
+  } else {
+    const std::size_t last = segmentIndexAt(end);
+    if (segments_[last].start != end) {
+      segments_.insert(segments_.begin() + static_cast<std::ptrdiff_t>(last) + 1,
+                       {end, segments_[last].value});
+      bumpEnd = last + 1;
+    } else {
+      bumpEnd = last;
+    }
+  }
+  for (std::size_t i = first; i < bumpEnd; ++i) segments_[i].value += value;
+
+  // Right seam first (erasing there leaves `first` valid), then left.
+  if (bumpEnd < segments_.size() &&
+      segments_[bumpEnd].value == segments_[bumpEnd - 1].value) {
+    segments_.erase(segments_.begin() + static_cast<std::ptrdiff_t>(bumpEnd));
+  }
+  if (first > 0 && segments_[first].value == segments_[first - 1].value) {
+    segments_.erase(segments_.begin() + static_cast<std::ptrdiff_t>(first));
+  }
+  return *this;
+}
+
 StepFunction& StepFunction::pointwiseMax(const StepFunction& other) {
   combineWith(other, [](NodeCount a, NodeCount b) { return std::max(a, b); });
   return *this;
@@ -176,8 +293,16 @@ StepFunction& StepFunction::pointwiseMin(const StepFunction& other) {
 }
 
 StepFunction& StepFunction::clampMin(NodeCount floor) {
-  for (auto& seg : segments_) seg.value = std::max(seg.value, floor);
-  canonicalize();
+  // Most clamps are no-ops (profiles are usually already non-negative);
+  // only re-canonicalize when a value actually moved.
+  bool changed = false;
+  for (auto& seg : segments_) {
+    if (seg.value < floor) {
+      seg.value = floor;
+      changed = true;
+    }
+  }
+  if (changed) canonicalize();
   return *this;
 }
 

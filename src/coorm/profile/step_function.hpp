@@ -46,6 +46,22 @@ class StepFunction {
   /// canonicalization; adjacent equal values are merged).
   static StepFunction fromSegments(std::vector<Segment> segments);
 
+  /// Build from segments already in canonical form: first starts at 0,
+  /// strictly increasing starts, adjacent values differ. The sweep-based
+  /// producers uphold this by construction, so the re-canonicalize scan of
+  /// fromSegments is skipped; validated in debug builds.
+  static StepFunction fromCanonical(std::vector<Segment> segments);
+
+  /// Pointwise N-ary combine. Equivalent to folding the matching binary
+  /// operator over `functions`, but runs as one k-way merge sweep: every
+  /// input segment is visited once, the output is allocated once and
+  /// canonicalized once. kSum maintains a running sum (O(total segments ×
+  /// log N)); kMax/kMin rescan the N current values per merged breakpoint.
+  /// An empty list yields the zero function.
+  enum class CombineOp { kSum, kMax, kMin };
+  [[nodiscard]] static StepFunction combine(
+      std::span<const StepFunction* const> functions, CombineOp op);
+
   /// Value at time t (t < 0 is clamped to 0).
   [[nodiscard]] NodeCount at(Time t) const;
 
@@ -68,6 +84,12 @@ class StepFunction {
   /// In-place pointwise arithmetic.
   StepFunction& operator+=(const StepFunction& other);
   StepFunction& operator-=(const StepFunction& other);
+
+  /// In-place `*this += pulse(start, duration, value)` without
+  /// materializing the pulse: at most two breakpoint insertions and a
+  /// value bump over the covered segments. This is the occupation-view
+  /// hot path (one call per scheduled request).
+  StepFunction& addPulse(Time start, Time duration, NodeCount value);
 
   /// Pointwise max — the paper's view union.
   StepFunction& pointwiseMax(const StepFunction& other);

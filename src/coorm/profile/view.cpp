@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "coorm/common/check.hpp"
+#include "coorm/profile/profile_sweep.hpp"
 
 namespace coorm {
 
@@ -47,36 +48,249 @@ void View::setCap(ClusterId cid, StepFunction profile) {
 
 NodeCount View::at(ClusterId cid, Time t) const { return cap(cid).at(t); }
 
-template <typename Op>
-void View::combineWith(const View& other, Op op) {
-  for (const Entry& theirs : other.entries_) {
-    StepFunction& mine = capRef(theirs.cluster);
-    op(mine, theirs.profile);
-  }
-}
-
 View& View::operator+=(const View& other) {
-  combineWith(other,
-              [](StepFunction& a, const StepFunction& b) { a += b; });
-  return *this;
+  const View* operands[] = {&other};
+  return accumulate(operands, Op::kAdd);
 }
 
 View& View::operator-=(const View& other) {
-  combineWith(other,
-              [](StepFunction& a, const StepFunction& b) { a -= b; });
-  return *this;
+  const View* operands[] = {&other};
+  return accumulate(operands, Op::kSubtract);
 }
 
 View& View::unionMax(const View& other) {
-  combineWith(other, [](StepFunction& a, const StepFunction& b) {
-    a.pointwiseMax(b);
-  });
-  return *this;
+  // Clusters absent on either side face the other's zero profile (class
+  // contract), so e.g. a negative stretch unions up to zero.
+  const View* operands[] = {&other};
+  return accumulate(operands, Op::kMax);
 }
 
 View& View::clampMin(NodeCount floor) {
   for (Entry& entry : entries_) entry.profile.clampMin(floor);
   return *this;
+}
+
+bool View::nonNegative() const {
+  for (const Entry& entry : entries_) {
+    if (entry.profile.minValue() < 0) return false;
+  }
+  return true;
+}
+
+namespace {
+
+NodeCount applyOp(View::Op op, NodeCount base, NodeCount operand) {
+  switch (op) {
+    case View::Op::kAdd:
+      return base + operand;
+    case View::Op::kSubtract:
+      return base - operand;
+    case View::Op::kMax:
+      return std::max(base, operand);
+  }
+  return base;  // unreachable
+}
+
+/// Fused binary combine: op(base, operand) with the optional zero-clamp
+/// applied in the same pass — a plain two-pointer merge with one output
+/// allocation, cheaper than a ProfileSweep for two operands.
+StepFunction combineBinary(const StepFunction& base,
+                           const StepFunction& operand, View::Op op,
+                           bool clampAtZero) {
+  const auto bs = base.segments();
+  const auto os = operand.segments();
+  std::vector<StepFunction::Segment> out;
+  out.reserve(bs.size() + os.size());
+  std::size_t i = 0;
+  std::size_t j = 0;
+  // Both inputs have a segment starting at 0, so the first merged
+  // breakpoint consumes the leading segment of both and i, j >= 1 below.
+  while (i < bs.size() || j < os.size()) {
+    Time t;
+    if (i < bs.size() && j < os.size()) {
+      t = std::min(bs[i].start, os[j].start);
+    } else if (i < bs.size()) {
+      t = bs[i].start;
+    } else {
+      t = os[j].start;
+    }
+    if (i < bs.size() && bs[i].start == t) ++i;
+    if (j < os.size() && os[j].start == t) ++j;
+    NodeCount value = applyOp(op, bs[i - 1].value, os[j - 1].value);
+    if (clampAtZero) value = std::max<NodeCount>(value, 0);
+    if (out.empty() || value != out.back().value) out.push_back({t, value});
+  }
+  return StepFunction::fromCanonical(std::move(out));
+}
+
+/// One cluster's worth of View::accumulate: fns[0] is the base profile,
+/// fns[1..] are the accumulated operands. One sweep, one output
+/// allocation, one canonicalize. kMax is symmetric and delegates to
+/// StepFunction::combine; the sum ops keep an incremental running rest.
+StepFunction accumulateProfiles(std::span<const StepFunction* const> fns,
+                                View::Op op, bool clampAtZero) {
+  if (op == View::Op::kMax) {
+    StepFunction result =
+        StepFunction::combine(fns, StepFunction::CombineOp::kMax);
+    if (clampAtZero) result.clampMin(0);
+    return result;
+  }
+
+  std::size_t totalSegments = 0;
+  for (const StepFunction* fn : fns) totalSegments += fn->segmentCount();
+
+  ProfileSweep sweep(fns);
+  const std::size_t n = sweep.size();
+
+  // Running sum of the operand values (indices >= 1), updated from the
+  // sweep's change list.
+  std::vector<NodeCount> last(n);
+  NodeCount rest = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    last[i] = sweep.value(i);
+    if (i > 0) rest += last[i];
+  }
+  const auto current = [&]() -> NodeCount {
+    const NodeCount value = op == View::Op::kAdd ? sweep.value(0) + rest
+                                                 : sweep.value(0) - rest;
+    return clampAtZero ? std::max<NodeCount>(value, 0) : value;
+  };
+
+  std::vector<StepFunction::Segment> out;
+  out.reserve(totalSegments);
+  out.push_back({0, current()});
+  while (sweep.advance()) {
+    for (const std::uint32_t idx : sweep.changed()) {
+      const NodeCount value = sweep.value(idx);
+      if (idx > 0) rest += value - last[idx];
+      last[idx] = value;
+    }
+    const NodeCount value = current();
+    if (value != out.back().value) out.push_back({sweep.time(), value});
+  }
+  return StepFunction::fromCanonical(std::move(out));
+}
+
+}  // namespace
+
+View& View::accumulate(std::span<const View* const> others, Op op,
+                       bool clampAtZero) {
+  // Empty views are the identity for every op (the zero-clamp is applied
+  // by the base pass regardless), and they are common: most request sets
+  // have nothing started. Prune them before sizing the sweep, without
+  // allocating in the usual all-present case.
+  std::size_t presentCount = 0;
+  for (const View* other : others) {
+    if (!other->empty()) ++presentCount;
+  }
+  std::vector<const View*> present;
+  if (presentCount != others.size()) {
+    // For kMax a dropped empty view still contributes a zero profile to
+    // the maximum — fold it into the clamp instead.
+    if (op == Op::kMax) clampAtZero = true;
+    if (presentCount == 0) {
+      if (clampAtZero) clampMin(0);
+      return *this;
+    }
+    present.reserve(presentCount);
+    for (const View* other : others) {
+      if (!other->empty()) present.push_back(other);
+    }
+    others = present;
+  }
+  if (others.size() == 1) {
+    const View& other = *others[0];
+    if (entries_.empty()) {
+      // Empty base: the result is op(0, operand) profile-for-profile — a
+      // single transform pass, no merge needed.
+      entries_.reserve(other.entries_.size());
+      for (const Entry& theirs : other.entries_) {
+        if (op == Op::kAdd &&
+            (!clampAtZero || theirs.profile.minValue() >= 0)) {
+          entries_.push_back(theirs);
+          continue;
+        }
+        std::vector<StepFunction::Segment> segments;
+        segments.reserve(theirs.profile.segmentCount());
+        for (const auto& seg : theirs.profile.segments()) {
+          NodeCount value = applyOp(op, 0, seg.value);
+          if (clampAtZero) value = std::max<NodeCount>(value, 0);
+          if (segments.empty() || segments.back().value != value) {
+            segments.push_back({seg.start, value});
+          }
+        }
+        entries_.push_back(
+            {theirs.cluster, StepFunction::fromCanonical(std::move(segments))});
+      }
+      return *this;
+    }
+    // Binary fast path: merge in place, cluster by cluster. Materialize
+    // the operand's clusters first so the clamp (and the merge) covers the
+    // union of both cluster sets.
+    for (const Entry& theirs : other.entries_) {
+      static_cast<void>(capRef(theirs.cluster));
+    }
+    for (Entry& mine : entries_) {
+      const Entry* theirsEntry = other.find(mine.cluster);
+      if (theirsEntry == nullptr) {
+        // Zero operand: identity for kAdd/kSubtract, a clamp for kMax.
+        if (clampAtZero || op == Op::kMax) mine.profile.clampMin(0);
+        continue;
+      }
+      const StepFunction& theirs = theirsEntry->profile;
+      if (op != Op::kMax &&
+          theirs.segmentCount() * 8 <= mine.profile.segmentCount()) {
+        // A small operand against a big base: splice it in pulse by pulse
+        // (memmove around at most two breakpoints each) instead of
+        // re-merging and re-allocating the whole base.
+        const auto segs = theirs.segments();
+        for (std::size_t k = 0; k < segs.size(); ++k) {
+          if (segs[k].value == 0) continue;
+          const Time start = segs[k].start;
+          const Time next =
+              k + 1 < segs.size() ? segs[k + 1].start : kTimeInf;
+          const Time duration = isInf(next) ? kTimeInf : next - start;
+          mine.profile.addPulse(
+              start, duration,
+              op == Op::kSubtract ? -segs[k].value : segs[k].value);
+        }
+        if (clampAtZero) mine.profile.clampMin(0);
+      } else {
+        mine.profile =
+            combineBinary(mine.profile, theirs, op, clampAtZero);
+      }
+    }
+    return *this;
+  }
+
+  std::vector<ClusterId> ids;
+  appendClusterIds(ids);
+  for (const View* other : others) other->appendClusterIds(ids);
+  sortUniqueClusterIds(ids);
+
+  std::vector<const StepFunction*> fns;
+  fns.reserve(others.size() + 1);
+  std::vector<Entry> result;
+  result.reserve(ids.size());
+  for (const ClusterId cid : ids) {
+    fns.clear();
+    fns.push_back(&cap(cid));
+    for (const View* other : others) fns.push_back(&other->cap(cid));
+    result.push_back({cid, accumulateProfiles(fns, op, clampAtZero)});
+  }
+  entries_ = std::move(result);
+  return *this;
+}
+
+void View::appendClusterIds(std::vector<ClusterId>& out) const {
+  // No reserve here: exact-fit reserves in a loop defeat push_back's
+  // geometric growth and turn repeated appends quadratic.
+  for (const Entry& entry : entries_) out.push_back(entry.cluster);
+}
+
+void View::sortUniqueClusterIds(std::vector<ClusterId>& ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
 }
 
 NodeCount View::alloc(ClusterId cid, Time start, Time duration,

@@ -7,6 +7,7 @@
 // sum, difference, alloc() and findHole().
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,12 @@ class View {
   /// Mutable profile of a cluster (inserted as zero if absent).
   [[nodiscard]] StepFunction& capRef(ClusterId cid);
 
+  /// True when no cluster has a set profile (the view is zero everywhere).
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// True when every profile is >= 0 everywhere (clampMin(0) is a no-op).
+  [[nodiscard]] bool nonNegative() const;
+
   /// Replace a cluster's profile.
   void setCap(ClusterId cid, StepFunction profile);
 
@@ -46,6 +53,27 @@ class View {
   View& unionMax(const View& other);
   /// Clamp every profile to >= floor.
   View& clampMin(NodeCount floor);
+
+  /// N-ary in-place accumulate, the sweep-based replacement for folds of
+  /// the binary operators above. Per cluster (union of all cluster sets)
+  /// one k-way merge produces the result with a single allocation and a
+  /// single canonicalize:
+  ///   kAdd:       *this + other_0 + other_1 + ...
+  ///   kSubtract:  *this - other_0 - other_1 - ...
+  ///   kMax:       max(*this, other_0, other_1, ...)
+  /// With `clampAtZero`, values are clamped to >= 0 during the same sweep
+  /// (equivalent to clampMin(0) on the finished result).
+  enum class Op { kAdd, kSubtract, kMax };
+  View& accumulate(std::span<const View* const> others, Op op,
+                   bool clampAtZero = false);
+
+  /// Append the ids of clusters with a set profile to `out` (in this
+  /// view's sorted order; no deduplication across calls).
+  void appendClusterIds(std::vector<ClusterId>& out) const;
+
+  /// Sort + dedup a cluster-id list in place. Combined with
+  /// appendClusterIds this replaces O(n^2) std::find-based set unions.
+  static void sortUniqueClusterIds(std::vector<ClusterId>& ids);
 
   friend View operator+(View lhs, const View& rhs) {
     lhs += rhs;
@@ -90,9 +118,6 @@ class View {
 
   [[nodiscard]] const Entry* find(ClusterId cid) const;
   [[nodiscard]] Entry* find(ClusterId cid);
-
-  template <typename Op>
-  void combineWith(const View& other, Op op);
 
   std::vector<Entry> entries_;  // sorted by cluster id
 };

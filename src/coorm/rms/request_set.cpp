@@ -30,22 +30,13 @@ Request* RequestSet::find(RequestId id) const {
 
 std::vector<Request*> RequestSet::roots() const {
   std::vector<Request*> result;
-  for (Request* r : items_) {
-    if (r->relatedHow == Relation::kFree || r->relatedTo == nullptr ||
-        !contains(r->relatedTo)) {
-      result.push_back(r);
-    }
-  }
+  forEachRoot([&](Request* r) { result.push_back(r); });
   return result;
 }
 
 std::vector<Request*> RequestSet::children(const Request& parent) const {
   std::vector<Request*> result;
-  for (Request* r : items_) {
-    if (r->relatedTo == &parent && r->relatedHow != Relation::kFree) {
-      result.push_back(r);
-    }
-  }
+  forEachChild(parent, [&](Request* r) { result.push_back(r); });
   return result;
 }
 

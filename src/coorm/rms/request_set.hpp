@@ -34,6 +34,26 @@ class RequestSet {
   /// Paper A.2 children(): members of this set whose relatedTo is r.
   [[nodiscard]] std::vector<Request*> children(const Request& r) const;
 
+  /// Allocation-free variants of roots()/children() for the scheduler hot
+  /// path; same order, same membership.
+  template <typename Fn>
+  void forEachRoot(Fn&& fn) const {
+    for (Request* r : items_) {
+      if (r->relatedHow == Relation::kFree || r->relatedTo == nullptr ||
+          !contains(r->relatedTo)) {
+        fn(r);
+      }
+    }
+  }
+  template <typename Fn>
+  void forEachChild(const Request& parent, Fn&& fn) const {
+    for (Request* r : items_) {
+      if (r->relatedTo == &parent && r->relatedHow != Relation::kFree) {
+        fn(r);
+      }
+    }
+  }
+
   [[nodiscard]] bool empty() const { return items_.empty(); }
   [[nodiscard]] std::size_t size() const { return items_.size(); }
 

@@ -1,10 +1,10 @@
 #include "coorm/rms/scheduler.hpp"
 
 #include <algorithm>
-#include <deque>
-#include <unordered_set>
+#include <limits>
 
 #include "coorm/common/check.hpp"
+#include "coorm/profile/profile_sweep.hpp"
 
 namespace coorm {
 
@@ -23,38 +23,80 @@ NodeCount grantAtStart(const View& view, const Request& r, Time at) {
 /// Occupation pulse of one scheduled request.
 void addOccupation(View& view, const Request& r) {
   if (isInf(r.scheduledAt) || r.nAlloc <= 0 || r.duration <= 0) return;
-  view.capRef(r.cluster) +=
-      StepFunction::pulse(r.scheduledAt, r.duration, r.nAlloc);
+  view.capRef(r.cluster).addPulse(r.scheduledAt, r.duration, r.nAlloc);
 }
 
-/// Fair distribution of `capacity` among demands, one round-robin share at
-/// a time (paper Algorithm 3, lines 10–18). Deterministic in input order.
-std::vector<NodeCount> fairDistribute(NodeCount capacity,
-                                      const std::vector<NodeCount>& wants) {
-  std::vector<NodeCount> gives(wants.size(), 0);
-  NodeCount remaining = std::max<NodeCount>(capacity, 0);
-  while (remaining > 0) {
-    NodeCount unsatisfied = 0;
-    for (std::size_t i = 0; i < wants.size(); ++i) {
-      if (gives[i] < wants[i]) ++unsatisfied;
+/// Shorthand: *this op= other, as a one-element accumulate sweep.
+void accumulateOne(View& target, const View& operand, View::Op op,
+                   bool clampAtZero = false) {
+  const View* operands[] = {&operand};
+  target.accumulate(operands, op, clampAtZero);
+}
+
+/// Core of fairDistribute, writing into a caller-provided buffer so the
+/// per-breakpoint hot loop of eqSchedule can reuse its scratch.
+void fairDistributeInto(NodeCount capacity,
+                        const std::vector<NodeCount>& wants,
+                        std::vector<NodeCount>& gives) {
+  gives.assign(wants.size(), 0);
+  // The clamp keeps the partial sums below free of overflow; real
+  // capacities are node counts, far under this bound.
+  const NodeCount remaining = std::clamp<NodeCount>(
+      capacity, 0, std::numeric_limits<NodeCount>::max() / 4);
+  if (remaining == 0 || wants.empty()) return;
+
+  // The paper's round-robin (Algorithm 3, lines 10–18) converges to a
+  // water-filling level: the largest common share L with
+  // sum_i min(want_i, L) <= capacity, plus one extra node to the earliest
+  // still-unsatisfied applications. Binary-searching L computes that
+  // fixed point directly in O(apps · log capacity), where share-sized
+  // rounds degrade to one-node round-robin whenever the capacity left
+  // per round stays below the number of unsatisfied applications.
+  const auto levelFits = [&](NodeCount level) {
+    NodeCount total = 0;
+    for (const NodeCount want : wants) {
+      total += std::clamp<NodeCount>(want, 0, level);
+      if (total > remaining) return false;
     }
-    if (unsatisfied == 0) break;
-    const NodeCount share = std::max<NodeCount>(remaining / unsatisfied, 1);
-    bool progressed = false;
-    for (std::size_t i = 0; i < wants.size() && remaining > 0; ++i) {
-      if (gives[i] >= wants[i]) continue;
-      const NodeCount grant =
-          std::min({share, wants[i] - gives[i], remaining});
-      gives[i] += grant;
-      remaining -= grant;
-      if (grant > 0) progressed = true;
+    return true;
+  };
+  NodeCount hi = 0;
+  for (const NodeCount want : wants) hi = std::max(hi, want);
+  hi = std::min(hi, remaining);
+  // remaining/n is always a feasible level (n·⌊remaining/n⌋ <= remaining),
+  // which keeps the search short in the common nearly-even case.
+  NodeCount lo = std::min(
+      remaining / static_cast<NodeCount>(wants.size()), hi);
+  while (lo < hi) {
+    const NodeCount mid = lo + (hi - lo + 1) / 2;
+    if (levelFits(mid)) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
     }
-    if (!progressed) break;
   }
-  return gives;
+
+  NodeCount used = 0;
+  for (std::size_t i = 0; i < wants.size(); ++i) {
+    gives[i] = std::clamp<NodeCount>(wants[i], 0, lo);
+    used += gives[i];
+  }
+  for (std::size_t i = 0; i < wants.size() && used < remaining; ++i) {
+    if (gives[i] < wants[i]) {
+      ++gives[i];
+      ++used;
+    }
+  }
 }
 
 }  // namespace
+
+std::vector<NodeCount> fairDistribute(NodeCount capacity,
+                                      const std::vector<NodeCount>& wants) {
+  std::vector<NodeCount> gives;
+  fairDistributeInto(capacity, wants, gives);
+  return gives;
+}
 
 Scheduler::Scheduler(Machine machine) : Scheduler(std::move(machine), Config{}) {}
 
@@ -77,16 +119,17 @@ View Scheduler::toView(const RequestSet& set, const View* available,
   View out;
   for (Request* r : set) r->fixed = false;
 
-  std::deque<Request*> queue;
-  std::unordered_set<Request*> visited;
+  // FIFO worklist; `fixed` doubles as the visited marker (reset above, set
+  // exactly when a request is processed below).
+  std::vector<Request*> queue;
+  queue.reserve(set.size());
   for (Request* r : set) {
     if (r->started()) queue.push_back(r);
   }
 
-  while (!queue.empty()) {
-    Request* r = queue.front();
-    queue.pop_front();
-    if (!visited.insert(r).second) continue;
+  for (std::size_t head = 0; head < queue.size(); ++head) {
+    Request* r = queue[head];
+    if (r->fixed) continue;
 
     if (r->started()) {
       // Ground truth beats the derived time for running requests.
@@ -125,7 +168,7 @@ View Scheduler::toView(const RequestSet& set, const View* available,
     r->fixed = true;
     addOccupation(out, *r);
 
-    for (Request* child : set.children(*r)) queue.push_back(child);
+    set.forEachChild(*r, [&](Request* child) { queue.push_back(child); });
   }
   return out;
 }
@@ -134,7 +177,8 @@ View Scheduler::toView(const RequestSet& set, const View* available,
 // Algorithm 2: fit
 // ---------------------------------------------------------------------------
 View Scheduler::fit(const RequestSet& set, const View& available, Time t0) {
-  std::deque<Request*> queue;
+  std::vector<Request*> queue;
+  queue.reserve(set.size() * 2 + 8);  // constraint conflicts re-push parents
   std::size_t nonFixed = 0;
   for (Request* r : set) {
     if (r->fixed) continue;
@@ -143,19 +187,19 @@ View Scheduler::fit(const RequestSet& set, const View& available, Time t0) {
     r->nAlloc = 0;
     ++nonFixed;
   }
-  for (Request* r : set.roots()) queue.push_back(r);
+  set.forEachRoot([&](Request* r) { queue.push_back(r); });
 
   // The constraint-propagation loop converges because earliestScheduleAt
   // only moves forward; the guard bounds pathological inputs.
   std::size_t budget = 64 * (nonFixed + set.size() + 1);
 
-  while (!queue.empty() && budget-- > 0) {
-    Request* r = queue.front();
-    queue.pop_front();
+  for (std::size_t head = 0; head < queue.size() && budget > 0; ++head) {
+    --budget;
+    Request* r = queue[head];
 
     if (r->fixed) {
       // Start times of fixed requests cannot move; just visit children.
-      for (Request* child : set.children(*r)) queue.push_back(child);
+      set.forEachChild(*r, [&](Request* child) { queue.push_back(child); });
       continue;
     }
 
@@ -220,7 +264,7 @@ View Scheduler::fit(const RequestSet& set, const View& available, Time t0) {
     }
 
     if (before != r->scheduledAt) {
-      for (Request* child : set.children(*r)) queue.push_back(child);
+      set.forEachChild(*r, [&](Request* child) { queue.push_back(child); });
     }
   }
 
@@ -240,99 +284,129 @@ void Scheduler::eqSchedule(std::span<AppSchedule> apps, const View& available,
   const std::size_t napps = apps.size();
   if (napps == 0) return;
 
-  View avail = available;
-  avail.clampMin(0);
+  // Callers (schedule()) usually hand in an already-clamped view; only
+  // copy when the clamp would actually change something.
+  View clamped;
+  if (!available.nonNegative()) {
+    clamped = available;
+    clamped.clampMin(0);
+  }
+  const View& avail = clamped.empty() ? available : clamped;
 
   // Step 1: preliminary occupation views (started + newly fitted requests).
   std::vector<View> occupation(napps);
   for (std::size_t i = 0; i < napps; ++i) {
     occupation[i] = toView(*apps[i].preemptible, &avail, now);
-    View freeForMe = avail - occupation[i];
-    freeForMe.clampMin(0);
-    occupation[i] += fit(*apps[i].preemptible, freeForMe, now);
+    if (occupation[i].empty()) {
+      // Nothing started: avail - 0 clamped is avail itself (clamped on
+      // entry), so fit directly against it and adopt the result outright.
+      occupation[i] = fit(*apps[i].preemptible, avail, now);
+    } else {
+      View freeForMe = avail;
+      accumulateOne(freeForMe, occupation[i], View::Op::kSubtract,
+                    /*clampAtZero=*/true);
+      occupation[i] += fit(*apps[i].preemptible, freeForMe, now);
+    }
     apps[i].preemptiveView = View{};
   }
 
   // Step 2: per piece-wise-constant interval, decide what each application
-  // may have.
-  std::vector<ClusterId> clusterIds = avail.clusters();
-  for (const View& occ : occupation) {
-    for (ClusterId cid : occ.clusters()) {
-      if (std::find(clusterIds.begin(), clusterIds.end(), cid) ==
-          clusterIds.end()) {
-        clusterIds.push_back(cid);
-      }
+  // may have. One synchronized sweep per cluster walks the merged
+  // breakpoints of `avail` and every occupation profile, maintaining each
+  // application's demand plus the aggregates incrementally — no at()
+  // binary searches and no per-cluster breakpoint re-sort.
+  std::vector<ClusterId> clusterIds;
+  avail.appendClusterIds(clusterIds);
+  for (const View& occ : occupation) occ.appendClusterIds(clusterIds);
+  View::sortUniqueClusterIds(clusterIds);
+
+  NodeCount strictParticipants = 0;  // breakpoint-invariant
+  if (strict) {
+    for (const AppSchedule& app : apps) {
+      if (!app.preemptible->empty()) ++strictParticipants;
     }
   }
-  std::sort(clusterIds.begin(), clusterIds.end());
 
+  std::vector<const StepFunction*> fns(napps + 1);
   std::vector<NodeCount> wants(napps);
+  std::vector<NodeCount> gives;
   for (ClusterId cid : clusterIds) {
-    // Breakpoints: union of all involved profiles' segment starts.
-    std::vector<Time> breakpoints;
-    for (const auto& seg : avail.cap(cid).segments()) {
-      breakpoints.push_back(seg.start);
+    fns[0] = &avail.cap(cid);
+    for (std::size_t i = 0; i < napps; ++i) {
+      fns[i + 1] = &occupation[i].cap(cid);
     }
-    for (const View& occ : occupation) {
-      for (const auto& seg : occ.cap(cid).segments()) {
-        breakpoints.push_back(seg.start);
-      }
+    ProfileSweep sweep(fns);
+
+    NodeCount sumWant = 0;
+    NodeCount active = 0;
+    for (std::size_t i = 0; i < napps; ++i) {
+      wants[i] = std::max<NodeCount>(sweep.value(i + 1), 0);
+      sumWant += wants[i];
+      if (wants[i] > 0) ++active;
     }
-    std::sort(breakpoints.begin(), breakpoints.end());
-    breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end()),
-                      breakpoints.end());
 
     std::vector<std::vector<StepFunction::Segment>> outSegments(napps);
-    for (Time t : breakpoints) {
-      const NodeCount vin = std::max<NodeCount>(avail.at(cid, t), 0);
-      NodeCount sumWant = 0;
-      NodeCount active = 0;
-      for (std::size_t i = 0; i < napps; ++i) {
-        wants[i] = std::max<NodeCount>(occupation[i].at(cid, t), 0);
-        sumWant += wants[i];
-        if (wants[i] > 0) ++active;
+    // Emit a breakpoint only when the value changes, so each output is
+    // born canonical and stays proportional to its own change count
+    // rather than to the merged breakpoint count.
+    const auto emit = [&outSegments](std::size_t i, Time t, NodeCount value) {
+      auto& segments = outSegments[i];
+      if (segments.empty() || segments.back().value != value) {
+        segments.push_back({t, value});
       }
+    };
+    for (;;) {
+      const Time t = sweep.time();
+      const NodeCount vin = std::max<NodeCount>(sweep.value(0), 0);
       const bool anyInactive = active < static_cast<NodeCount>(napps);
-
-      for (std::size_t i = 0; i < napps; ++i) outSegments[i].push_back({t, 0});
 
       if (strict) {
         // Strict equi-partitioning (§5.4 baseline): a fixed share per
         // application that uses preemptible resources, with no filling of
         // unused partitions.
-        NodeCount participants = 0;
-        for (std::size_t i = 0; i < napps; ++i) {
-          if (!apps[i].preemptible->empty()) ++participants;
-        }
         const NodeCount share =
-            vin / std::max<NodeCount>(participants, 1);
-        for (std::size_t i = 0; i < napps; ++i) {
-          outSegments[i].back().value = share;
-        }
+            vin / std::max<NodeCount>(strictParticipants, 1);
+        for (std::size_t i = 0; i < napps; ++i) emit(i, t, share);
       } else if (sumWant > vin) {
         // Congested: distribute equally until nothing is left (paper lines
         // 8–18). Every application's view shows at least the partition it
         // is entitled to.
-        const auto gives = fairDistribute(vin, wants);
+        fairDistributeInto(vin, wants, gives);
         const NodeCount partitions = active + (anyInactive ? 1 : 0);
         const NodeCount share = partitions > 0 ? vin / partitions : 0;
         for (std::size_t i = 0; i < napps; ++i) {
-          outSegments[i].back().value = std::max(gives[i], share);
+          emit(i, t, std::max(gives[i], share));
         }
       } else {
         // Uncongested: each application sees what the others leave unused,
-        // but never less than its equi-partition (paper lines 19–25).
+        // but never less than its equi-partition (paper lines 19–25). The
+        // partition count only depends on whether the application is
+        // active, so two divisions cover all napps.
+        const NodeCount shareActive = active > 0 ? vin / active : vin;
+        const NodeCount shareIdle = vin / (active + 1);
+        const NodeCount freeLeft = vin - sumWant;
         for (std::size_t i = 0; i < napps; ++i) {
-          const NodeCount partitions = active + (wants[i] > 0 ? 0 : 1);
-          const NodeCount share = partitions > 0 ? vin / partitions : vin;
-          const NodeCount leftover = vin - (sumWant - wants[i]);
-          outSegments[i].back().value = std::max(leftover, share);
+          if (wants[i] > 0) {
+            emit(i, t, std::max(freeLeft + wants[i], shareActive));
+          } else {
+            emit(i, t, std::max(freeLeft, shareIdle));
+          }
         }
+      }
+
+      if (!sweep.advance()) break;
+      for (const std::uint32_t idx : sweep.changed()) {
+        if (idx == 0) continue;  // avail changed; vin is re-read anyway
+        const std::size_t i = idx - 1;
+        const NodeCount want = std::max<NodeCount>(sweep.value(idx), 0);
+        sumWant += want - wants[i];
+        if ((want > 0) != (wants[i] > 0)) active += want > 0 ? 1 : -1;
+        wants[i] = want;
       }
     }
     for (std::size_t i = 0; i < napps; ++i) {
       apps[i].preemptiveView.setCap(
-          cid, StepFunction::fromSegments(std::move(outSegments[i])));
+          cid, StepFunction::fromCanonical(std::move(outSegments[i])));
     }
   }
 
@@ -342,9 +416,15 @@ void Scheduler::eqSchedule(std::span<AppSchedule> apps, const View& available,
   for (std::size_t i = 0; i < napps; ++i) {
     const View own =
         toView(*apps[i].preemptible, &apps[i].preemptiveView, now);
-    View rest = apps[i].preemptiveView - own;
-    rest.clampMin(0);
-    fit(*apps[i].preemptible, rest, now);
+    if (own.empty()) {
+      // Preemptive views are non-negative by construction, so the
+      // subtract-clamp of an empty occupation is the view itself.
+      fit(*apps[i].preemptible, apps[i].preemptiveView, now);
+    } else {
+      View rest = apps[i].preemptiveView;
+      accumulateOne(rest, own, View::Op::kSubtract, /*clampAtZero=*/true);
+      fit(*apps[i].preemptible, rest, now);
+    }
   }
 }
 
@@ -355,28 +435,53 @@ void Scheduler::schedule(std::span<AppSchedule> apps, Time now) const {
   View vnp = machineView();  // non-preemptible resources still available
   View vp = machineView();   // preemptible resources still available
 
-  // Subtract resources held by started pre-allocations / NP requests.
+  // Subtract resources held by started pre-allocations / NP requests: one
+  // N-ary sweep each, instead of a fold of binary subtractions that
+  // re-merges the accumulated view once per application.
+  std::vector<View> paOcc;
+  std::vector<View> npOcc;
+  paOcc.reserve(apps.size());
+  npOcc.reserve(apps.size());
   for (AppSchedule& app : apps) {
-    vnp -= toView(*app.preAllocations);
-    vp -= toView(*app.nonPreemptible);
+    paOcc.push_back(toView(*app.preAllocations));
+    npOcc.push_back(toView(*app.nonPreemptible));
   }
+  std::vector<const View*> operands;
+  operands.reserve(apps.size() * 2);
+  for (const View& occ : paOcc) operands.push_back(&occ);
+  vnp.accumulate(operands, View::Op::kSubtract);
 
-  // Non-preemptive views and start times, in connection order.
-  for (AppSchedule& app : apps) {
-    const View ownStartedPa = toView(*app.preAllocations);
-    app.nonPreemptiveView = ownStartedPa + vnp;
-    app.nonPreemptiveView.clampMin(0);
+  // Non-preemptive views and start times, in connection order. The toView
+  // results above stay valid through this loop: fit() only mutates the
+  // request set it is given, so application i's occupation views cannot
+  // change before iteration i reads them. vnp is consumed inside the loop
+  // and must be updated eagerly; vp is only read after it, so the fitted
+  // NP occupations are collected and folded in one sweep at the end.
+  std::vector<View> npFitted;
+  npFitted.reserve(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    AppSchedule& app = apps[i];
+    const View& ownStartedPa = paOcc[i];
+
+    app.nonPreemptiveView = ownStartedPa;
+    accumulateOne(app.nonPreemptiveView, vnp, View::Op::kAdd,
+                  /*clampAtZero=*/true);
 
     const View occPa = fit(*app.preAllocations, app.nonPreemptiveView, now);
 
-    View npAvailable =
-        ownStartedPa + occPa - toView(*app.nonPreemptible);
-    npAvailable.clampMin(0);
-    const View occNp = fit(*app.nonPreemptible, npAvailable, now);
+    View npAvailable = ownStartedPa;
+    accumulateOne(npAvailable, occPa, View::Op::kAdd);
+    accumulateOne(npAvailable, npOcc[i], View::Op::kSubtract,
+                  /*clampAtZero=*/true);
+    npFitted.push_back(fit(*app.nonPreemptible, npAvailable, now));
 
-    vnp -= occPa;
-    vp -= occNp;
+    accumulateOne(vnp, occPa, View::Op::kSubtract);
   }
+
+  operands.clear();
+  for (const View& occ : npOcc) operands.push_back(&occ);
+  for (const View& occ : npFitted) operands.push_back(&occ);
+  vp.accumulate(operands, View::Op::kSubtract);
 
   vp.clampMin(0);
   eqSchedule(apps, vp, now, config_.strictEquiPartition);

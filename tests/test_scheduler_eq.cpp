@@ -1,9 +1,13 @@
 // Algorithm 3 (eqSchedule): equi-partitioning of preemptible resources,
-// with and without filling.
+// with and without filling; fairDistribute; and equivalence of the
+// sweep-based implementation with the seed's per-breakpoint reference.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
+#include "coorm/common/rng.hpp"
 #include "coorm/rms/scheduler.hpp"
 
 namespace coorm {
@@ -185,6 +189,77 @@ TEST(EqSchedule, SchedulesPendingRequestThatFits) {
   EXPECT_EQ(r->nAlloc, 8);
 }
 
+// --- fairDistribute ---------------------------------------------------------
+
+// The seed's round-based distribution (paper Algorithm 3 lines 10–18,
+// verbatim): one share-sized round at a time. fairDistribute must compute
+// the same fixed point directly.
+std::vector<NodeCount> roundRobinDistribute(
+    NodeCount capacity, const std::vector<NodeCount>& wants) {
+  std::vector<NodeCount> gives(wants.size(), 0);
+  NodeCount remaining = std::max<NodeCount>(capacity, 0);
+  while (remaining > 0) {
+    NodeCount unsatisfied = 0;
+    for (std::size_t i = 0; i < wants.size(); ++i) {
+      if (gives[i] < wants[i]) ++unsatisfied;
+    }
+    if (unsatisfied == 0) break;
+    const NodeCount share = std::max<NodeCount>(remaining / unsatisfied, 1);
+    bool progressed = false;
+    for (std::size_t i = 0; i < wants.size() && remaining > 0; ++i) {
+      if (gives[i] >= wants[i]) continue;
+      const NodeCount grant =
+          std::min({share, wants[i] - gives[i], remaining});
+      gives[i] += grant;
+      remaining -= grant;
+      if (grant > 0) progressed = true;
+    }
+    if (!progressed) break;
+  }
+  return gives;
+}
+
+TEST(FairDistribute, MatchesRoundRobinReferenceOnRandomInputs) {
+  for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+    Rng rng(seed);
+    const NodeCount capacity = rng.uniformInt(0, 80);
+    std::vector<NodeCount> wants(
+        static_cast<std::size_t>(rng.uniformInt(0, 8)));
+    for (NodeCount& want : wants) want = rng.uniformInt(-2, 25);
+    EXPECT_EQ(fairDistribute(capacity, wants),
+              roundRobinDistribute(capacity, wants))
+        << "seed=" << seed << " capacity=" << capacity;
+  }
+}
+
+TEST(FairDistribute, WaterFillLevelWithRemainderToEarliestUnsatisfied) {
+  EXPECT_EQ(fairDistribute(10, {2, 20}), (std::vector<NodeCount>{2, 8}));
+  EXPECT_EQ(fairDistribute(9, {5, 5}), (std::vector<NodeCount>{5, 4}));
+  EXPECT_EQ(fairDistribute(12, {1, 10, 10}),
+            (std::vector<NodeCount>{1, 6, 5}));
+  EXPECT_EQ(fairDistribute(0, {3, 3}), (std::vector<NodeCount>{0, 0}));
+  EXPECT_EQ(fairDistribute(5, {}), (std::vector<NodeCount>{}));
+}
+
+TEST(FairDistribute, HugeCapacityWorstCaseIsInstant) {
+  // One-node-at-a-time round-robin would need ~10^9 iterations here; the
+  // water-fill level search pins the O(apps · log capacity) behaviour.
+  const NodeCount big = 1'000'000'000;
+  const auto gives = fairDistribute(big, {big, big, big});
+  EXPECT_EQ(gives[0], 333'333'334);
+  EXPECT_EQ(gives[1], 333'333'333);
+  EXPECT_EQ(gives[2], 333'333'333);
+
+  // Staircase demands: each round of the seed algorithm satisfied only a
+  // few applications; the closed form must still match it bit for bit.
+  std::vector<NodeCount> staircase(512);
+  for (std::size_t i = 0; i < staircase.size(); ++i) {
+    staircase[i] = static_cast<NodeCount>(i * 37 % 1024);
+  }
+  EXPECT_EQ(fairDistribute(100'000, staircase),
+            roundRobinDistribute(100'000, staircase));
+}
+
 TEST(EqSchedule, OversizedFreePreemptibleRequestIsShrunk) {
   // Preemptible requests are not guaranteed (paper A.1): a FREE request
   // larger than what is available is granted whatever can be had — this is
@@ -202,6 +277,203 @@ TEST(EqSchedule, OversizedFreePreemptibleRequestIsShrunk) {
   Scheduler::eqSchedule(fx.apps, capacity(10), sec(1), false);
   EXPECT_EQ(r->scheduledAt, sec(1));
   EXPECT_EQ(r->nAlloc, 10);
+}
+
+// --- equivalence with the seed implementation -------------------------------
+
+// The seed's eqSchedule, kept verbatim as a reference: per-breakpoint
+// at() probes, O(n^2) cluster dedup, binary copy-subtract-clamp chains and
+// round-based distribution. The sweep-based production implementation must
+// produce bit-identical views and request state.
+void referenceEqSchedule(std::span<AppSchedule> apps, const View& available,
+                         Time now, bool strict) {
+  const std::size_t napps = apps.size();
+  if (napps == 0) return;
+
+  View avail = available;
+  avail.clampMin(0);
+
+  std::vector<View> occupation(napps);
+  for (std::size_t i = 0; i < napps; ++i) {
+    occupation[i] = Scheduler::toView(*apps[i].preemptible, &avail, now);
+    View freeForMe = avail - occupation[i];
+    freeForMe.clampMin(0);
+    occupation[i] += Scheduler::fit(*apps[i].preemptible, freeForMe, now);
+    apps[i].preemptiveView = View{};
+  }
+
+  std::vector<ClusterId> clusterIds = avail.clusters();
+  for (const View& occ : occupation) {
+    for (ClusterId cid : occ.clusters()) {
+      if (std::find(clusterIds.begin(), clusterIds.end(), cid) ==
+          clusterIds.end()) {
+        clusterIds.push_back(cid);
+      }
+    }
+  }
+  std::sort(clusterIds.begin(), clusterIds.end());
+
+  std::vector<NodeCount> wants(napps);
+  for (ClusterId cid : clusterIds) {
+    std::vector<Time> breakpoints;
+    for (const auto& seg : avail.cap(cid).segments()) {
+      breakpoints.push_back(seg.start);
+    }
+    for (const View& occ : occupation) {
+      for (const auto& seg : occ.cap(cid).segments()) {
+        breakpoints.push_back(seg.start);
+      }
+    }
+    std::sort(breakpoints.begin(), breakpoints.end());
+    breakpoints.erase(std::unique(breakpoints.begin(), breakpoints.end()),
+                      breakpoints.end());
+
+    std::vector<std::vector<StepFunction::Segment>> outSegments(napps);
+    for (Time t : breakpoints) {
+      const NodeCount vin = std::max<NodeCount>(avail.at(cid, t), 0);
+      NodeCount sumWant = 0;
+      NodeCount active = 0;
+      for (std::size_t i = 0; i < napps; ++i) {
+        wants[i] = std::max<NodeCount>(occupation[i].at(cid, t), 0);
+        sumWant += wants[i];
+        if (wants[i] > 0) ++active;
+      }
+      const bool anyInactive = active < static_cast<NodeCount>(napps);
+
+      for (std::size_t i = 0; i < napps; ++i) outSegments[i].push_back({t, 0});
+
+      if (strict) {
+        NodeCount participants = 0;
+        for (std::size_t i = 0; i < napps; ++i) {
+          if (!apps[i].preemptible->empty()) ++participants;
+        }
+        const NodeCount share = vin / std::max<NodeCount>(participants, 1);
+        for (std::size_t i = 0; i < napps; ++i) {
+          outSegments[i].back().value = share;
+        }
+      } else if (sumWant > vin) {
+        const auto gives = roundRobinDistribute(vin, wants);
+        const NodeCount partitions = active + (anyInactive ? 1 : 0);
+        const NodeCount share = partitions > 0 ? vin / partitions : 0;
+        for (std::size_t i = 0; i < napps; ++i) {
+          outSegments[i].back().value = std::max(gives[i], share);
+        }
+      } else {
+        for (std::size_t i = 0; i < napps; ++i) {
+          const NodeCount partitions = active + (wants[i] > 0 ? 0 : 1);
+          const NodeCount share = partitions > 0 ? vin / partitions : vin;
+          const NodeCount leftover = vin - (sumWant - wants[i]);
+          outSegments[i].back().value = std::max(leftover, share);
+        }
+      }
+    }
+    for (std::size_t i = 0; i < napps; ++i) {
+      apps[i].preemptiveView.setCap(
+          cid, StepFunction::fromSegments(std::move(outSegments[i])));
+    }
+  }
+
+  for (std::size_t i = 0; i < napps; ++i) {
+    const View own =
+        Scheduler::toView(*apps[i].preemptible, &apps[i].preemptiveView, now);
+    View rest = apps[i].preemptiveView - own;
+    rest.clampMin(0);
+    Scheduler::fit(*apps[i].preemptible, rest, now);
+  }
+}
+
+// A randomized population: clusters with time-varying (sometimes negative)
+// availability, applications mixing started and pending preemptible
+// requests, some chained with NEXT/COALLOC constraints.
+struct RandomScenario {
+  EqFixture fx;
+  View avail;
+  Time now = 0;
+  bool strict = false;
+};
+
+std::unique_ptr<RandomScenario> makeScenario(std::uint64_t seed) {
+  Rng rng(seed);
+  auto s = std::make_unique<RandomScenario>();
+  const int napps = static_cast<int>(rng.uniformInt(1, 6));
+  const int nclusters = static_cast<int>(rng.uniformInt(1, 3));
+
+  for (int a = 0; a < napps; ++a) {
+    AppSchedule& app = s->fx.addApp();
+    const int nreq = static_cast<int>(rng.uniformInt(0, 3));
+    Request* prev = nullptr;
+    for (int k = 0; k < nreq; ++k) {
+      auto r = std::make_unique<Request>();
+      r->id = RequestId{static_cast<std::int64_t>(s->fx.owned.size() + 1)};
+      r->cluster = ClusterId{static_cast<std::int32_t>(
+          rng.uniformInt(0, nclusters - 1))};
+      r->nodes = rng.uniformInt(1, 12);
+      r->duration = rng.uniformInt(0, 3) == 0 ? kTimeInf
+                                              : sec(rng.uniformInt(10, 500));
+      r->type = RequestType::kPreemptible;
+      if (prev != nullptr && rng.uniformInt(0, 2) == 0) {
+        r->relatedHow =
+            rng.uniformInt(0, 1) == 0 ? Relation::kNext : Relation::kCoAlloc;
+        r->relatedTo = prev;
+      } else if (rng.uniformInt(0, 1) == 0) {
+        r->startedAt = sec(rng.uniformInt(0, 50));
+        const NodeCount held = rng.uniformInt(0, r->nodes);
+        for (NodeCount n = 0; n < held; ++n) {
+          r->nodeIds.push_back(NodeId{
+              r->cluster,
+              static_cast<std::int32_t>(s->fx.owned.size() * 100 + n)});
+        }
+      }
+      prev = r.get();
+      app.preemptible->add(r.get());
+      s->fx.owned.push_back(std::move(r));
+    }
+  }
+
+  for (int c = 0; c < nclusters; ++c) {
+    StepFunction cap = StepFunction::constant(rng.uniformInt(4, 30));
+    const int dips = static_cast<int>(rng.uniformInt(0, 3));
+    for (int d = 0; d < dips; ++d) {
+      // Dips may exceed the base capacity, producing negative stretches.
+      cap -= StepFunction::pulse(
+          sec(rng.uniformInt(0, 300)),
+          rng.uniformInt(0, 3) == 0 ? kTimeInf : sec(rng.uniformInt(20, 200)),
+          rng.uniformInt(1, 20));
+    }
+    s->avail.setCap(ClusterId{c}, std::move(cap));
+  }
+  s->now = sec(rng.uniformInt(0, 80));
+  s->strict = rng.uniformInt(0, 1) == 1;
+  return s;
+}
+
+TEST(EqScheduleEquivalence, SweepMatchesSeedReferenceOnRandomScenarios) {
+  for (std::uint64_t seed = 1; seed <= 60; ++seed) {
+    auto real = makeScenario(seed);
+    auto ref = makeScenario(seed);
+
+    Scheduler::eqSchedule(real->fx.apps, real->avail, real->now,
+                          real->strict);
+    referenceEqSchedule(ref->fx.apps, ref->avail, ref->now, ref->strict);
+
+    ASSERT_EQ(real->fx.apps.size(), ref->fx.apps.size());
+    for (std::size_t i = 0; i < real->fx.apps.size(); ++i) {
+      EXPECT_TRUE(real->fx.apps[i].preemptiveView.sameAs(
+          ref->fx.apps[i].preemptiveView))
+          << "seed=" << seed << " app=" << i << "\n"
+          << real->fx.apps[i].preemptiveView.toString() << "\nvs\n"
+          << ref->fx.apps[i].preemptiveView.toString();
+    }
+    ASSERT_EQ(real->fx.owned.size(), ref->fx.owned.size());
+    for (std::size_t i = 0; i < real->fx.owned.size(); ++i) {
+      EXPECT_EQ(real->fx.owned[i]->scheduledAt, ref->fx.owned[i]->scheduledAt)
+          << "seed=" << seed << " request=" << i;
+      EXPECT_EQ(real->fx.owned[i]->nAlloc, ref->fx.owned[i]->nAlloc)
+          << "seed=" << seed << " request=" << i;
+      EXPECT_EQ(real->fx.owned[i]->fixed, ref->fx.owned[i]->fixed)
+          << "seed=" << seed << " request=" << i;
+    }
+  }
 }
 
 }  // namespace

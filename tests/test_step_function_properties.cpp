@@ -1,8 +1,14 @@
 // Property-based tests: random step functions, algebraic laws checked by
-// sampling, and consistency between firstFit / minOver / integral.
+// sampling, consistency between firstFit / minOver / integral, and
+// equivalence of the sweep-based N-ary algebra with folds of the binary
+// operators.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "coorm/common/rng.hpp"
+#include "coorm/profile/profile_sweep.hpp"
 #include "coorm/profile/step_function.hpp"
 
 namespace coorm {
@@ -138,6 +144,87 @@ TEST_P(StepFunctionProperty, IntegralMatchesRiemannSum) {
     sum += static_cast<double>(f.at(t)) * 0.25;
   }
   EXPECT_NEAR(f.integralNodeSeconds(t0, t1), sum, 1e-6);
+}
+
+TEST_P(StepFunctionProperty, NAryCombineMatchesBinaryFold) {
+  Rng rng(GetParam() ^ 0x7777);
+  const int n = static_cast<int>(rng.uniformInt(0, 6));
+  std::vector<StepFunction> fns;
+  fns.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) fns.push_back(randomFunction(rng));
+  std::vector<const StepFunction*> ptrs;
+  for (const auto& fn : fns) ptrs.push_back(&fn);
+
+  StepFunction foldSum;
+  for (const auto& fn : fns) foldSum += fn;
+  EXPECT_EQ(StepFunction::combine(ptrs, StepFunction::CombineOp::kSum),
+            foldSum);
+
+  if (!fns.empty()) {
+    StepFunction foldMax = fns.front();
+    StepFunction foldMin = fns.front();
+    for (std::size_t i = 1; i < fns.size(); ++i) {
+      foldMax.pointwiseMax(fns[i]);
+      foldMin.pointwiseMin(fns[i]);
+    }
+    EXPECT_EQ(StepFunction::combine(ptrs, StepFunction::CombineOp::kMax),
+              foldMax);
+    EXPECT_EQ(StepFunction::combine(ptrs, StepFunction::CombineOp::kMin),
+              foldMin);
+  } else {
+    EXPECT_TRUE(StepFunction::combine(ptrs, StepFunction::CombineOp::kMax)
+                    .isZero());
+  }
+}
+
+TEST_P(StepFunctionProperty, AddPulseMatchesPlusPulse) {
+  Rng rng(GetParam() ^ 0x8888);
+  StepFunction f = randomFunction(rng);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Time start = sec(rng.uniformInt(0, 120));
+    const Time duration =
+        rng.uniformInt(0, 4) == 0 ? kTimeInf : sec(rng.uniformInt(0, 60));
+    const NodeCount value = rng.uniformInt(-5, 10);
+    StepFunction viaPulse = f;
+    viaPulse += StepFunction::pulse(start, duration, value);
+    f.addPulse(start, duration, value);
+    EXPECT_EQ(f, viaPulse)
+        << "pulse start=" << start << " duration=" << duration
+        << " value=" << value;
+  }
+}
+
+TEST_P(StepFunctionProperty, ProfileSweepVisitsExactlyTheMergedBreakpoints) {
+  Rng rng(GetParam() ^ 0x9999);
+  const int n = static_cast<int>(rng.uniformInt(1, 5));
+  std::vector<StepFunction> fns;
+  for (int i = 0; i < n; ++i) fns.push_back(randomFunction(rng));
+  std::vector<const StepFunction*> ptrs;
+  for (const auto& fn : fns) ptrs.push_back(&fn);
+
+  std::vector<Time> expected;
+  for (const auto& fn : fns) {
+    for (const auto& seg : fn.segments()) expected.push_back(seg.start);
+  }
+  std::sort(expected.begin(), expected.end());
+  expected.erase(std::unique(expected.begin(), expected.end()),
+                 expected.end());
+
+  ProfileSweep sweep(ptrs);
+  std::vector<Time> visited{sweep.time()};
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    EXPECT_EQ(sweep.value(i), fns[i].at(sweep.time()));
+  }
+  while (sweep.advance()) {
+    EXPECT_GT(sweep.time(), visited.back());
+    EXPECT_FALSE(sweep.changed().empty());
+    visited.push_back(sweep.time());
+    for (std::size_t i = 0; i < fns.size(); ++i) {
+      EXPECT_EQ(sweep.value(i), fns[i].at(sweep.time()))
+          << "function " << i << " at t=" << sweep.time();
+    }
+  }
+  EXPECT_EQ(visited, expected);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StepFunctionProperty,

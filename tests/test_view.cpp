@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
+#include "coorm/common/rng.hpp"
+
 namespace coorm {
 namespace {
 
@@ -126,6 +131,152 @@ TEST(View, ToStringMentionsClusters) {
   View v;
   v.setCap(kA, StepFunction::constant(2));
   EXPECT_NE(v.toString().find("cluster0"), std::string::npos);
+}
+
+TEST(View, ClusterIdHelpers) {
+  View v;
+  v.setCap(kB, StepFunction::constant(1));
+  v.setCap(kA, StepFunction::constant(2));
+  std::vector<ClusterId> ids{kB};
+  v.appendClusterIds(ids);
+  EXPECT_EQ(ids.size(), 3u);
+  View::sortUniqueClusterIds(ids);
+  EXPECT_EQ(ids, (std::vector<ClusterId>{kA, kB}));
+}
+
+// --- accumulate ≡ fold of the binary operators ------------------------------
+
+View randomView(Rng& rng, int maxClusters = 3) {
+  View v;
+  const int nclusters = static_cast<int>(rng.uniformInt(0, maxClusters));
+  for (int c = 0; c < nclusters; ++c) {
+    if (rng.uniformInt(0, 3) == 0) continue;  // leave some clusters unset
+    StepFunction f;
+    const int pulses = static_cast<int>(rng.uniformInt(0, 4));
+    for (int p = 0; p < pulses; ++p) {
+      const Time duration =
+          rng.uniformInt(0, 4) == 0 ? kTimeInf : sec(rng.uniformInt(1, 40));
+      // Negative pulses exercise the clamp paths.
+      f += StepFunction::pulse(sec(rng.uniformInt(0, 80)), duration,
+                               rng.uniformInt(-6, 12));
+    }
+    v.setCap(ClusterId{c}, std::move(f));
+  }
+  return v;
+}
+
+TEST(View, AccumulateMatchesBinaryFoldRandomized) {
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    Rng rng(seed);
+    const View base = randomView(rng);
+    std::vector<View> operands;
+    const int n = static_cast<int>(rng.uniformInt(0, 4));
+    for (int i = 0; i < n; ++i) operands.push_back(randomView(rng));
+    std::vector<const View*> ptrs;
+    for (const View& op : operands) ptrs.push_back(&op);
+
+    // Independent pointwise oracle: the fold operators are themselves
+    // built on accumulate now, so also check sampled values computed from
+    // at() alone.
+    std::vector<Time> samples{0, 1};
+    for (int i = 0; i < 12; ++i) samples.push_back(sec(rng.uniformInt(0, 150)));
+
+    for (const bool clamp : {false, true}) {
+      View viaAdd = base;
+      viaAdd.accumulate(ptrs, View::Op::kAdd, clamp);
+      View foldAdd = base;
+      for (const View& op : operands) foldAdd += op;
+      if (clamp) foldAdd.clampMin(0);
+      EXPECT_TRUE(viaAdd.sameAs(foldAdd))
+          << "kAdd clamp=" << clamp << " seed=" << seed << "\n"
+          << viaAdd.toString() << "\nvs\n"
+          << foldAdd.toString();
+      for (int c = 0; c < 4; ++c) {
+        const ClusterId cid{c};
+        for (const Time t : samples) {
+          NodeCount expectSum = base.at(cid, t);
+          for (const View& op : operands) expectSum += op.at(cid, t);
+          if (clamp) expectSum = std::max<NodeCount>(expectSum, 0);
+          EXPECT_EQ(viaAdd.at(cid, t), expectSum)
+              << "kAdd pointwise seed=" << seed << " c=" << c << " t=" << t;
+        }
+      }
+
+      View viaSub = base;
+      viaSub.accumulate(ptrs, View::Op::kSubtract, clamp);
+      View foldSub = base;
+      for (const View& op : operands) foldSub -= op;
+      if (clamp) foldSub.clampMin(0);
+      EXPECT_TRUE(viaSub.sameAs(foldSub))
+          << "kSubtract clamp=" << clamp << " seed=" << seed;
+
+      View viaMax = base;
+      viaMax.accumulate(ptrs, View::Op::kMax, clamp);
+      View foldMax = base;
+      for (const View& op : operands) foldMax.unionMax(op);
+      if (clamp) foldMax.clampMin(0);
+      EXPECT_TRUE(viaMax.sameAs(foldMax))
+          << "kMax clamp=" << clamp << " seed=" << seed;
+
+      for (int c = 0; c < 4; ++c) {
+        const ClusterId cid{c};
+        for (const Time t : samples) {
+          NodeCount expectSub = base.at(cid, t);
+          // View::at treats absent clusters as zero, matching accumulate's
+          // zero-profile contract, so this oracle is independent of the
+          // view operators under test.
+          NodeCount expectMax = base.at(cid, t);
+          for (const View& op : operands) {
+            expectSub -= op.at(cid, t);
+            expectMax = std::max(expectMax, op.at(cid, t));
+          }
+          if (clamp) {
+            expectSub = std::max<NodeCount>(expectSub, 0);
+            expectMax = std::max<NodeCount>(expectMax, 0);
+          }
+          EXPECT_EQ(viaSub.at(cid, t), expectSub)
+              << "kSubtract pointwise seed=" << seed << " c=" << c
+              << " t=" << t;
+          EXPECT_EQ(viaMax.at(cid, t), expectMax)
+              << "kMax pointwise seed=" << seed << " c=" << c << " t=" << t;
+        }
+      }
+    }
+  }
+}
+
+TEST(View, AccumulateSmallOperandAgainstLargeBase) {
+  // Forces the pulse-splice fast path (operand segments × 8 <= base
+  // segments) and checks it against the plain fold.
+  Rng rng(7);
+  View base;
+  StepFunction dense;
+  for (int p = 0; p < 24; ++p) {
+    dense += StepFunction::pulse(sec(rng.uniformInt(0, 400)),
+                                 sec(rng.uniformInt(1, 30)),
+                                 rng.uniformInt(1, 9));
+  }
+  base.setCap(kA, std::move(dense));
+
+  View small;
+  small.setCap(kA, StepFunction::pulse(sec(35), sec(200), 5));
+  const View* ptrs[] = {&small};
+
+  for (const auto op : {View::Op::kAdd, View::Op::kSubtract}) {
+    for (const bool clamp : {false, true}) {
+      View via = base;
+      via.accumulate(ptrs, op, clamp);
+      View fold = base;
+      if (op == View::Op::kAdd) {
+        fold += small;
+      } else {
+        fold -= small;
+      }
+      if (clamp) fold.clampMin(0);
+      EXPECT_TRUE(via.sameAs(fold)) << "op=" << static_cast<int>(op)
+                                    << " clamp=" << clamp;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Convert Google Benchmark output into the committed perf trajectory.
+
+Reads `--benchmark_format=json` output (either from a file or by running
+the benchmark binary directly) and merges one labelled run into
+BENCH_scheduler.json, so every PR can compare its numbers against the
+recorded history:
+
+    # from a finished benchmark run
+    build/bench/bench_scheduler_throughput \
+        --benchmark_format=json --benchmark_out=/tmp/bench.json
+    tools/bench_report.py --bench-json /tmp/bench.json \
+        --label pr2-sweep --output BENCH_scheduler.json
+
+    # or let the script drive the binary
+    tools/bench_report.py --binary build/bench/bench_scheduler_throughput \
+        --label pr2-sweep --output BENCH_scheduler.json
+
+Runs are keyed by label: re-reporting an existing label replaces that run
+in place (so iterating on a PR does not grow the file), anything else is
+appended. Only aggregate-free iteration entries are recorded; per-run
+context (CPU count, clock, load) is kept so trajectory numbers can be
+read with the machine they came from.
+
+The script needs nothing outside the Python standard library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+_TIME_TO_US = {"ns": 1e-3, "us": 1.0, "ms": 1e3, "s": 1e6}
+
+
+def run_binary(binary: str, benchmark_filter: str | None) -> dict:
+    """Run a Google Benchmark binary and return its parsed JSON report."""
+    with tempfile.TemporaryDirectory() as tmpdir:
+        out_path = Path(tmpdir) / "benchmark.json"
+        cmd = [
+            binary,
+            "--benchmark_format=json",
+            f"--benchmark_out={out_path}",
+            "--benchmark_out_format=json",
+        ]
+        if benchmark_filter:
+            cmd.append(f"--benchmark_filter={benchmark_filter}")
+        subprocess.run(cmd, check=True, stdout=subprocess.DEVNULL)
+        with open(out_path, encoding="utf-8") as handle:
+            return json.load(handle)
+
+
+def summarize(report: dict) -> tuple[dict, list[dict]]:
+    """Reduce a Google Benchmark report to (context, benchmark entries)."""
+    raw_context = report.get("context", {})
+    context = {
+        key: raw_context[key]
+        for key in ("date", "host_name", "num_cpus", "mhz_per_cpu",
+                    "library_build_type")
+        if key in raw_context
+    }
+    entries = []
+    for bench in report.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue  # keep iteration entries only; repetitions stay raw
+        scale = _TIME_TO_US.get(bench.get("time_unit", "ns"))
+        if scale is None:
+            raise SystemExit(
+                f"unknown time unit {bench.get('time_unit')!r} "
+                f"in {bench.get('name')!r}")
+        entry = {
+            "name": bench["name"],
+            "real_time_us": round(bench["real_time"] * scale, 3),
+            "cpu_time_us": round(bench["cpu_time"] * scale, 3),
+            "iterations": bench.get("iterations"),
+        }
+        if "requests/s" in bench:
+            entry["requests_per_s"] = round(bench["requests/s"], 1)
+        entries.append(entry)
+    return context, entries
+
+
+def load_trajectory(path: Path) -> dict:
+    if path.exists():
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        if isinstance(data, dict) and isinstance(data.get("runs"), list):
+            return data
+        # The seed trajectory files were bare empty lists; upgrade in place.
+        if isinstance(data, list) and not data:
+            pass
+        else:
+            raise SystemExit(f"{path}: not a bench trajectory file")
+    return {
+        "description": (
+            "Scheduler performance trajectory. One entry per labelled "
+            "benchmark run of bench_scheduler_throughput; produced by "
+            "tools/bench_report.py."),
+        "runs": [],
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    source = parser.add_mutually_exclusive_group(required=True)
+    source.add_argument(
+        "--bench-json",
+        help="existing --benchmark_format=json output to convert")
+    source.add_argument(
+        "--binary",
+        help="benchmark binary to run with --benchmark_format=json")
+    parser.add_argument(
+        "--filter", default=None,
+        help="--benchmark_filter passed to --binary runs")
+    parser.add_argument(
+        "--label", required=True,
+        help="run label; an existing run with this label is replaced")
+    parser.add_argument(
+        "--commit", default=None,
+        help="commit hash to record with the run (optional)")
+    parser.add_argument(
+        "--notes", default=None,
+        help="free-form note stored with the run (optional)")
+    parser.add_argument(
+        "--output", required=True, type=Path,
+        help="trajectory file to update, e.g. BENCH_scheduler.json")
+    args = parser.parse_args()
+
+    if args.bench_json:
+        with open(args.bench_json, encoding="utf-8") as handle:
+            report = json.load(handle)
+    else:
+        report = run_binary(args.binary, args.filter)
+
+    context, entries = summarize(report)
+    if not entries:
+        raise SystemExit("no benchmark entries found in the report")
+
+    run = {
+        "label": args.label,
+        "recorded_at": datetime.now(timezone.utc)
+        .isoformat(timespec="seconds"),
+        "context": context,
+        "benchmarks": entries,
+    }
+    if args.commit:
+        run["commit"] = args.commit
+    if args.notes:
+        run["notes"] = args.notes
+
+    trajectory = load_trajectory(args.output)
+    trajectory["runs"] = [
+        existing for existing in trajectory["runs"]
+        if existing.get("label") != args.label
+    ]
+    trajectory["runs"].append(run)
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(trajectory, handle, indent=2)
+        handle.write("\n")
+    print(f"{args.output}: recorded run {args.label!r} "
+          f"({len(entries)} benchmarks)")
+
+
+if __name__ == "__main__":
+    sys.exit(main())
