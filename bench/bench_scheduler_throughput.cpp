@@ -24,6 +24,7 @@
 #include <memory>
 
 #include "coorm/common/rng.hpp"
+#include "coorm/common/worker_pool.hpp"
 #include "coorm/rms/scheduler.hpp"
 
 namespace coorm {
@@ -36,6 +37,7 @@ struct PopulationParams {
   NodeCount nodesPerCluster = 4096;
   bool mixCoAlloc = false;  ///< alternate NEXT/COALLOC along the chain
   bool startedPreemptibles = false;  ///< every other app holds nodes already
+  int threads = 1;          ///< SchedulerOptions::threads
   std::uint64_t seed = 99;
 };
 
@@ -120,7 +122,8 @@ struct Population {
 
 void runSchedulePass(benchmark::State& state, const PopulationParams& params) {
   Population population(params);
-  Scheduler scheduler(population.machine);
+  Scheduler scheduler(population.machine, Scheduler::Config{},
+                      SchedulerOptions{params.threads});
   Time now = 0;
   for (auto _ : state) {
     scheduler.schedule(population.apps, now);
@@ -180,6 +183,10 @@ BENCHMARK(BM_ScheduleDeepChains)
     ->Args({256, 64})
     ->Unit(benchmark::kMillisecond);
 
+// Args: {napps, threads}. threads > 1 exercises the worker-pool fan-out
+// (per-application occupation steps, per-cluster Step 2 sweeps); the
+// schedules are bit-identical across thread counts, so the ratio between
+// the /1 and /N variants is pure scheduling throughput.
 void BM_ScheduleMultiCluster(benchmark::State& state) {
   PopulationParams params;
   params.napps = static_cast<int>(state.range(0));
@@ -187,14 +194,20 @@ void BM_ScheduleMultiCluster(benchmark::State& state) {
   params.nclusters = 8;
   params.nodesPerCluster = 4 * params.napps;
   params.startedPreemptibles = true;
+  params.threads = static_cast<int>(state.range(1));
   runSchedulePass(state, params);
 }
 
 BENCHMARK(BM_ScheduleMultiCluster)
-    ->Arg(256)
-    ->Arg(1024)
+    ->Args({256, 1})
+    ->Args({256, 2})
+    ->Args({256, 4})
+    ->Args({1024, 1})
+    ->Args({1024, 4})
     ->Unit(benchmark::kMillisecond);
 
+// Args: {napps, threads}. Algorithm 3 in isolation on a single cluster;
+// threads > 1 fans Steps 1/3 out per application.
 void BM_EqSchedule(benchmark::State& state) {
   PopulationParams params;
   params.napps = static_cast<int>(state.range(0));
@@ -204,17 +217,23 @@ void BM_EqSchedule(benchmark::State& state) {
   Population population(params);
   Scheduler scheduler(population.machine);
   const View vp = scheduler.machineView();
+  const int threads = static_cast<int>(state.range(1));
+  std::unique_ptr<WorkerPool> pool;
+  if (threads > 1) pool = std::make_unique<WorkerPool>(threads);
   for (auto _ : state) {
-    Scheduler::eqSchedule(population.apps, vp, 0, /*strict=*/false);
+    Scheduler::eqSchedule(population.apps, vp, 0, /*strict=*/false,
+                          pool.get());
     benchmark::DoNotOptimize(population.apps.front().preemptiveView);
   }
 }
 
 BENCHMARK(BM_EqSchedule)
-    ->Arg(64)
-    ->Arg(256)
-    ->Arg(1024)
-    ->Arg(4096)
+    ->Args({64, 1})
+    ->Args({256, 1})
+    ->Args({1024, 1})
+    ->Args({4096, 1})
+    ->Args({1024, 4})
+    ->Args({4096, 4})
     ->Unit(benchmark::kMillisecond);
 
 void BM_ToView(benchmark::State& state) {

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <limits>
+#include <utility>
 
 #include "coorm/common/check.hpp"
+#include "coorm/common/worker_pool.hpp"
 #include "coorm/profile/profile_sweep.hpp"
 
 namespace coorm {
@@ -101,7 +103,18 @@ std::vector<NodeCount> fairDistribute(NodeCount capacity,
 Scheduler::Scheduler(Machine machine) : Scheduler(std::move(machine), Config{}) {}
 
 Scheduler::Scheduler(Machine machine, Config config)
-    : machine_(std::move(machine)), config_(config) {}
+    : Scheduler(std::move(machine), config, SchedulerOptions{}) {}
+
+Scheduler::Scheduler(Machine machine, Config config, SchedulerOptions options)
+    : machine_(std::move(machine)), config_(config) {
+  if (options.threads > 1) {
+    pool_ = std::make_unique<WorkerPool>(options.threads);
+  }
+}
+
+Scheduler::~Scheduler() = default;
+Scheduler::Scheduler(Scheduler&&) noexcept = default;
+Scheduler& Scheduler::operator=(Scheduler&&) noexcept = default;
 
 View Scheduler::machineView() const {
   View view;
@@ -279,8 +292,147 @@ View Scheduler::fit(const RequestSet& set, const View& available, Time t0) {
 // ---------------------------------------------------------------------------
 // Algorithm 3: eqSchedule
 // ---------------------------------------------------------------------------
+namespace {
+
+/// Step 2 of eqSchedule for one cluster: one synchronized sweep over the
+/// merged breakpoints of `avail` and the occupation profiles decides what
+/// each application may have, writing each application's profile into
+/// `out` (pre-sized to one slot per application). Pure in everything but
+/// `out`, so clusters can run concurrently on a worker pool.
+///
+/// Applications with no preemptible occupation on this cluster ("absent")
+/// have identically-zero demand: they neither contribute breakpoints nor
+/// influence the distribution beyond the inactive-partition count, and
+/// they all receive the same idle-share series. The sweep therefore runs
+/// over the occupying applications only and the idle series is computed
+/// once and copied — on a multi-cluster machine absent is the common case,
+/// which turns Step 2 from O(clusters × apps) into O(total occupations)
+/// per breakpoint. Values are identical to the all-apps sweep.
+void eqScheduleCluster(ClusterId cid, const View& avail,
+                       std::span<const View> occupation, bool strict,
+                       NodeCount strictParticipants,
+                       std::span<StepFunction> out) {
+  const std::size_t napps = occupation.size();
+
+  std::vector<std::uint32_t> present;  // apps occupying this cluster
+  if (!strict) {
+    // Strict mode hands every application the same fixed share, so nobody
+    // needs the per-application demands: sweep `avail` alone.
+    present.reserve(napps);
+    for (std::size_t i = 0; i < napps; ++i) {
+      if (!occupation[i].cap(cid).isZero()) {
+        present.push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+
+  std::vector<const StepFunction*> fns;
+  fns.reserve(present.size() + 1);
+  fns.push_back(&avail.cap(cid));
+  for (const std::uint32_t i : present) {
+    fns.push_back(&occupation[i].cap(cid));
+  }
+  ProfileSweep sweep(fns);
+
+  NodeCount sumWant = 0;
+  NodeCount active = 0;
+  std::vector<NodeCount> wants(present.size());
+  for (std::size_t k = 0; k < present.size(); ++k) {
+    wants[k] = std::max<NodeCount>(sweep.value(k + 1), 0);
+    sumWant += wants[k];
+    if (wants[k] > 0) ++active;
+  }
+
+  std::vector<std::vector<StepFunction::Segment>> outSegments(present.size());
+  // The idle series: what every application without demand here may have.
+  // Needed whenever some application is absent (and exclusively in strict
+  // mode, where it doubles as the shared fixed-share series).
+  std::vector<StepFunction::Segment> idleSegments;
+  const bool needIdle = strict || present.size() < napps;
+  std::vector<NodeCount> gives;
+  // Emit a breakpoint only when the value changes, so each output is born
+  // canonical and stays proportional to its own change count rather than
+  // to the merged breakpoint count.
+  const auto emit = [](std::vector<StepFunction::Segment>& segments, Time t,
+                       NodeCount value) {
+    if (segments.empty() || segments.back().value != value) {
+      segments.push_back({t, value});
+    }
+  };
+  for (;;) {
+    const Time t = sweep.time();
+    const NodeCount vin = std::max<NodeCount>(sweep.value(0), 0);
+    const bool anyInactive = active < static_cast<NodeCount>(napps);
+
+    if (strict) {
+      // Strict equi-partitioning (§5.4 baseline): a fixed share per
+      // application that uses preemptible resources, with no filling of
+      // unused partitions.
+      const NodeCount share =
+          vin / std::max<NodeCount>(strictParticipants, 1);
+      emit(idleSegments, t, share);
+    } else if (sumWant > vin) {
+      // Congested: distribute equally until nothing is left (paper lines
+      // 8–18). Every application's view shows at least the partition it
+      // is entitled to.
+      fairDistributeInto(vin, wants, gives);
+      const NodeCount partitions = active + (anyInactive ? 1 : 0);
+      const NodeCount share = partitions > 0 ? vin / partitions : 0;
+      for (std::size_t k = 0; k < present.size(); ++k) {
+        emit(outSegments[k], t, std::max(gives[k], share));
+      }
+      if (needIdle) emit(idleSegments, t, share);
+    } else {
+      // Uncongested: each application sees what the others leave unused,
+      // but never less than its equi-partition (paper lines 19–25). The
+      // partition count only depends on whether the application is
+      // active, so two divisions cover every application.
+      const NodeCount shareActive = active > 0 ? vin / active : vin;
+      const NodeCount shareIdle = vin / (active + 1);
+      const NodeCount freeLeft = vin - sumWant;
+      for (std::size_t k = 0; k < present.size(); ++k) {
+        if (wants[k] > 0) {
+          emit(outSegments[k], t, std::max(freeLeft + wants[k], shareActive));
+        } else {
+          emit(outSegments[k], t, std::max(freeLeft, shareIdle));
+        }
+      }
+      if (needIdle) emit(idleSegments, t, std::max(freeLeft, shareIdle));
+    }
+
+    if (!sweep.advance()) break;
+    for (const std::uint32_t idx : sweep.changed()) {
+      if (idx == 0) continue;  // avail changed; vin is re-read anyway
+      const std::size_t k = idx - 1;
+      const NodeCount want = std::max<NodeCount>(sweep.value(idx), 0);
+      sumWant += want - wants[k];
+      if ((want > 0) != (wants[k] > 0)) active += want > 0 ? 1 : -1;
+      wants[k] = want;
+    }
+  }
+
+  for (std::size_t k = 0; k < present.size(); ++k) {
+    out[present[k]] =
+        StepFunction::fromCanonical(std::move(outSegments[k]));
+  }
+  if (needIdle) {
+    const StepFunction idle =
+        StepFunction::fromCanonical(std::move(idleSegments));
+    std::size_t k = 0;  // walk `present` (ascending) alongside the apps
+    for (std::size_t i = 0; i < napps; ++i) {
+      if (!strict && k < present.size() && present[k] == i) {
+        ++k;
+        continue;
+      }
+      out[i] = idle;
+    }
+  }
+}
+
+}  // namespace
+
 void Scheduler::eqSchedule(std::span<AppSchedule> apps, const View& available,
-                           Time now, bool strict) {
+                           Time now, bool strict, WorkerPool* pool) {
   const std::size_t napps = apps.size();
   if (napps == 0) return;
 
@@ -293,9 +445,12 @@ void Scheduler::eqSchedule(std::span<AppSchedule> apps, const View& available,
   }
   const View& avail = clamped.empty() ? available : clamped;
 
-  // Step 1: preliminary occupation views (started + newly fitted requests).
+  // Step 1: preliminary occupation views (started + newly fitted
+  // requests). Each application's step touches only its own request set
+  // and occupation slot (constraints never cross applications), so the
+  // applications fan out over the pool.
   std::vector<View> occupation(napps);
-  for (std::size_t i = 0; i < napps; ++i) {
+  parallelFor(pool, napps, [&](std::size_t i) {
     occupation[i] = toView(*apps[i].preemptible, &avail, now);
     if (occupation[i].empty()) {
       // Nothing started: avail - 0 clamped is avail itself (clamped on
@@ -308,13 +463,12 @@ void Scheduler::eqSchedule(std::span<AppSchedule> apps, const View& available,
       occupation[i] += fit(*apps[i].preemptible, freeForMe, now);
     }
     apps[i].preemptiveView = View{};
-  }
+  });
 
   // Step 2: per piece-wise-constant interval, decide what each application
-  // may have. One synchronized sweep per cluster walks the merged
-  // breakpoints of `avail` and every occupation profile, maintaining each
-  // application's demand plus the aggregates incrementally — no at()
-  // binary searches and no per-cluster breakpoint re-sort.
+  // may have. The sweep partitions cleanly by cluster; every cluster
+  // writes its own pre-sized slot row and the rows are merged below in
+  // cluster order, so any thread count produces byte-identical views.
   std::vector<ClusterId> clusterIds;
   avail.appendClusterIds(clusterIds);
   for (const View& occ : occupation) occ.appendClusterIds(clusterIds);
@@ -327,93 +481,23 @@ void Scheduler::eqSchedule(std::span<AppSchedule> apps, const View& available,
     }
   }
 
-  std::vector<const StepFunction*> fns(napps + 1);
-  std::vector<NodeCount> wants(napps);
-  std::vector<NodeCount> gives;
-  for (ClusterId cid : clusterIds) {
-    fns[0] = &avail.cap(cid);
+  std::vector<std::vector<StepFunction>> perCluster(clusterIds.size());
+  parallelFor(pool, clusterIds.size(), [&](std::size_t c) {
+    perCluster[c].resize(napps);
+    eqScheduleCluster(clusterIds[c], avail, occupation, strict,
+                      strictParticipants, perCluster[c]);
+  });
+  for (std::size_t c = 0; c < clusterIds.size(); ++c) {
     for (std::size_t i = 0; i < napps; ++i) {
-      fns[i + 1] = &occupation[i].cap(cid);
-    }
-    ProfileSweep sweep(fns);
-
-    NodeCount sumWant = 0;
-    NodeCount active = 0;
-    for (std::size_t i = 0; i < napps; ++i) {
-      wants[i] = std::max<NodeCount>(sweep.value(i + 1), 0);
-      sumWant += wants[i];
-      if (wants[i] > 0) ++active;
-    }
-
-    std::vector<std::vector<StepFunction::Segment>> outSegments(napps);
-    // Emit a breakpoint only when the value changes, so each output is
-    // born canonical and stays proportional to its own change count
-    // rather than to the merged breakpoint count.
-    const auto emit = [&outSegments](std::size_t i, Time t, NodeCount value) {
-      auto& segments = outSegments[i];
-      if (segments.empty() || segments.back().value != value) {
-        segments.push_back({t, value});
-      }
-    };
-    for (;;) {
-      const Time t = sweep.time();
-      const NodeCount vin = std::max<NodeCount>(sweep.value(0), 0);
-      const bool anyInactive = active < static_cast<NodeCount>(napps);
-
-      if (strict) {
-        // Strict equi-partitioning (§5.4 baseline): a fixed share per
-        // application that uses preemptible resources, with no filling of
-        // unused partitions.
-        const NodeCount share =
-            vin / std::max<NodeCount>(strictParticipants, 1);
-        for (std::size_t i = 0; i < napps; ++i) emit(i, t, share);
-      } else if (sumWant > vin) {
-        // Congested: distribute equally until nothing is left (paper lines
-        // 8–18). Every application's view shows at least the partition it
-        // is entitled to.
-        fairDistributeInto(vin, wants, gives);
-        const NodeCount partitions = active + (anyInactive ? 1 : 0);
-        const NodeCount share = partitions > 0 ? vin / partitions : 0;
-        for (std::size_t i = 0; i < napps; ++i) {
-          emit(i, t, std::max(gives[i], share));
-        }
-      } else {
-        // Uncongested: each application sees what the others leave unused,
-        // but never less than its equi-partition (paper lines 19–25). The
-        // partition count only depends on whether the application is
-        // active, so two divisions cover all napps.
-        const NodeCount shareActive = active > 0 ? vin / active : vin;
-        const NodeCount shareIdle = vin / (active + 1);
-        const NodeCount freeLeft = vin - sumWant;
-        for (std::size_t i = 0; i < napps; ++i) {
-          if (wants[i] > 0) {
-            emit(i, t, std::max(freeLeft + wants[i], shareActive));
-          } else {
-            emit(i, t, std::max(freeLeft, shareIdle));
-          }
-        }
-      }
-
-      if (!sweep.advance()) break;
-      for (const std::uint32_t idx : sweep.changed()) {
-        if (idx == 0) continue;  // avail changed; vin is re-read anyway
-        const std::size_t i = idx - 1;
-        const NodeCount want = std::max<NodeCount>(sweep.value(idx), 0);
-        sumWant += want - wants[i];
-        if ((want > 0) != (wants[i] > 0)) active += want > 0 ? 1 : -1;
-        wants[i] = want;
-      }
-    }
-    for (std::size_t i = 0; i < napps; ++i) {
-      apps[i].preemptiveView.setCap(
-          cid, StepFunction::fromCanonical(std::move(outSegments[i])));
+      apps[i].preemptiveView.setCap(clusterIds[c],
+                                    std::move(perCluster[c][i]));
     }
   }
 
   // Step 3: reschedule every application's preemptible requests against its
   // final view so scheduledAt and nAlloc are consistent with what we will
-  // actually grant.
-  for (std::size_t i = 0; i < napps; ++i) {
+  // actually grant. Per-application again, so it rides the pool too.
+  parallelFor(pool, napps, [&](std::size_t i) {
     const View own =
         toView(*apps[i].preemptible, &apps[i].preemptiveView, now);
     if (own.empty()) {
@@ -425,31 +509,33 @@ void Scheduler::eqSchedule(std::span<AppSchedule> apps, const View& available,
       accumulateOne(rest, own, View::Op::kSubtract, /*clampAtZero=*/true);
       fit(*apps[i].preemptible, rest, now);
     }
-  }
+  });
 }
 
 // ---------------------------------------------------------------------------
 // Algorithm 4: main scheduling algorithm
 // ---------------------------------------------------------------------------
 void Scheduler::schedule(std::span<AppSchedule> apps, Time now) const {
+  WorkerPool* pool = pool_.get();
   View vnp = machineView();  // non-preemptible resources still available
   View vp = machineView();   // preemptible resources still available
 
   // Subtract resources held by started pre-allocations / NP requests: one
   // N-ary sweep each, instead of a fold of binary subtractions that
-  // re-merges the accumulated view once per application.
-  std::vector<View> paOcc;
-  std::vector<View> npOcc;
-  paOcc.reserve(apps.size());
-  npOcc.reserve(apps.size());
-  for (AppSchedule& app : apps) {
-    paOcc.push_back(toView(*app.preAllocations));
-    npOcc.push_back(toView(*app.nonPreemptible));
-  }
+  // re-merges the accumulated view once per application. The occupation
+  // views only read/write one application's requests each, so they fan out
+  // per application; the N-ary folds fan out per cluster inside
+  // View::accumulate.
+  std::vector<View> paOcc(apps.size());
+  std::vector<View> npOcc(apps.size());
+  parallelFor(pool, apps.size(), [&](std::size_t i) {
+    paOcc[i] = toView(*apps[i].preAllocations);
+    npOcc[i] = toView(*apps[i].nonPreemptible);
+  });
   std::vector<const View*> operands;
   operands.reserve(apps.size() * 2);
   for (const View& occ : paOcc) operands.push_back(&occ);
-  vnp.accumulate(operands, View::Op::kSubtract);
+  vnp.accumulate(operands, View::Op::kSubtract, /*clampAtZero=*/false, pool);
 
   // Non-preemptive views and start times, in connection order. The toView
   // results above stay valid through this loop: fit() only mutates the
@@ -481,10 +567,10 @@ void Scheduler::schedule(std::span<AppSchedule> apps, Time now) const {
   operands.clear();
   for (const View& occ : npOcc) operands.push_back(&occ);
   for (const View& occ : npFitted) operands.push_back(&occ);
-  vp.accumulate(operands, View::Op::kSubtract);
+  vp.accumulate(operands, View::Op::kSubtract, /*clampAtZero=*/false, pool);
 
   vp.clampMin(0);
-  eqSchedule(apps, vp, now, config_.strictEquiPartition);
+  eqSchedule(apps, vp, now, config_.strictEquiPartition, pool);
 }
 
 }  // namespace coorm

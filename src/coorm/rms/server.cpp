@@ -53,7 +53,8 @@ Server::Server(Executor& executor, Machine machine)
 
 Server::Server(Executor& executor, Machine machine, Config config)
     : executor_(executor),
-      scheduler_(machine, Scheduler::Config{config.strictEquiPartition}),
+      scheduler_(machine, Scheduler::Config{config.strictEquiPartition},
+                 SchedulerOptions{config.threads}),
       pool_(machine),
       config_(config) {}
 

@@ -119,6 +119,10 @@ class Server {
     Time violationGrace = sec(5);
     /// Strict equi-partitioning (Fig. 11 baseline) instead of filling.
     bool strictEquiPartition = false;
+    /// Worker threads for the scheduling pass (SchedulerOptions::threads);
+    /// <= 1 runs every pass on the server's thread. Any value produces
+    /// bit-identical schedules.
+    int threads = 1;
     /// Wrap bare non-preemptible requests of applications without an
     /// explicit pre-allocation in implicit pre-allocations (§3.2).
     bool implicitWrap = true;

@@ -92,6 +92,19 @@ TEST(Cli, ParsesFlagsAndHorizon) {
   EXPECT_EQ(r.options.seed, 7u);
 }
 
+TEST(Cli, ParsesThreads) {
+  EXPECT_EQ(parse({}).options.threads, 1);  // serial by default
+  const ParseResult r = parse({"--threads", "4"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.options.threads, 4);
+}
+
+TEST(Cli, NonPositiveThreadsIsError) {
+  EXPECT_EQ(parse({"--threads", "0"}).status, ParseStatus::kError);
+  EXPECT_EQ(parse({"--threads", "-2"}).status, ParseStatus::kError);
+  EXPECT_EQ(parse({"--threads"}).status, ParseStatus::kError);
+}
+
 TEST(Cli, HelpShortCircuits) {
   EXPECT_EQ(parse({"--help"}).status, ParseStatus::kHelp);
   EXPECT_EQ(parse({"-h"}).status, ParseStatus::kHelp);
@@ -119,7 +132,7 @@ TEST(Cli, UsageMentionsEveryOption) {
   for (const char* flag :
        {"--nodes", "--seed", "--amr", "--amr-steps", "--amr-static",
         "--overcommit", "--announce", "--psa", "--jobs", "--swf", "--strict",
-        "--until", "--timeline", "--trace", "--help"}) {
+        "--threads", "--until", "--timeline", "--trace", "--help"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }

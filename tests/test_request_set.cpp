@@ -100,6 +100,98 @@ TEST(RequestSet, IterationPreservesInsertionOrder) {
   EXPECT_EQ(order, (std::vector<std::int64_t>{10, 5, 7}));
 }
 
+// --- iteration-order contract ----------------------------------------------
+// The scheduler's determinism (including the parallel path's bit-identical
+// guarantee) rests on forEachRoot/forEachChild walking the set in insertion
+// order: toView/fit seed their worklists from these, and eqSchedule's fair
+// distribution breaks ties by input order.
+
+TEST(RequestSetOrder, ForEachRootYieldsInsertionOrder) {
+  Request a = makeRequest(30);
+  Request b = makeRequest(10);
+  Request childOfA = makeRequest(20, Relation::kNext, &a);
+  Request c = makeRequest(5);
+  RequestSet set;
+  set.add(&a);
+  set.add(&b);
+  set.add(&childOfA);
+  set.add(&c);
+
+  std::vector<std::int64_t> order;
+  set.forEachRoot([&](Request* r) { order.push_back(r->id.value); });
+  // Roots in insertion order — never sorted by id, never grouped by tree.
+  EXPECT_EQ(order, (std::vector<std::int64_t>{30, 10, 5}));
+
+  // roots() is specified to match the allocation-free walk exactly.
+  std::vector<std::int64_t> fromRoots;
+  for (Request* r : set.roots()) fromRoots.push_back(r->id.value);
+  EXPECT_EQ(fromRoots, order);
+}
+
+TEST(RequestSetOrder, ForEachChildYieldsInsertionOrder) {
+  Request parent = makeRequest(1);
+  Request late = makeRequest(40, Relation::kCoAlloc, &parent);
+  Request other = makeRequest(2);
+  Request early = makeRequest(3, Relation::kNext, &parent);
+  RequestSet set;
+  set.add(&parent);
+  set.add(&late);
+  set.add(&other);
+  set.add(&early);
+
+  std::vector<std::int64_t> order;
+  set.forEachChild(parent, [&](Request* r) { order.push_back(r->id.value); });
+  // Children in insertion order (40 was added before 3), regardless of id
+  // or relation kind.
+  EXPECT_EQ(order, (std::vector<std::int64_t>{40, 3}));
+
+  std::vector<std::int64_t> fromChildren;
+  for (Request* r : set.children(parent)) {
+    fromChildren.push_back(r->id.value);
+  }
+  EXPECT_EQ(fromChildren, order);
+}
+
+TEST(RequestSetOrder, RemoveKeepsRelativeOrderOfTheRest) {
+  Request a = makeRequest(1);
+  Request b = makeRequest(2);
+  Request c = makeRequest(3);
+  Request d = makeRequest(4);
+  RequestSet set;
+  set.add(&a);
+  set.add(&b);
+  set.add(&c);
+  set.add(&d);
+  set.remove(RequestId{2});
+
+  std::vector<std::int64_t> order;
+  set.forEachRoot([&](Request* r) { order.push_back(r->id.value); });
+  EXPECT_EQ(order, (std::vector<std::int64_t>{1, 3, 4}));
+
+  // Re-adding lands at the back, not at the old position.
+  set.add(&b);
+  order.clear();
+  set.forEachRoot([&](Request* r) { order.push_back(r->id.value); });
+  EXPECT_EQ(order, (std::vector<std::int64_t>{1, 3, 4, 2}));
+}
+
+TEST(RequestSetOrder, ChildWithFreeRelationIsNeverYielded) {
+  // relatedTo may dangle on FREE requests (e.g. a cleared constraint);
+  // forEachChild must ignore them even when the pointer matches.
+  Request parent = makeRequest(1);
+  Request freeButPointing = makeRequest(2, Relation::kFree, &parent);
+  RequestSet set;
+  set.add(&parent);
+  set.add(&freeButPointing);
+  std::size_t children = 0;
+  set.forEachChild(parent, [&](Request*) { ++children; });
+  EXPECT_EQ(children, 0u);
+  // And a FREE request is a root even with relatedTo set.
+  std::vector<std::int64_t> roots;
+  set.forEachRoot([&](Request* r) { roots.push_back(r->id.value); });
+  EXPECT_EQ(roots, (std::vector<std::int64_t>{1, 2}));
+}
+
 TEST(RequestDescribe, MentionsTypeAndConstraint) {
   Request a = makeRequest(1);
   a.type = RequestType::kPreAllocation;

@@ -22,6 +22,19 @@ appended. Only aggregate-free iteration entries are recorded; per-run
 context (CPU count, clock, load) is kept so trajectory numbers can be
 read with the machine they came from.
 
+Figure-reproduction benches (bench_fig*, plain binaries printing
+TablePrinter tables of *simulated* evaluation metrics) fold into the same
+run via repeatable --figure flags:
+
+    tools/bench_report.py --binary build/bench/bench_scheduler_throughput \
+        --figure build/bench/bench_fig11_filling \
+        --label pr3-serial --output BENCH_scheduler.json
+
+Each figure binary runs in the quick configuration with a single seed
+(COORM_BENCH_QUICK=1, COORM_BENCH_SEEDS=1 — deterministic, so a changed
+number in the committed trajectory is an evaluation regression, not
+noise); its tables are recorded under the run's "figures" key.
+
 The script needs nothing outside the Python standard library.
 """
 
@@ -29,6 +42,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
+import re
 import subprocess
 import sys
 import tempfile
@@ -85,6 +100,48 @@ def summarize(report: dict) -> tuple[dict, list[dict]]:
     return context, entries
 
 
+def parse_tables(text: str) -> list[dict]:
+    """Extract TablePrinter tables (header, dashed rule, rows) from stdout.
+
+    Columns are split on runs of >= 2 spaces — TablePrinter pads cells to
+    the column width with at least two spaces between columns.
+    """
+    split = re.compile(r"\s{2,}")
+    lines = text.splitlines()
+    tables = []
+    for i, line in enumerate(lines):
+        stripped = line.strip()
+        if i == 0 or len(stripped) < 3 or set(stripped) != {"-"}:
+            continue  # the rule under the header marks a table
+        columns = split.split(lines[i - 1].strip())
+        rows = []
+        for row_line in lines[i + 1:]:
+            cells = split.split(row_line.strip())
+            if not row_line.strip() or len(cells) != len(columns):
+                break
+            rows.append(cells)
+        if rows:
+            tables.append({"columns": columns, "rows": rows})
+    return tables
+
+
+def run_figure(binary: str) -> dict:
+    """Run one figure-reproduction binary at quick scale, single seed."""
+    env = dict(os.environ, COORM_BENCH_QUICK="1", COORM_BENCH_SEEDS="1")
+    try:
+        result = subprocess.run(
+            [binary], env=env, check=True, capture_output=True, text=True)
+    except subprocess.CalledProcessError as error:
+        raise SystemExit(
+            f"{binary}: exited with status {error.returncode}\n"
+            f"--- stdout ---\n{error.stdout}\n"
+            f"--- stderr ---\n{error.stderr}") from error
+    tables = parse_tables(result.stdout)
+    if not tables:
+        raise SystemExit(f"{binary}: no tables found in its output")
+    return {"tables": tables}
+
+
 def load_trajectory(path: Path) -> dict:
     if path.exists():
         with open(path, encoding="utf-8") as handle:
@@ -117,6 +174,10 @@ def main() -> None:
     parser.add_argument(
         "--filter", default=None,
         help="--benchmark_filter passed to --binary runs")
+    parser.add_argument(
+        "--figure", action="append", default=[],
+        help="figure-reproduction binary to run (quick scale, one seed) and "
+             "record under the run's 'figures' key; repeatable")
     parser.add_argument(
         "--label", required=True,
         help="run label; an existing run with this label is replaced")
@@ -152,6 +213,10 @@ def main() -> None:
         run["commit"] = args.commit
     if args.notes:
         run["notes"] = args.notes
+    if args.figure:
+        run["figures"] = {
+            Path(binary).name: run_figure(binary) for binary in args.figure
+        }
 
     trajectory = load_trajectory(args.output)
     trajectory["runs"] = [
@@ -163,8 +228,9 @@ def main() -> None:
     with open(args.output, "w", encoding="utf-8") as handle:
         json.dump(trajectory, handle, indent=2)
         handle.write("\n")
+    figures = f" + {len(args.figure)} figure benches" if args.figure else ""
     print(f"{args.output}: recorded run {args.label!r} "
-          f"({len(entries)} benchmarks)")
+          f"({len(entries)} benchmarks{figures})")
 
 
 if __name__ == "__main__":

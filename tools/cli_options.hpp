@@ -29,6 +29,7 @@ struct Options {
   int syntheticJobs = 0;
   std::string swfPath;
   bool strict = false;
+  int threads = 1;
   Time until = hours(24);
   bool showTimeline = false;
   bool showTrace = false;

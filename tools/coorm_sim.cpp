@@ -41,6 +41,7 @@ int main(int argc, char** argv) {
   ScenarioConfig config;
   config.nodes = options.nodes;
   config.server.strictEquiPartition = options.strict;
+  config.server.threads = options.threads;
   config.recordTrace = options.showTrace;
   Scenario sc(config);
   Rng rng(options.seed);
