@@ -20,6 +20,13 @@ struct EventState {
 
 /// Handle to a scheduled callback; cancelling is best-effort (a callback
 /// already being dispatched still runs).
+///
+/// The pipelined RMS server leans on two properties of this interface:
+/// callbacks scheduled for the same time run in scheduling order (so a
+/// fallback pass-commit event scheduled first dispatches before anything
+/// a same-time event schedules afterwards), and a cancelled event is
+/// skipped without advancing the clock (so a commit performed early by a
+/// draining message simply cancels the fallback).
 using EventHandle = std::shared_ptr<detail::EventState>;
 
 class Executor {

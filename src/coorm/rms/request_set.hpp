@@ -34,8 +34,13 @@ class RequestSet {
   /// Paper A.2 children(): members of this set whose relatedTo is r.
   [[nodiscard]] std::vector<Request*> children(const Request& r) const;
 
-  /// Allocation-free variants of roots()/children() for the scheduler hot
-  /// path; same order, same membership.
+  /// Allocation-free variants of roots()/children(); same order, same
+  /// membership. These full-set scans define the navigation *contract*:
+  /// the scheduler hot path no longer runs them — a pass captures the set
+  /// into a RequestSetSnapshot whose precomputed root list and CSR child
+  /// adjacency reproduce exactly this membership and order at O(1) per
+  /// edge (pinned by tests/test_snapshot.cpp). They remain for snapshot
+  /// capture-time diagnostics and capture-free callers.
   template <typename Fn>
   void forEachRoot(Fn&& fn) const {
     for (Request* r : items_) {

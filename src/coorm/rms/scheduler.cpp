@@ -17,13 +17,13 @@ namespace {
 /// (and the violation protocol), not encoded in the grant. Min-over-window
 /// (View::alloc) would make an open-ended lease unserveable whenever any
 /// future drop exists.
-NodeCount grantAtStart(const View& view, const Request& r, Time at) {
+NodeCount grantAtStart(const View& view, const SnapshotRecord& r, Time at) {
   if (isInf(at)) return 0;
   return std::clamp<NodeCount>(view.at(r.cluster, at), 0, r.nodes);
 }
 
-/// Occupation pulse of one scheduled request.
-void addOccupation(View& view, const Request& r) {
+/// Occupation pulse of one scheduled record.
+void addOccupation(View& view, const SnapshotRecord& r) {
   if (isInf(r.scheduledAt) || r.nAlloc <= 0 || r.duration <= 0) return;
   view.capRef(r.cluster).addPulse(r.scheduledAt, r.duration, r.nAlloc);
 }
@@ -127,61 +127,64 @@ View Scheduler::machineView() const {
 // ---------------------------------------------------------------------------
 // Algorithm 1: toView
 // ---------------------------------------------------------------------------
-View Scheduler::toView(const RequestSet& set, const View* available,
-                       Time now) {
+View Scheduler::toView(SetSnapshot& set, const View* available, Time now) {
   View out;
-  for (Request* r : set) r->fixed = false;
+  for (SnapIndex i = set.begin(); i < set.end(); ++i) {
+    set.rec(i).fixed = false;
+  }
 
   // FIFO worklist; `fixed` doubles as the visited marker (reset above, set
-  // exactly when a request is processed below).
-  std::vector<Request*> queue;
+  // exactly when a record is processed below).
+  std::vector<SnapIndex> queue;
   queue.reserve(set.size());
-  for (Request* r : set) {
-    if (r->started()) queue.push_back(r);
+  for (SnapIndex i = set.begin(); i < set.end(); ++i) {
+    if (set.rec(i).started()) queue.push_back(i);
   }
 
   for (std::size_t head = 0; head < queue.size(); ++head) {
-    Request* r = queue[head];
-    if (r->fixed) continue;
+    const SnapIndex index = queue[head];
+    SnapshotRecord& r = set.rec(index);
+    if (r.fixed) continue;
 
-    if (r->started()) {
+    if (r.started()) {
       // Ground truth beats the derived time for running requests.
-      r->scheduledAt = r->startedAt;
+      r.scheduledAt = r.startedAt;
     } else {
-      const Request* parent = r->relatedTo;
-      COORM_DCHECK(parent != nullptr);
-      switch (r->relatedHow) {
+      COORM_DCHECK(r.parent != kNoRecord);
+      const SnapshotRecord& parent = set.rec(r.parent);
+      switch (r.relatedHow) {
         case Relation::kNext:
-          r->scheduledAt = satAdd(parent->scheduledAt, parent->duration);
+          r.scheduledAt = satAdd(parent.scheduledAt, parent.duration);
           break;
         case Relation::kCoAlloc:
-          r->scheduledAt = parent->scheduledAt;
+          r.scheduledAt = parent.scheduledAt;
           break;
         case Relation::kFree:
           continue;  // children() never yields these; defensive
       }
     }
 
-    if (r->started() && r->type == RequestType::kPreemptible) {
+    if (r.started() && r.type == RequestType::kPreemptible) {
       // A running preemptible request occupies what it actually holds.
-      r->nAlloc = std::ssize(r->nodeIds);
+      r.nAlloc = r.heldIds;
     } else if (available != nullptr &&
-               r->type == RequestType::kPreemptible) {
+               r.type == RequestType::kPreemptible) {
       // Pending leases are granted from *current* availability: the
       // scheduled start may lie in the past (the parent ended a while
       // ago), where the view no longer means anything.
-      r->nAlloc =
-          grantAtStart(*available, *r, std::max(r->scheduledAt, now));
+      r.nAlloc = grantAtStart(*available, r, std::max(r.scheduledAt, now));
     } else if (available != nullptr) {
-      r->nAlloc = available->alloc(r->cluster, r->scheduledAt, r->duration,
-                                   r->nodes);
+      r.nAlloc = available->alloc(r.cluster, r.scheduledAt, r.duration,
+                                  r.nodes);
     } else {
-      r->nAlloc = r->nodes;
+      r.nAlloc = r.nodes;
     }
-    r->fixed = true;
-    addOccupation(out, *r);
+    r.fixed = true;
+    addOccupation(out, r);
 
-    set.forEachChild(*r, [&](Request* child) { queue.push_back(child); });
+    for (const SnapIndex child : set.childrenOf(index)) {
+      queue.push_back(child);
+    }
   }
   return out;
 }
@@ -189,18 +192,22 @@ View Scheduler::toView(const RequestSet& set, const View* available,
 // ---------------------------------------------------------------------------
 // Algorithm 2: fit
 // ---------------------------------------------------------------------------
-View Scheduler::fit(const RequestSet& set, const View& available, Time t0) {
-  std::vector<Request*> queue;
+View Scheduler::fit(SetSnapshot& set, const View& available, Time t0,
+                    FitStats* stats) {
+  FitStats local;
+  if (stats == nullptr) stats = &local;
+  std::vector<SnapIndex> queue;
   queue.reserve(set.size() * 2 + 8);  // constraint conflicts re-push parents
   std::size_t nonFixed = 0;
-  for (Request* r : set) {
-    if (r->fixed) continue;
-    r->earliestScheduleAt = t0;  // nothing can be scheduled earlier than t0
-    r->scheduledAt = kTimeInf;   // in case of error, the request never starts
-    r->nAlloc = 0;
+  for (SnapIndex i = set.begin(); i < set.end(); ++i) {
+    SnapshotRecord& r = set.rec(i);
+    if (r.fixed) continue;
+    r.earliestScheduleAt = t0;  // nothing can be scheduled earlier than t0
+    r.scheduledAt = kTimeInf;   // in case of error, the request never starts
+    r.nAlloc = 0;
     ++nonFixed;
   }
-  set.forEachRoot([&](Request* r) { queue.push_back(r); });
+  for (const SnapIndex root : set.roots()) queue.push_back(root);
 
   // The constraint-propagation loop converges because earliestScheduleAt
   // only moves forward; the guard bounds pathological inputs.
@@ -208,83 +215,94 @@ View Scheduler::fit(const RequestSet& set, const View& available, Time t0) {
 
   for (std::size_t head = 0; head < queue.size() && budget > 0; ++head) {
     --budget;
-    Request* r = queue[head];
+    ++stats->queuePops;
+    const SnapIndex index = queue[head];
+    SnapshotRecord& r = set.rec(index);
 
-    if (r->fixed) {
-      // Start times of fixed requests cannot move; just visit children.
-      set.forEachChild(*r, [&](Request* child) { queue.push_back(child); });
+    if (r.fixed) {
+      // Start times of fixed records cannot move; just visit children.
+      for (const SnapIndex child : set.childrenOf(index)) {
+        ++stats->childVisits;
+        queue.push_back(child);
+      }
       continue;
     }
 
-    Request* parent = r->relatedTo;
-    r->nAlloc = r->nodes;  // default; preemptible branches override below
-    const Time before = r->scheduledAt;
+    SnapshotRecord* parent = r.parent != kNoRecord ? &set.rec(r.parent) : nullptr;
+    r.nAlloc = r.nodes;  // default; preemptible branches override below
+    const Time before = r.scheduledAt;
 
-    switch (r->relatedHow) {
+    switch (r.relatedHow) {
       case Relation::kFree: {
-        if (r->type == RequestType::kPreemptible) {
+        if (r.type == RequestType::kPreemptible) {
           // Preemptible requests are not guaranteed (A.1): they are leases,
           // granted whatever is free at the earliest instant anything is
           // free (the race with an evolving application's update resolves
           // by shrinking the grant, exactly the appendix's nAlloc story).
-          r->scheduledAt = available.findHole(r->cluster, 1, msec(1),
-                                              r->earliestScheduleAt);
-          r->nAlloc = grantAtStart(available, *r, r->scheduledAt);
+          r.scheduledAt = available.findHole(r.cluster, 1, msec(1),
+                                             r.earliestScheduleAt);
+          r.nAlloc = grantAtStart(available, r, r.scheduledAt);
         } else {
-          r->scheduledAt = available.findHole(
-              r->cluster, r->nodes, r->duration, r->earliestScheduleAt);
+          r.scheduledAt = available.findHole(r.cluster, r.nodes, r.duration,
+                                             r.earliestScheduleAt);
         }
         break;
       }
       case Relation::kCoAlloc: {
         if (parent == nullptr) break;
-        if (r->type == RequestType::kPreemptible &&
+        if (r.type == RequestType::kPreemptible &&
             parent->type != RequestType::kPreemptible) {
-          r->scheduledAt = parent->scheduledAt;
-          r->nAlloc = grantAtStart(available, *r, r->scheduledAt);
+          r.scheduledAt = parent->scheduledAt;
+          r.nAlloc = grantAtStart(available, r, r.scheduledAt);
         } else {
-          r->scheduledAt = available.findHole(
-              r->cluster, r->nodes, r->duration,
-              std::max(parent->scheduledAt, r->earliestScheduleAt));
-          if (r->scheduledAt != parent->scheduledAt && !parent->fixed &&
-              set.contains(parent)) {
+          r.scheduledAt = available.findHole(
+              r.cluster, r.nodes, r.duration,
+              std::max(parent->scheduledAt, r.earliestScheduleAt));
+          if (r.scheduledAt != parent->scheduledAt && !parent->fixed &&
+              set.contains(r.parent)) {
             // The parent must be delayed for the constraint to hold.
-            parent->earliestScheduleAt = r->scheduledAt;
-            queue.push_back(parent);
+            parent->earliestScheduleAt = r.scheduledAt;
+            ++stats->parentRepushes;
+            queue.push_back(r.parent);
           }
         }
         break;
       }
       case Relation::kNext: {
         if (parent == nullptr) break;
-        const Time parentEnd =
-            satAdd(parent->scheduledAt, parent->duration);
-        if (r->type == RequestType::kPreemptible) {
-          r->scheduledAt = parentEnd;
-          r->nAlloc = grantAtStart(available, *r, r->scheduledAt);
+        const Time parentEnd = satAdd(parent->scheduledAt, parent->duration);
+        if (r.type == RequestType::kPreemptible) {
+          r.scheduledAt = parentEnd;
+          r.nAlloc = grantAtStart(available, r, r.scheduledAt);
         } else {
-          r->scheduledAt = available.findHole(
-              r->cluster, r->nodes, r->duration,
-              std::max(parentEnd, r->earliestScheduleAt));
-          if (r->scheduledAt != parentEnd && !parent->fixed &&
-              set.contains(parent)) {
-            parent->earliestScheduleAt = satSub(r->scheduledAt, parent->duration);
-            queue.push_back(parent);
+          r.scheduledAt = available.findHole(
+              r.cluster, r.nodes, r.duration,
+              std::max(parentEnd, r.earliestScheduleAt));
+          if (r.scheduledAt != parentEnd && !parent->fixed &&
+              set.contains(r.parent)) {
+            parent->earliestScheduleAt =
+                satSub(r.scheduledAt, parent->duration);
+            ++stats->parentRepushes;
+            queue.push_back(r.parent);
           }
         }
         break;
       }
     }
 
-    if (before != r->scheduledAt) {
-      set.forEachChild(*r, [&](Request* child) { queue.push_back(child); });
+    if (before != r.scheduledAt) {
+      for (const SnapIndex child : set.childrenOf(index)) {
+        ++stats->childVisits;
+        queue.push_back(child);
+      }
     }
   }
 
   // Schedule converged (or budget exhausted): emit the generated view.
   View out;
-  for (Request* r : set) {
-    if (!r->fixed) addOccupation(out, *r);
+  for (SnapIndex i = set.begin(); i < set.end(); ++i) {
+    const SnapshotRecord& r = set.rec(i);
+    if (!r.fixed) addOccupation(out, r);
   }
   return out;
 }
@@ -308,8 +326,15 @@ namespace {
 /// once and copied — on a multi-cluster machine absent is the common case,
 /// which turns Step 2 from O(clusters × apps) into O(total occupations)
 /// per breakpoint. Values are identical to the all-apps sweep.
+///
+/// `candidates` (ascending app indices) are the applications whose
+/// snapshot demand summary names this cluster — a superset of the
+/// occupying applications, since occupation pulses only ever land on a
+/// request's own cluster. Probing candidates instead of every application
+/// makes present-detection O(demand entries) instead of O(clusters × apps).
 void eqScheduleCluster(ClusterId cid, const View& avail,
-                       std::span<const View> occupation, bool strict,
+                       std::span<const View> occupation,
+                       std::span<const std::uint32_t> candidates, bool strict,
                        NodeCount strictParticipants,
                        std::span<StepFunction> out) {
   const std::size_t napps = occupation.size();
@@ -318,10 +343,10 @@ void eqScheduleCluster(ClusterId cid, const View& avail,
   if (!strict) {
     // Strict mode hands every application the same fixed share, so nobody
     // needs the per-application demands: sweep `avail` alone.
-    present.reserve(napps);
-    for (std::size_t i = 0; i < napps; ++i) {
+    present.reserve(candidates.size());
+    for (const std::uint32_t i : candidates) {
       if (!occupation[i].cap(cid).isZero()) {
-        present.push_back(static_cast<std::uint32_t>(i));
+        present.push_back(i);
       }
     }
   }
@@ -431,12 +456,12 @@ void eqScheduleCluster(ClusterId cid, const View& avail,
 
 }  // namespace
 
-void Scheduler::eqSchedule(std::span<AppSchedule> apps, const View& available,
+void Scheduler::eqSchedule(std::span<AppSnapshot> apps, const View& available,
                            Time now, bool strict, WorkerPool* pool) {
   const std::size_t napps = apps.size();
   if (napps == 0) return;
 
-  // Callers (schedule()) usually hand in an already-clamped view; only
+  // Callers (schedulePass()) usually hand in an already-clamped view; only
   // copy when the clamp would actually change something.
   View clamped;
   if (!available.nonNegative()) {
@@ -446,46 +471,64 @@ void Scheduler::eqSchedule(std::span<AppSchedule> apps, const View& available,
   const View& avail = clamped.empty() ? available : clamped;
 
   // Step 1: preliminary occupation views (started + newly fitted
-  // requests). Each application's step touches only its own request set
-  // and occupation slot (constraints never cross applications), so the
-  // applications fan out over the pool.
+  // requests). Each application's step touches only its own snapshot
+  // records and occupation slot (constraints never cross applications), so
+  // the applications fan out over the pool. Applications with an empty
+  // preemptible set have no records to fix and an empty occupation — skip
+  // the algebra entirely.
   std::vector<View> occupation(napps);
   parallelFor(pool, napps, [&](std::size_t i) {
-    occupation[i] = toView(*apps[i].preemptible, &avail, now);
+    apps[i].preemptiveView = View{};
+    SetSnapshot& set = apps[i].preemptible();
+    if (set.empty()) return;
+    occupation[i] = toView(set, &avail, now);
     if (occupation[i].empty()) {
       // Nothing started: avail - 0 clamped is avail itself (clamped on
       // entry), so fit directly against it and adopt the result outright.
-      occupation[i] = fit(*apps[i].preemptible, avail, now);
+      occupation[i] = fit(set, avail, now);
     } else {
       View freeForMe = avail;
       accumulateOne(freeForMe, occupation[i], View::Op::kSubtract,
                     /*clampAtZero=*/true);
-      occupation[i] += fit(*apps[i].preemptible, freeForMe, now);
+      occupation[i] += fit(set, freeForMe, now);
     }
-    apps[i].preemptiveView = View{};
   });
 
   // Step 2: per piece-wise-constant interval, decide what each application
   // may have. The sweep partitions cleanly by cluster; every cluster
   // writes its own pre-sized slot row and the rows are merged below in
-  // cluster order, so any thread count produces byte-identical views.
+  // cluster order, so any thread count produces byte-identical views. The
+  // captured demand summaries invert into per-cluster candidate lists, so
+  // each cluster sweep only probes the applications that can occupy it.
   std::vector<ClusterId> clusterIds;
   avail.appendClusterIds(clusterIds);
   for (const View& occ : occupation) occ.appendClusterIds(clusterIds);
   View::sortUniqueClusterIds(clusterIds);
 
+  std::vector<std::vector<std::uint32_t>> candidates(clusterIds.size());
+  for (std::size_t i = 0; i < napps; ++i) {
+    for (const ClusterDemand& demand : apps[i].preemptibleDemand()) {
+      const auto it = std::lower_bound(clusterIds.begin(), clusterIds.end(),
+                                       demand.cluster);
+      if (it != clusterIds.end() && *it == demand.cluster) {
+        candidates[static_cast<std::size_t>(it - clusterIds.begin())]
+            .push_back(static_cast<std::uint32_t>(i));
+      }
+    }
+  }
+
   NodeCount strictParticipants = 0;  // breakpoint-invariant
   if (strict) {
-    for (const AppSchedule& app : apps) {
-      if (!app.preemptible->empty()) ++strictParticipants;
+    for (const AppSnapshot& app : apps) {
+      if (!app.preemptible().empty()) ++strictParticipants;
     }
   }
 
   std::vector<std::vector<StepFunction>> perCluster(clusterIds.size());
   parallelFor(pool, clusterIds.size(), [&](std::size_t c) {
     perCluster[c].resize(napps);
-    eqScheduleCluster(clusterIds[c], avail, occupation, strict,
-                      strictParticipants, perCluster[c]);
+    eqScheduleCluster(clusterIds[c], avail, occupation, candidates[c],
+                      strict, strictParticipants, perCluster[c]);
   });
   for (std::size_t c = 0; c < clusterIds.size(); ++c) {
     for (std::size_t i = 0; i < napps; ++i) {
@@ -498,16 +541,17 @@ void Scheduler::eqSchedule(std::span<AppSchedule> apps, const View& available,
   // final view so scheduledAt and nAlloc are consistent with what we will
   // actually grant. Per-application again, so it rides the pool too.
   parallelFor(pool, napps, [&](std::size_t i) {
-    const View own =
-        toView(*apps[i].preemptible, &apps[i].preemptiveView, now);
+    SetSnapshot& set = apps[i].preemptible();
+    if (set.empty()) return;
+    const View own = toView(set, &apps[i].preemptiveView, now);
     if (own.empty()) {
       // Preemptive views are non-negative by construction, so the
       // subtract-clamp of an empty occupation is the view itself.
-      fit(*apps[i].preemptible, apps[i].preemptiveView, now);
+      fit(set, apps[i].preemptiveView, now);
     } else {
       View rest = apps[i].preemptiveView;
       accumulateOne(rest, own, View::Op::kSubtract, /*clampAtZero=*/true);
-      fit(*apps[i].preemptible, rest, now);
+      fit(set, rest, now);
     }
   });
 }
@@ -515,22 +559,23 @@ void Scheduler::eqSchedule(std::span<AppSchedule> apps, const View& available,
 // ---------------------------------------------------------------------------
 // Algorithm 4: main scheduling algorithm
 // ---------------------------------------------------------------------------
-void Scheduler::schedule(std::span<AppSchedule> apps, Time now) const {
+void Scheduler::schedulePass(RequestSetSnapshot& snapshot, Time now) const {
   WorkerPool* pool = pool_.get();
+  const std::span<AppSnapshot> apps = snapshot.apps();
   View vnp = machineView();  // non-preemptible resources still available
   View vp = machineView();   // preemptible resources still available
 
   // Subtract resources held by started pre-allocations / NP requests: one
   // N-ary sweep each, instead of a fold of binary subtractions that
   // re-merges the accumulated view once per application. The occupation
-  // views only read/write one application's requests each, so they fan out
+  // views only read/write one application's records each, so they fan out
   // per application; the N-ary folds fan out per cluster inside
   // View::accumulate.
   std::vector<View> paOcc(apps.size());
   std::vector<View> npOcc(apps.size());
   parallelFor(pool, apps.size(), [&](std::size_t i) {
-    paOcc[i] = toView(*apps[i].preAllocations);
-    npOcc[i] = toView(*apps[i].nonPreemptible);
+    paOcc[i] = toView(apps[i].preAllocations());
+    npOcc[i] = toView(apps[i].nonPreemptible());
   });
   std::vector<const View*> operands;
   operands.reserve(apps.size() * 2);
@@ -539,27 +584,27 @@ void Scheduler::schedule(std::span<AppSchedule> apps, Time now) const {
 
   // Non-preemptive views and start times, in connection order. The toView
   // results above stay valid through this loop: fit() only mutates the
-  // request set it is given, so application i's occupation views cannot
-  // change before iteration i reads them. vnp is consumed inside the loop
-  // and must be updated eagerly; vp is only read after it, so the fitted
-  // NP occupations are collected and folded in one sweep at the end.
+  // set it is given, so application i's occupation views cannot change
+  // before iteration i reads them. vnp is consumed inside the loop and
+  // must be updated eagerly; vp is only read after it, so the fitted NP
+  // occupations are collected and folded in one sweep at the end.
   std::vector<View> npFitted;
   npFitted.reserve(apps.size());
   for (std::size_t i = 0; i < apps.size(); ++i) {
-    AppSchedule& app = apps[i];
+    AppSnapshot& app = apps[i];
     const View& ownStartedPa = paOcc[i];
 
     app.nonPreemptiveView = ownStartedPa;
     accumulateOne(app.nonPreemptiveView, vnp, View::Op::kAdd,
                   /*clampAtZero=*/true);
 
-    const View occPa = fit(*app.preAllocations, app.nonPreemptiveView, now);
+    const View occPa = fit(app.preAllocations(), app.nonPreemptiveView, now);
 
     View npAvailable = ownStartedPa;
     accumulateOne(npAvailable, occPa, View::Op::kAdd);
     accumulateOne(npAvailable, npOcc[i], View::Op::kSubtract,
                   /*clampAtZero=*/true);
-    npFitted.push_back(fit(*app.nonPreemptible, npAvailable, now));
+    npFitted.push_back(fit(app.nonPreemptible(), npAvailable, now));
 
     accumulateOne(vnp, occPa, View::Op::kSubtract);
   }
@@ -571,6 +616,62 @@ void Scheduler::schedule(std::span<AppSchedule> apps, Time now) const {
 
   vp.clampMin(0);
   eqSchedule(apps, vp, now, config_.strictEquiPartition, pool);
+}
+
+void Scheduler::schedule(std::span<AppSchedule> apps, Time now) const {
+  scratch_.recapture(apps);
+  schedulePass(scratch_, now);
+  scratch_.writeBack();
+  const std::span<AppSnapshot> scheduled = scratch_.apps();
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    apps[i].nonPreemptiveView = std::move(scheduled[i].nonPreemptiveView);
+    apps[i].preemptiveView = std::move(scheduled[i].preemptiveView);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Live-RequestSet shims: capture, run the snapshot algorithm, write back.
+// The capture scratch is thread-local so tight call loops (tests, the
+// building-block benchmarks, reference implementations composed from these
+// shims) reuse buffer capacity instead of re-allocating per call; contents
+// are re-captured every call, so results are unaffected.
+// ---------------------------------------------------------------------------
+namespace {
+AppSnapshot& shimScratch() {
+  thread_local AppSnapshot scratch;
+  return scratch;
+}
+}  // namespace
+
+View Scheduler::toView(const RequestSet& set, const View* available,
+                       Time now) {
+  AppSnapshot& app = shimScratch();
+  app.capture(AppId{}, nullptr, &set, nullptr);
+  View out = toView(app.nonPreemptible(), available, now);
+  app.writeBack();
+  return out;
+}
+
+View Scheduler::fit(const RequestSet& set, const View& available, Time t0) {
+  AppSnapshot& app = shimScratch();
+  app.capture(AppId{}, nullptr, &set, nullptr);
+  View out = fit(app.nonPreemptible(), available, t0);
+  app.writeBack();
+  return out;
+}
+
+void Scheduler::eqSchedule(std::span<AppSchedule> apps, const View& available,
+                           Time now, bool strict, WorkerPool* pool) {
+  thread_local std::vector<AppSnapshot> snapshots;
+  snapshots.resize(apps.size());
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    snapshots[i].capture(apps[i].app, nullptr, nullptr, apps[i].preemptible);
+  }
+  eqSchedule(std::span<AppSnapshot>(snapshots), available, now, strict, pool);
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    snapshots[i].writeBack();
+    apps[i].preemptiveView = std::move(snapshots[i].preemptiveView);
+  }
 }
 
 }  // namespace coorm

@@ -1,9 +1,11 @@
 #include "coorm/rms/server.hpp"
 
 #include <algorithm>
+#include <span>
 
 #include "coorm/common/check.hpp"
 #include "coorm/common/log.hpp"
+#include "coorm/common/worker_pool.hpp"
 
 namespace coorm {
 
@@ -33,15 +35,23 @@ void Session::disconnect() {
 }
 
 bool Session::killed() const {
-  return server_->findSession(app_)->killed;
+  Server::SessionState* st = server_->findSession(app_);
+  COORM_CHECK(st != nullptr);
+  return st->killed;
 }
 
 const View& Session::nonPreemptiveView() const {
-  return server_->findSession(app_)->lastNonPreemptive;
+  server_->syncPass();  // views change at commit; observe committed state
+  Server::SessionState* st = server_->findSession(app_);
+  COORM_CHECK(st != nullptr);
+  return st->lastNonPreemptive;
 }
 
 const View& Session::preemptiveView() const {
-  return server_->findSession(app_)->lastPreemptive;
+  server_->syncPass();
+  Server::SessionState* st = server_->findSession(app_);
+  COORM_CHECK(st != nullptr);
+  return st->lastPreemptive;
 }
 
 // ---------------------------------------------------------------------------
@@ -56,11 +66,32 @@ Server::Server(Executor& executor, Machine machine, Config config)
       scheduler_(machine, Scheduler::Config{config.strictEquiPartition},
                  SchedulerOptions{config.threads}),
       pool_(machine),
-      config_(config) {}
+      config_(config) {
+  if (config_.pipeline) lane_ = std::make_unique<AsyncLane>();
+}
 
-Server::~Server() = default;
+Server::~Server() {
+  if (passInFlight_) {
+    // Torn down mid-pass (the driving loop stopped before the commit
+    // event): join the lane and discard the results — they are no longer
+    // observable, and committing would schedule events during teardown.
+    if (lane_ != nullptr && lane_->busy()) {
+      try {
+        lane_->wait();
+      } catch (...) {
+        // A pass that died is discarded like any other in-flight pass;
+        // nothing may escape a destructor.
+      }
+    }
+    Executor::cancel(commitEvent_);
+  }
+}
 
 Session* Server::connect(AppEndpoint& endpoint) {
+  // Pure addition: the new session is invisible to an in-flight pass's
+  // snapshot and to its commit (which is scoped to the launch-time
+  // sessions), so connecting overlaps the pass instead of draining it.
+  ++stateEpoch_;
   auto st = std::make_unique<SessionState>();
   st->app = AppId{nextAppId_++};
   st->endpoint = &endpoint;
@@ -89,7 +120,8 @@ RequestSet& Server::setFor(SessionState& st, RequestType type) {
   __builtin_unreachable();
 }
 
-const Request* Server::findRequest(RequestId id) const {
+const Request* Server::findRequest(RequestId id) {
+  syncPass();  // scheduling attributes are written at commit
   const auto it = requestIndex_.find(id.value);
   return it != requestIndex_.end() ? it->second.second : nullptr;
 }
@@ -123,6 +155,14 @@ RequestId Server::handleRequest(SessionState& st, const RequestSpec& spec) {
     }
     related = it->second.second;
   }
+
+  // Submissions overlap an in-flight pass instead of draining it: they only
+  // *add* requests, which the pass's snapshot does not cover and the commit
+  // ignores — exactly the state the serial server would be in after running
+  // the pass first. The epoch bump makes the overlap observable at commit,
+  // and requestReschedule() below arms the pass that will schedule the new
+  // request.
+  ++stateEpoch_;
 
   // Implicit pre-allocation wrap (§3.2): a bare non-preemptible request of
   // an application that manages no explicit pre-allocation gets a shadow PA
@@ -190,6 +230,10 @@ RequestId Server::handleRequest(SessionState& st, const RequestSpec& spec) {
 
 void Server::handleDone(SessionState& st, RequestId id,
                         std::vector<NodeId> released) {
+  // Completions synchronize with an in-flight pass: whether `id` ends or is
+  // cancelled depends on whether the commit started it, and the node IDs it
+  // releases must reach the pool in commit order.
+  syncPass();
   const auto it = requestIndex_.find(id.value);
   if (it == requestIndex_.end() || it->second.first != st.app) return;
   Request* r = it->second.second;
@@ -207,6 +251,7 @@ void Server::handleDone(SessionState& st, RequestId id,
 }
 
 void Server::handleDisconnect(SessionState& st) {
+  syncPass();  // releases node IDs: must observe commit-time pool state
   trace(toString(st.app), "disconnect");
   for (auto& owned : st.owned) {
     Request& r = *owned;
@@ -361,6 +406,7 @@ void Server::cancelUnstarted(SessionState& st, Request& r) {
 }
 
 void Server::onExpiryTimer(AppId app, RequestId id) {
+  syncPass();  // ending a request interacts with commit-time starts
   SessionState* st = findSession(app);
   if (st == nullptr || st->killed || st->disconnected) return;
   const auto it = requestIndex_.find(id.value);
@@ -386,6 +432,7 @@ void Server::onExpiryTimer(AppId app, RequestId id) {
   executor_.after(0, [endpoint, id] { endpoint->onExpired(id); });
 
   executor_.after(config_.violationGrace, [this, app, id] {
+    syncPass();
     SessionState* session = findSession(app);
     if (session == nullptr || session->killed || session->disconnected) return;
     const auto entry = requestIndex_.find(id.value);
@@ -438,16 +485,23 @@ void Server::requestReschedule() {
   });
 }
 
-void Server::runSchedulingPassNow() { runPass(); }
+void Server::runSchedulingPassNow() {
+  syncPass();
+  runPass(/*synchronous=*/true);
+}
 
-void Server::runPass() {
+void Server::runPass(bool synchronous) {
+  COORM_CHECK(!passInFlight_);
   lastPassAt_ = executor_.now();
   ++passCount_;
 
   pruneEnded();
 
+  // Launch: freeze the live request sets. From here until commit the pass
+  // reads only the snapshot, so the executor thread is free to keep
+  // handling protocol messages.
   std::vector<AppSchedule> apps;
-  std::vector<SessionState*> live;
+  passApps_.clear();
   for (auto& st : sessions_) {
     if (st->killed || st->disconnected) continue;
     AppSchedule app;
@@ -456,16 +510,82 @@ void Server::runPass() {
     app.nonPreemptible = &st->nonPreemptible;
     app.preemptible = &st->preemptible;
     apps.push_back(std::move(app));
-    live.push_back(st.get());
+    passApps_.push_back(st.get());
   }
+  if (passSnapshot_ == nullptr) {
+    passSnapshot_ = std::make_unique<RequestSetSnapshot>();
+  }
+  passSnapshot_->recapture(apps);  // in place: steady state allocates nothing
+  passEpoch_ = stateEpoch_;
+  passInFlight_ = true;
 
-  scheduler_.schedule(apps, executor_.now());
+  if (!synchronous && lane_ != nullptr) {
+    // Fallback commit at the pass's own timestamp: scheduled first, it
+    // dispatches before any event that a same-time event schedules later —
+    // the latest deterministic commit point. Any earlier server-touching
+    // event drains the pass and this event is cancelled.
+    commitEvent_ = executor_.schedule(lastPassAt_, [this] { syncPass(); });
+    const Time at = lastPassAt_;
+    lane_->launch([this, at] { scheduler_.schedulePass(*passSnapshot_, at); });
+  } else {
+    try {
+      scheduler_.schedulePass(*passSnapshot_, lastPassAt_);
+    } catch (...) {
+      abandonPass();
+      throw;
+    }
+    commitPass();
+  }
+}
 
-  // Stash freshly computed views before starting requests so violation
-  // checks and pushes see consistent data.
-  for (std::size_t i = 0; i < live.size(); ++i) {
-    live[i]->lastNonPreemptive = std::move(apps[i].nonPreemptiveView);
-    live[i]->lastPreemptive = std::move(apps[i].preemptiveView);
+void Server::syncPass() {
+  if (!passInFlight_) return;
+  if (lane_ != nullptr && lane_->busy()) {
+    try {
+      lane_->wait();
+    } catch (...) {
+      abandonPass();
+      throw;
+    }
+  }
+  commitPass();
+}
+
+void Server::abandonPass() {
+  // A pass that threw computed nothing committable: its partial snapshot
+  // results must never reach the live requests or be pushed as views.
+  // Dropping the in-flight state matches the serial server, where the
+  // exception propagated out of runPass() before any result was stashed;
+  // the next protocol message re-arms a fresh pass as usual.
+  passInFlight_ = false;
+  Executor::cancel(commitEvent_);
+  commitEvent_ = nullptr;
+}
+
+void Server::commitPass() {
+  COORM_CHECK(passInFlight_);
+  passInFlight_ = false;
+  Executor::cancel(commitEvent_);
+  commitEvent_ = nullptr;
+
+  // Reconcile pass output with the live state: snapshot-known requests get
+  // exactly the attributes the serial pass would have written in place;
+  // requests and sessions that arrived mid-pass are not in the snapshot
+  // and stay untouched (their handler already re-armed the next pass).
+  passSnapshot_->writeBack();
+  const std::span<AppSnapshot> scheduled = passSnapshot_->apps();
+  for (std::size_t i = 0; i < passApps_.size(); ++i) {
+    // Stash freshly computed views before starting requests so violation
+    // checks and pushes see consistent data.
+    passApps_[i]->lastNonPreemptive =
+        std::move(scheduled[i].nonPreemptiveView);
+    passApps_[i]->lastPreemptive = std::move(scheduled[i].preemptiveView);
+  }
+  if (stateEpoch_ != passEpoch_) {
+    ++overlappedPasses_;
+    COORM_LOG(LogLevel::kDebug, "rms")
+        << "pass " << passCount_ << " overlapped "
+        << (stateEpoch_ - passEpoch_) << " message(s); next pass armed";
   }
 
   // Push views before start notifications so applications react to starts
@@ -615,6 +735,10 @@ void Server::checkViolations() {
     const AppId app = st.app;
     st.violationTimer =
         executor_.after(config_.violationGrace, [this, app] {
+          // Committing here may cancel this very timer; the semantic
+          // re-check below (held vs the committed view at fire time) makes
+          // the kill decision identical to the serial server either way.
+          syncPass();
           SessionState* session = findSession(app);
           if (session == nullptr || session->killed || session->disconnected) {
             return;
@@ -640,7 +764,11 @@ void Server::checkViolations() {
 }
 
 void Server::pushViews() {
-  for (auto& stPtr : sessions_) {
+  // Scoped to the launch-time sessions: an application that connected while
+  // the pass was in flight has no computed views yet (the serial server
+  // would not have seen it either); it gets its first push from the pass
+  // its connect() armed.
+  for (SessionState* stPtr : passApps_) {
     SessionState& st = *stPtr;
     if (st.killed || st.disconnected) continue;
     // lastNonPreemptive/lastPreemptive were refreshed by runPass(); push

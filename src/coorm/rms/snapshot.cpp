@@ -1,0 +1,293 @@
+#include "coorm/rms/snapshot.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "coorm/common/check.hpp"
+#include "coorm/rms/scheduler.hpp"
+
+namespace coorm {
+
+namespace {
+
+/// Seeds one record from a live request. Captured attributes and result
+/// slots alike: result slots must start from the live values so that any
+/// read-before-write during the pass (forward NEXT references, fixed flags
+/// of requests another set scheduled in an earlier pass) observes exactly
+/// what the in-place algorithms would have observed.
+SnapshotRecord freeze(Request* r) {
+  SnapshotRecord rec;
+  rec.live = r;
+  rec.cluster = r->cluster;
+  rec.nodes = r->nodes;
+  rec.duration = r->duration;
+  rec.type = r->type;
+  rec.relatedHow = r->relatedHow;
+  rec.startedAt = r->startedAt;
+  rec.heldIds = std::ssize(r->nodeIds);
+  rec.nAlloc = r->nAlloc;
+  rec.scheduledAt = r->scheduledAt;
+  rec.earliestScheduleAt = r->earliestScheduleAt;
+  rec.fixed = r->fixed;
+  return rec;
+}
+
+}  // namespace
+
+AppSnapshot::AppSnapshot(AppId app, const RequestSet* preAllocations,
+                         const RequestSet* nonPreemptible,
+                         const RequestSet* preemptible) {
+  capture(app, preAllocations, nonPreemptible, preemptible);
+}
+
+void AppSnapshot::capture(AppId app, const RequestSet* preAllocations,
+                          const RequestSet* nonPreemptible,
+                          const RequestSet* preemptible) {
+  if (tryRefresh(app, preAllocations, nonPreemptible, preemptible)) return;
+
+  app_ = app;
+  records_.clear();
+  std::size_t total = 0;
+  for (const RequestSet* set : {preAllocations, nonPreemptible, preemptible}) {
+    if (set != nullptr) total += set->size();
+  }
+  records_.reserve(total);
+
+  captureSet(preAllocations, preAllocations_);
+  captureSet(nonPreemptible, nonPreemptible_);
+  captureSet(preemptible, preemptible_);
+  resolveParents();
+
+  indexSet(preAllocations_);
+  indexSet(nonPreemptible_);
+  indexSet(preemptible_);
+  summarizeDemand();
+}
+
+bool AppSnapshot::tryRefresh(AppId app, const RequestSet* preAllocations,
+                             const RequestSet* nonPreemptible,
+                             const RequestSet* preemptible) {
+  const RequestSet* liveSets[3] = {preAllocations, nonPreemptible,
+                                   preemptible};
+  const SetSnapshot* snapSets[3] = {&preAllocations_, &nonPreemptible_,
+                                    &preemptible_};
+  const auto refresh = [](SnapshotRecord& rec) {
+    const Request* r = rec.live;
+    rec.cluster = r->cluster;
+    rec.nodes = r->nodes;
+    rec.duration = r->duration;
+    rec.type = r->type;
+    rec.startedAt = r->startedAt;
+    rec.heldIds = std::ssize(r->nodeIds);
+    rec.nAlloc = r->nAlloc;
+    rec.scheduledAt = r->scheduledAt;
+    rec.earliestScheduleAt = r->earliestScheduleAt;
+    rec.fixed = r->fixed;
+  };
+
+  // One walk verifies the topology (same members in the same order, same
+  // constraint edges) and refreshes attributes as it goes: on a mismatch
+  // the caller rebuilds from scratch, overwriting any partial refresh, so
+  // no rollback is needed — and the scattered live requests are only read
+  // once, which is what dominates a steady-state capture.
+  std::size_t members = 0;
+  for (int s = 0; s < 3; ++s) {
+    const std::size_t liveSize =
+        liveSets[s] != nullptr ? liveSets[s]->size() : 0;
+    if (snapSets[s]->size() != liveSize) return false;
+    if (liveSize == 0) continue;
+    members += liveSize;
+    SnapIndex i = snapSets[s]->begin();
+    for (Request* r : *liveSets[s]) {
+      SnapshotRecord& rec = records_[static_cast<std::size_t>(i++)];
+      if (rec.live != r || rec.relatedHow != r->relatedHow) return false;
+      if (r->relatedHow != Relation::kFree) {
+        // The stored parent must still name the same live request (a null
+        // target maps to kNoRecord).
+        if ((r->relatedTo == nullptr) != (rec.parent == kNoRecord)) {
+          return false;
+        }
+        if (r->relatedTo != nullptr &&
+            records_[static_cast<std::size_t>(rec.parent)].live !=
+                r->relatedTo) {
+          return false;
+        }
+      }
+      refresh(rec);
+    }
+  }
+
+  // Frozen externals form the record suffix (resolveParents appends them);
+  // their liveness is implied by the verified constraint edges.
+  app_ = app;
+  for (std::size_t i = members; i < records_.size(); ++i) {
+    refresh(records_[i]);
+  }
+  summarizeDemand();
+  return true;
+}
+
+void AppSnapshot::summarizeDemand() {
+  preemptibleDemand_.clear();
+  for (SnapIndex i = preemptible_.begin(); i < preemptible_.end(); ++i) {
+    const SnapshotRecord& rec = records_[static_cast<std::size_t>(i)];
+    auto it = std::find_if(
+        preemptibleDemand_.begin(), preemptibleDemand_.end(),
+        [&](const ClusterDemand& d) { return d.cluster == rec.cluster; });
+    if (it == preemptibleDemand_.end()) {
+      it = preemptibleDemand_.insert(preemptibleDemand_.end(),
+                                     ClusterDemand{rec.cluster, 0, 0, 0});
+    }
+    ++it->requests;
+    it->wanted += rec.nodes;
+    if (rec.started()) it->held += rec.heldIds;
+  }
+  std::sort(preemptibleDemand_.begin(), preemptibleDemand_.end(),
+            [](const ClusterDemand& a, const ClusterDemand& b) {
+              return a.cluster < b.cluster;
+            });
+}
+
+void AppSnapshot::captureSet(const RequestSet* set, SetSnapshot& out) {
+  out.begin_ = static_cast<SnapIndex>(records_.size());
+  if (set != nullptr) {
+    for (Request* r : *set) records_.push_back(freeze(r));
+  }
+  out.end_ = static_cast<SnapIndex>(records_.size());
+}
+
+void AppSnapshot::resolveParents() {
+  const std::size_t members = records_.size();
+
+  // live pointer -> record index, for members (constraints relate requests
+  // of one application, so one per-application map resolves everything).
+  index_.clear();
+  index_.reserve(members);
+  for (std::size_t i = 0; i < members; ++i) {
+    index_.emplace_back(records_[i].live, static_cast<SnapIndex>(i));
+  }
+  std::sort(index_.begin(), index_.end());
+  const auto lookup = [&](const Request* r) -> SnapIndex {
+    const auto it = std::lower_bound(
+        index_.begin(), index_.end(), r,
+        [](const auto& entry, const Request* key) { return entry.first < key; });
+    return it != index_.end() && it->first == r ? it->second : kNoRecord;
+  };
+
+  for (std::size_t i = 0; i < members; ++i) {
+    // Resolved lazily and only for constrained requests: a FREE request's
+    // stale relatedTo pointer is never navigated by the algorithms, so it
+    // must not grow the snapshot either.
+    Request* target = records_[i].live->relatedTo;
+    if (records_[i].relatedHow == Relation::kFree || target == nullptr) {
+      records_[i].parent = kNoRecord;
+      continue;
+    }
+    SnapIndex parent = lookup(target);
+    if (parent == kNoRecord) {
+      // Constraint target outside the captured sets: freeze it as an
+      // auxiliary record so the pass can read its schedule without touching
+      // live state. Deduplicated via the same map.
+      parent = static_cast<SnapIndex>(records_.size());
+      records_.push_back(freeze(target));
+      records_.back().external = true;
+      records_.back().parent = kNoRecord;
+      const auto it = std::lower_bound(
+          index_.begin(), index_.end(),
+          std::make_pair(static_cast<const Request*>(target), SnapIndex{0}),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      index_.insert(it, {target, parent});
+    }
+    records_[i].parent = parent;
+  }
+}
+
+void AppSnapshot::indexSet(SetSnapshot& set) {
+  set.records_ = records_.data();
+  const std::size_t n = set.size();
+
+  set.roots_.clear();
+  set.childEnds_.assign(n, 0);
+
+  // Same membership and order as the live forEachRoot/forEachChild: roots
+  // in set insertion order, children in set insertion order per parent.
+  // One counting pass, an exclusive prefix sum, and one placement pass
+  // whose per-slot cursors end up as the CSR end-offsets — no auxiliary
+  // buffer, and every vector reuses its previous capacity.
+  const auto isChild = [&](const SnapshotRecord& rec) {
+    return rec.relatedHow != Relation::kFree && rec.parent != kNoRecord &&
+           set.contains(rec.parent);
+  };
+  std::uint32_t totalChildren = 0;
+  for (SnapIndex i = set.begin_; i < set.end_; ++i) {
+    const SnapshotRecord& rec = records_[static_cast<std::size_t>(i)];
+    if (isChild(rec)) {
+      ++set.childEnds_[static_cast<std::size_t>(rec.parent - set.begin_)];
+      ++totalChildren;
+    } else {
+      set.roots_.push_back(i);
+    }
+  }
+  std::uint32_t running = 0;  // counts -> exclusive start offsets
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::uint32_t count = set.childEnds_[s];
+    set.childEnds_[s] = running;
+    running += count;
+  }
+  set.children_.resize(totalChildren);
+  for (SnapIndex i = set.begin_; i < set.end_; ++i) {
+    const SnapshotRecord& rec = records_[static_cast<std::size_t>(i)];
+    if (isChild(rec)) {
+      const auto slot = static_cast<std::size_t>(rec.parent - set.begin_);
+      set.children_[set.childEnds_[slot]++] = i;  // cursor becomes the end
+    }
+  }
+  // A slot with no children keeps its start offset untouched — which *is*
+  // its end offset (start_s = sum of earlier counts = end of slot s-1), so
+  // childEnds_ is the finished end-offset array with no fix-up pass.
+}
+
+void AppSnapshot::writeBack() const {
+  for (const SnapshotRecord& rec : records_) {
+    if (rec.external) continue;
+    Request* live = rec.live;
+    // Compare-before-store: between steady-state passes most results are
+    // recomputed to the same values, and skipping the stores keeps those
+    // scattered cache lines clean.
+    if (live->nAlloc != rec.nAlloc) live->nAlloc = rec.nAlloc;
+    if (live->scheduledAt != rec.scheduledAt) {
+      live->scheduledAt = rec.scheduledAt;
+    }
+    if (live->earliestScheduleAt != rec.earliestScheduleAt) {
+      live->earliestScheduleAt = rec.earliestScheduleAt;
+    }
+    if (live->fixed != rec.fixed) live->fixed = rec.fixed;
+  }
+}
+
+RequestSetSnapshot RequestSetSnapshot::capture(
+    std::span<const AppSchedule> apps) {
+  RequestSetSnapshot snap;
+  snap.recapture(apps);
+  return snap;
+}
+
+void RequestSetSnapshot::recapture(std::span<const AppSchedule> apps) {
+  // resize() keeps the leading AppSnapshots — and, crucially, their
+  // internal buffers — alive for in-place re-capture.
+  apps_.resize(apps.size());
+  requestCount_ = 0;
+  for (std::size_t i = 0; i < apps.size(); ++i) {
+    apps_[i].capture(apps[i].app, apps[i].preAllocations,
+                     apps[i].nonPreemptible, apps[i].preemptible);
+    requestCount_ += apps_[i].preAllocations().size() +
+                     apps_[i].nonPreemptible().size() +
+                     apps_[i].preemptible().size();
+  }
+}
+
+void RequestSetSnapshot::writeBack() const {
+  for (const AppSnapshot& app : apps_) app.writeBack();
+}
+
+}  // namespace coorm

@@ -42,6 +42,15 @@ class Engine final : public Executor {
   [[nodiscard]] bool empty() const { return queue_.empty(); }
   [[nodiscard]] std::size_t pendingEvents() const { return queue_.size(); }
 
+  /// Timestamp of the next queued event, kTimeInf when the queue is empty.
+  /// Cancelled events still count until they are popped, so this is a
+  /// lower bound on the time of the next event actually dispatched. Lets
+  /// a driver bound step() against a horizon without popping (the
+  /// server-pipeline benchmark's drive loop; see also runUntil()).
+  [[nodiscard]] Time nextEventAt() const {
+    return queue_.empty() ? kTimeInf : queue_.top().at;
+  }
+
  private:
   struct Event {
     Time at;

@@ -99,6 +99,13 @@ TEST(Cli, ParsesThreads) {
   EXPECT_EQ(r.options.threads, 4);
 }
 
+TEST(Cli, ParsesPipeline) {
+  EXPECT_TRUE(parse({}).options.pipeline);  // pipelined serving by default
+  const ParseResult r = parse({"--no-pipeline"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r.options.pipeline);
+}
+
 TEST(Cli, NonPositiveThreadsIsError) {
   EXPECT_EQ(parse({"--threads", "0"}).status, ParseStatus::kError);
   EXPECT_EQ(parse({"--threads", "-2"}).status, ParseStatus::kError);
@@ -132,7 +139,8 @@ TEST(Cli, UsageMentionsEveryOption) {
   for (const char* flag :
        {"--nodes", "--seed", "--amr", "--amr-steps", "--amr-static",
         "--overcommit", "--announce", "--psa", "--jobs", "--swf", "--strict",
-        "--threads", "--until", "--timeline", "--trace", "--help"}) {
+        "--threads", "--no-pipeline", "--until", "--timeline", "--trace",
+        "--help"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }

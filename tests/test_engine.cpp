@@ -11,6 +11,21 @@ TEST(Engine, StartsAtZero) {
   EXPECT_TRUE(engine.empty());
 }
 
+TEST(Engine, NextEventAtPeeksWithoutPopping) {
+  Engine engine;
+  EXPECT_EQ(engine.nextEventAt(), kTimeInf);  // empty queue
+  engine.schedule(30, [] {});
+  const EventHandle cancelled = engine.schedule(10, [] {});
+  EXPECT_EQ(engine.nextEventAt(), 10);
+  Executor::cancel(cancelled);
+  // Cancelled events count until popped: a lower bound, not the dispatch
+  // time.
+  EXPECT_EQ(engine.nextEventAt(), 10);
+  EXPECT_TRUE(engine.step());  // pops the cancelled event, runs the 30s one
+  EXPECT_EQ(engine.now(), 30);
+  EXPECT_EQ(engine.nextEventAt(), kTimeInf);
+}
+
 TEST(Engine, EventsRunInTimeOrder) {
   Engine engine;
   std::vector<int> order;

@@ -4,9 +4,18 @@
 //   - a node ID is attached to at most one live request;
 //   - the simulation is deterministic per seed;
 //   - every node is reclaimed once everything disconnects.
+//
+// The suite runs the pipelined server (the default): whole-second action
+// bursts land exactly on the second-aligned scheduling passes, so
+// request/done/disconnect messages regularly interleave with passes in
+// flight. The pipelined runs must be bit-identical to the serial
+// back-to-back server and deterministic across threads {1, 2, 4}.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "coorm/common/rng.hpp"
 #include "coorm/rms/server.hpp"
@@ -20,12 +29,18 @@ const ClusterId kC{0};
 /// An application driving random (but protocol-conforming) actions.
 class ChaosApp : public AppEndpoint {
  public:
-  ChaosApp(Engine& engine, std::uint64_t seed) : engine_(engine), rng_(seed) {}
+  /// With `disconnectAt` > 0 the application leaves mid-run (releasing
+  /// everything), so disconnects also interleave with in-flight passes.
+  ChaosApp(Engine& engine, std::uint64_t seed, Time disconnectAt = 0)
+      : engine_(engine), rng_(seed), disconnectAt_(disconnectAt) {}
 
   void attach(Server& server) {
     session_ = server.connect(*this);
     scheduleAction();
     scheduleEnforcement();
+    if (disconnectAt_ > 0) {
+      engine_.after(disconnectAt_, [this] { disconnectNow(); });
+    }
   }
 
   void onViews(const View& np, const View& p) override {
@@ -51,16 +66,23 @@ class ChaosApp : public AppEndpoint {
   }
 
   void disconnectNow() {
+    if (done_) return;
     if (!killed_ && session_ != nullptr) session_->disconnect();
     done_ = true;
+    held_.clear();  // the server reclaimed everything on disconnect
   }
 
  private:
   void scheduleAction() {
-    engine_.after(sec(rng_.uniformInt(1, 30)), [this] {
+    // Half-second grid vs the server's 1 s pass interval: actions at X.5 s
+    // arm the pass for (X+1).0 s, so actions scheduled afterwards for
+    // (X+1).0 s dispatch while that pass is in flight (the interleaving
+    // the pipelined-server tests assert on).
+    engine_.after(msec(500) * rng_.uniformInt(1, 20), [this] {
       if (!done_ && !killed_) {
-        act();
-        scheduleAction();
+        const int burst = static_cast<int>(rng_.uniformInt(1, 3));
+        for (int i = 0; i < burst && !done_ && !killed_; ++i) act();
+        if (!done_ && !killed_) scheduleAction();
       }
     });
   }
@@ -149,6 +171,7 @@ class ChaosApp : public AppEndpoint {
 
   Engine& engine_;
   Rng rng_;
+  Time disconnectAt_ = 0;
   Session* session_ = nullptr;
   View npView_, pView_;
   std::map<RequestId, std::vector<NodeId>> held_;
@@ -163,19 +186,36 @@ struct FuzzResult {
   NodeCount freeAtEnd = 0;
   int killedApps = 0;
   std::uint64_t passes = 0;
+  std::uint64_t overlappedPasses = 0;
 };
 
-FuzzResult runFuzz(std::uint64_t seed, int napps, Time horizon) {
-  Engine engine;
+Server::Config fuzzConfig(bool pipeline = true, int threads = 1) {
   Server::Config config;
   config.reschedInterval = sec(1);
   config.violationGrace = sec(5);
+  config.pipeline = pipeline;
+  config.threads = threads;
+  return config;
+}
+
+FuzzResult runFuzz(std::uint64_t seed, int napps, Time horizon,
+                   Server::Config config = fuzzConfig(),
+                   std::vector<std::string>* traceOut = nullptr,
+                   bool midRunDisconnects = false) {
+  Engine engine;
   Server server(engine, Machine::single(24), config);
+  Trace trace;
+  if (traceOut != nullptr) server.setTrace(&trace);
 
   Rng rng(seed);
   std::vector<std::unique_ptr<ChaosApp>> apps;
   for (int i = 0; i < napps; ++i) {
-    apps.push_back(std::make_unique<ChaosApp>(engine, rng.fork().engine()()));
+    const Time disconnectAt =
+        midRunDisconnects && rng.uniformInt(0, 2) == 0
+            ? sec(rng.uniformInt(30, 600))
+            : 0;
+    apps.push_back(std::make_unique<ChaosApp>(
+        engine, rng.fork().engine()(), disconnectAt));
     apps.back()->attach(server);
   }
 
@@ -204,7 +244,40 @@ FuzzResult runFuzz(std::uint64_t seed, int napps, Time horizon) {
     if (app->killed()) ++result.killedApps;
   }
   result.passes = server.passCount();
+  result.overlappedPasses = server.overlappedPassCount();
+  if (traceOut != nullptr) {
+    traceOut->clear();
+    for (const Trace::Entry& entry : trace.entries()) {
+      traceOut->push_back("t=" + std::to_string(entry.at) + " " +
+                          entry.actor + ": " + entry.what);
+    }
+  }
   return result;
+}
+
+/// Sorts each same-timestamp block: within one instant the pipelined
+/// server may log a mid-pass "request"/"connect" before the commit's
+/// records where the serial server logs them after the (atomic) pass.
+std::vector<std::string> canonicalized(std::vector<std::string> trace) {
+  auto blockStart = trace.begin();
+  while (blockStart != trace.end()) {
+    const std::string stamp = blockStart->substr(0, blockStart->find(' ') + 1);
+    auto blockEnd = blockStart;
+    while (blockEnd != trace.end() &&
+           blockEnd->compare(0, stamp.size(), stamp) == 0) {
+      ++blockEnd;
+    }
+    std::sort(blockStart, blockEnd);
+    blockStart = blockEnd;
+  }
+  return trace;
+}
+
+void expectSameResult(const FuzzResult& a, const FuzzResult& b) {
+  EXPECT_EQ(a.endTime, b.endTime);
+  EXPECT_EQ(a.freeAtEnd, b.freeAtEnd);
+  EXPECT_EQ(a.killedApps, b.killedApps);
+  EXPECT_EQ(a.passes, b.passes);
 }
 
 class FuzzProtocol : public ::testing::TestWithParam<std::uint64_t> {};
@@ -222,6 +295,65 @@ TEST_P(FuzzProtocol, DeterministicPerSeed) {
   EXPECT_EQ(a.endTime, b.endTime);
   EXPECT_EQ(a.passes, b.passes);
   EXPECT_EQ(a.freeAtEnd, b.freeAtEnd);
+}
+
+// Request/done/disconnect bursts interleaving with in-flight pipelined
+// passes: every thread count must reproduce the serial back-to-back
+// server's result and trace (canonicalized within each instant), and the
+// pipelined trace itself must be exactly deterministic across threads.
+TEST_P(FuzzProtocol, PipelinedMatchesSerialServerUnderBursts) {
+  const std::uint64_t seed = GetParam();
+  std::vector<std::string> serialTrace;
+  const FuzzResult serial =
+      runFuzz(seed, 5, minutes(15), fuzzConfig(/*pipeline=*/false),
+              &serialTrace, /*midRunDisconnects=*/true);
+  EXPECT_EQ(serial.overlappedPasses, 0u);
+
+  std::vector<std::string> firstPipelinedTrace;
+  for (const int threads : {1, 2, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    std::vector<std::string> trace;
+    const FuzzResult pipelined =
+        runFuzz(seed, 5, minutes(15), fuzzConfig(/*pipeline=*/true, threads),
+                &trace, /*midRunDisconnects=*/true);
+    expectSameResult(serial, pipelined);
+    EXPECT_EQ(canonicalized(serialTrace), canonicalized(trace));
+    if (firstPipelinedTrace.empty()) {
+      firstPipelinedTrace = trace;
+    } else {
+      EXPECT_EQ(firstPipelinedTrace, trace);  // exact, not canonicalized
+    }
+  }
+}
+
+// A denser scenario (more applications, tighter action grid) must actually
+// produce in-flight interleavings — otherwise the differential assertions
+// above would be vacuous.
+TEST(FuzzProtocolPipeline, BurstsOverlapInFlightPasses) {
+  std::uint64_t overlapped = 0;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const FuzzResult result =
+        runFuzz(seed, 10, minutes(10), fuzzConfig(/*pipeline=*/true, 2),
+                nullptr, /*midRunDisconnects=*/true);
+    EXPECT_EQ(result.freeAtEnd, 24);
+    overlapped += result.overlappedPasses;
+  }
+  EXPECT_GT(overlapped, 0u);
+}
+
+TEST_P(FuzzProtocol, PipelinedTraceDeterministicPerSeed) {
+  const std::uint64_t seed = GetParam();
+  std::vector<std::string> first;
+  std::vector<std::string> second;
+  const FuzzResult a = runFuzz(seed, 4, minutes(10),
+                               fuzzConfig(/*pipeline=*/true, 2), &first,
+                               /*midRunDisconnects=*/true);
+  const FuzzResult b = runFuzz(seed, 4, minutes(10),
+                               fuzzConfig(/*pipeline=*/true, 2), &second,
+                               /*midRunDisconnects=*/true);
+  expectSameResult(a, b);
+  EXPECT_EQ(a.overlappedPasses, b.overlappedPasses);
+  EXPECT_EQ(first, second);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzProtocol,

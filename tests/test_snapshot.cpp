@@ -1,0 +1,235 @@
+// RequestSetSnapshot structure: the frozen image must mirror the live
+// RequestSet navigation contract exactly — same roots, same children, same
+// order — while making every lookup O(1), including on 64/128-deep
+// constraint chains; writeBack() must copy exactly the result fields.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "coorm/common/rng.hpp"
+#include "coorm/rms/scheduler.hpp"
+#include "coorm/rms/snapshot.hpp"
+
+namespace coorm {
+namespace {
+
+struct Fixture {
+  std::vector<std::unique_ptr<Request>> owned;
+  RequestSet pa, np, p;
+
+  Request* add(RequestSet& set, RequestType type, Relation how,
+               Request* parent, ClusterId cluster = ClusterId{0},
+               NodeCount nodes = 4) {
+    auto r = std::make_unique<Request>();
+    r->id = RequestId{static_cast<std::int64_t>(owned.size() + 1)};
+    r->cluster = cluster;
+    r->nodes = nodes;
+    r->duration = sec(100);
+    r->type = type;
+    r->relatedHow = how;
+    r->relatedTo = parent;
+    set.add(r.get());
+    owned.push_back(std::move(r));
+    return owned.back().get();
+  }
+};
+
+/// The snapshot's roots/children must equal the live set's, in order.
+void expectSameNavigation(const RequestSet& live, SetSnapshot& snap) {
+  const std::vector<Request*> liveRoots = live.roots();
+  ASSERT_EQ(liveRoots.size(), snap.roots().size());
+  for (std::size_t i = 0; i < liveRoots.size(); ++i) {
+    EXPECT_EQ(liveRoots[i], snap.rec(snap.roots()[i]).live) << "root " << i;
+  }
+  for (SnapIndex i = snap.begin(); i < snap.end(); ++i) {
+    const std::vector<Request*> liveChildren =
+        live.children(*snap.rec(i).live);
+    const auto snapChildren = snap.childrenOf(i);
+    ASSERT_EQ(liveChildren.size(), snapChildren.size())
+        << "children of record " << i;
+    for (std::size_t k = 0; k < liveChildren.size(); ++k) {
+      EXPECT_EQ(liveChildren[k], snap.rec(snapChildren[k]).live)
+          << "child " << k << " of record " << i;
+    }
+  }
+}
+
+TEST(Snapshot, RootsAndChildrenMatchLiveSet) {
+  Fixture fx;
+  Request* a = fx.add(fx.np, RequestType::kNonPreemptible, Relation::kFree,
+                      nullptr);
+  Request* b = fx.add(fx.np, RequestType::kNonPreemptible, Relation::kNext, a);
+  fx.add(fx.np, RequestType::kNonPreemptible, Relation::kCoAlloc, a);
+  fx.add(fx.np, RequestType::kNonPreemptible, Relation::kNext, b);
+  fx.add(fx.np, RequestType::kNonPreemptible, Relation::kFree, nullptr);
+
+  AppSnapshot snap(AppId{0}, &fx.pa, &fx.np, &fx.p);
+  expectSameNavigation(fx.np, snap.nonPreemptible());
+}
+
+TEST(Snapshot, CrossSetParentIsReachableButNotAChild) {
+  Fixture fx;
+  Request* prealloc = fx.add(fx.pa, RequestType::kPreAllocation,
+                             Relation::kFree, nullptr);
+  Request* inner = fx.add(fx.np, RequestType::kNonPreemptible,
+                          Relation::kCoAlloc, prealloc);
+  fx.add(fx.np, RequestType::kNonPreemptible, Relation::kNext, inner);
+
+  AppSnapshot snap(AppId{0}, &fx.pa, &fx.np, &fx.p);
+  SetSnapshot& np = snap.nonPreemptible();
+
+  // `inner` is constrained to a request outside its set: a root of the NP
+  // set whose parent record is still navigable (the PA record).
+  ASSERT_EQ(np.roots().size(), 1u);
+  const SnapshotRecord& innerRec = np.rec(np.roots()[0]);
+  EXPECT_EQ(innerRec.live, inner);
+  ASSERT_NE(innerRec.parent, kNoRecord);
+  EXPECT_EQ(np.rec(innerRec.parent).live, prealloc);
+  EXPECT_FALSE(np.contains(innerRec.parent));
+  EXPECT_FALSE(np.rec(innerRec.parent).external);  // captured, not frozen aux
+
+  expectSameNavigation(fx.np, np);
+  expectSameNavigation(fx.pa, snap.preAllocations());
+}
+
+TEST(Snapshot, UncapturedParentIsFrozenAsExternalRecord) {
+  Fixture fx;
+  // A parent that lives in no captured set (e.g. a single-set capture, as
+  // the Scheduler::toView/fit live-set shims do): its current schedule must
+  // be frozen into the snapshot so the pass never reads live state.
+  Request* outside = fx.add(fx.pa, RequestType::kPreAllocation,
+                            Relation::kFree, nullptr);
+  outside->scheduledAt = sec(42);
+  outside->fixed = true;
+  Request* child = fx.add(fx.np, RequestType::kNonPreemptible,
+                          Relation::kNext, outside);
+
+  AppSnapshot snap(AppId{0}, nullptr, &fx.np, nullptr);
+  SetSnapshot& np = snap.nonPreemptible();
+  ASSERT_EQ(np.size(), 1u);
+  const SnapshotRecord& childRec = np.rec(np.begin());
+  EXPECT_EQ(childRec.live, child);
+  ASSERT_NE(childRec.parent, kNoRecord);
+  const SnapshotRecord& parentRec = np.rec(childRec.parent);
+  EXPECT_TRUE(parentRec.external);
+  EXPECT_EQ(parentRec.scheduledAt, sec(42));
+  EXPECT_TRUE(parentRec.fixed);
+
+  // Mutating the live parent after capture must not leak into the image.
+  outside->scheduledAt = sec(999);
+  EXPECT_EQ(np.rec(childRec.parent).scheduledAt, sec(42));
+}
+
+TEST(Snapshot, DeepChainAdjacencyIsExact) {
+  for (const int depth : {64, 128}) {
+    Fixture fx;
+    Request* prev = fx.add(fx.np, RequestType::kNonPreemptible,
+                           Relation::kFree, nullptr);
+    for (int i = 1; i < depth; ++i) {
+      prev = fx.add(fx.np, RequestType::kNonPreemptible,
+                    i % 2 == 0 ? Relation::kCoAlloc : Relation::kNext, prev);
+    }
+    AppSnapshot snap(AppId{0}, nullptr, &fx.np, nullptr);
+    SetSnapshot& np = snap.nonPreemptible();
+    ASSERT_EQ(np.size(), static_cast<std::size_t>(depth));
+    ASSERT_EQ(np.roots().size(), 1u);
+    // Every non-tail record has exactly one child; the chain is walkable
+    // end to end through the CSR index.
+    SnapIndex at = np.roots()[0];
+    for (int i = 0; i + 1 < depth; ++i) {
+      const auto children = np.childrenOf(at);
+      ASSERT_EQ(children.size(), 1u) << "depth " << i;
+      at = children[0];
+    }
+    EXPECT_TRUE(np.childrenOf(at).empty());
+    expectSameNavigation(fx.np, np);
+  }
+}
+
+TEST(Snapshot, RandomizedNavigationEquivalence) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(seed);
+    Fixture fx;
+    std::vector<Request*> all;
+    const int n = static_cast<int>(rng.uniformInt(1, 40));
+    for (int i = 0; i < n; ++i) {
+      RequestSet& set = rng.uniformInt(0, 2) == 0
+                            ? fx.pa
+                            : (rng.uniformInt(0, 1) == 0 ? fx.np : fx.p);
+      Relation how = Relation::kFree;
+      Request* parent = nullptr;
+      if (!all.empty() && rng.uniformInt(0, 2) != 0) {
+        how = rng.uniformInt(0, 1) == 0 ? Relation::kNext : Relation::kCoAlloc;
+        parent = all[static_cast<std::size_t>(
+            rng.uniformInt(0, std::ssize(all) - 1))];
+      }
+      all.push_back(fx.add(set, RequestType::kNonPreemptible, how, parent));
+    }
+    AppSnapshot snap(AppId{0}, &fx.pa, &fx.np, &fx.p);
+    expectSameNavigation(fx.pa, snap.preAllocations());
+    expectSameNavigation(fx.np, snap.nonPreemptible());
+    expectSameNavigation(fx.p, snap.preemptible());
+  }
+}
+
+TEST(Snapshot, WriteBackCopiesResultFieldsOnly) {
+  Fixture fx;
+  Request* r = fx.add(fx.np, RequestType::kNonPreemptible, Relation::kFree,
+                      nullptr);
+  r->scheduledAt = sec(5);
+  r->nAlloc = 2;
+
+  AppSnapshot snap(AppId{0}, nullptr, &fx.np, nullptr);
+  SnapshotRecord& rec = snap.nonPreemptible().rec(0);
+  EXPECT_EQ(rec.scheduledAt, sec(5));  // result slots seeded from live
+  EXPECT_EQ(rec.nAlloc, 2);
+
+  rec.scheduledAt = sec(9);
+  rec.nAlloc = 4;
+  rec.fixed = true;
+  rec.earliestScheduleAt = sec(3);
+  EXPECT_EQ(r->scheduledAt, sec(5));  // live untouched until writeBack
+  snap.writeBack();
+  EXPECT_EQ(r->scheduledAt, sec(9));
+  EXPECT_EQ(r->nAlloc, 4);
+  EXPECT_TRUE(r->fixed);
+  EXPECT_EQ(r->earliestScheduleAt, sec(3));
+}
+
+TEST(Snapshot, PreemptibleDemandSummary) {
+  Fixture fx;
+  const ClusterId c0{0}, c1{1};
+  Request* started = fx.add(fx.p, RequestType::kPreemptible, Relation::kFree,
+                            nullptr, c0, 8);
+  started->startedAt = 0;
+  started->nodeIds = {NodeId{c0, 1}, NodeId{c0, 2}, NodeId{c0, 3}};
+  fx.add(fx.p, RequestType::kPreemptible, Relation::kFree, nullptr, c1, 5);
+  fx.add(fx.p, RequestType::kPreemptible, Relation::kFree, nullptr, c0, 2);
+
+  AppSnapshot snap(AppId{0}, nullptr, nullptr, &fx.p);
+  const auto demand = snap.preemptibleDemand();
+  ASSERT_EQ(demand.size(), 2u);
+  EXPECT_EQ(demand[0], (ClusterDemand{c0, 2, 10, 3}));
+  EXPECT_EQ(demand[1], (ClusterDemand{c1, 1, 5, 0}));
+}
+
+TEST(Snapshot, CaptureOfAppScheduleSpanCountsMembers) {
+  Fixture fx;
+  fx.add(fx.pa, RequestType::kPreAllocation, Relation::kFree, nullptr);
+  fx.add(fx.np, RequestType::kNonPreemptible, Relation::kFree, nullptr);
+  fx.add(fx.p, RequestType::kPreemptible, Relation::kFree, nullptr);
+
+  std::vector<AppSchedule> apps(1);
+  apps[0].app = AppId{7};
+  apps[0].preAllocations = &fx.pa;
+  apps[0].nonPreemptible = &fx.np;
+  apps[0].preemptible = &fx.p;
+  RequestSetSnapshot snap = RequestSetSnapshot::capture(apps);
+  EXPECT_EQ(snap.appCount(), 1u);
+  EXPECT_EQ(snap.requestCount(), 3u);
+  EXPECT_EQ(snap.apps()[0].app(), AppId{7});
+}
+
+}  // namespace
+}  // namespace coorm

@@ -22,6 +22,8 @@ void printUsage(std::ostream& out) {
          "  --strict           strict equi-partitioning (no filling)\n"
          "  --threads N        scheduler worker threads (default 1; any\n"
          "                     value yields bit-identical schedules)\n"
+         "  --no-pipeline      serial back-to-back scheduling passes instead\n"
+         "                     of the pipelined server (identical results)\n"
          "  --until SECS       horizon when no AMR is present (default 86400)\n"
          "  --timeline         render an ASCII allocation timeline\n"
          "  --trace            dump the protocol trace\n"
@@ -65,6 +67,8 @@ ParseResult parseArgs(int argc, const char* const* argv) {
       options.strict = true;
     } else if (arg == "--threads" && (v = value(i))) {
       options.threads = std::atoi(v);
+    } else if (arg == "--no-pipeline") {
+      options.pipeline = false;
     } else if (arg == "--until" && (v = value(i))) {
       options.until = secF(std::atof(v));
     } else if (arg == "--timeline") {

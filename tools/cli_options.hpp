@@ -30,6 +30,10 @@ struct Options {
   std::string swfPath;
   bool strict = false;
   int threads = 1;
+  /// Two-stage pipelined serving (snapshot passes on a background lane);
+  /// --no-pipeline restores the serial back-to-back server. Results are
+  /// bit-identical either way.
+  bool pipeline = true;
   Time until = hours(24);
   bool showTimeline = false;
   bool showTrace = false;

@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
   config.nodes = options.nodes;
   config.server.strictEquiPartition = options.strict;
   config.server.threads = options.threads;
+  config.server.pipeline = options.pipeline;
   config.recordTrace = options.showTrace;
   Scenario sc(config);
   Rng rng(options.seed);
