@@ -13,6 +13,11 @@ void Application::connectTo(Server& server) {
   session_ = server.connect(*this);
 }
 
+void Application::attach(AppLink& link) {
+  COORM_CHECK(session_ == nullptr);
+  session_ = &link;
+}
+
 AppId Application::appId() const {
   COORM_CHECK(session_ != nullptr);
   return session_->app();

@@ -23,8 +23,14 @@ class Application : public AppEndpoint {
   Application(const Application&) = delete;
   Application& operator=(const Application&) = delete;
 
-  /// Connect to the RMS; views will arrive shortly after (as events).
+  /// Connect to an in-process RMS; views will arrive shortly after (as
+  /// events).
   void connectTo(Server& server);
+
+  /// Attach to an already-connected transport link (e.g. a net::RmsClient
+  /// whose connect() handshake completed). The link must outlive the
+  /// application; downstream events must be routed to this AppEndpoint.
+  void attach(AppLink& link);
 
   [[nodiscard]] bool connected() const { return session_ != nullptr; }
   [[nodiscard]] bool wasKilled() const { return killed_; }
@@ -53,7 +59,7 @@ class Application : public AppEndpoint {
   virtual void handleEnded(RequestId id) { (void)id; }
   virtual void handleKilled() {}
 
-  [[nodiscard]] Session& session() const { return *session_; }
+  [[nodiscard]] AppLink& session() const { return *session_; }
   [[nodiscard]] Executor& executor() const { return executor_; }
   [[nodiscard]] const View& npView() const { return npView_; }
   [[nodiscard]] const View& pView() const { return pView_; }
@@ -62,7 +68,7 @@ class Application : public AppEndpoint {
  private:
   Executor& executor_;
   std::string name_;
-  Session* session_ = nullptr;
+  AppLink* session_ = nullptr;
   View npView_;
   View pView_;
   bool viewsReceived_ = false;

@@ -1,0 +1,285 @@
+#include "coorm/net/client.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+#include <stdexcept>
+
+#include "coorm/common/check.hpp"
+#include "coorm/common/log.hpp"
+
+namespace coorm::net {
+
+RmsClient::RmsClient(PollExecutor& executor, Config config)
+    : executor_(executor), config_(std::move(config)) {}
+
+RmsClient::~RmsClient() {
+  Executor::cancel(drainEvent_);
+  if (fd_.valid()) {
+    executor_.unwatch(fd_.get());
+    fd_.reset();
+  }
+}
+
+void RmsClient::connect(AppEndpoint& endpoint) {
+  COORM_CHECK(!fd_.valid());
+  endpoint_ = &endpoint;
+  std::string error;
+  fd_ = connectTo(config_.server, error);
+  if (!fd_.valid()) {
+    throw std::runtime_error("RmsClient: cannot connect to " +
+                             net::toString(config_.server) + ": " + error);
+  }
+
+  encode(scratch_, HelloMsg{config_.name});
+  sendFrame();
+
+  bool welcomed = false;
+  pumpUntil([&] {
+    // The WELCOME is intercepted in handleFrame via app_ becoming valid.
+    welcomed = app_.valid();
+    return welcomed;
+  });
+  if (!welcomed) {
+    fd_.reset();
+    pending_.clear();  // no spurious onKilled for a connection that never was
+    throw std::runtime_error("RmsClient: handshake with " +
+                             net::toString(config_.server) + " failed");
+  }
+  executor_.watch(fd_.get(), PollExecutor::kReadable,
+                  [this](short events) { onIo(events); });
+}
+
+RequestId RmsClient::request(const RequestSpec& spec) {
+  if (!fd_.valid() || dead_) return RequestId{};
+  RequestMsg msg;
+  msg.cookie = nextCookie_++;
+  msg.spec = spec;
+  encode(scratch_, msg);
+  sendFrame();
+  if (dead_) return RequestId{};
+
+  // Pump this socket until the matching ack: the remote stand-in for the
+  // in-process request()'s synchronous return. Downstream frames arriving
+  // first queue up for ordinary (executor-dispatched) delivery.
+  awaitingCookie_ = msg.cookie;
+  ackReceived_ = false;
+  ackId_ = RequestId{};
+  pumpUntil([&] { return ackReceived_; });
+  awaitingCookie_ = 0;
+  if (ackReceived_) ++requestsSent_;
+  return ackId_;
+}
+
+void RmsClient::done(RequestId id, std::vector<NodeId> released) {
+  if (!fd_.valid() || dead_) return;
+  DoneMsg msg;
+  msg.id = id;
+  msg.released = std::move(released);
+  encode(scratch_, msg);
+  sendFrame();
+}
+
+void RmsClient::disconnect() {
+  if (!fd_.valid() || dead_) return;
+  encode(scratch_, GoodbyeMsg{});
+  sendFrame();
+  executor_.unwatch(fd_.get());
+  fd_.reset();
+}
+
+void RmsClient::onIo(short events) {
+  if ((events & PollExecutor::kError) != 0) {
+    markDead();
+    return;
+  }
+  if ((events & PollExecutor::kReadable) != 0) readFrames();
+}
+
+bool RmsClient::readFrames() {
+  if (!fd_.valid()) return false;
+  // Parse frames that rode in with an EOF/reset before declaring the
+  // connection dead: trailing deliveries must still reach the endpoint.
+  const DrainStatus status = drainReadable(fd_.get(), inbound_);
+
+  FrameView frame;
+  while (fd_.valid()) {
+    switch (inbound_.next(frame)) {
+      case FrameBuffer::Next::kFrame:
+        handleFrame(frame);
+        continue;
+      case FrameBuffer::Next::kNeedMore:
+        if (status != DrainStatus::kOk) {
+          markDead();
+          return false;
+        }
+        return true;
+      case FrameBuffer::Next::kBad:
+        COORM_LOG(LogLevel::kWarn, "net") << "protocol error from server";
+        markDead();
+        return false;
+    }
+  }
+  return fd_.valid();
+}
+
+void RmsClient::handleFrame(const FrameView& frame) {
+  switch (frame.type) {
+    case MsgType::kWelcome: {
+      WelcomeMsg msg;
+      if (decode(frame.payload, msg)) {
+        app_ = msg.app;
+        return;
+      }
+      break;
+    }
+    case MsgType::kRequestAck: {
+      RequestAckMsg msg;
+      if (!decode(frame.payload, msg)) break;
+      if (msg.cookie == awaitingCookie_ && awaitingCookie_ != 0) {
+        ackReceived_ = true;
+        ackId_ = msg.id;
+      }
+      // Unmatched acks (e.g. after a timed-out wait) are dropped.
+      return;
+    }
+    case MsgType::kViews: {
+      ViewsMsg msg;
+      if (!decode(frame.payload, msg)) break;
+      pending_.push_back(std::move(msg));
+      armDrain();
+      return;
+    }
+    case MsgType::kStarted: {
+      StartedMsg msg;
+      if (!decode(frame.payload, msg)) break;
+      pending_.push_back(std::move(msg));
+      armDrain();
+      return;
+    }
+    case MsgType::kExpired: {
+      ExpiredMsg msg;
+      if (!decode(frame.payload, msg)) break;
+      pending_.push_back(msg);
+      armDrain();
+      return;
+    }
+    case MsgType::kEnded: {
+      EndedMsg msg;
+      if (!decode(frame.payload, msg)) break;
+      pending_.push_back(msg);
+      armDrain();
+      return;
+    }
+    case MsgType::kKilled: {
+      if (!frame.payload.empty()) break;
+      if (!killedQueued_) {
+        killedQueued_ = true;
+        pending_.push_back(KilledMsg{});
+        armDrain();
+      }
+      return;
+    }
+    default:
+      break;  // upstream types from a server are protocol violations
+  }
+  COORM_LOG(LogLevel::kWarn, "net")
+      << "bad " << net::toString(frame.type) << " frame from server";
+  markDead();
+}
+
+void RmsClient::armDrain() {
+  if (drainArmed_) return;
+  drainArmed_ = true;
+  drainEvent_ = executor_.after(0, [this] { drain(); });
+}
+
+void RmsClient::drain() {
+  drainArmed_ = false;
+  // Callbacks may trigger further (blocking) calls on this client, which
+  // enqueue more events: keep popping until empty so FIFO order holds.
+  while (!pending_.empty()) {
+    DownMsg msg = std::move(pending_.front());
+    pending_.pop_front();
+    if (auto* views = std::get_if<ViewsMsg>(&msg)) {
+      endpoint_->onViews(views->nonPreemptive, views->preemptive);
+    } else if (auto* started = std::get_if<StartedMsg>(&msg)) {
+      endpoint_->onStarted(started->id, started->nodeIds);
+    } else if (auto* expired = std::get_if<ExpiredMsg>(&msg)) {
+      endpoint_->onExpired(expired->id);
+    } else if (auto* ended = std::get_if<EndedMsg>(&msg)) {
+      endpoint_->onEnded(ended->id);
+    } else {
+      dead_ = true;  // KilledMsg: the session is gone
+      endpoint_->onKilled();
+    }
+  }
+}
+
+void RmsClient::sendFrame() {
+  std::size_t pos = 0;
+  const Time deadline = executor_.now() + config_.rpcTimeout;
+  while (pos < scratch_.size() && fd_.valid()) {
+    const ssize_t n = ::send(fd_.get(), scratch_.data() + pos,
+                             scratch_.size() - pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // A client's outbound frames are small; block (bounded) until the
+      // kernel buffer drains rather than growing an outbound queue.
+      if (executor_.now() > deadline) {
+        markDead();
+        break;
+      }
+      pollfd p{fd_.get(), POLLOUT, 0};
+      poll(&p, 1, 100);
+      continue;
+    }
+    markDead();
+    break;
+  }
+  scratch_.clear();
+}
+
+template <typename Pred>
+bool RmsClient::pumpUntil(Pred pred) {
+  const Time deadline = executor_.now() + config_.rpcTimeout;
+  while (!pred()) {
+    if (!fd_.valid() || dead_) return false;
+    if (executor_.now() > deadline) {
+      COORM_LOG(LogLevel::kWarn, "net") << "rpc timeout; dropping connection";
+      markDead();
+      return false;
+    }
+    pollfd p{fd_.get(), POLLIN, 0};
+    const int rc = poll(&p, 1, 100);
+    if (rc > 0 && (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+      // Drain whatever arrived before the hangup, then mark dead.
+      if (!readFrames()) return pred();
+    } else if (rc > 0 && (p.revents & POLLIN) != 0) {
+      if (!readFrames()) return pred();
+    }
+  }
+  return true;
+}
+
+void RmsClient::markDead() {
+  dead_ = true;
+  if (fd_.valid()) {
+    executor_.unwatch(fd_.get());
+    fd_.reset();
+  }
+  // Death outside an explicit KILLED frame still ends the session from the
+  // application's point of view; tell it once, from the executor.
+  if (!killedQueued_) {
+    killedQueued_ = true;
+    pending_.push_back(KilledMsg{});
+    armDrain();
+  }
+}
+
+}  // namespace coorm::net

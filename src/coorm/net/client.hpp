@@ -1,0 +1,120 @@
+// Client side of the wire protocol: an AppLink over a TCP connection.
+//
+// RmsClient gives application code the exact interface an in-process
+// `Session` gives it (rms/app_link.hpp), with the remote round trips
+// hidden behind the same synchronous calls:
+//  - connect() performs the HELLO/WELCOME handshake and learns the
+//    RMS-assigned application id;
+//  - request() sends REQUEST with a fresh correlation cookie and pumps the
+//    socket until the matching REQ_ACK arrives, returning the id the
+//    server assigned — downstream frames that arrive first are queued, in
+//    order, for normal delivery;
+//  - downstream frames (views/started/expired/ended/killed) decode into
+//    `AppEndpoint` callbacks dispatched from the owning PollExecutor loop,
+//    in arrival order, never re-entrantly from inside a blocking wait.
+//
+// Threading: one loop thread owns the client (the same model as the
+// server side). The blocking pump polls only this client's socket, so
+// several RmsClients can share one loop without dispatching each other's
+// callbacks mid-wait.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "coorm/net/poll_executor.hpp"
+#include "coorm/net/socket.hpp"
+#include "coorm/net/wire.hpp"
+#include "coorm/rms/app_link.hpp"
+#include "coorm/rms/server.hpp"
+
+namespace coorm::net {
+
+class RmsClient final : public AppLink {
+ public:
+  struct Config {
+    Endpoint server{};
+    std::string name = "app";  ///< reported in HELLO (server diagnostics)
+    /// Bound on any blocking wait (handshake, request ack). Expiry marks
+    /// the connection dead rather than blocking the loop forever.
+    Time rpcTimeout = sec(30);
+  };
+
+  RmsClient(PollExecutor& executor, Config config);
+  ~RmsClient() override;
+
+  RmsClient(const RmsClient&) = delete;
+  RmsClient& operator=(const RmsClient&) = delete;
+
+  /// Connects, performs the handshake, and routes downstream events to
+  /// `endpoint` (which must outlive the client). Throws std::runtime_error
+  /// if the daemon cannot be reached or the handshake fails.
+  void connect(AppEndpoint& endpoint);
+
+  /// True between a successful connect() and disconnect()/death.
+  [[nodiscard]] bool connected() const { return fd_.valid(); }
+  /// True once the server killed the session or the connection died.
+  [[nodiscard]] bool dead() const { return dead_; }
+
+  /// request() round trips completed so far (load-generator reporting).
+  [[nodiscard]] std::uint64_t requestsSent() const { return requestsSent_; }
+
+  // --- AppLink -------------------------------------------------------------
+  [[nodiscard]] AppId app() const override { return app_; }
+  /// Synchronous round trip; an invalid id means the RMS rejected the
+  /// request or the connection is dead.
+  RequestId request(const RequestSpec& spec) override;
+  void done(RequestId id, std::vector<NodeId> released) override;
+  using AppLink::done;
+  /// Sends GOODBYE and closes. Idempotent.
+  void disconnect() override;
+
+ private:
+  using DownMsg = std::variant<ViewsMsg, StartedMsg, ExpiredMsg, EndedMsg,
+                               KilledMsg>;
+
+  void onIo(short events);
+  /// Drains readable socket data into the frame buffer and queues decoded
+  /// downstream frames; returns false if the connection died.
+  bool readFrames();
+  /// Decodes one downstream frame into the delivery queue (or stashes a
+  /// REQ_ACK for a blocking request()).
+  void handleFrame(const FrameView& frame);
+  /// Ensures a drain event is scheduled; delivery always happens from the
+  /// executor, never from inside a read pump.
+  void armDrain();
+  void drain();
+  void sendFrame();  ///< flushes scratch_ to the socket (blocking-ish)
+  /// Polls this socket only until `pred` or timeout; queues events aside.
+  template <typename Pred>
+  bool pumpUntil(Pred pred);
+  void markDead();
+
+  PollExecutor& executor_;
+  Config config_;
+  Fd fd_;
+  AppEndpoint* endpoint_ = nullptr;
+  AppId app_{};
+  FrameBuffer inbound_;
+  std::vector<std::uint8_t> scratch_;
+  std::deque<DownMsg> pending_;
+  /// Pending deferred drain, cancelled on destruction so a client deleted
+  /// with deliveries in flight never gets a callback into freed memory.
+  EventHandle drainEvent_;
+  bool drainArmed_ = false;
+  bool dead_ = false;
+  /// onKilled must fire at most once, whether the death was an explicit
+  /// KILLED frame, the EOF that follows it, or a socket error.
+  bool killedQueued_ = false;
+  std::uint64_t nextCookie_ = 1;
+  std::uint64_t requestsSent_ = 0;
+  // Blocking-request state: the cookie being awaited and its answer.
+  std::uint64_t awaitingCookie_ = 0;
+  bool ackReceived_ = false;
+  RequestId ackId_{};
+};
+
+}  // namespace coorm::net

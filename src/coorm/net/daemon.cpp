@@ -1,0 +1,284 @@
+#include "coorm/net/daemon.hpp"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <stdexcept>
+#include <utility>
+
+#include "coorm/common/check.hpp"
+#include "coorm/common/log.hpp"
+
+namespace coorm::net {
+
+/// One accepted peer: the socket-facing state plus the AppEndpoint the
+/// Server notifies. Downstream callbacks run as executor events on the
+/// loop thread, so everything here is single-threaded.
+struct Daemon::Connection final : AppEndpoint {
+  Daemon* daemon = nullptr;
+  Fd fd;
+  FrameBuffer inbound;
+  std::vector<std::uint8_t> outbound;
+  std::size_t outboundPos = 0;  ///< written prefix of `outbound`
+  Session* session = nullptr;   ///< null until HELLO
+  std::string peerName;         ///< from HELLO, for diagnostics
+  bool writable = false;        ///< POLLOUT interest currently registered
+  bool closeWhenFlushed = false;  ///< KILLED sent; close after drain
+  bool dead = false;            ///< torn down; ignore further activity
+  EventHandle destroyEvent;     ///< deferred destruction (cancellable)
+
+  // --- AppEndpoint ---------------------------------------------------------
+  void onViews(const View& nonPreemptive, const View& preemptive) override {
+    if (dead) return;
+    encodeViews(daemon->scratch_, nonPreemptive, preemptive);
+    daemon->send(*this, MsgType::kViews);
+  }
+  void onStarted(RequestId id, const std::vector<NodeId>& nodeIds) override {
+    if (dead) return;
+    encodeStarted(daemon->scratch_, id, nodeIds);
+    daemon->send(*this, MsgType::kStarted);
+  }
+  void onExpired(RequestId id) override {
+    if (dead) return;
+    encode(daemon->scratch_, ExpiredMsg{id});
+    daemon->send(*this, MsgType::kExpired);
+  }
+  void onEnded(RequestId id) override {
+    if (dead) return;
+    encode(daemon->scratch_, EndedMsg{id});
+    daemon->send(*this, MsgType::kEnded);
+  }
+  void onKilled() override {
+    if (dead) return;
+    encode(daemon->scratch_, KilledMsg{});
+    daemon->send(*this, MsgType::kKilled);
+    // The session is gone; drain the notification, then drop the peer.
+    closeWhenFlushed = true;
+    if (outboundPos == outbound.size()) daemon->teardown(*this);
+  }
+};
+
+Daemon::Daemon(PollExecutor& executor, Server& server, Config config)
+    : executor_(executor), server_(server), config_(config) {
+  std::string error;
+  listener_ = listenOn(config_.listen, error);
+  if (!listener_.valid()) {
+    throw std::runtime_error("coorm_rmsd: cannot listen on " +
+                             net::toString(config_.listen) + ": " + error);
+  }
+  port_ = boundPort(listener_.get());
+  executor_.watch(listener_.get(), PollExecutor::kReadable,
+                  [this](short) { onAcceptable(); });
+}
+
+Daemon::~Daemon() {
+  close();
+  connections_.clear();
+}
+
+std::size_t Daemon::connectionCount() const {
+  std::size_t n = 0;
+  for (const auto& conn : connections_) n += conn->dead ? 0 : 1;
+  return n;
+}
+
+void Daemon::close() {
+  if (closed_) return;
+  closed_ = true;
+  executor_.unwatch(listener_.get());
+  listener_.reset();
+  for (auto& conn : connections_) {
+    if (!conn->dead) teardown(*conn);
+    // The deferred destroy events reference this Daemon, which may be
+    // torn down before they fire; cancel them and keep the Connection
+    // objects as tombstones until the destructor instead. Endpoint
+    // notifications still queued on the executor (close() may run from
+    // inside a loop callback) then land on live, `dead`-guarded objects.
+    Executor::cancel(conn->destroyEvent);
+  }
+}
+
+void Daemon::onAcceptable() {
+  while (true) {
+    Fd fd = acceptOn(listener_.get());
+    if (!fd.valid()) return;
+    auto conn = std::make_unique<Connection>();
+    conn->daemon = this;
+    conn->fd = std::move(fd);
+    Connection* raw = conn.get();
+    executor_.watch(raw->fd.get(), PollExecutor::kReadable,
+                    [this, raw](short events) { onConnectionIo(*raw, events); });
+    connections_.push_back(std::move(conn));
+  }
+}
+
+void Daemon::onConnectionIo(Connection& conn, short events) {
+  if (conn.dead) return;
+  if ((events & PollExecutor::kError) != 0) {
+    teardown(conn);
+    return;
+  }
+  if ((events & PollExecutor::kWritable) != 0) {
+    flush(conn);
+    if (conn.dead) return;
+  }
+  if ((events & PollExecutor::kReadable) == 0) return;
+
+  // Frames that arrived in the same burst as an EOF/reset still count:
+  // parse everything buffered first, then map the dead peer to a
+  // disconnect (a final DONE right before close must not be dropped).
+  const DrainStatus status = drainReadable(conn.fd.get(), conn.inbound);
+
+  FrameView frame;
+  bool more = true;
+  while (more && !conn.dead) {
+    switch (conn.inbound.next(frame)) {
+      case FrameBuffer::Next::kFrame:
+        ++framesIn_;
+        handleFrame(conn, frame);
+        continue;
+      case FrameBuffer::Next::kNeedMore:
+        more = false;
+        break;
+      case FrameBuffer::Next::kBad:
+        COORM_LOG(LogLevel::kWarn, "net")
+            << "protocol error from " << conn.peerName << "; dropping peer";
+        teardown(conn);
+        return;
+    }
+  }
+  if (status != DrainStatus::kOk) teardown(conn);  // peer is gone
+}
+
+void Daemon::handleFrame(Connection& conn, const FrameView& frame) {
+  switch (frame.type) {
+    case MsgType::kHello: {
+      HelloMsg msg;
+      if (!decode(frame.payload, msg) || conn.session != nullptr) break;
+      conn.peerName = msg.name;
+      conn.session = server_.connect(conn);
+      encode(scratch_, WelcomeMsg{conn.session->app()});
+      send(conn, MsgType::kWelcome);
+      return;
+    }
+    case MsgType::kRequest: {
+      RequestMsg msg;
+      if (!decode(frame.payload, msg) || conn.session == nullptr) break;
+      // Semantic validation the in-process caller contract promises the
+      // Server (which asserts it): reject bad specs with an invalid-id
+      // ack instead of feeding them through.
+      RequestId id{};
+      if (msg.spec.nodes > 0 && msg.spec.duration > 0 &&
+          server_.machine().nodesOn(msg.spec.cluster) > 0) {
+        id = conn.session->request(msg.spec);
+      } else {
+        COORM_LOG(LogLevel::kWarn, "net")
+            << conn.peerName << ": invalid request spec rejected";
+      }
+      encode(scratch_, RequestAckMsg{msg.cookie, id});
+      send(conn, MsgType::kRequestAck);
+      return;
+    }
+    case MsgType::kDone: {
+      DoneMsg msg;
+      if (!decode(frame.payload, msg) || conn.session == nullptr) break;
+      conn.session->done(msg.id, std::move(msg.released));
+      return;
+    }
+    case MsgType::kGoodbye: {
+      if (!frame.payload.empty() || conn.session == nullptr) break;
+      teardown(conn);  // disconnects the session, like a dead peer
+      return;
+    }
+    default:
+      break;  // downstream types from a client are protocol violations
+  }
+  COORM_LOG(LogLevel::kWarn, "net")
+      << "bad " << net::toString(frame.type) << " frame from "
+      << conn.peerName << "; dropping peer";
+  teardown(conn);
+}
+
+void Daemon::send(Connection& conn, MsgType type) {
+  // The encode() overloads appended one frame to scratch_; move it into
+  // the connection's buffer and flush opportunistically.
+  (void)type;
+  ++framesOut_;
+  if (conn.outbound.empty()) {
+    conn.outbound.swap(scratch_);
+  } else {
+    conn.outbound.insert(conn.outbound.end(), scratch_.begin(),
+                         scratch_.end());
+  }
+  scratch_.clear();
+  flush(conn);
+}
+
+void Daemon::flush(Connection& conn) {
+  while (conn.outboundPos < conn.outbound.size()) {
+    const ssize_t n =
+        ::send(conn.fd.get(), conn.outbound.data() + conn.outboundPos,
+               conn.outbound.size() - conn.outboundPos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.outboundPos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    teardown(conn);  // broken pipe etc.
+    return;
+  }
+
+  if (conn.outboundPos == conn.outbound.size()) {
+    conn.outbound.clear();
+    conn.outboundPos = 0;
+    if (conn.writable) {
+      conn.writable = false;
+      executor_.updateEvents(conn.fd.get(), PollExecutor::kReadable);
+    }
+    if (conn.closeWhenFlushed) teardown(conn);
+    return;
+  }
+
+  // Backpressure: keep at most the configured amount in flight; a peer
+  // that lets the buffer grow past the cap is dead for our purposes.
+  if (conn.outbound.size() - conn.outboundPos > config_.maxOutboundBytes) {
+    COORM_LOG(LogLevel::kWarn, "net")
+        << conn.peerName << ": outbound buffer over "
+        << config_.maxOutboundBytes << " bytes; dropping peer";
+    teardown(conn);
+    return;
+  }
+  if (!conn.writable) {
+    conn.writable = true;
+    executor_.updateEvents(conn.fd.get(),
+                           PollExecutor::kReadable | PollExecutor::kWritable);
+  }
+}
+
+void Daemon::teardown(Connection& conn) {
+  if (conn.dead) return;
+  conn.dead = true;
+  executor_.unwatch(conn.fd.get());
+  conn.fd.reset();
+  // Map the dead peer to the protocol-level departure. Session::disconnect
+  // is a no-op on an already killed/disconnected session.
+  if (conn.session != nullptr) conn.session->disconnect();
+  // Destroy the Connection *behind* any endpoint notifications already
+  // queued on the executor: they were scheduled earlier at this same
+  // timestamp, so they dispatch first (and no new ones follow — the
+  // session is disconnected, and `dead` guards the object meanwhile).
+  Connection* raw = &conn;
+  conn.destroyEvent = executor_.after(0, [this, raw] { destroy(raw); });
+}
+
+void Daemon::destroy(Connection* conn) {
+  const auto it = std::find_if(
+      connections_.begin(), connections_.end(),
+      [conn](const std::unique_ptr<Connection>& c) { return c.get() == conn; });
+  if (it != connections_.end()) connections_.erase(it);
+}
+
+}  // namespace coorm::net

@@ -1,0 +1,97 @@
+// The network front-end of the RMS: session multiplexing over TCP.
+//
+// A Daemon owns a listening socket on a PollExecutor loop and adapts each
+// accepted connection to the in-process protocol seam:
+//  - upstream frames decode into the exact calls an in-process application
+//    would make (HELLO -> Server::connect, REQUEST -> Session::request +
+//    a REQ_ACK carrying the returned id, DONE -> Session::done,
+//    GOODBYE -> Session::disconnect);
+//  - each connection *is* an AppEndpoint: the server's downstream
+//    notifications (views/started/expired/ended/killed) encode into the
+//    connection's outbound buffer in delivery order;
+//  - partial reads reassemble through FrameBuffer; writes go out
+//    opportunistically and fall back to POLLOUT-driven draining under
+//    backpressure, with a hard cap that declares a non-draining peer dead;
+//  - a dead peer (EOF, socket error, protocol violation, cap overflow)
+//    maps to Session::disconnect(), exactly as if the application had
+//    left — the RMS-side cleanup path is the same code either way.
+//
+// Lifetime: the Daemon must be destroyed (or close()d) before the Server,
+// and the executor must not dispatch further events after the Daemon and
+// Server are gone (both post loop events that reference them).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "coorm/net/poll_executor.hpp"
+#include "coorm/net/socket.hpp"
+#include "coorm/net/wire.hpp"
+#include "coorm/rms/server.hpp"
+
+namespace coorm::net {
+
+class Daemon {
+ public:
+  struct Config {
+    Endpoint listen{};  ///< port 0 picks an ephemeral port
+    /// Outbound-buffer cap per connection: a peer that does not drain its
+    /// socket past this point is treated as dead (backpressure kill).
+    std::size_t maxOutboundBytes = 64u << 20;
+  };
+
+  /// Binds and starts accepting. Throws std::runtime_error if the listen
+  /// socket cannot be set up.
+  Daemon(PollExecutor& executor, Server& server, Config config);
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// The actually-bound port (resolves an ephemeral-port listen).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Live (accepted, not yet torn down) connections.
+  [[nodiscard]] std::size_t connectionCount() const;
+
+  /// Frames decoded from / written to peers so far (introspection).
+  [[nodiscard]] std::uint64_t framesIn() const { return framesIn_; }
+  [[nodiscard]] std::uint64_t framesOut() const { return framesOut_; }
+
+  /// Stops accepting and tears down every connection now (sessions
+  /// disconnect). Safe to call from inside a loop callback: the torn-down
+  /// Connection objects stay alive (as tombstones) until the Daemon is
+  /// destroyed, so endpoint notifications already queued on the executor
+  /// still land on guarded objects. Idempotent; the destructor calls it.
+  void close();
+
+ private:
+  struct Connection;
+
+  void onAcceptable();
+  void onConnectionIo(Connection& conn, short events);
+  void handleFrame(Connection& conn, const FrameView& frame);
+  /// Appends an encoded frame to the connection's outbound buffer and
+  /// flushes opportunistically.
+  void send(Connection& conn, MsgType type);
+  void flush(Connection& conn);
+  /// Declares the peer gone: disconnects the session, closes the socket
+  /// and schedules the Connection object's destruction behind any
+  /// endpoint events already queued on the executor.
+  void teardown(Connection& conn);
+  void destroy(Connection* conn);
+
+  PollExecutor& executor_;
+  Server& server_;
+  Config config_;
+  Fd listener_;
+  std::uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Connection>> connections_;
+  std::vector<std::uint8_t> scratch_;  ///< frame encode buffer (reused)
+  std::uint64_t framesIn_ = 0;
+  std::uint64_t framesOut_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace coorm::net

@@ -1,0 +1,146 @@
+#include "coorm/net/poll_executor.hpp"
+
+#include <poll.h>
+
+#include <algorithm>
+
+#include "coorm/common/check.hpp"
+
+namespace coorm::net {
+
+PollExecutor::PollExecutor() : start_(std::chrono::steady_clock::now()) {}
+
+Time PollExecutor::now() const {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+EventHandle PollExecutor::schedule(Time at, std::function<void()> fn) {
+  auto state = std::make_shared<detail::EventState>();
+  // Clamp to now: the Executor contract says `at >= now()`, but a
+  // real-time caller computing `lastPass + interval` can land slightly in
+  // the past — run it at the next timer dispatch instead of rejecting.
+  timers_.push(Timer{std::max(at, now()), nextSeq_++, std::move(fn), state});
+  return state;
+}
+
+void PollExecutor::watch(int fd, short events, IoCallback cb) {
+  COORM_CHECK(fd >= 0);
+  COORM_CHECK(find(fd) == nullptr);
+  watchers_.push_back(Watcher{fd, events, std::move(cb)});
+}
+
+void PollExecutor::updateEvents(int fd, short events) {
+  Watcher* w = find(fd);
+  COORM_CHECK(w != nullptr);
+  w->events = events;
+}
+
+void PollExecutor::unwatch(int fd) {
+  Watcher* w = find(fd);
+  if (w == nullptr) return;
+  // Tombstone instead of erase: the dispatch loop may be iterating.
+  w->fd = -1;
+  w->cb = nullptr;
+  compact_ = true;
+}
+
+PollExecutor::Watcher* PollExecutor::find(int fd) {
+  for (Watcher& w : watchers_) {
+    if (w.fd == fd) return &w;
+  }
+  return nullptr;
+}
+
+std::size_t PollExecutor::watcherCount() const {
+  std::size_t n = 0;
+  for (const Watcher& w : watchers_) n += w.fd >= 0 ? 1 : 0;
+  return n;
+}
+
+bool PollExecutor::dispatchTimers(Time deadline) {
+  bool any = false;
+  while (!timers_.empty() && timers_.top().at <= deadline) {
+    Timer timer = timers_.top();
+    timers_.pop();
+    if (timer.state->cancelled) continue;
+    timer.fn();
+    any = true;
+  }
+  return any;
+}
+
+bool PollExecutor::runOne(Time maxWait) {
+  // Bound the wait by the next pending timer (cancelled timers still bound
+  // it — they are popped for free when due).
+  Time timeout = std::max<Time>(maxWait, 0);
+  if (!timers_.empty()) {
+    const Time untilTimer = std::max<Time>(timers_.top().at - now(), 0);
+    timeout = std::min(timeout, untilTimer);
+  }
+
+  // `pollSet_` is a reused member buffer: the poll set is rebuilt each
+  // cycle (interest masks change freely between cycles) but allocates
+  // nothing in steady state.
+  std::vector<pollfd>& fds = pollSet_;
+  fds.clear();
+  for (const Watcher& w : watchers_) {
+    if (w.fd < 0) continue;
+    short events = 0;
+    if ((w.events & kReadable) != 0) events |= POLLIN;
+    if ((w.events & kWritable) != 0) events |= POLLOUT;
+    fds.push_back(pollfd{w.fd, events, 0});
+  }
+
+  bool any = false;
+  if (fds.empty()) {
+    // Nothing to poll: just sleep until the next timer (poll with no fds
+    // is the portable sub-second sleep that still honours the timeout).
+    if (timeout > 0) {
+      poll(nullptr, 0, static_cast<int>(std::min<Time>(timeout, 1 << 30)));
+    }
+  } else {
+    const int rc =
+        poll(fds.data(), fds.size(),
+             static_cast<int>(std::min<Time>(timeout, 1 << 30)));
+    if (rc > 0) {
+      for (const pollfd& p : fds) {
+        if (p.revents == 0) continue;
+        // Re-find per dispatch: an earlier callback may have unwatched (or
+        // even re-registered) this fd.
+        Watcher* w = find(p.fd);
+        if (w == nullptr || w->cb == nullptr) continue;
+        short events = 0;
+        if ((p.revents & POLLIN) != 0) events |= kReadable;
+        if ((p.revents & POLLOUT) != 0) events |= kWritable;
+        if ((p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+          events |= kError;
+        }
+        if (events != 0) {
+          w->cb(events);
+          any = true;
+        }
+      }
+    }
+  }
+
+  any = dispatchTimers(now()) || any;
+
+  if (compact_) {
+    watchers_.erase(std::remove_if(watchers_.begin(), watchers_.end(),
+                                   [](const Watcher& w) { return w.fd < 0; }),
+                    watchers_.end());
+    compact_ = false;
+  }
+  return any;
+}
+
+void PollExecutor::run(Time slice) {
+  stopped_ = false;
+  while (!stopped_ && (watcherCount() > 0 || !timers_.empty())) {
+    runOne(slice);
+  }
+}
+
+}  // namespace coorm::net

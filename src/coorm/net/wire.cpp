@@ -1,0 +1,468 @@
+#include "coorm/net/wire.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "coorm/common/check.hpp"
+
+namespace coorm::net {
+
+bool knownMsgType(std::uint8_t raw) {
+  return (raw >= static_cast<std::uint8_t>(MsgType::kHello) &&
+          raw <= static_cast<std::uint8_t>(MsgType::kGoodbye)) ||
+         (raw >= static_cast<std::uint8_t>(MsgType::kWelcome) &&
+          raw <= static_cast<std::uint8_t>(MsgType::kKilled));
+}
+
+const char* toString(MsgType type) {
+  switch (type) {
+    case MsgType::kHello: return "HELLO";
+    case MsgType::kRequest: return "REQUEST";
+    case MsgType::kDone: return "DONE";
+    case MsgType::kGoodbye: return "GOODBYE";
+    case MsgType::kWelcome: return "WELCOME";
+    case MsgType::kRequestAck: return "REQ_ACK";
+    case MsgType::kViews: return "VIEWS";
+    case MsgType::kStarted: return "STARTED";
+    case MsgType::kExpired: return "EXPIRED";
+    case MsgType::kEnded: return "ENDED";
+    case MsgType::kKilled: return "KILLED";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Writer / Reader
+// ---------------------------------------------------------------------------
+
+void Writer::u16(std::uint16_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  out_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::u32(std::uint32_t v) {
+  out_.push_back(static_cast<std::uint8_t>(v >> 24));
+  out_.push_back(static_cast<std::uint8_t>(v >> 16));
+  out_.push_back(static_cast<std::uint8_t>(v >> 8));
+  out_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::u64(std::uint64_t v) {
+  u32(static_cast<std::uint32_t>(v >> 32));
+  u32(static_cast<std::uint32_t>(v));
+}
+
+void Writer::bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  out_.insert(out_.end(), p, p + n);
+}
+
+void Writer::patchU32(std::size_t offset, std::uint32_t v) {
+  COORM_CHECK(offset + 4 <= out_.size());
+  out_[offset] = static_cast<std::uint8_t>(v >> 24);
+  out_[offset + 1] = static_cast<std::uint8_t>(v >> 16);
+  out_[offset + 2] = static_cast<std::uint8_t>(v >> 8);
+  out_[offset + 3] = static_cast<std::uint8_t>(v);
+}
+
+std::uint8_t Reader::u8() {
+  if (!ok_ || remaining() < 1) {
+    ok_ = false;
+    return 0;
+  }
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  if (!ok_ || remaining() < 2) {
+    ok_ = false;
+    return 0;
+  }
+  const std::uint16_t v = static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  if (!ok_ || remaining() < 4) {
+    ok_ = false;
+    return 0;
+  }
+  const std::uint32_t v = (static_cast<std::uint32_t>(data_[pos_]) << 24) |
+                          (static_cast<std::uint32_t>(data_[pos_ + 1]) << 16) |
+                          (static_cast<std::uint32_t>(data_[pos_ + 2]) << 8) |
+                          static_cast<std::uint32_t>(data_[pos_ + 3]);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  const std::uint64_t hi = u32();
+  const std::uint64_t lo = u32();
+  return (hi << 32) | lo;
+}
+
+std::span<const std::uint8_t> Reader::bytes(std::size_t n) {
+  if (!ok_ || remaining() < n) {
+    ok_ = false;
+    return {};
+  }
+  const auto view = data_.subspan(pos_, n);
+  pos_ += n;
+  return view;
+}
+
+// ---------------------------------------------------------------------------
+// Shared pieces: node-id lists, profiles, views
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// Per-element wire sizes, used to sanity-bound decoded counts against the
+// actually-present payload bytes *before* any allocation: a bit-flipped
+// count field must fail cleanly instead of asking the allocator for
+// gigabytes.
+constexpr std::size_t kNodeIdWireSize = 8;    // cluster i32 + index i32
+constexpr std::size_t kSegmentWireSize = 16;  // start i64 + value i64
+constexpr std::size_t kClusterMinWireSize =
+    4 + 4 + kSegmentWireSize;  // id + count + >=1 segment
+
+void writeNodeIds(Writer& w, const std::vector<NodeId>& ids) {
+  w.u32(static_cast<std::uint32_t>(ids.size()));
+  for (const NodeId& id : ids) {
+    w.i32(id.cluster.value);
+    w.i32(id.index);
+  }
+}
+
+[[nodiscard]] bool readNodeIds(Reader& r, std::vector<NodeId>& out) {
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || count > r.remaining() / kNodeIdWireSize) {
+    r.fail();
+    return false;
+  }
+  out.clear();
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    NodeId id;
+    id.cluster = ClusterId{r.i32()};
+    id.index = r.i32();
+    out.push_back(id);
+  }
+  return r.ok();
+}
+
+void writeProfile(Writer& w, const StepFunction& profile) {
+  const auto segments = profile.segments();
+  w.u32(static_cast<std::uint32_t>(segments.size()));
+  for (const StepFunction::Segment& seg : segments) {
+    w.i64(seg.start);
+    w.i64(seg.value);
+  }
+}
+
+/// Canonical-form decode: >= 1 segment, first at t=0, strictly increasing
+/// starts, adjacent values differing — exactly what StepFunction's
+/// invariants demand, verified *before* construction so a hostile frame
+/// can never trip an internal invariant check.
+[[nodiscard]] bool readProfile(Reader& r, StepFunction& out) {
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || count == 0 || count > r.remaining() / kSegmentWireSize) {
+    r.fail();
+    return false;
+  }
+  std::vector<StepFunction::Segment> segments;
+  segments.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    StepFunction::Segment seg;
+    seg.start = r.i64();
+    seg.value = r.i64();
+    if (i == 0) {
+      if (seg.start != 0) {
+        r.fail();
+        return false;
+      }
+    } else if (seg.start <= segments.back().start ||
+               seg.value == segments.back().value) {
+      r.fail();
+      return false;
+    }
+    segments.push_back(seg);
+  }
+  if (!r.ok()) return false;
+  out = StepFunction::fromCanonical(std::move(segments));
+  return true;
+}
+
+}  // namespace
+
+void writeView(Writer& w, const View& view) {
+  const std::vector<ClusterId> clusters = view.clusters();
+  w.u32(static_cast<std::uint32_t>(clusters.size()));
+  for (const ClusterId cid : clusters) {
+    w.i32(cid.value);
+    writeProfile(w, view.cap(cid));
+  }
+}
+
+bool readView(Reader& r, View& out) {
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || count > r.remaining() / kClusterMinWireSize) {
+    r.fail();
+    return false;
+  }
+  out = View{};
+  ClusterId previous{};
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const ClusterId cid{r.i32()};
+    // Strictly increasing ids keep the encoding canonical (one encoding
+    // per view, so round-trips are bit-exact) and make setCap appends.
+    if (!r.ok() || (i > 0 && !(previous < cid))) {
+      r.fail();
+      return false;
+    }
+    StepFunction profile;
+    if (!readProfile(r, profile)) return false;
+    out.setCap(cid, std::move(profile));
+    previous = cid;
+  }
+  return r.ok();
+}
+
+// ---------------------------------------------------------------------------
+// Frame encoding
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Appends the fixed header with a zero length and returns the offset of
+/// the length field for back-patching once the payload is written.
+std::size_t beginFrame(Writer& w, MsgType type) {
+  w.u16(kMagic);
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  const std::size_t lengthOffset = w.size();
+  w.u32(0);
+  return lengthOffset;
+}
+
+void endFrame(Writer& w, std::size_t lengthOffset) {
+  const std::size_t payload = w.size() - lengthOffset - 4;
+  COORM_CHECK(payload <= kMaxPayload);
+  w.patchU32(lengthOffset, static_cast<std::uint32_t>(payload));
+}
+
+}  // namespace
+
+void encode(std::vector<std::uint8_t>& out, const HelloMsg& msg) {
+  Writer w(out);
+  const std::size_t at = beginFrame(w, MsgType::kHello);
+  w.u16(static_cast<std::uint16_t>(std::min<std::size_t>(msg.name.size(),
+                                                         0xffff)));
+  w.bytes(msg.name.data(), std::min<std::size_t>(msg.name.size(), 0xffff));
+  endFrame(w, at);
+}
+
+void encode(std::vector<std::uint8_t>& out, const WelcomeMsg& msg) {
+  Writer w(out);
+  const std::size_t at = beginFrame(w, MsgType::kWelcome);
+  w.i32(msg.app.value);
+  endFrame(w, at);
+}
+
+void encode(std::vector<std::uint8_t>& out, const RequestMsg& msg) {
+  Writer w(out);
+  const std::size_t at = beginFrame(w, MsgType::kRequest);
+  w.u64(msg.cookie);
+  w.i32(msg.spec.cluster.value);
+  w.i64(msg.spec.nodes);
+  w.i64(msg.spec.duration);
+  w.u8(static_cast<std::uint8_t>(msg.spec.type));
+  w.u8(static_cast<std::uint8_t>(msg.spec.relatedHow));
+  w.i64(msg.spec.relatedTo.value);
+  endFrame(w, at);
+}
+
+void encode(std::vector<std::uint8_t>& out, const RequestAckMsg& msg) {
+  Writer w(out);
+  const std::size_t at = beginFrame(w, MsgType::kRequestAck);
+  w.u64(msg.cookie);
+  w.i64(msg.id.value);
+  endFrame(w, at);
+}
+
+void encode(std::vector<std::uint8_t>& out, const DoneMsg& msg) {
+  Writer w(out);
+  const std::size_t at = beginFrame(w, MsgType::kDone);
+  w.i64(msg.id.value);
+  writeNodeIds(w, msg.released);
+  endFrame(w, at);
+}
+
+void encode(std::vector<std::uint8_t>& out, const GoodbyeMsg&) {
+  Writer w(out);
+  endFrame(w, beginFrame(w, MsgType::kGoodbye));
+}
+
+void encodeViews(std::vector<std::uint8_t>& out, const View& nonPreemptive,
+                 const View& preemptive) {
+  Writer w(out);
+  const std::size_t at = beginFrame(w, MsgType::kViews);
+  writeView(w, nonPreemptive);
+  writeView(w, preemptive);
+  endFrame(w, at);
+}
+
+void encode(std::vector<std::uint8_t>& out, const ViewsMsg& msg) {
+  encodeViews(out, msg.nonPreemptive, msg.preemptive);
+}
+
+void encodeStarted(std::vector<std::uint8_t>& out, RequestId id,
+                   const std::vector<NodeId>& nodeIds) {
+  Writer w(out);
+  const std::size_t at = beginFrame(w, MsgType::kStarted);
+  w.i64(id.value);
+  writeNodeIds(w, nodeIds);
+  endFrame(w, at);
+}
+
+void encode(std::vector<std::uint8_t>& out, const StartedMsg& msg) {
+  encodeStarted(out, msg.id, msg.nodeIds);
+}
+
+void encode(std::vector<std::uint8_t>& out, const ExpiredMsg& msg) {
+  Writer w(out);
+  const std::size_t at = beginFrame(w, MsgType::kExpired);
+  w.i64(msg.id.value);
+  endFrame(w, at);
+}
+
+void encode(std::vector<std::uint8_t>& out, const EndedMsg& msg) {
+  Writer w(out);
+  const std::size_t at = beginFrame(w, MsgType::kEnded);
+  w.i64(msg.id.value);
+  endFrame(w, at);
+}
+
+void encode(std::vector<std::uint8_t>& out, const KilledMsg&) {
+  Writer w(out);
+  endFrame(w, beginFrame(w, MsgType::kKilled));
+}
+
+// ---------------------------------------------------------------------------
+// Frame decoding
+// ---------------------------------------------------------------------------
+
+bool decode(std::span<const std::uint8_t> payload, HelloMsg& out) {
+  Reader r(payload);
+  const std::uint16_t nameLen = r.u16();
+  const auto name = r.bytes(nameLen);
+  if (!r.done()) return false;
+  out.name.assign(reinterpret_cast<const char*>(name.data()), name.size());
+  return true;
+}
+
+bool decode(std::span<const std::uint8_t> payload, WelcomeMsg& out) {
+  Reader r(payload);
+  out.app = AppId{r.i32()};
+  return r.done();
+}
+
+bool decode(std::span<const std::uint8_t> payload, RequestMsg& out) {
+  Reader r(payload);
+  out.cookie = r.u64();
+  out.spec.cluster = ClusterId{r.i32()};
+  out.spec.nodes = r.i64();
+  out.spec.duration = r.i64();
+  const std::uint8_t type = r.u8();
+  const std::uint8_t how = r.u8();
+  out.spec.relatedTo = RequestId{r.i64()};
+  if (!r.done()) return false;
+  if (type > static_cast<std::uint8_t>(RequestType::kPreemptible)) return false;
+  if (how > static_cast<std::uint8_t>(Relation::kNext)) return false;
+  out.spec.type = static_cast<RequestType>(type);
+  out.spec.relatedHow = static_cast<Relation>(how);
+  return true;
+}
+
+bool decode(std::span<const std::uint8_t> payload, RequestAckMsg& out) {
+  Reader r(payload);
+  out.cookie = r.u64();
+  out.id = RequestId{r.i64()};
+  return r.done();
+}
+
+bool decode(std::span<const std::uint8_t> payload, DoneMsg& out) {
+  Reader r(payload);
+  out.id = RequestId{r.i64()};
+  return readNodeIds(r, out.released) && r.done();
+}
+
+bool decode(std::span<const std::uint8_t> payload, GoodbyeMsg&) {
+  return payload.empty();
+}
+
+bool decode(std::span<const std::uint8_t> payload, ViewsMsg& out) {
+  Reader r(payload);
+  return readView(r, out.nonPreemptive) && readView(r, out.preemptive) &&
+         r.done();
+}
+
+bool decode(std::span<const std::uint8_t> payload, StartedMsg& out) {
+  Reader r(payload);
+  out.id = RequestId{r.i64()};
+  return readNodeIds(r, out.nodeIds) && r.done();
+}
+
+bool decode(std::span<const std::uint8_t> payload, ExpiredMsg& out) {
+  Reader r(payload);
+  out.id = RequestId{r.i64()};
+  return r.done();
+}
+
+bool decode(std::span<const std::uint8_t> payload, EndedMsg& out) {
+  Reader r(payload);
+  out.id = RequestId{r.i64()};
+  return r.done();
+}
+
+bool decode(std::span<const std::uint8_t> payload, KilledMsg&) {
+  return payload.empty();
+}
+
+// ---------------------------------------------------------------------------
+// FrameBuffer
+// ---------------------------------------------------------------------------
+
+void FrameBuffer::append(std::span<const std::uint8_t> data) {
+  // Compact once the consumed prefix dominates: keeps a long-lived
+  // connection's buffer proportional to the unconsumed tail.
+  if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+FrameBuffer::Next FrameBuffer::next(FrameView& out) {
+  if (buffered() < kHeaderSize) return Next::kNeedMore;
+  const std::span<const std::uint8_t> head(buf_.data() + pos_, kHeaderSize);
+  Reader r(head);
+  const std::uint16_t magic = r.u16();
+  const std::uint8_t version = r.u8();
+  const std::uint8_t type = r.u8();
+  const std::uint32_t length = r.u32();
+  if (magic != kMagic || version != kProtocolVersion || !knownMsgType(type) ||
+      length > kMaxPayload) {
+    return Next::kBad;
+  }
+  if (buffered() < kHeaderSize + length) return Next::kNeedMore;
+  out.type = static_cast<MsgType>(type);
+  out.payload =
+      std::span<const std::uint8_t>(buf_.data() + pos_ + kHeaderSize, length);
+  pos_ += kHeaderSize + length;
+  return Next::kFrame;
+}
+
+}  // namespace coorm::net

@@ -1,0 +1,46 @@
+// The application-side handle on an RMS, abstracted over transports.
+//
+// The paper's evaluation simulator was derived from the real-life prototype
+// "by replacing remote calls with direct function calls" (§5). AppLink is
+// that seam, kept explicit: an application drives its resource negotiation
+// through this interface, and the concrete object behind it is either
+//  - a `Session` (rms/server.hpp): direct function calls into an in-process
+//    `Server` — the deterministic simulation/reference path; or
+//  - a `net::RmsClient` (net/client.hpp): the same calls framed onto a TCP
+//    connection to a `coorm_rmsd` daemon.
+// Downstream traffic (views, start notifications, expiries, kills) arrives
+// through the paired `AppEndpoint` callbacks either way, so application
+// code cannot tell the transports apart — which is what lets the loopback
+// differential suite pin daemon-served runs against the in-process server.
+#pragma once
+
+#include <vector>
+
+#include "coorm/common/ids.hpp"
+#include "coorm/rms/request.hpp"
+
+namespace coorm {
+
+class AppLink {
+ public:
+  virtual ~AppLink() = default;
+
+  /// Submit a request; returns its RMS-assigned id (paper request()). Over
+  /// a remote transport this is a synchronous round trip; an invalid id
+  /// means the request was rejected (or the session is dead).
+  virtual RequestId request(const RequestSpec& spec) = 0;
+
+  /// Terminate a request now (paper done()). For NEXT-shrink transitions,
+  /// `released` names the node IDs given back. Calling done() on a request
+  /// that has not started cancels it.
+  virtual void done(RequestId id, std::vector<NodeId> released) = 0;
+  void done(RequestId id) { done(id, {}); }
+
+  /// Leave the system, releasing everything.
+  virtual void disconnect() = 0;
+
+  /// The application id the RMS assigned at connect time.
+  [[nodiscard]] virtual AppId app() const = 0;
+};
+
+}  // namespace coorm

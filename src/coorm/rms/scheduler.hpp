@@ -57,6 +57,13 @@ struct AppSchedule {
   RequestSet* nonPreemptible = nullptr;
   RequestSet* preemptible = nullptr;
 
+  /// Mutation epoch of this application's requests, maintained by the
+  /// owner (the Server bumps it on every request mutation). A snapshot
+  /// re-capture that sees the epoch it already captured skips the refresh
+  /// walk for the app entirely. 0 is the "unknown" sentinel: always walk
+  /// (the safe default for callers that do not track mutations).
+  std::uint64_t epoch = 0;
+
   View nonPreemptiveView;  ///< paper V^(i)_{:P}
   View preemptiveView;     ///< paper V^(i)_P
 };

@@ -164,6 +164,8 @@ RequestId Server::handleRequest(SessionState& st, const RequestSpec& spec) {
   // request.
   ++stateEpoch_;
 
+  markDirty(st);
+
   // Implicit pre-allocation wrap (§3.2): a bare non-preemptible request of
   // an application that manages no explicit pre-allocation gets a shadow PA
   // of the same shape, so it is schedulable "inside a pre-allocation".
@@ -253,6 +255,7 @@ void Server::handleDone(SessionState& st, RequestId id,
 void Server::handleDisconnect(SessionState& st) {
   syncPass();  // releases node IDs: must observe commit-time pool state
   trace(toString(st.app), "disconnect");
+  markDirty(st);
   for (auto& owned : st.owned) {
     Request& r = *owned;
     if (r.ended()) continue;
@@ -295,6 +298,7 @@ void Server::releaseIds(SessionState& st, Request& r,
     }
   }
   if (actual.empty()) return;
+  markDirty(st);
   pool_.release(actual);
   for (AllocationObserver* observer : observers_) {
     observer->onAllocationChanged(st.app, r.cluster, -std::ssize(actual),
@@ -320,6 +324,7 @@ Request* Server::findUnstartedNextChild(SessionState& st, Request& r) {
 void Server::endRequest(SessionState& st, Request& r,
                         std::vector<NodeId> released) {
   COORM_CHECK(r.started() && !r.ended());
+  markDirty(st);
   const Time now = executor_.now();
 
   const auto timer = expiryTimers_.find(r.id.value);
@@ -372,6 +377,7 @@ void Server::endRequest(SessionState& st, Request& r,
 
 void Server::cancelUnstarted(SessionState& st, Request& r) {
   COORM_CHECK(!r.started() && !r.ended());
+  markDirty(st);
   // Inherited node IDs stashed on a pending NEXT successor go back.
   releaseAllIds(st, r);
   // Orphan children: they lose their constraint rather than dangle.
@@ -447,6 +453,7 @@ void Server::onExpiryTimer(AppId app, RequestId id) {
 
 void Server::killApp(SessionState& st) {
   st.killed = true;
+  markDirty(st);
   Executor::cancel(st.violationTimer);
   for (auto& owned : st.owned) {
     Request& r = *owned;
@@ -509,6 +516,7 @@ void Server::runPass(bool synchronous) {
     app.preAllocations = &st->preAllocations;
     app.nonPreemptible = &st->nonPreemptible;
     app.preemptible = &st->preemptible;
+    app.epoch = st->mutationEpoch;
     apps.push_back(std::move(app));
     passApps_.push_back(st.get());
   }
@@ -556,7 +564,10 @@ void Server::abandonPass() {
   // results must never reach the live requests or be pushed as views.
   // Dropping the in-flight state matches the serial server, where the
   // exception propagated out of runPass() before any result was stashed;
-  // the next protocol message re-arms a fresh pass as usual.
+  // the next protocol message re-arms a fresh pass as usual. The snapshot's
+  // result scratch now diverges from the live requests (no write-back), so
+  // its captured epochs must not allow the next pass to skip re-capture.
+  passSnapshot_->invalidate();
   passInFlight_ = false;
   Executor::cancel(commitEvent_);
   commitEvent_ = nullptr;
@@ -649,6 +660,7 @@ bool Server::tryStart(SessionState& st, Request& r) {
     } else if (have < needed) {
       const NodeCount extra = needed - have;
       if (pool_.freeCount(r.cluster) < extra) return false;  // stay pending
+      markDirty(st);
       std::vector<NodeId> fresh = pool_.allocate(r.cluster, extra);
       r.nodeIds.insert(r.nodeIds.end(), fresh.begin(), fresh.end());
       for (AllocationObserver* observer : observers_) {
@@ -658,6 +670,7 @@ bool Server::tryStart(SessionState& st, Request& r) {
     if (r.type != RequestType::kPreemptible) r.nAlloc = r.nodes;
   }
 
+  markDirty(st);
   r.startedAt = now;
   if (!isInf(r.duration)) {
     const AppId app = st.app;
@@ -810,6 +823,7 @@ void Server::pruneEnded() {
     for (auto it = st.owned.begin(); it != st.owned.end();) {
       Request* r = it->get();
       if (r->ended() && !isReferenced(r)) {
+        markDirty(st);
         setFor(st, r->type).remove(r->id);
         requestIndex_.erase(r->id.value);
         expiryTimers_.erase(r->id.value);

@@ -41,6 +41,7 @@
 #include "coorm/common/executor.hpp"
 #include "coorm/common/ids.hpp"
 #include "coorm/profile/view.hpp"
+#include "coorm/rms/app_link.hpp"
 #include "coorm/rms/machine.hpp"
 #include "coorm/rms/node_pool.hpp"
 #include "coorm/rms/request_set.hpp"
@@ -87,21 +88,23 @@ class AppEndpoint {
 
 class Server;
 
-/// An application's handle on the RMS.
-class Session {
+/// An application's direct (in-process) handle on the RMS: the AppLink
+/// implementation that makes plain function calls into the Server.
+class Session final : public AppLink {
  public:
   /// Submit a request; returns its id immediately (paper request()).
-  RequestId request(const RequestSpec& spec);
+  RequestId request(const RequestSpec& spec) override;
 
   /// Terminate a request now (paper done()). For NEXT-shrink transitions,
   /// `released` names the node IDs given back. Calling done() on a request
   /// that has not started cancels it.
-  void done(RequestId id, std::vector<NodeId> released = {});
+  void done(RequestId id, std::vector<NodeId> released) override;
+  using AppLink::done;
 
   /// Leave the system, releasing everything.
-  void disconnect();
+  void disconnect() override;
 
-  [[nodiscard]] AppId app() const { return app_; }
+  [[nodiscard]] AppId app() const override { return app_; }
   [[nodiscard]] bool killed() const;
 
   /// Last views pushed to this application.
@@ -184,6 +187,14 @@ class Server {
     return overlappedPasses_;
   }
 
+  /// Cumulative per-app snapshot capture outcomes across all passes
+  /// (test/bench introspection): in steady state untouched apps are
+  /// `skipped` thanks to the mutation-epoch dirty flag.
+  [[nodiscard]] CaptureStats captureStats() const {
+    return passSnapshot_ != nullptr ? passSnapshot_->captureStats()
+                                    : CaptureStats{};
+  }
+
   /// Force a scheduling pass now, bypassing the re-scheduling interval;
   /// runs launch and commit back to back regardless of Config::pipeline
   /// (used by tests and the throughput benchmark).
@@ -212,6 +223,11 @@ class Server {
     bool viewsEverSent = false;
     bool killed = false;
     bool disconnected = false;
+    /// Bumped on every mutation of this application's requests or sets
+    /// (AppSchedule::epoch). Lets the pass snapshot skip the re-capture
+    /// refresh walk for apps untouched since the previous pass. Starts at 1:
+    /// 0 is the snapshot's "always walk" sentinel.
+    std::uint64_t mutationEpoch = 1;
     EventHandle violationTimer;
     /// Implicit pre-allocation wrapping a given NP request (§3.2).
     std::unordered_map<Request*, Request*> wrapperOf;
@@ -246,6 +262,13 @@ class Server {
   void pruneEnded();
 
   // --- request lifecycle ---------------------------------------------------
+  /// Records a mutation of `st`'s requests or set membership. Every code
+  /// path that touches them must call this (or mutate via snapshot
+  /// writeBack, whose stores leave snapshot and live values identical by
+  /// construction): the epoch is what lets the next pass's recapture skip
+  /// the refresh walk for untouched apps. Debug builds audit each skip
+  /// (AppSnapshot::verifyClean).
+  static void markDirty(SessionState& st) { ++st.mutationEpoch; }
   void endRequest(SessionState& st, Request& r, std::vector<NodeId> released);
   void cancelUnstarted(SessionState& st, Request& r);
   void onExpiryTimer(AppId app, RequestId id);

@@ -137,6 +137,23 @@ struct ClusterDemand {
   friend bool operator==(const ClusterDemand&, const ClusterDemand&) = default;
 };
 
+/// How one AppSnapshot::capture call obtained its image (see CaptureStats).
+enum class CaptureKind {
+  kRebuilt,    ///< full capture: records, parents, roots, CSR adjacency
+  kRefreshed,  ///< topology verified unchanged; attributes re-read
+  kSkipped,    ///< mutation epoch clean: nothing touched at all
+};
+
+/// Cumulative per-application capture outcomes of a RequestSetSnapshot —
+/// the counters that pin the dirty-flag fast path: in steady state (no
+/// request mutated between two passes) every app must be `skipped`.
+struct CaptureStats {
+  std::uint64_t rebuilt = 0;
+  std::uint64_t refreshed = 0;
+  std::uint64_t skipped = 0;
+  friend bool operator==(const CaptureStats&, const CaptureStats&) = default;
+};
+
 /// Frozen image of one application's three request sets plus the pass's
 /// per-application outputs (the two views).
 class AppSnapshot {
@@ -152,9 +169,18 @@ class AppSnapshot {
   /// Re-captures in place, reusing every internal buffer's capacity: in
   /// steady state (the server snapshotting similar populations once per
   /// pass) a capture allocates nothing.
-  void capture(AppId app, const RequestSet* preAllocations,
-               const RequestSet* nonPreemptible,
-               const RequestSet* preemptible);
+  ///
+  /// `epoch` is the owner-maintained mutation epoch of the app's requests
+  /// (AppSchedule::epoch). When it is non-zero and matches the epoch this
+  /// snapshot already captured from the same app and set objects, the
+  /// capture is skipped outright — no record is read or written. This is
+  /// sound because a pass's writeBack() copies the snapshot's own result
+  /// values onto the live requests, so an epoch-clean app's records are
+  /// bit-identical to its live requests by construction (verified in debug
+  /// builds). An epoch of 0 always walks.
+  CaptureKind capture(AppId app, const RequestSet* preAllocations,
+                      const RequestSet* nonPreemptible,
+                      const RequestSet* preemptible, std::uint64_t epoch = 0);
 
   AppSnapshot(AppSnapshot&&) noexcept = default;
   AppSnapshot& operator=(AppSnapshot&&) noexcept = default;
@@ -189,6 +215,13 @@ class AppSnapshot {
   /// requests (the server's executor thread), never while a pass still runs.
   void writeBack() const;
 
+  /// Forgets the captured mutation epoch, forcing the next capture() to
+  /// walk (refresh or rebuild). Required after a pass that wrote result
+  /// scratch into the records but was never written back (an abandoned
+  /// pass): the epoch-skip soundness argument rests on records matching
+  /// the live requests.
+  void invalidate() { capturedEpoch_ = 0; }
+
   View nonPreemptiveView;  ///< pass output, paper V^(i)_{:P}
   View preemptiveView;     ///< pass output, paper V^(i)_P
 
@@ -202,12 +235,23 @@ class AppSnapshot {
   bool tryRefresh(AppId app, const RequestSet* preAllocations,
                   const RequestSet* nonPreemptible,
                   const RequestSet* preemptible);
+  /// Debug audit of the epoch-skip fast path: true iff every record still
+  /// mirrors its live request (membership, constraint edges, attributes and
+  /// result fields alike). A failure means a mutation was not reported
+  /// through the owner's epoch.
+  [[nodiscard]] bool verifyClean(const RequestSet* preAllocations,
+                                 const RequestSet* nonPreemptible,
+                                 const RequestSet* preemptible) const;
   void captureSet(const RequestSet* set, SetSnapshot& out);
   void resolveParents();
   void indexSet(SetSnapshot& set);
   void summarizeDemand();
 
   AppId app_{};
+  /// Identity + mutation epoch of the population this snapshot captured;
+  /// the epoch-skip fast path requires all four to match (0 = never skip).
+  const RequestSet* capturedSets_[3] = {nullptr, nullptr, nullptr};
+  std::uint64_t capturedEpoch_ = 0;
   std::vector<SnapshotRecord> records_;
   SetSnapshot preAllocations_;
   SetSnapshot nonPreemptible_;
@@ -240,12 +284,24 @@ class RequestSetSnapshot {
   /// Member records across all applications (externals excluded).
   [[nodiscard]] std::size_t requestCount() const { return requestCount_; }
 
+  /// Cumulative per-app capture outcomes across every (re)capture of this
+  /// snapshot (introspection for tests and benchmarks: pins the dirty-flag
+  /// skip path).
+  [[nodiscard]] const CaptureStats& captureStats() const { return stats_; }
+
   /// Applies every application's pass results to the live requests.
   void writeBack() const;
+
+  /// Forces the next recapture to walk every app (see
+  /// AppSnapshot::invalidate).
+  void invalidate() {
+    for (AppSnapshot& app : apps_) app.invalidate();
+  }
 
  private:
   std::vector<AppSnapshot> apps_;
   std::size_t requestCount_ = 0;
+  CaptureStats stats_;
 };
 
 }  // namespace coorm

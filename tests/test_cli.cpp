@@ -132,6 +132,53 @@ TEST(Cli, InvalidOvercommitIsError) {
   EXPECT_EQ(parse({"--amr-steps", "0"}).status, ParseStatus::kError);
 }
 
+TEST(Cli, ParsesListenEndpoint) {
+  const ParseResult r = parse({"--listen", "0.0.0.0:7788"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.options.listen.has_value());
+  EXPECT_EQ(r.options.listen->host, "0.0.0.0");
+  EXPECT_EQ(r.options.listen->port, 7788);
+  EXPECT_FALSE(r.options.connect.has_value());
+}
+
+TEST(Cli, ListenDefaultsHostAndAllowsEphemeralPort) {
+  const ParseResult bare = parse({"--listen", ":0"});
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare.options.listen->host, "127.0.0.1");
+  EXPECT_EQ(bare.options.listen->port, 0);
+
+  const ParseResult portOnly = parse({"--listen", "9090"});
+  ASSERT_TRUE(portOnly.ok());
+  EXPECT_EQ(portOnly.options.listen->host, "127.0.0.1");
+  EXPECT_EQ(portOnly.options.listen->port, 9090);
+}
+
+TEST(Cli, ParsesConnectEndpoint) {
+  const ParseResult r = parse({"--connect", "10.1.2.3:450"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.options.connect.has_value());
+  EXPECT_EQ(r.options.connect->host, "10.1.2.3");
+  EXPECT_EQ(r.options.connect->port, 450);
+}
+
+TEST(Cli, MalformedEndpointsAreErrors) {
+  for (const char* bad : {"example:port", "1.2.3.4:", "1.2.3.4:99999", ":",
+                          "host:12x", ""}) {
+    EXPECT_EQ(parse({"--listen", bad}).status, ParseStatus::kError) << bad;
+    EXPECT_EQ(parse({"--connect", bad}).status, ParseStatus::kError) << bad;
+  }
+  EXPECT_EQ(parse({"--listen"}).status, ParseStatus::kError);
+  EXPECT_EQ(parse({"--connect"}).status, ParseStatus::kError);
+}
+
+TEST(Cli, ParsesReschedInterval) {
+  const ParseResult r = parse({"--resched", "0.05"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.options.resched, msec(50));
+  EXPECT_EQ(parse({"--resched", "0"}).status, ParseStatus::kError);
+  EXPECT_EQ(parse({"--resched", "-1"}).status, ParseStatus::kError);
+}
+
 TEST(Cli, UsageMentionsEveryOption) {
   std::ostringstream out;
   printUsage(out);
@@ -140,7 +187,7 @@ TEST(Cli, UsageMentionsEveryOption) {
        {"--nodes", "--seed", "--amr", "--amr-steps", "--amr-static",
         "--overcommit", "--announce", "--psa", "--jobs", "--swf", "--strict",
         "--threads", "--no-pipeline", "--until", "--timeline", "--trace",
-        "--help"}) {
+        "--listen", "--connect", "--resched", "--help"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }

@@ -1,0 +1,402 @@
+// Wire-codec fuzz/property suite (run under ASan/UBSan in CI):
+//  - every message type round-trips bit-exactly (decode(encode(m)) == m and
+//    re-encoding reproduces the identical bytes);
+//  - truncated frames are never delivered (every strict prefix of a valid
+//    stream yields kNeedMore or a clean protocol error, no over-read);
+//  - oversized length fields and corrupted headers are rejected as kBad;
+//  - random bit flips anywhere in a frame either still decode to *some*
+//    value (header + payload happened to stay well-formed) or fail
+//    cleanly — never crash, never over-read, never a wild allocation;
+//  - arbitrary random bytes fed to the frame parser never produce
+//    undefined behaviour.
+#include "coorm/net/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "coorm/common/rng.hpp"
+
+namespace coorm::net {
+namespace {
+
+// --- generators -------------------------------------------------------------
+
+StepFunction randomProfile(Rng& rng, int maxSegments) {
+  std::vector<StepFunction::Segment> segments;
+  const int count = static_cast<int>(rng.uniformInt(1, maxSegments));
+  Time start = 0;
+  NodeCount previous = -1;
+  for (int i = 0; i < count; ++i) {
+    NodeCount value = rng.uniformInt(0, 512);
+    if (value == previous) value += 1;
+    segments.push_back({start, value});
+    previous = value;
+    start += rng.uniformInt(1, 100000);
+  }
+  return StepFunction::fromCanonical(std::move(segments));
+}
+
+View randomView(Rng& rng) {
+  View view;
+  const int clusters = static_cast<int>(rng.uniformInt(0, 4));
+  for (int c = 0; c < clusters; ++c) {
+    view.setCap(ClusterId{c}, randomProfile(rng, 12));
+  }
+  return view;
+}
+
+std::vector<NodeId> randomNodeIds(Rng& rng) {
+  std::vector<NodeId> ids;
+  const int count = static_cast<int>(rng.uniformInt(0, 16));
+  for (int i = 0; i < count; ++i) {
+    ids.push_back(NodeId{ClusterId{static_cast<std::int32_t>(
+                             rng.uniformInt(0, 3))},
+                         static_cast<std::int32_t>(rng.uniformInt(0, 4096))});
+  }
+  return ids;
+}
+
+/// Parses a buffer that should hold exactly one well-formed frame.
+template <typename Msg>
+void expectRoundTrip(const std::vector<std::uint8_t>& bytes, const Msg& sent) {
+  FrameBuffer buffer;
+  buffer.append(bytes);
+  FrameView frame;
+  ASSERT_EQ(buffer.next(frame), FrameBuffer::Next::kFrame);
+  Msg received;
+  ASSERT_TRUE(decode(frame.payload, received));
+  EXPECT_EQ(received, sent);
+  // Bit-exactness: re-encoding the decoded message reproduces the bytes.
+  std::vector<std::uint8_t> again;
+  encode(again, received);
+  EXPECT_EQ(again, bytes);
+  // And the stream is fully consumed.
+  EXPECT_EQ(buffer.next(frame), FrameBuffer::Next::kNeedMore);
+}
+
+// --- round trips ------------------------------------------------------------
+
+TEST(WireCodec, RoundTripsEveryMessageType) {
+  Rng rng(20260726);
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    std::vector<std::uint8_t> bytes;
+
+    HelloMsg hello{std::string("app-") +
+                   std::to_string(rng.uniformInt(0, 1 << 20))};
+    encode(bytes, hello);
+    expectRoundTrip(bytes, hello);
+    bytes.clear();
+
+    WelcomeMsg welcome{AppId{static_cast<std::int32_t>(
+        rng.uniformInt(0, 1 << 30))}};
+    encode(bytes, welcome);
+    expectRoundTrip(bytes, welcome);
+    bytes.clear();
+
+    RequestMsg request;
+    request.cookie = static_cast<std::uint64_t>(rng.uniformInt(1, 1 << 30));
+    request.spec.cluster = ClusterId{static_cast<std::int32_t>(
+        rng.uniformInt(0, 7))};
+    request.spec.nodes = rng.uniformInt(1, 4096);
+    request.spec.duration =
+        rng.uniformInt(0, 1) != 0 ? kTimeInf : rng.uniformInt(1, 1 << 30);
+    request.spec.type = static_cast<RequestType>(rng.uniformInt(0, 2));
+    request.spec.relatedHow = static_cast<Relation>(rng.uniformInt(0, 2));
+    request.spec.relatedTo = RequestId{rng.uniformInt(-1, 1 << 20)};
+    encode(bytes, request);
+    expectRoundTrip(bytes, request);
+    bytes.clear();
+
+    RequestAckMsg ack{static_cast<std::uint64_t>(rng.uniformInt(1, 1 << 30)),
+                      RequestId{rng.uniformInt(-1, 1 << 20)}};
+    encode(bytes, ack);
+    expectRoundTrip(bytes, ack);
+    bytes.clear();
+
+    DoneMsg done{RequestId{rng.uniformInt(0, 1 << 20)}, randomNodeIds(rng)};
+    encode(bytes, done);
+    expectRoundTrip(bytes, done);
+    bytes.clear();
+
+    encode(bytes, GoodbyeMsg{});
+    expectRoundTrip(bytes, GoodbyeMsg{});
+    bytes.clear();
+
+    ViewsMsg views{randomView(rng), randomView(rng)};
+    encode(bytes, views);
+    expectRoundTrip(bytes, views);
+    bytes.clear();
+
+    StartedMsg started{RequestId{rng.uniformInt(0, 1 << 20)},
+                       randomNodeIds(rng)};
+    encode(bytes, started);
+    expectRoundTrip(bytes, started);
+    bytes.clear();
+
+    ExpiredMsg expired{RequestId{rng.uniformInt(0, 1 << 20)}};
+    encode(bytes, expired);
+    expectRoundTrip(bytes, expired);
+    bytes.clear();
+
+    EndedMsg ended{RequestId{rng.uniformInt(0, 1 << 20)}};
+    encode(bytes, ended);
+    expectRoundTrip(bytes, ended);
+    bytes.clear();
+
+    encode(bytes, KilledMsg{});
+    expectRoundTrip(bytes, KilledMsg{});
+    bytes.clear();
+  }
+}
+
+TEST(WireCodec, ViewProfilesWithSentinelTimesRoundTrip) {
+  // kTimeInf/kNever-adjacent values survive the i64 encoding untouched.
+  View view;
+  view.setCap(ClusterId{0},
+              StepFunction::fromCanonical(
+                  {{0, 5}, {kTimeInf - 1, 3}, {kTimeInf, 0}}));
+  ViewsMsg msg{view, View{}};
+  std::vector<std::uint8_t> bytes;
+  encode(bytes, msg);
+  expectRoundTrip(bytes, msg);
+}
+
+TEST(WireCodec, FramesSurviveArbitraryChunking) {
+  Rng rng(7);
+  std::vector<std::uint8_t> stream;
+  ViewsMsg views{randomView(rng), randomView(rng)};
+  StartedMsg started{RequestId{42}, randomNodeIds(rng)};
+  encode(stream, views);
+  encode(stream, started);
+  encode(stream, KilledMsg{});
+
+  for (int trial = 0; trial < 50; ++trial) {
+    FrameBuffer buffer;
+    std::size_t fed = 0;
+    int frames = 0;
+    while (fed < stream.size()) {
+      const std::size_t chunk = static_cast<std::size_t>(
+          rng.uniformInt(1, 7));
+      const std::size_t n = std::min(chunk, stream.size() - fed);
+      buffer.append({stream.data() + fed, n});
+      fed += n;
+      FrameView frame;
+      FrameBuffer::Next next;
+      while ((next = buffer.next(frame)) == FrameBuffer::Next::kFrame) {
+        ++frames;
+      }
+      ASSERT_EQ(next, FrameBuffer::Next::kNeedMore);
+    }
+    EXPECT_EQ(frames, 3);
+  }
+}
+
+// --- malformed input --------------------------------------------------------
+
+TEST(WireCodec, TruncatedFramesAreNeverDelivered) {
+  Rng rng(99);
+  std::vector<std::uint8_t> bytes;
+  ViewsMsg views{randomView(rng), randomView(rng)};
+  encode(bytes, views);
+
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    FrameBuffer buffer;
+    buffer.append({bytes.data(), cut});
+    FrameView frame;
+    // A strict prefix of one frame can never deliver a frame; it either
+    // wants more bytes or (with nothing to misread) stays clean.
+    EXPECT_EQ(buffer.next(frame), FrameBuffer::Next::kNeedMore);
+  }
+
+  // Truncating *inside* the payload while lying about the length: decoders
+  // must reject, never over-read.
+  FrameBuffer buffer;
+  buffer.append(bytes);
+  FrameView frame;
+  ASSERT_EQ(buffer.next(frame), FrameBuffer::Next::kFrame);
+  for (std::size_t cut = 0; cut < frame.payload.size(); ++cut) {
+    ViewsMsg out;
+    EXPECT_FALSE(decode(frame.payload.first(cut), out));
+  }
+}
+
+TEST(WireCodec, OversizedAndCorruptHeadersAreRejected) {
+  std::vector<std::uint8_t> bytes;
+  encode(bytes, ExpiredMsg{RequestId{1}});
+
+  {  // bad magic
+    auto bad = bytes;
+    bad[0] ^= 0xff;
+    FrameBuffer buffer;
+    buffer.append(bad);
+    FrameView frame;
+    EXPECT_EQ(buffer.next(frame), FrameBuffer::Next::kBad);
+  }
+  {  // unknown version
+    auto bad = bytes;
+    bad[2] = kProtocolVersion + 1;
+    FrameBuffer buffer;
+    buffer.append(bad);
+    FrameView frame;
+    EXPECT_EQ(buffer.next(frame), FrameBuffer::Next::kBad);
+  }
+  {  // unknown message type
+    auto bad = bytes;
+    bad[3] = 0x3f;
+    FrameBuffer buffer;
+    buffer.append(bad);
+    FrameView frame;
+    EXPECT_EQ(buffer.next(frame), FrameBuffer::Next::kBad);
+  }
+  {  // length beyond kMaxPayload
+    auto bad = bytes;
+    bad[4] = 0xff;
+    bad[5] = 0xff;
+    bad[6] = 0xff;
+    bad[7] = 0xff;
+    FrameBuffer buffer;
+    buffer.append(bad);
+    FrameView frame;
+    EXPECT_EQ(buffer.next(frame), FrameBuffer::Next::kBad);
+  }
+}
+
+TEST(WireCodec, CountFieldsAreBoundedByPayload) {
+  // A DONE frame whose node-id count field claims 2^31 entries but whose
+  // payload holds none: the decoder must fail before allocating.
+  std::vector<std::uint8_t> bytes;
+  Writer w(bytes);
+  w.u16(kMagic);
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(MsgType::kDone));
+  w.u32(8 + 4);          // payload: id + count only
+  w.i64(7);              // request id
+  w.u32(0x7fffffffu);    // huge count, no data
+  FrameBuffer buffer;
+  buffer.append(bytes);
+  FrameView frame;
+  ASSERT_EQ(buffer.next(frame), FrameBuffer::Next::kFrame);
+  DoneMsg out;
+  EXPECT_FALSE(decode(frame.payload, out));
+
+  // Same for a views push lying about its segment count.
+  bytes.clear();
+  w.u16(kMagic);
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(MsgType::kViews));
+  w.u32(4 + 4 + 4);
+  w.u32(1);            // one cluster
+  w.i32(0);            // cluster id
+  w.u32(0x40000000u);  // absurd segment count
+  FrameBuffer buffer2;
+  buffer2.append(bytes);
+  ASSERT_EQ(buffer2.next(frame), FrameBuffer::Next::kFrame);
+  ViewsMsg viewsOut;
+  EXPECT_FALSE(decode(frame.payload, viewsOut));
+}
+
+TEST(WireCodec, NonCanonicalProfilesAreRejected) {
+  const auto frameWithSegments =
+      [](std::initializer_list<std::pair<Time, NodeCount>> segments) {
+        std::vector<std::uint8_t> bytes;
+        Writer w(bytes);
+        w.u16(kMagic);
+        w.u8(kProtocolVersion);
+        w.u8(static_cast<std::uint8_t>(MsgType::kViews));
+        const std::size_t lengthAt = bytes.size();
+        w.u32(0);
+        w.u32(1);  // one cluster in the np view
+        w.i32(0);
+        w.u32(static_cast<std::uint32_t>(segments.size()));
+        for (const auto& [start, value] : segments) {
+          w.i64(start);
+          w.i64(value);
+        }
+        w.u32(0);  // empty preemptive view
+        w.patchU32(lengthAt,
+                   static_cast<std::uint32_t>(bytes.size() - lengthAt - 4));
+        return bytes;
+      };
+
+  const auto expectRejected = [](const std::vector<std::uint8_t>& bytes) {
+    FrameBuffer buffer;
+    buffer.append(bytes);
+    FrameView frame;
+    ASSERT_EQ(buffer.next(frame), FrameBuffer::Next::kFrame);
+    ViewsMsg out;
+    EXPECT_FALSE(decode(frame.payload, out));
+  };
+
+  expectRejected(frameWithSegments({{5, 1}}));            // first not at 0
+  expectRejected(frameWithSegments({{0, 1}, {0, 2}}));    // non-increasing
+  expectRejected(frameWithSegments({{0, 2}, {10, 1}, {5, 3}}));  // decreasing
+  expectRejected(frameWithSegments({{0, 2}, {10, 2}}));   // equal adjacent
+  expectRejected(frameWithSegments({}));                  // zero segments
+}
+
+TEST(WireCodec, BitFlipsNeverCrashTheDecoder) {
+  Rng rng(4242);
+  for (int iteration = 0; iteration < 400; ++iteration) {
+    std::vector<std::uint8_t> bytes;
+    ViewsMsg views{randomView(rng), randomView(rng)};
+    DoneMsg done{RequestId{3}, randomNodeIds(rng)};
+    encode(bytes, views);
+    encode(bytes, done);
+
+    const std::size_t at =
+        static_cast<std::size_t>(rng.uniformInt(0, std::ssize(bytes) - 1));
+    bytes[at] ^= static_cast<std::uint8_t>(1 << rng.uniformInt(0, 7));
+
+    FrameBuffer buffer;
+    buffer.append(bytes);
+    FrameView frame;
+    // Walk the whole (possibly corrupt) stream: every outcome is
+    // acceptable except a crash/over-read, which the sanitizers catch.
+    FrameBuffer::Next next;
+    while ((next = buffer.next(frame)) == FrameBuffer::Next::kFrame) {
+      ViewsMsg viewsOut;
+      DoneMsg doneOut;
+      switch (frame.type) {
+        case MsgType::kViews:
+          (void)decode(frame.payload, viewsOut);
+          break;
+        case MsgType::kDone:
+          (void)decode(frame.payload, doneOut);
+          break;
+        default: {
+          // A flipped type byte may land on any other known type; decode
+          // as that type to exercise its validator too.
+          StartedMsg s;
+          HelloMsg h;
+          RequestMsg r;
+          (void)decode(frame.payload, s);
+          (void)decode(frame.payload, h);
+          (void)decode(frame.payload, r);
+          break;
+        }
+      }
+    }
+  }
+}
+
+TEST(WireCodec, RandomBytesNeverCrashTheParser) {
+  Rng rng(777);
+  for (int iteration = 0; iteration < 300; ++iteration) {
+    std::vector<std::uint8_t> junk(
+        static_cast<std::size_t>(rng.uniformInt(0, 256)));
+    for (auto& b : junk) {
+      b = static_cast<std::uint8_t>(rng.uniformInt(0, 255));
+    }
+    FrameBuffer buffer;
+    buffer.append(junk);
+    FrameView frame;
+    while (buffer.next(frame) == FrameBuffer::Next::kFrame) {
+      ViewsMsg out;
+      (void)decode(frame.payload, out);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace coorm::net

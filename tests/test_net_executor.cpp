@@ -1,0 +1,148 @@
+// PollExecutor: the real-time Executor contract the Server depends on —
+// monotonic now(), same-time callbacks in scheduling order, cancellation
+// without dispatch — plus fd watching (socketpair-driven) with unwatch
+// safety from inside callbacks.
+#include "coorm/net/poll_executor.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+namespace coorm::net {
+namespace {
+
+TEST(PollExecutor, NowIsMonotonicAndStartsNearZero) {
+  PollExecutor executor;
+  const Time first = executor.now();
+  EXPECT_GE(first, 0);
+  EXPECT_LT(first, sec(5));
+  Time previous = first;
+  for (int i = 0; i < 100; ++i) {
+    const Time now = executor.now();
+    EXPECT_GE(now, previous);
+    previous = now;
+  }
+}
+
+TEST(PollExecutor, TimersFireInTimeThenSchedulingOrder) {
+  PollExecutor executor;
+  std::vector<std::string> order;
+  const Time base = executor.now();
+  executor.schedule(base + 30, [&] { order.push_back("late"); });
+  executor.schedule(base + 10, [&] { order.push_back("early-a"); });
+  executor.schedule(base + 10, [&] { order.push_back("early-b"); });
+  executor.schedule(base, [&] { order.push_back("now"); });
+
+  while (executor.pendingTimers() > 0) executor.runOne(msec(20));
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"now", "early-a", "early-b", "late"}));
+}
+
+TEST(PollExecutor, SameTimeChainsRunInSchedulingOrder) {
+  // The pipelined server's commit-event pattern: a same-time event
+  // scheduled first runs before events that a same-time callback schedules
+  // afterwards.
+  PollExecutor executor;
+  std::vector<int> order;
+  const Time at = executor.now();
+  executor.schedule(at, [&] {
+    order.push_back(1);
+    executor.schedule(executor.now(), [&] { order.push_back(3); });
+  });
+  executor.schedule(at, [&] { order.push_back(2); });
+  while (executor.pendingTimers() > 0) executor.runOne(msec(20));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(PollExecutor, CancelledEventsAreSkipped) {
+  PollExecutor executor;
+  int fired = 0;
+  const EventHandle handle =
+      executor.schedule(executor.now(), [&] { ++fired; });
+  executor.after(0, [&] { ++fired; });
+  Executor::cancel(handle);
+  while (executor.pendingTimers() > 0) executor.runOne(msec(20));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(PollExecutor, PastDeadlinesAreClampedNotRejected) {
+  PollExecutor executor;
+  bool fired = false;
+  executor.schedule(executor.now() - 1000, [&] { fired = true; });
+  executor.runOne(msec(20));
+  EXPECT_TRUE(fired);
+}
+
+TEST(PollExecutor, WatchesReadabilityOnASocketPair) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  PollExecutor executor;
+  std::string received;
+  executor.watch(fds[0], PollExecutor::kReadable, [&](short events) {
+    ASSERT_TRUE((events & PollExecutor::kReadable) != 0);
+    char buffer[64];
+    const ssize_t n = ::read(fds[0], buffer, sizeof(buffer));
+    ASSERT_GT(n, 0);
+    received.append(buffer, static_cast<std::size_t>(n));
+  });
+
+  ASSERT_EQ(::write(fds[1], "ping", 4), 4);
+  for (int i = 0; i < 100 && received.empty(); ++i) executor.runOne(msec(10));
+  EXPECT_EQ(received, "ping");
+
+  executor.unwatch(fds[0]);
+  EXPECT_EQ(executor.watcherCount(), 0u);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(PollExecutor, UnwatchFromInsideTheCallbackIsSafe) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  int calls = 0;
+  PollExecutor executor;
+  executor.watch(fds[0], PollExecutor::kReadable, [&](short) {
+    ++calls;
+    char buffer[8];
+    (void)::read(fds[0], buffer, sizeof(buffer));
+    executor.unwatch(fds[0]);
+  });
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  for (int i = 0; i < 20; ++i) executor.runOne(msec(5));
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(executor.watcherCount(), 0u);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(PollExecutor, ErrorEventsAreReportedOnPeerClose) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  PollExecutor executor;
+  bool flagged = false;
+  executor.watch(fds[0], PollExecutor::kReadable, [&](short events) {
+    // Peer close surfaces as readable-EOF and/or kError depending on the
+    // kernel; either way the callback gets told something happened.
+    flagged = (events & (PollExecutor::kReadable | PollExecutor::kError)) != 0;
+    executor.unwatch(fds[0]);
+  });
+  ::close(fds[1]);
+  for (int i = 0; i < 100 && !flagged; ++i) executor.runOne(msec(5));
+  EXPECT_TRUE(flagged);
+  ::close(fds[0]);
+}
+
+TEST(PollExecutor, RunStopsWhenNothingRemains) {
+  PollExecutor executor;
+  int fired = 0;
+  executor.after(10, [&] { ++fired; });
+  executor.after(20, [&] { ++fired; });
+  executor.run(msec(10));  // returns once both timers fired (no watchers)
+  EXPECT_EQ(fired, 2);
+}
+
+}  // namespace
+}  // namespace coorm::net

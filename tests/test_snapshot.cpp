@@ -9,7 +9,9 @@
 
 #include "coorm/common/rng.hpp"
 #include "coorm/rms/scheduler.hpp"
+#include "coorm/rms/server.hpp"
 #include "coorm/rms/snapshot.hpp"
+#include "coorm/sim/engine.hpp"
 
 namespace coorm {
 namespace {
@@ -229,6 +231,121 @@ TEST(Snapshot, CaptureOfAppScheduleSpanCountsMembers) {
   EXPECT_EQ(snap.appCount(), 1u);
   EXPECT_EQ(snap.requestCount(), 3u);
   EXPECT_EQ(snap.apps()[0].app(), AppId{7});
+}
+
+// --- mutation-epoch dirty flag ----------------------------------------------
+
+TEST(Snapshot, EpochSkipOnlyWhenCleanAndIdentical) {
+  Fixture fx;
+  Request* a = fx.add(fx.np, RequestType::kNonPreemptible, Relation::kFree,
+                      nullptr);
+  fx.add(fx.p, RequestType::kPreemptible, Relation::kFree, nullptr);
+
+  std::vector<AppSchedule> apps(1);
+  apps[0].app = AppId{1};
+  apps[0].preAllocations = &fx.pa;
+  apps[0].nonPreemptible = &fx.np;
+  apps[0].preemptible = &fx.p;
+
+  // Epoch 0 is the "always walk" sentinel: recapturing never skips.
+  RequestSetSnapshot snap = RequestSetSnapshot::capture(apps);
+  snap.recapture(apps);
+  EXPECT_EQ(snap.captureStats().skipped, 0u);
+  EXPECT_EQ(snap.captureStats().rebuilt + snap.captureStats().refreshed, 2u);
+
+  // A non-zero epoch seen twice in a row skips the walk entirely.
+  apps[0].epoch = 5;
+  snap.recapture(apps);  // first sight of epoch 5: walks
+  const std::uint64_t walked =
+      snap.captureStats().rebuilt + snap.captureStats().refreshed;
+  snap.recapture(apps);  // clean: skipped
+  snap.recapture(apps);
+  EXPECT_EQ(snap.captureStats().skipped, 2u);
+  EXPECT_EQ(snap.captureStats().rebuilt + snap.captureStats().refreshed,
+            walked);
+
+  // Any mutation must come with an epoch bump; the capture walks again and
+  // observes the new value.
+  a->nodes = 9;
+  apps[0].epoch = 6;
+  snap.recapture(apps);
+  EXPECT_EQ(snap.captureStats().skipped, 2u);  // unchanged
+  EXPECT_EQ(snap.apps()[0].nonPreemptible().rec(0).nodes, 9);
+
+  // A different population in the same slot never skips, even with a
+  // matching epoch value.
+  Fixture other;
+  other.add(other.np, RequestType::kNonPreemptible, Relation::kFree, nullptr);
+  std::vector<AppSchedule> swapped(1);
+  swapped[0].app = AppId{2};
+  swapped[0].nonPreemptible = &other.np;
+  swapped[0].epoch = 6;
+  snap.recapture(swapped);
+  EXPECT_EQ(snap.captureStats().skipped, 2u);
+  EXPECT_EQ(snap.apps()[0].app(), AppId{2});
+}
+
+TEST(Snapshot, ServerSkipsUntouchedAppsInSteadyState) {
+  // The ROADMAP perf item this pins: steady-state recapture() must skip
+  // the refresh walk for applications whose requests nobody touched since
+  // the previous pass. One app goes idle after an initial long request;
+  // another keeps the server busy. Every pass after the idle app's start
+  // must skip it (debug builds additionally audit each skip against the
+  // live requests).
+  Engine engine;
+  Server server(engine, Machine::single(32));
+  AppEndpoint idleEndpoint;
+  Session* idle = server.connect(idleEndpoint);
+  RequestSpec longRunning;
+  longRunning.nodes = 4;
+  longRunning.duration = hours(10);
+  longRunning.type = RequestType::kPreAllocation;
+  idle->request(longRunning);
+  engine.runUntil(sec(2));  // connect + schedule + start; then quiet
+
+  AppEndpoint busyEndpoint;
+  Session* busy = server.connect(busyEndpoint);
+  engine.runUntil(sec(4));
+
+  const CaptureStats before = server.captureStats();
+  const std::uint64_t passesBefore = server.passCount();
+  Time at = sec(4);
+  for (int i = 0; i < 6; ++i) {
+    RequestSpec spec;
+    spec.nodes = 2;
+    spec.duration = sec(1);
+    spec.type = RequestType::kPreAllocation;  // expires server-side, quietly
+    busy->request(spec);
+    at = satAdd(at, sec(3));
+    engine.runUntil(at);
+  }
+  const CaptureStats after = server.captureStats();
+  const std::uint64_t passes = server.passCount() - passesBefore;
+
+  ASSERT_GE(passes, 6u);
+  // The idle app was skipped by every one of those passes; the busy app
+  // walked every time (its requests mutate between passes).
+  EXPECT_GE(after.skipped - before.skipped, passes);
+  EXPECT_GT(after.rebuilt + after.refreshed,
+            before.rebuilt + before.refreshed);
+}
+
+TEST(Snapshot, InvalidateForcesTheNextWalk) {
+  Fixture fx;
+  fx.add(fx.np, RequestType::kNonPreemptible, Relation::kFree, nullptr);
+  std::vector<AppSchedule> apps(1);
+  apps[0].app = AppId{1};
+  apps[0].nonPreemptible = &fx.np;
+  apps[0].epoch = 3;
+
+  RequestSetSnapshot snap = RequestSetSnapshot::capture(apps);
+  snap.recapture(apps);
+  EXPECT_EQ(snap.captureStats().skipped, 1u);
+  snap.invalidate();
+  snap.recapture(apps);  // must walk again despite the clean epoch
+  EXPECT_EQ(snap.captureStats().skipped, 1u);
+  snap.recapture(apps);  // and the re-walk re-arms the skip
+  EXPECT_EQ(snap.captureStats().skipped, 2u);
 }
 
 }  // namespace

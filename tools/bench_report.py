@@ -169,8 +169,9 @@ def main() -> None:
         "--bench-json",
         help="existing --benchmark_format=json output to convert")
     source.add_argument(
-        "--binary",
-        help="benchmark binary to run with --benchmark_format=json")
+        "--binary", action="append",
+        help="benchmark binary to run with --benchmark_format=json; "
+             "repeatable — entries from every binary merge into one run")
     parser.add_argument(
         "--filter", default=None,
         help="--benchmark_filter passed to --binary runs")
@@ -194,11 +195,16 @@ def main() -> None:
 
     if args.bench_json:
         with open(args.bench_json, encoding="utf-8") as handle:
-            report = json.load(handle)
+            reports = [json.load(handle)]
     else:
-        report = run_binary(args.binary, args.filter)
+        reports = [run_binary(binary, args.filter) for binary in args.binary]
 
-    context, entries = summarize(report)
+    context: dict = {}
+    entries: list[dict] = []
+    for report in reports:
+        report_context, report_entries = summarize(report)
+        context = context or report_context
+        entries.extend(report_entries)
     if not entries:
         raise SystemExit("no benchmark entries found in the report")
 

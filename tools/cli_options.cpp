@@ -6,7 +6,7 @@
 namespace coorm::cli {
 
 void printUsage(std::ostream& out) {
-  out << "usage: coorm_sim [options]\n"
+  out << "usage: coorm_sim|coorm_rmsd|coorm_loadgen [options]\n"
          "  --nodes N          cluster size (default 128)\n"
          "  --seed S           random seed (default 1)\n"
          "  --amr GIB          add an evolving AMR app with a working-set\n"
@@ -27,6 +27,11 @@ void printUsage(std::ostream& out) {
          "  --until SECS       horizon when no AMR is present (default 86400)\n"
          "  --timeline         render an ASCII allocation timeline\n"
          "  --trace            dump the protocol trace\n"
+         "  --listen ADDR:PORT coorm_rmsd: bind address (\":0\" = ephemeral\n"
+         "                     port on 127.0.0.1)\n"
+         "  --connect ADDR:PORT\n"
+         "                     coorm_loadgen: daemon address to dial\n"
+         "  --resched SECS     re-scheduling interval (default 1.0)\n"
          "  --help             this text\n";
 }
 
@@ -75,13 +80,28 @@ ParseResult parseArgs(int argc, const char* const* argv) {
       options.showTimeline = true;
     } else if (arg == "--trace") {
       options.showTrace = true;
+    } else if (arg == "--listen" && (v = value(i))) {
+      options.listen = net::parseEndpoint(v);
+      if (!options.listen) {
+        result.error = std::string("bad --listen endpoint: ") + v;
+        return result;
+      }
+    } else if (arg == "--connect" && (v = value(i))) {
+      options.connect = net::parseEndpoint(v);
+      if (!options.connect) {
+        result.error = std::string("bad --connect endpoint: ") + v;
+        return result;
+      }
+    } else if (arg == "--resched" && (v = value(i))) {
+      options.resched = secF(std::atof(v));
     } else {
       result.error = "unknown or incomplete option: " + arg;
       return result;
     }
   }
   if (options.nodes <= 0 || options.amrSteps <= 0 ||
-      options.overcommit <= 0.0 || options.threads <= 0) {
+      options.overcommit <= 0.0 || options.threads <= 0 ||
+      options.resched <= 0) {
     result.error = "invalid numeric option";
     return result;
   }

@@ -1,8 +1,12 @@
-// Command-line option parsing for coorm_sim.
+// Command-line option parsing shared by the coorm tools (coorm_sim,
+// coorm_rmsd, coorm_loadgen).
 //
-// Kept separate from the driver so tests can exercise argument handling
+// Kept separate from the drivers so tests can exercise argument handling
 // without spawning a process: parseArgs() never exits and never touches
 // global state; it reports --help and errors through ParseResult instead.
+// One Options struct covers the union of the tools' flags; each driver
+// reads the fields it cares about (and rejects what it must have, e.g.
+// coorm_loadgen requires --connect).
 #pragma once
 
 #include <cstdint>
@@ -12,11 +16,12 @@
 #include <vector>
 
 #include "coorm/common/time.hpp"
+#include "coorm/net/socket.hpp"
 #include "coorm/rms/machine.hpp"
 
 namespace coorm::cli {
 
-/// Everything coorm_sim can be told on the command line.
+/// Everything the coorm tools can be told on the command line.
 struct Options {
   NodeCount nodes = 128;
   std::uint64_t seed = 1;
@@ -37,6 +42,15 @@ struct Options {
   Time until = hours(24);
   bool showTimeline = false;
   bool showTrace = false;
+  /// coorm_rmsd: address to bind ("addr:port", ":port" or bare port; port
+  /// 0 picks an ephemeral port). Unset unless --listen was given.
+  std::optional<net::Endpoint> listen;
+  /// coorm_loadgen: daemon address to dial. Unset unless --connect was
+  /// given.
+  std::optional<net::Endpoint> connect;
+  /// Re-scheduling interval (paper: 1 s); sub-second values make loopback
+  /// daemon demos and load generators snappy.
+  Time resched = sec(1);
 };
 
 enum class ParseStatus {

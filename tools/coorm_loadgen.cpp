@@ -1,0 +1,138 @@
+// coorm_loadgen: drives the scripted application behaviours of
+// exp/scenario (rigid jobs, malleable PSAs) against a live coorm_rmsd
+// daemon over TCP — the same actor classes the simulator runs, attached to
+// net::RmsClient links instead of in-process Sessions.
+//
+//   coorm_rmsd   --listen 127.0.0.1:7788 --nodes 128 --resched 0.1 &
+//   coorm_loadgen --connect 127.0.0.1:7788 --jobs 32 --psa 1 --until 30
+//
+// Rigid jobs submit one non-preemptible request each (sizes/durations
+// drawn from --seed) and disconnect when done; PSAs fill leftover capacity
+// preemptibly for the whole run. Reports wall-clock requests/s at exit.
+#include <chrono>
+#include <csignal>
+#include <iostream>
+#include <memory>
+#include <vector>
+
+#include "cli_options.hpp"
+#include "coorm/apps/psa.hpp"
+#include "coorm/apps/rigid.hpp"
+#include "coorm/common/rng.hpp"
+#include "coorm/net/client.hpp"
+#include "coorm/net/poll_executor.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void onSignal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace coorm;
+
+  const cli::ParseResult parsed = cli::parseArgs(argc, argv);
+  if (parsed.status == cli::ParseStatus::kHelp) {
+    cli::printUsage(std::cout);
+    return 0;
+  }
+  if (!parsed.ok()) {
+    std::cerr << "coorm_loadgen: " << parsed.error << "\n";
+    cli::printUsage(std::cerr);
+    return 2;
+  }
+  const cli::Options& options = parsed.options;
+  if (!options.connect) {
+    std::cerr << "coorm_loadgen: --connect ADDR:PORT is required\n";
+    return 2;
+  }
+  if (options.syntheticJobs <= 0 && options.psaTasks.empty()) {
+    std::cerr << "coorm_loadgen: nothing to drive (use --jobs and/or --psa)\n";
+    return 2;
+  }
+
+  net::PollExecutor executor;
+  Rng rng(options.seed);
+
+  struct Actor {
+    std::unique_ptr<net::RmsClient> client;
+    std::unique_ptr<Application> app;
+    RigidApp* rigid = nullptr;  ///< non-null for rigid jobs
+  };
+  std::vector<Actor> actors;
+
+  const auto addActor = [&](std::unique_ptr<Application> app,
+                            const std::string& name) -> Actor& {
+    Actor actor;
+    actor.client = std::make_unique<net::RmsClient>(
+        executor, net::RmsClient::Config{*options.connect, name});
+    actor.client->connect(*app);
+    app->attach(*actor.client);
+    actor.app = std::move(app);
+    actors.push_back(std::move(actor));
+    return actors.back();
+  };
+
+  try {
+    for (int j = 0; j < options.syntheticJobs; ++j) {
+      RigidApp::Config config;
+      config.nodes = rng.uniformInt(1, 8);
+      config.duration = secF(rng.uniformReal(1.0, 5.0));
+      const std::string name = "job" + std::to_string(j);
+      auto app = std::make_unique<RigidApp>(executor, name, config);
+      RigidApp* rigid = app.get();
+      addActor(std::move(app), name).rigid = rigid;
+    }
+    for (std::size_t p = 0; p < options.psaTasks.size(); ++p) {
+      PsaApp::Config config;
+      config.taskDuration = options.psaTasks[p];
+      config.rngSeed = options.seed + p;
+      const std::string name = "psa" + std::to_string(p);
+      addActor(std::make_unique<PsaApp>(executor, name, config), name);
+    }
+  } catch (const std::exception& error) {
+    std::cerr << "coorm_loadgen: " << error.what() << "\n";
+    return 1;
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  const auto start = std::chrono::steady_clock::now();
+  const auto deadline = start + std::chrono::milliseconds(options.until);
+  while (g_stop == 0 && std::chrono::steady_clock::now() < deadline) {
+    // Rigid jobs run to completion; PSAs never finish on their own, so a
+    // PSA-carrying run always lasts until the deadline (that is the point
+    // of a load generator).
+    bool allRigidDone = options.psaTasks.empty();
+    for (const Actor& actor : actors) {
+      if (actor.rigid != nullptr && !actor.rigid->finished() &&
+          !actor.app->wasKilled()) {
+        allRigidDone = false;
+        break;
+      }
+    }
+    if (allRigidDone) break;
+    executor.runOne(msec(50));
+  }
+
+  std::uint64_t requests = 0;
+  int finished = 0;
+  int killed = 0;
+  for (Actor& actor : actors) {
+    requests += actor.client->requestsSent();
+    finished += actor.rigid != nullptr && actor.rigid->finished() ? 1 : 0;
+    killed += actor.app->wasKilled() ? 1 : 0;
+    actor.client->disconnect();
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::cout << "coorm_loadgen: " << actors.size() << " apps, " << finished
+            << " rigid jobs finished, " << killed << " killed, " << requests
+            << " requests in " << seconds << " s ("
+            << (seconds > 0 ? static_cast<double>(requests) / seconds : 0.0)
+            << " requests/s)" << std::endl;
+  return 0;
+}
