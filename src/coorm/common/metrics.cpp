@@ -1,0 +1,84 @@
+#include "coorm/common/metrics.hpp"
+
+namespace coorm::metrics {
+
+namespace detail {
+std::array<std::atomic<std::uint64_t>, kEventCount> events{};
+std::array<std::atomic<std::int64_t>, kGaugeCount> gauges{};
+}  // namespace detail
+
+std::string_view name(Event event) noexcept {
+  switch (event) {
+    case Event::kSchedulePasses:
+      return "schedule_passes";
+    case Event::kSchedulePassesOverlapped:
+      return "schedule_passes_overlapped";
+    case Event::kSnapshotRebuilds:
+      return "snapshot_rebuilds";
+    case Event::kSnapshotRefreshes:
+      return "snapshot_refreshes";
+    case Event::kSnapshotSkips:
+      return "snapshot_skips";
+    case Event::kWriteBackAppsClean:
+      return "write_back_apps_clean";
+    case Event::kWriteBackAppsDirty:
+      return "write_back_apps_dirty";
+    case Event::kArenaHits:
+      return "arena_hits";
+    case Event::kArenaSlowPath:
+      return "arena_slow_path";
+    case Event::kSweepSegmentsMerged:
+      return "sweep_segments_merged";
+    case Event::kWireBytesIn:
+      return "wire_bytes_in";
+    case Event::kWireBytesOut:
+      return "wire_bytes_out";
+    case Event::kFramesEncoded:
+      return "frames_encoded";
+    case Event::kFramesDecoded:
+      return "frames_decoded";
+    case Event::kBackpressureStalls:
+      return "backpressure_stalls";
+    case Event::kDeadPeerDrops:
+      return "dead_peer_drops";
+    case Event::kCount_:
+      break;
+  }
+  return "unknown_event";
+}
+
+std::string_view name(Gauge gauge) noexcept {
+  switch (gauge) {
+    case Gauge::kLiveSessions:
+      return "live_sessions";
+    case Gauge::kPassInFlight:
+      return "pass_in_flight";
+    case Gauge::kArenaBytesHeld:
+      return "arena_bytes_held";
+    case Gauge::kCount_:
+      break;
+  }
+  return "unknown_gauge";
+}
+
+Snapshot snapshot() noexcept {
+  Snapshot copy;
+  for (std::size_t i = 0; i < kEventCount; ++i) {
+    copy.events[i] = detail::events[i].load(std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < kGaugeCount; ++i) {
+    copy.gauges[i] = detail::gauges[i].load(std::memory_order_relaxed);
+  }
+  return copy;
+}
+
+void reset() noexcept {
+  for (auto& counter : detail::events) {
+    counter.store(0, std::memory_order_relaxed);
+  }
+  for (auto& gauge : detail::gauges) {
+    gauge.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace coorm::metrics

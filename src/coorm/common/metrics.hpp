@@ -1,0 +1,121 @@
+// Always-on, lock-free event counters and gauges (ClickHouse
+// ProfileEvents/CurrentMetrics style).
+//
+// Every counter is a process-global relaxed atomic: incrementing one is a
+// single uncontended fetch_add with no branches and no locks, cheap enough
+// to leave on in release builds and on every hot path. The catalogue is a
+// compile-time enum — adding a counter is one enum entry plus one name —
+// and a point-in-time copy of everything is one `snapshot()` call.
+//
+// Export paths:
+//  - `Server::metricsSnapshot()` — in-process query;
+//  - the STATS admin wire message (net/wire.hpp), served by net::Daemon
+//    and queried by `RmsClient::stats()` or `coorm_rmsd --stats`;
+//  - `tools/bench_report.py --metrics` — counter snapshots folded into
+//    the committed benchmark trajectory (COORM_METRICS_OUT=FILE on the
+//    bench binary).
+//
+// Counters are monotonic event totals; gauges are signed current values
+// (incremented on entry, decremented on exit). Readers see each counter
+// individually atomically — a snapshot is not a consistent cut across
+// counters, which is fine for monitoring.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace coorm::metrics {
+
+/// Monotonic event counters. Every entry has a snake_case wire/report name
+/// in `name()`; the enum value doubles as the id in the STATS payload.
+enum class Event : std::uint16_t {
+  kSchedulePasses,            ///< scheduling passes run to completion
+  kSchedulePassesOverlapped,  ///< passes with messages arriving in flight
+  kSnapshotRebuilds,          ///< app snapshot captures rebuilt from scratch
+  kSnapshotRefreshes,         ///< captures satisfied by verify-and-refresh
+  kSnapshotSkips,             ///< captures skipped outright (epoch clean)
+  kWriteBackAppsClean,        ///< write-backs skipped: results unchanged
+  kWriteBackAppsDirty,        ///< write-backs that had to walk live requests
+  kArenaHits,                 ///< segment blocks served from a free list
+  kArenaSlowPath,             ///< segment blocks that hit the heap
+  kSweepSegmentsMerged,       ///< segments produced by profile merge sweeps
+  kWireBytesIn,               ///< payload+header bytes of decoded frames
+  kWireBytesOut,              ///< payload+header bytes of encoded frames
+  kFramesEncoded,             ///< wire frames encoded
+  kFramesDecoded,             ///< complete wire frames delivered
+  kBackpressureStalls,        ///< sends deferred to POLLOUT (kernel buffer full)
+  kDeadPeerDrops,             ///< connections dropped on error/violation
+  kCount_,                    ///< not a counter — number of events
+};
+
+/// Signed current-value gauges.
+enum class Gauge : std::uint16_t {
+  kLiveSessions,    ///< connected application sessions
+  kPassInFlight,    ///< scheduling passes currently executing (0 or 1)
+  kArenaBytesHeld,  ///< bytes parked in segment-arena free lists
+  kCount_,          ///< not a gauge — number of gauges
+};
+
+inline constexpr std::size_t kEventCount =
+    static_cast<std::size_t>(Event::kCount_);
+inline constexpr std::size_t kGaugeCount =
+    static_cast<std::size_t>(Gauge::kCount_);
+
+namespace detail {
+extern std::array<std::atomic<std::uint64_t>, kEventCount> events;
+extern std::array<std::atomic<std::int64_t>, kGaugeCount> gauges;
+}  // namespace detail
+
+/// Records `by` occurrences of `event`. Wait-free, safe from any thread.
+inline void increment(Event event, std::uint64_t by = 1) noexcept {
+  detail::events[static_cast<std::size_t>(event)].fetch_add(
+      by, std::memory_order_relaxed);
+}
+
+/// Moves `gauge` by `delta` (negative to decrement).
+inline void add(Gauge gauge, std::int64_t delta) noexcept {
+  detail::gauges[static_cast<std::size_t>(gauge)].fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline std::uint64_t value(Event event) noexcept {
+  return detail::events[static_cast<std::size_t>(event)].load(
+      std::memory_order_relaxed);
+}
+
+[[nodiscard]] inline std::int64_t value(Gauge gauge) noexcept {
+  return detail::gauges[static_cast<std::size_t>(gauge)].load(
+      std::memory_order_relaxed);
+}
+
+/// snake_case catalogue name ("schedule_passes", "arena_slow_path", ...).
+[[nodiscard]] std::string_view name(Event event) noexcept;
+[[nodiscard]] std::string_view name(Gauge gauge) noexcept;
+
+/// A point-in-time copy of every counter. Plain data: compare, subtract
+/// and ship over the wire freely.
+struct Snapshot {
+  std::array<std::uint64_t, kEventCount> events{};
+  std::array<std::int64_t, kGaugeCount> gauges{};
+
+  [[nodiscard]] std::uint64_t operator[](Event event) const noexcept {
+    return events[static_cast<std::size_t>(event)];
+  }
+  [[nodiscard]] std::int64_t operator[](Gauge gauge) const noexcept {
+    return gauges[static_cast<std::size_t>(gauge)];
+  }
+
+  friend bool operator==(const Snapshot&, const Snapshot&) = default;
+};
+
+/// Copies every counter (each read individually atomic).
+[[nodiscard]] Snapshot snapshot() noexcept;
+
+/// Resets every counter and gauge to zero. For tests that assert exact
+/// values — never call while another thread may be counting.
+void reset() noexcept;
+
+}  // namespace coorm::metrics

@@ -51,6 +51,16 @@ void RmsClient::connect(AppEndpoint& endpoint) {
                   [this](short events) { onIo(events); });
 }
 
+void RmsClient::dial() {
+  COORM_CHECK(!fd_.valid());
+  std::string error;
+  fd_ = connectTo(config_.server, error);
+  if (!fd_.valid()) {
+    throw std::runtime_error("RmsClient: cannot connect to " +
+                             net::toString(config_.server) + ": " + error);
+  }
+}
+
 RequestId RmsClient::request(const RequestSpec& spec) {
   if (!fd_.valid() || dead_) return RequestId{};
   RequestMsg msg;
@@ -70,6 +80,20 @@ RequestId RmsClient::request(const RequestSpec& spec) {
   awaitingCookie_ = 0;
   if (ackReceived_) ++requestsSent_;
   return ackId_;
+}
+
+std::optional<metrics::Snapshot> RmsClient::stats() {
+  if (!fd_.valid() || dead_) return std::nullopt;
+  encode(scratch_, StatsMsg{});
+  sendFrame();
+  if (dead_) return std::nullopt;
+
+  awaitingStats_ = true;
+  statsReceived_ = false;
+  pumpUntil([&] { return statsReceived_; });
+  awaitingStats_ = false;
+  if (!statsReceived_) return std::nullopt;
+  return statsReply_;
 }
 
 void RmsClient::done(RequestId id, std::vector<NodeId> released) {
@@ -170,6 +194,16 @@ void RmsClient::handleFrame(const FrameView& frame) {
       if (!decode(frame.payload, msg)) break;
       pending_.push_back(msg);
       armDrain();
+      return;
+    }
+    case MsgType::kStatsReply: {
+      StatsReplyMsg msg;
+      if (!decode(frame.payload, msg)) break;
+      if (awaitingStats_) {
+        statsReceived_ = true;
+        statsReply_ = msg.stats;
+      }
+      // Unsolicited replies (e.g. after a timed-out stats()) are dropped.
       return;
     }
     case MsgType::kKilled: {

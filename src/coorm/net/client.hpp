@@ -21,9 +21,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <string>
 #include <variant>
 #include <vector>
+
+#include "coorm/common/metrics.hpp"
 
 #include "coorm/net/poll_executor.hpp"
 #include "coorm/net/socket.hpp"
@@ -54,6 +57,12 @@ class RmsClient final : public AppLink {
   /// if the daemon cannot be reached or the handshake fails.
   void connect(AppEndpoint& endpoint);
 
+  /// Dials the daemon without performing the HELLO handshake: no session
+  /// is created, no downstream events flow, but admin round trips
+  /// (stats()) work. Throws std::runtime_error if the daemon cannot be
+  /// reached. End with disconnect() as usual.
+  void dial();
+
   /// True between a successful connect() and disconnect()/death.
   [[nodiscard]] bool connected() const { return fd_.valid(); }
   /// True once the server killed the session or the connection died.
@@ -61,6 +70,11 @@ class RmsClient final : public AppLink {
 
   /// request() round trips completed so far (load-generator reporting).
   [[nodiscard]] std::uint64_t requestsSent() const { return requestsSent_; }
+
+  /// Admin round trip: STATS → STATS_REPLY. Returns the daemon's metrics
+  /// snapshot, or nullopt if the connection is dead or the wait timed out.
+  /// Works on any connected client; no requests need to be in flight.
+  [[nodiscard]] std::optional<metrics::Snapshot> stats();
 
   // --- AppLink -------------------------------------------------------------
   [[nodiscard]] AppId app() const override { return app_; }
@@ -115,6 +129,10 @@ class RmsClient final : public AppLink {
   std::uint64_t awaitingCookie_ = 0;
   bool ackReceived_ = false;
   RequestId ackId_{};
+  // Blocking-stats state, mirroring the request()/REQ_ACK pattern.
+  bool awaitingStats_ = false;
+  bool statsReceived_ = false;
+  metrics::Snapshot statsReply_{};
 };
 
 }  // namespace coorm::net

@@ -10,6 +10,7 @@
 
 #include "coorm/common/check.hpp"
 #include "coorm/common/log.hpp"
+#include "coorm/common/metrics.hpp"
 
 namespace coorm::net {
 
@@ -116,19 +117,22 @@ void Daemon::onAcceptable() {
 
 void Daemon::onConnectionIo(Connection& conn, short events) {
   if (conn.dead) return;
-  if ((events & PollExecutor::kError) != 0) {
-    teardown(conn);
-    return;
+  // POLLHUP rides along with the final readable burst of a closing peer,
+  // so an error/hangup must not short-circuit the read path below — it
+  // only forces the drop decision at the end.
+  const bool errored = (events & PollExecutor::kError) != 0;
+  if (!errored) {
+    if ((events & PollExecutor::kWritable) != 0) {
+      flush(conn);
+      if (conn.dead) return;
+    }
+    if ((events & PollExecutor::kReadable) == 0) return;
   }
-  if ((events & PollExecutor::kWritable) != 0) {
-    flush(conn);
-    if (conn.dead) return;
-  }
-  if ((events & PollExecutor::kReadable) == 0) return;
 
   // Frames that arrived in the same burst as an EOF/reset still count:
   // parse everything buffered first, then map the dead peer to a
-  // disconnect (a final DONE right before close must not be dropped).
+  // disconnect (a final DONE right before close must not be dropped, and
+  // a GOODBYE right before close is a clean departure, not a dead peer).
   const DrainStatus status = drainReadable(conn.fd.get(), conn.inbound);
 
   FrameView frame;
@@ -145,11 +149,16 @@ void Daemon::onConnectionIo(Connection& conn, short events) {
       case FrameBuffer::Next::kBad:
         COORM_LOG(LogLevel::kWarn, "net")
             << "protocol error from " << conn.peerName << "; dropping peer";
+        metrics::increment(metrics::Event::kDeadPeerDrops);
         teardown(conn);
         return;
     }
   }
-  if (status != DrainStatus::kOk) teardown(conn);  // peer is gone
+  if ((errored || status != DrainStatus::kOk) && !conn.dead) {
+    // EOF/reset without a GOODBYE first: the peer vanished on us.
+    metrics::increment(metrics::Event::kDeadPeerDrops);
+    teardown(conn);
+  }
 }
 
 void Daemon::handleFrame(Connection& conn, const FrameView& frame) {
@@ -188,8 +197,18 @@ void Daemon::handleFrame(Connection& conn, const FrameView& frame) {
       return;
     }
     case MsgType::kGoodbye: {
-      if (!frame.payload.empty() || conn.session == nullptr) break;
+      // Legal with or without a session: admin peers (stats queries) say
+      // goodbye too. teardown() handles the session-less case.
+      if (!frame.payload.empty()) break;
       teardown(conn);  // disconnects the session, like a dead peer
+      return;
+    }
+    case MsgType::kStats: {
+      // Admin query: allowed with or without an established session, so
+      // operators can poll a daemon without joining as an application.
+      if (!frame.payload.empty()) break;
+      encode(scratch_, StatsReplyMsg{server_.metricsSnapshot()});
+      send(conn, MsgType::kStatsReply);
       return;
     }
     default:
@@ -198,6 +217,7 @@ void Daemon::handleFrame(Connection& conn, const FrameView& frame) {
   COORM_LOG(LogLevel::kWarn, "net")
       << "bad " << net::toString(frame.type) << " frame from "
       << conn.peerName << "; dropping peer";
+  metrics::increment(metrics::Event::kDeadPeerDrops);
   teardown(conn);
 }
 
@@ -227,6 +247,7 @@ void Daemon::flush(Connection& conn) {
     }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    metrics::increment(metrics::Event::kDeadPeerDrops);
     teardown(conn);  // broken pipe etc.
     return;
   }
@@ -248,11 +269,13 @@ void Daemon::flush(Connection& conn) {
     COORM_LOG(LogLevel::kWarn, "net")
         << conn.peerName << ": outbound buffer over "
         << config_.maxOutboundBytes << " bytes; dropping peer";
+    metrics::increment(metrics::Event::kDeadPeerDrops);
     teardown(conn);
     return;
   }
   if (!conn.writable) {
     conn.writable = true;
+    metrics::increment(metrics::Event::kBackpressureStalls);
     executor_.updateEvents(conn.fd.get(),
                            PollExecutor::kReadable | PollExecutor::kWritable);
   }

@@ -9,9 +9,9 @@ namespace coorm::net {
 
 bool knownMsgType(std::uint8_t raw) {
   return (raw >= static_cast<std::uint8_t>(MsgType::kHello) &&
-          raw <= static_cast<std::uint8_t>(MsgType::kGoodbye)) ||
+          raw <= static_cast<std::uint8_t>(MsgType::kStats)) ||
          (raw >= static_cast<std::uint8_t>(MsgType::kWelcome) &&
-          raw <= static_cast<std::uint8_t>(MsgType::kKilled));
+          raw <= static_cast<std::uint8_t>(MsgType::kStatsReply));
 }
 
 const char* toString(MsgType type) {
@@ -27,6 +27,8 @@ const char* toString(MsgType type) {
     case MsgType::kExpired: return "EXPIRED";
     case MsgType::kEnded: return "ENDED";
     case MsgType::kKilled: return "KILLED";
+    case MsgType::kStats: return "STATS";
+    case MsgType::kStatsReply: return "STATS_REPLY";
   }
   return "?";
 }
@@ -251,6 +253,8 @@ void endFrame(Writer& w, std::size_t lengthOffset) {
   const std::size_t payload = w.size() - lengthOffset - 4;
   COORM_CHECK(payload <= kMaxPayload);
   w.patchU32(lengthOffset, static_cast<std::uint32_t>(payload));
+  metrics::increment(metrics::Event::kFramesEncoded);
+  metrics::increment(metrics::Event::kWireBytesOut, payload + kHeaderSize);
 }
 
 }  // namespace
@@ -350,6 +354,27 @@ void encode(std::vector<std::uint8_t>& out, const KilledMsg&) {
   endFrame(w, beginFrame(w, MsgType::kKilled));
 }
 
+void encode(std::vector<std::uint8_t>& out, const StatsMsg&) {
+  Writer w(out);
+  endFrame(w, beginFrame(w, MsgType::kStats));
+}
+
+void encode(std::vector<std::uint8_t>& out, const StatsReplyMsg& msg) {
+  Writer w(out);
+  const std::size_t at = beginFrame(w, MsgType::kStatsReply);
+  w.u32(static_cast<std::uint32_t>(metrics::kEventCount));
+  for (std::size_t i = 0; i < metrics::kEventCount; ++i) {
+    w.u16(static_cast<std::uint16_t>(i));
+    w.u64(msg.stats.events[i]);
+  }
+  w.u32(static_cast<std::uint32_t>(metrics::kGaugeCount));
+  for (std::size_t i = 0; i < metrics::kGaugeCount; ++i) {
+    w.u16(static_cast<std::uint16_t>(i));
+    w.i64(msg.stats.gauges[i]);
+  }
+  endFrame(w, at);
+}
+
 // ---------------------------------------------------------------------------
 // Frame decoding
 // ---------------------------------------------------------------------------
@@ -431,6 +456,38 @@ bool decode(std::span<const std::uint8_t> payload, KilledMsg&) {
   return payload.empty();
 }
 
+bool decode(std::span<const std::uint8_t> payload, StatsMsg&) {
+  return payload.empty();
+}
+
+bool decode(std::span<const std::uint8_t> payload, StatsReplyMsg& out) {
+  Reader r(payload);
+  out.stats = metrics::Snapshot{};
+  constexpr std::size_t kPairWireSize = 2 + 8;  // id u16 + value u64/i64
+  const std::uint32_t eventCount = r.u32();
+  if (!r.ok() || eventCount > r.remaining() / kPairWireSize) {
+    r.fail();
+    return false;
+  }
+  for (std::uint32_t i = 0; i < eventCount; ++i) {
+    const std::uint16_t id = r.u16();
+    const std::uint64_t value = r.u64();
+    // Unknown ids are counters this build does not have: skip them.
+    if (id < metrics::kEventCount) out.stats.events[id] = value;
+  }
+  const std::uint32_t gaugeCount = r.u32();
+  if (!r.ok() || gaugeCount > r.remaining() / kPairWireSize) {
+    r.fail();
+    return false;
+  }
+  for (std::uint32_t i = 0; i < gaugeCount; ++i) {
+    const std::uint16_t id = r.u16();
+    const std::int64_t value = r.i64();
+    if (id < metrics::kGaugeCount) out.stats.gauges[id] = value;
+  }
+  return r.done();
+}
+
 // ---------------------------------------------------------------------------
 // FrameBuffer
 // ---------------------------------------------------------------------------
@@ -462,6 +519,8 @@ FrameBuffer::Next FrameBuffer::next(FrameView& out) {
   out.payload =
       std::span<const std::uint8_t>(buf_.data() + pos_ + kHeaderSize, length);
   pos_ += kHeaderSize + length;
+  metrics::increment(metrics::Event::kFramesDecoded);
+  metrics::increment(metrics::Event::kWireBytesIn, kHeaderSize + length);
   return Next::kFrame;
 }
 

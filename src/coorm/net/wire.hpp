@@ -20,9 +20,16 @@
 //   REQUEST  cookie spec               REQ_ACK  cookie requestId
 //   DONE     requestId released[]      VIEWS    nonPreemptive preemptive
 //   GOODBYE                            STARTED  requestId nodeIds[]
-//                                      EXPIRED  requestId
+//   STATS                              EXPIRED  requestId
 //                                      ENDED    requestId
 //                                      KILLED
+//                                      STATS_REPLY  events[] gauges[]
+//
+// STATS is an admin query, answered with a STATS_REPLY holding the
+// daemon's metrics snapshot (common/metrics.hpp) as (id, value) pairs —
+// explicit ids rather than positional arrays, so decoders skip counters
+// they do not know and replies stay forward-compatible as counters are
+// added. STATS needs no session: monitoring connects, queries, leaves.
 //
 // Integers are big-endian two's complement. Views serialize as sorted
 // (clusterId, canonical step-function segments) lists; decoding validates
@@ -46,6 +53,7 @@
 #include <vector>
 
 #include "coorm/common/ids.hpp"
+#include "coorm/common/metrics.hpp"
 #include "coorm/profile/view.hpp"
 #include "coorm/rms/request.hpp"
 
@@ -64,6 +72,7 @@ enum class MsgType : std::uint8_t {
   kRequest = 0x02,
   kDone = 0x03,
   kGoodbye = 0x04,
+  kStats = 0x05,
   // downstream (RMS -> application)
   kWelcome = 0x41,
   kRequestAck = 0x42,
@@ -72,6 +81,7 @@ enum class MsgType : std::uint8_t {
   kExpired = 0x45,
   kEnded = 0x46,
   kKilled = 0x47,
+  kStatsReply = 0x48,
 };
 
 [[nodiscard]] bool knownMsgType(std::uint8_t raw);
@@ -142,6 +152,20 @@ struct EndedMsg {
 
 struct KilledMsg {
   friend bool operator==(const KilledMsg&, const KilledMsg&) = default;
+};
+
+/// Admin query for the daemon's metrics snapshot; empty payload, allowed
+/// with or without a session.
+struct StatsMsg {
+  friend bool operator==(const StatsMsg&, const StatsMsg&) = default;
+};
+
+/// The daemon's metrics snapshot. Encoded as explicit (id, value) pairs;
+/// decoding ignores unknown ids, so old clients read new daemons (and vice
+/// versa) without a version bump.
+struct StatsReplyMsg {
+  metrics::Snapshot stats;
+  friend bool operator==(const StatsReplyMsg&, const StatsReplyMsg&) = default;
 };
 
 // --- primitive big-endian serialization -------------------------------------
@@ -225,6 +249,8 @@ void encode(std::vector<std::uint8_t>& out, const StartedMsg& msg);
 void encode(std::vector<std::uint8_t>& out, const ExpiredMsg& msg);
 void encode(std::vector<std::uint8_t>& out, const EndedMsg& msg);
 void encode(std::vector<std::uint8_t>& out, const KilledMsg& msg);
+void encode(std::vector<std::uint8_t>& out, const StatsMsg& msg);
+void encode(std::vector<std::uint8_t>& out, const StatsReplyMsg& msg);
 
 // --- frame decoding ---------------------------------------------------------
 
@@ -249,6 +275,10 @@ void encode(std::vector<std::uint8_t>& out, const KilledMsg& msg);
 [[nodiscard]] bool decode(std::span<const std::uint8_t> payload, EndedMsg& out);
 [[nodiscard]] bool decode(std::span<const std::uint8_t> payload,
                           KilledMsg& out);
+[[nodiscard]] bool decode(std::span<const std::uint8_t> payload,
+                          StatsMsg& out);
+[[nodiscard]] bool decode(std::span<const std::uint8_t> payload,
+                          StatsReplyMsg& out);
 
 // --- stream framing ---------------------------------------------------------
 

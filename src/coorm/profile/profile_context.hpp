@@ -1,0 +1,30 @@
+// The allocation/execution context threaded through profile arithmetic.
+//
+// The N-ary sweep entry points (View::accumulate, Scheduler::eqSchedule,
+// the scheduler's pass internals) used to take a bare WorkerPool* and
+// reach into thread-local scratch for everything else. ProfileContext
+// makes both dependencies explicit and gives the family one signature:
+//
+//   view.accumulate(operands, View::Op::kSum, false, ctx);
+//
+// Both members are optional. A null pool runs inline (serial, index
+// order); a null arena leaves the calling thread's default SegmentArena
+// in place. A non-null arena is installed (ArenaScope) on the calling
+// thread for the duration of the call, so a long-lived owner — the
+// Scheduler across passes — recycles its own segment blocks instead of
+// whichever thread-default it happens to run on. Worker threads always
+// use their own thread-local arenas; the arena member never crosses
+// threads.
+#pragma once
+
+namespace coorm {
+
+class SegmentArena;
+class WorkerPool;
+
+struct ProfileContext {
+  SegmentArena* arena = nullptr;
+  WorkerPool* pool = nullptr;
+};
+
+}  // namespace coorm

@@ -1,0 +1,200 @@
+#include "coorm/profile/segment_arena.hpp"
+
+#include <algorithm>
+#include <new>
+
+#include "coorm/common/check.hpp"
+#include "coorm/common/metrics.hpp"
+
+namespace coorm {
+
+namespace {
+
+constexpr std::size_t kSegmentBytes = sizeof(Segment);
+
+/// Size-class capacity of bucket b: kMinBlockSegments << b.
+constexpr std::size_t bucketCapacity(std::size_t bucket) {
+  return SegmentArena::kMinBlockSegments << bucket;
+}
+
+/// Smallest bucket whose capacity covers `capacity`, or kBucketCount for
+/// oversize requests.
+std::size_t bucketFor(std::size_t capacity) {
+  std::size_t bucket = 0;
+  std::size_t granted = SegmentArena::kMinBlockSegments;
+  while (granted < capacity && granted < SegmentArena::kMaxBlockSegments) {
+    granted <<= 1;
+    ++bucket;
+  }
+  return granted >= capacity ? bucket : SegmentArena::kBucketCount;
+}
+
+Segment* heapBlock(std::size_t capacity) {
+  metrics::increment(metrics::Event::kArenaSlowPath);
+  return static_cast<Segment*>(::operator new(capacity * kSegmentBytes));
+}
+
+// The ArenaScope override shadows the thread default; the dead flag stops
+// current() from resurrecting an arena while thread-locals are being torn
+// down (static thread_local destruction order is unspecified relative to
+// other TLS users).
+thread_local SegmentArena* tlsOverride = nullptr;
+thread_local bool tlsDefaultDead = false;
+
+SegmentArena*& threadDefaultSlot() {
+  thread_local SegmentArena* slot = nullptr;
+  return slot;
+}
+
+}  // namespace
+
+void SegmentArena::purge() noexcept {
+  std::int64_t bytesHeld = 0;
+  for (std::size_t bucket = 0; bucket < kBucketCount; ++bucket) {
+    const std::size_t blockBytes = bucketCapacity(bucket) * kSegmentBytes;
+    FreeBlock* head = free_[bucket];
+    while (head != nullptr) {
+      FreeBlock* next = head->next;
+      ::operator delete(head);
+      bytesHeld += static_cast<std::int64_t>(blockBytes);
+      head = next;
+    }
+    free_[bucket] = nullptr;
+    count_[bucket] = 0;
+  }
+  if (bytesHeld > 0) metrics::add(metrics::Gauge::kArenaBytesHeld, -bytesHeld);
+}
+
+SegmentArena::~SegmentArena() {
+  purge();
+  if (threadDefaultSlot() == this) {
+    threadDefaultSlot() = nullptr;
+    tlsDefaultDead = true;
+  }
+  if (tlsOverride == this) tlsOverride = nullptr;
+}
+
+SegmentArena::SegmentArena(SegmentArena&& other) noexcept {
+  for (std::size_t bucket = 0; bucket < kBucketCount; ++bucket) {
+    free_[bucket] = other.free_[bucket];
+    count_[bucket] = other.count_[bucket];
+    other.free_[bucket] = nullptr;
+    other.count_[bucket] = 0;
+  }
+}
+
+SegmentArena& SegmentArena::operator=(SegmentArena&& other) noexcept {
+  if (this != &other) {
+    purge();
+    for (std::size_t bucket = 0; bucket < kBucketCount; ++bucket) {
+      free_[bucket] = other.free_[bucket];
+      count_[bucket] = other.count_[bucket];
+      other.free_[bucket] = nullptr;
+      other.count_[bucket] = 0;
+    }
+  }
+  return *this;
+}
+
+Segment* SegmentArena::allocate(std::size_t& capacity) {
+  const std::size_t bucket = bucketFor(capacity);
+  if (bucket >= kBucketCount) return heapBlock(capacity);  // oversize
+  capacity = bucketCapacity(bucket);
+  FreeBlock* head = free_[bucket];
+  if (head == nullptr) return heapBlock(capacity);
+  free_[bucket] = head->next;
+  --count_[bucket];
+  metrics::increment(metrics::Event::kArenaHits);
+  metrics::add(metrics::Gauge::kArenaBytesHeld,
+               -static_cast<std::int64_t>(capacity * kSegmentBytes));
+  return reinterpret_cast<Segment*>(head);
+}
+
+void SegmentArena::release(Segment* block, std::size_t capacity) noexcept {
+  const std::size_t bucket = bucketFor(capacity);
+  // Per-class parking cap: a block count for the small classes, a byte
+  // budget for the big ones (64 one-MiB blocks of idle memory would not
+  // be a pool, it would be a leak).
+  const std::size_t maxFree =
+      std::min(kMaxFreePerBucket,
+               std::max<std::size_t>(
+                   1, kMaxFreeBytesPerBucket /
+                          (bucketCapacity(bucket < kBucketCount ? bucket : 0) *
+                           kSegmentBytes)));
+  // Granted capacities are exact size classes; anything else is oversize.
+  if (bucket >= kBucketCount || bucketCapacity(bucket) != capacity ||
+      count_[bucket] >= maxFree) {
+    ::operator delete(block);
+    return;
+  }
+  auto* freed = reinterpret_cast<FreeBlock*>(block);
+  freed->next = free_[bucket];
+  free_[bucket] = freed;
+  ++count_[bucket];
+  metrics::add(metrics::Gauge::kArenaBytesHeld,
+               static_cast<std::int64_t>(capacity * kSegmentBytes));
+}
+
+std::size_t SegmentArena::freeBlocks() const noexcept {
+  std::size_t total = 0;
+  for (const std::uint32_t count : count_) total += count;
+  return total;
+}
+
+SegmentArena* SegmentArena::current() noexcept {
+  if (tlsOverride != nullptr) return tlsOverride;
+  SegmentArena*& slot = threadDefaultSlot();
+  if (slot == nullptr && !tlsDefaultDead) {
+    static thread_local SegmentArena threadDefault;
+    slot = &threadDefault;
+  }
+  return slot;
+}
+
+Segment* SegmentArena::allocateBlock(std::size_t& capacity) {
+  SegmentArena* arena = current();
+  if (arena == nullptr) return heapBlock(capacity);
+  return arena->allocate(capacity);
+}
+
+void SegmentArena::releaseBlock(Segment* block,
+                                std::size_t capacity) noexcept {
+  SegmentArena* arena = current();
+  if (arena == nullptr) {
+    ::operator delete(block);
+    return;
+  }
+  arena->release(block, capacity);
+}
+
+ArenaScope::ArenaScope(SegmentArena* arena) noexcept
+    : previous_(tlsOverride), installed_(arena != nullptr) {
+  if (installed_) tlsOverride = arena;
+}
+
+ArenaScope::~ArenaScope() {
+  if (installed_) tlsOverride = previous_;
+}
+
+void SegmentStore::grow(std::size_t minCapacity) {
+  std::size_t newCapacity =
+      std::max<std::size_t>(minCapacity, 2 * std::size_t{capacity_});
+  Segment* block = SegmentArena::allocateBlock(newCapacity);
+  std::memcpy(block, data_, size_ * sizeof(Segment));
+  releaseStorage();
+  data_ = block;
+  COORM_DCHECK(newCapacity <= UINT32_MAX);
+  capacity_ = static_cast<std::uint32_t>(newCapacity);
+}
+
+void SegmentStore::growDiscard(std::size_t minCapacity) {
+  std::size_t newCapacity =
+      std::max<std::size_t>(minCapacity, 2 * std::size_t{capacity_});
+  Segment* block = SegmentArena::allocateBlock(newCapacity);
+  releaseStorage();
+  data_ = block;
+  COORM_DCHECK(newCapacity <= UINT32_MAX);
+  capacity_ = static_cast<std::uint32_t>(newCapacity);
+}
+
+}  // namespace coorm

@@ -4,26 +4,27 @@
 #include <sstream>
 
 #include "coorm/common/check.hpp"
+#include "coorm/common/metrics.hpp"
 #include "coorm/profile/profile_sweep.hpp"
 
 namespace coorm {
 
 StepFunction::StepFunction() : segments_{{0, 0}} {}
 
-StepFunction::StepFunction(std::vector<Segment> segments)
+StepFunction::StepFunction(SegmentStore segments)
     : segments_(std::move(segments)) {
   canonicalize();
 }
 
 StepFunction StepFunction::constant(NodeCount value) {
-  return StepFunction({{0, value}});
+  return StepFunction(SegmentStore{{0, value}});
 }
 
 StepFunction StepFunction::pulse(Time start, Time duration, NodeCount value) {
   COORM_CHECK(start >= 0);
   COORM_CHECK(duration >= 0);
   if (duration == 0 || value == 0) return StepFunction();
-  std::vector<Segment> segs;
+  SegmentStore segs;
   if (start > 0) segs.push_back({0, 0});
   segs.push_back({start, value});
   const Time end = satAdd(start, duration);
@@ -32,10 +33,10 @@ StepFunction StepFunction::pulse(Time start, Time duration, NodeCount value) {
 }
 
 StepFunction StepFunction::fromSegments(std::vector<Segment> segments) {
-  return StepFunction(std::move(segments));
+  return StepFunction(SegmentStore(std::span<const Segment>(segments)));
 }
 
-StepFunction StepFunction::fromCanonical(std::vector<Segment> segments) {
+StepFunction StepFunction::fromCanonical(SegmentStore segments) {
   COORM_DCHECK(!segments.empty());
   COORM_DCHECK(segments.front().start == 0);
 #ifndef NDEBUG
@@ -47,6 +48,11 @@ StepFunction StepFunction::fromCanonical(std::vector<Segment> segments) {
   StepFunction fn;
   fn.segments_ = std::move(segments);
   return fn;
+}
+
+StepFunction StepFunction::fromCanonical(
+    const std::vector<Segment>& segments) {
+  return fromCanonical(SegmentStore(std::span<const Segment>(segments)));
 }
 
 StepFunction StepFunction::combine(
@@ -92,8 +98,11 @@ StepFunction StepFunction::combine(
     return 0;  // unreachable
   };
 
-  std::vector<Segment> out;
-  out.reserve(totalSegments);
+  // Clamp the pre-reservation to the arena's largest pooled class (see
+  // the same pattern in view.cpp): the sum over operands is usually a
+  // large overestimate, and an oversize block bypasses the pool.
+  SegmentStore out;
+  out.reserve(std::min(totalSegments, SegmentArena::kMaxBlockSegments));
   out.push_back({0, aggregate()});
   while (sweep.advance()) {
     if (op == CombineOp::kSum) {
@@ -106,6 +115,7 @@ StepFunction StepFunction::combine(
     const NodeCount value = aggregate();
     if (value != out.back().value) out.push_back({sweep.time(), value});
   }
+  metrics::increment(metrics::Event::kSweepSegmentsMerged, out.size());
   return fromCanonical(std::move(out));
 }
 
@@ -205,7 +215,7 @@ Time StepFunction::firstFit(Time earliest, Time duration,
 
 template <typename Op>
 void StepFunction::combineWith(const StepFunction& other, Op op) {
-  std::vector<Segment> result;
+  SegmentStore result;
   result.reserve(segments_.size() + other.segments_.size());
   std::size_t i = 0;
   std::size_t j = 0;
@@ -252,8 +262,7 @@ StepFunction& StepFunction::addPulse(Time start, Time duration,
   // interior keeps its pairwise-distinct values when shifted uniformly).
   std::size_t first = segmentIndexAt(start);
   if (segments_[first].start != start) {
-    segments_.insert(segments_.begin() + static_cast<std::ptrdiff_t>(first) + 1,
-                     {start, segments_[first].value});
+    segments_.insert(first + 1, {start, segments_[first].value});
     ++first;
   }
   std::size_t bumpEnd;  // one past the last bumped segment
@@ -262,8 +271,7 @@ StepFunction& StepFunction::addPulse(Time start, Time duration,
   } else {
     const std::size_t last = segmentIndexAt(end);
     if (segments_[last].start != end) {
-      segments_.insert(segments_.begin() + static_cast<std::ptrdiff_t>(last) + 1,
-                       {end, segments_[last].value});
+      segments_.insert(last + 1, {end, segments_[last].value});
       bumpEnd = last + 1;
     } else {
       bumpEnd = last;
@@ -274,10 +282,10 @@ StepFunction& StepFunction::addPulse(Time start, Time duration,
   // Right seam first (erasing there leaves `first` valid), then left.
   if (bumpEnd < segments_.size() &&
       segments_[bumpEnd].value == segments_[bumpEnd - 1].value) {
-    segments_.erase(segments_.begin() + static_cast<std::ptrdiff_t>(bumpEnd));
+    segments_.erase(bumpEnd);
   }
   if (first > 0 && segments_[first].value == segments_[first - 1].value) {
-    segments_.erase(segments_.begin() + static_cast<std::ptrdiff_t>(first));
+    segments_.erase(first);
   }
   return *this;
 }

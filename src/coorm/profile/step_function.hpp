@@ -15,6 +15,7 @@
 
 #include "coorm/common/ids.hpp"
 #include "coorm/common/time.hpp"
+#include "coorm/profile/segment_arena.hpp"
 
 namespace coorm {
 
@@ -24,13 +25,14 @@ namespace coorm {
 ///  - at least one segment; the first starts at t=0;
 ///  - segment start times strictly increase;
 ///  - adjacent segments have different values (canonical form).
+///
+/// Storage is an arena-backed SegmentStore: profiles of up to 8 segments
+/// live inline, larger ones draw pooled blocks from the calling thread's
+/// SegmentArena (profile/segment_arena.hpp).
 class StepFunction {
  public:
-  struct Segment {
-    Time start{0};      ///< value holds on [start, next.start)
-    NodeCount value{0};
-    friend constexpr auto operator<=>(const Segment&, const Segment&) = default;
-  };
+  /// coorm::Segment, kept addressable as StepFunction::Segment.
+  using Segment = coorm::Segment;
 
   /// The zero function.
   StepFunction();
@@ -50,7 +52,10 @@ class StepFunction {
   /// strictly increasing starts, adjacent values differ. The sweep-based
   /// producers uphold this by construction, so the re-canonicalize scan of
   /// fromSegments is skipped; validated in debug builds.
-  static StepFunction fromCanonical(std::vector<Segment> segments);
+  static StepFunction fromCanonical(SegmentStore segments);
+  /// Convenience overload for callers holding a std::vector (wire decode,
+  /// tests): copies into an arena-backed store.
+  static StepFunction fromCanonical(const std::vector<Segment>& segments);
 
   /// Pointwise N-ary combine. Equivalent to folding the matching binary
   /// operator over `functions`, but runs as one k-way merge sweep: every
@@ -125,7 +130,7 @@ class StepFunction {
   [[nodiscard]] std::string toString() const;
 
  private:
-  explicit StepFunction(std::vector<Segment> segments);
+  explicit StepFunction(SegmentStore segments);
 
   /// Merge adjacent equal-valued segments and validate invariants.
   void canonicalize();
@@ -136,7 +141,7 @@ class StepFunction {
   template <typename Op>
   void combineWith(const StepFunction& other, Op op);
 
-  std::vector<Segment> segments_;
+  SegmentStore segments_;
 };
 
 }  // namespace coorm

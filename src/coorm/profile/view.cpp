@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "coorm/common/check.hpp"
+#include "coorm/common/metrics.hpp"
 #include "coorm/common/worker_pool.hpp"
 #include "coorm/profile/profile_sweep.hpp"
 
@@ -100,7 +101,7 @@ StepFunction combineBinary(const StepFunction& base,
                            bool clampAtZero) {
   const auto bs = base.segments();
   const auto os = operand.segments();
-  std::vector<StepFunction::Segment> out;
+  SegmentStore out;
   out.reserve(bs.size() + os.size());
   std::size_t i = 0;
   std::size_t j = 0;
@@ -157,8 +158,15 @@ StepFunction accumulateProfiles(std::span<const StepFunction* const> fns,
     return clampAtZero ? std::max<NodeCount>(value, 0) : value;
   };
 
-  std::vector<StepFunction::Segment> out;
-  out.reserve(totalSegments);
+  // Upper bound on the result size (every breakpoint of every operand),
+  // but usually a large overestimate — breakpoints are shared and equal
+  // values coalesce. Clamp the pre-reservation to the arena's largest
+  // pooled class: a sum-sized reserve would demand a multi-megabyte
+  // oversize block from the heap on every big sweep, while growing past
+  // the clamp costs at most a few doublings in the rare genuinely huge
+  // result.
+  SegmentStore out;
+  out.reserve(std::min(totalSegments, SegmentArena::kMaxBlockSegments));
   out.push_back({0, current()});
   while (sweep.advance()) {
     for (const std::uint32_t idx : sweep.changed()) {
@@ -169,13 +177,17 @@ StepFunction accumulateProfiles(std::span<const StepFunction* const> fns,
     const NodeCount value = current();
     if (value != out.back().value) out.push_back({sweep.time(), value});
   }
+  metrics::increment(metrics::Event::kSweepSegmentsMerged, out.size());
   return StepFunction::fromCanonical(std::move(out));
 }
 
 }  // namespace
 
 View& View::accumulate(std::span<const View* const> others, Op op,
-                       bool clampAtZero, WorkerPool* pool) {
+                       bool clampAtZero, const ProfileContext& ctx) {
+  // Route this thread's segment allocations through the caller's arena
+  // (no-op for a default context).
+  const ArenaScope arenaScope(ctx.arena);
   // Empty views are the identity for every op (the zero-clamp is applied
   // by the base pass regardless), and they are common: most request sets
   // have nothing started. Prune them before sizing the sweep, without
@@ -211,7 +223,7 @@ View& View::accumulate(std::span<const View* const> others, Op op,
           entries_.push_back(theirs);
           continue;
         }
-        std::vector<StepFunction::Segment> segments;
+        SegmentStore segments;
         segments.reserve(theirs.profile.segmentCount());
         for (const auto& seg : theirs.profile.segments()) {
           NodeCount value = applyOp(op, 0, seg.value);
@@ -273,7 +285,7 @@ View& View::accumulate(std::span<const View* const> others, Op op,
   // and the slots land in `entries_` in cluster order, so the pooled pass
   // is bit-identical to the serial one.
   std::vector<Entry> result(ids.size());
-  coorm::parallelFor(pool, ids.size(), [&](std::size_t c) {
+  coorm::parallelFor(ctx.pool, ids.size(), [&](std::size_t c) {
     const ClusterId cid = ids[c];
     std::vector<const StepFunction*> fns;
     fns.reserve(others.size() + 1);

@@ -368,18 +368,19 @@ void eqScheduleCluster(ClusterId cid, const View& avail,
     if (wants[k] > 0) ++active;
   }
 
-  std::vector<std::vector<StepFunction::Segment>> outSegments(present.size());
+  // Arena-backed scratch: per breakpoint the emitted profiles reuse pooled
+  // blocks from the sweeping thread's arena instead of fresh vectors.
+  std::vector<SegmentStore> outSegments(present.size());
   // The idle series: what every application without demand here may have.
   // Needed whenever some application is absent (and exclusively in strict
   // mode, where it doubles as the shared fixed-share series).
-  std::vector<StepFunction::Segment> idleSegments;
+  SegmentStore idleSegments;
   const bool needIdle = strict || present.size() < napps;
   std::vector<NodeCount> gives;
   // Emit a breakpoint only when the value changes, so each output is born
   // canonical and stays proportional to its own change count rather than
   // to the merged breakpoint count.
-  const auto emit = [](std::vector<StepFunction::Segment>& segments, Time t,
-                       NodeCount value) {
+  const auto emit = [](SegmentStore& segments, Time t, NodeCount value) {
     if (segments.empty() || segments.back().value != value) {
       segments.push_back({t, value});
     }
@@ -457,9 +458,11 @@ void eqScheduleCluster(ClusterId cid, const View& avail,
 }  // namespace
 
 void Scheduler::eqSchedule(std::span<AppSnapshot> apps, const View& available,
-                           Time now, bool strict, WorkerPool* pool) {
+                           Time now, bool strict, const ProfileContext& ctx) {
   const std::size_t napps = apps.size();
   if (napps == 0) return;
+  WorkerPool* const pool = ctx.pool;
+  const ArenaScope arenaScope(ctx.arena);
 
   // Callers (schedulePass()) usually hand in an already-clamped view; only
   // copy when the clamp would actually change something.
@@ -560,7 +563,13 @@ void Scheduler::eqSchedule(std::span<AppSnapshot> apps, const View& available,
 // Algorithm 4: main scheduling algorithm
 // ---------------------------------------------------------------------------
 void Scheduler::schedulePass(RequestSetSnapshot& snapshot, Time now) const {
-  WorkerPool* pool = pool_.get();
+  WorkerPool* const pool = pool_.get();
+  const ProfileContext ctx{&arena_, pool};
+  // Install the scheduler's arena for the whole pass: every profile built
+  // on this thread below (occupation folds, fit scratch, view algebra)
+  // recycles the same pooled blocks pass over pass. Worker threads keep
+  // their own thread-default arenas.
+  const ArenaScope arenaScope(ctx.arena);
   const std::span<AppSnapshot> apps = snapshot.apps();
   View vnp = machineView();  // non-preemptible resources still available
   View vp = machineView();   // preemptible resources still available
@@ -580,7 +589,7 @@ void Scheduler::schedulePass(RequestSetSnapshot& snapshot, Time now) const {
   std::vector<const View*> operands;
   operands.reserve(apps.size() * 2);
   for (const View& occ : paOcc) operands.push_back(&occ);
-  vnp.accumulate(operands, View::Op::kSubtract, /*clampAtZero=*/false, pool);
+  vnp.accumulate(operands, View::Op::kSubtract, /*clampAtZero=*/false, ctx);
 
   // Non-preemptive views and start times, in connection order. The toView
   // results above stay valid through this loop: fit() only mutates the
@@ -612,10 +621,10 @@ void Scheduler::schedulePass(RequestSetSnapshot& snapshot, Time now) const {
   operands.clear();
   for (const View& occ : npOcc) operands.push_back(&occ);
   for (const View& occ : npFitted) operands.push_back(&occ);
-  vp.accumulate(operands, View::Op::kSubtract, /*clampAtZero=*/false, pool);
+  vp.accumulate(operands, View::Op::kSubtract, /*clampAtZero=*/false, ctx);
 
   vp.clampMin(0);
-  eqSchedule(apps, vp, now, config_.strictEquiPartition, pool);
+  eqSchedule(apps, vp, now, config_.strictEquiPartition, ctx);
 }
 
 void Scheduler::schedule(std::span<AppSchedule> apps, Time now) const {
@@ -661,13 +670,13 @@ View Scheduler::fit(const RequestSet& set, const View& available, Time t0) {
 }
 
 void Scheduler::eqSchedule(std::span<AppSchedule> apps, const View& available,
-                           Time now, bool strict, WorkerPool* pool) {
+                           Time now, bool strict, const ProfileContext& ctx) {
   thread_local std::vector<AppSnapshot> snapshots;
   snapshots.resize(apps.size());
   for (std::size_t i = 0; i < apps.size(); ++i) {
     snapshots[i].capture(apps[i].app, nullptr, nullptr, apps[i].preemptible);
   }
-  eqSchedule(std::span<AppSnapshot>(snapshots), available, now, strict, pool);
+  eqSchedule(std::span<AppSnapshot>(snapshots), available, now, strict, ctx);
   for (std::size_t i = 0; i < apps.size(); ++i) {
     snapshots[i].writeBack();
     apps[i].preemptiveView = std::move(snapshots[i].preemptiveView);

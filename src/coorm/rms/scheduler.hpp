@@ -19,6 +19,9 @@
 #include <span>
 #include <vector>
 
+#include "coorm/common/runtime_options.hpp"
+#include "coorm/profile/profile_context.hpp"
+#include "coorm/profile/segment_arena.hpp"
 #include "coorm/profile/view.hpp"
 #include "coorm/rms/machine.hpp"
 #include "coorm/rms/request_set.hpp"
@@ -40,6 +43,14 @@ class WorkerPool;
 /// Execution knobs, orthogonal to the scheduling policy in
 /// Scheduler::Config.
 struct SchedulerOptions {
+  SchedulerOptions() = default;
+  /// Implicit on purpose: SchedulerOptions{4} reads as "4 worker threads".
+  SchedulerOptions(int threadCount) : threads(threadCount) {}
+  /// Projection of the shared runtime-tuning surface
+  /// (common/runtime_options.hpp).
+  explicit SchedulerOptions(const RuntimeOptions& runtime)
+      : threads(runtime.threads) {}
+
   /// Worker threads for the per-cluster and per-application fan-out of a
   /// scheduling pass. <= 1 keeps every pass on the calling thread (the
   /// default). The partitioned work writes into pre-sized per-slot outputs
@@ -138,12 +149,15 @@ class Scheduler {
   /// Algorithm 3 (eqSchedule): equi-partition `available` among the
   /// applications' preemptible sets and write each AppSnapshot's
   /// preemptiveView. With `strict`, no filling of unused partitions.
-  /// When `pool` is non-null, Step 1/3 fan out per application and the
-  /// Step 2 sweep per cluster; output is bit-identical to `pool == nullptr`.
-  /// The snapshots' per-cluster demand summaries narrow each cluster sweep
-  /// to the applications that can occupy it.
+  /// When `ctx.pool` is non-null, Step 1/3 fan out per application and the
+  /// Step 2 sweep per cluster; output is bit-identical to the default
+  /// context. `ctx.arena` (when non-null) is installed as the calling
+  /// thread's segment arena for the call. The snapshots' per-cluster demand
+  /// summaries narrow each cluster sweep to the applications that can
+  /// occupy it.
   static void eqSchedule(std::span<AppSnapshot> apps, const View& available,
-                         Time now, bool strict, WorkerPool* pool = nullptr);
+                         Time now, bool strict,
+                         const ProfileContext& ctx = {});
 
   // --- live-RequestSet shims (capture → snapshot algorithm → write back) --
   // Semantics identical to operating in place on the live requests; kept
@@ -153,7 +167,8 @@ class Scheduler {
                      Time now = 0);
   static View fit(const RequestSet& set, const View& available, Time t0);
   static void eqSchedule(std::span<AppSchedule> apps, const View& available,
-                         Time now, bool strict, WorkerPool* pool = nullptr);
+                         Time now, bool strict,
+                         const ProfileContext& ctx = {});
 
   /// The full machine as a view (every cluster constantly at capacity).
   [[nodiscard]] View machineView() const;
@@ -167,6 +182,11 @@ class Scheduler {
   /// logically const (the pool is a lane for the pass's own work, not
   /// observable state); schedule() is still not re-entrant.
   mutable std::unique_ptr<WorkerPool> pool_;
+  /// Segment pool installed (via ArenaScope) on the pass thread for the
+  /// duration of schedulePass(), so pass-scoped profile scratch recycles
+  /// with the scheduler instead of the thread default. Scratch like the
+  /// pool, hence mutable.
+  mutable SegmentArena arena_;
   /// Re-captured in place by schedule() each call, so repeated passes over
   /// similar populations allocate nothing. Scratch, like the pool: not
   /// observable state, hence mutable; schedule() is not re-entrant.

@@ -98,6 +98,7 @@ Session* Server::connect(AppEndpoint& endpoint) {
   st->session.reset(new Session(this, st->app));
   Session* session = st->session.get();
   sessions_.push_back(std::move(st));
+  metrics::add(metrics::Gauge::kLiveSessions, 1);
   trace(toString(session->app()), "connect");
   requestReschedule();
   return session;
@@ -269,6 +270,7 @@ void Server::handleDisconnect(SessionState& st) {
     notifyPaEnd(st, r);
   }
   st.disconnected = true;
+  metrics::add(metrics::Gauge::kLiveSessions, -1);
   Executor::cancel(st.violationTimer);
   requestReschedule();
 }
@@ -453,6 +455,7 @@ void Server::onExpiryTimer(AppId app, RequestId id) {
 
 void Server::killApp(SessionState& st) {
   st.killed = true;
+  metrics::add(metrics::Gauge::kLiveSessions, -1);
   markDirty(st);
   Executor::cancel(st.violationTimer);
   for (auto& owned : st.owned) {
@@ -501,6 +504,7 @@ void Server::runPass(bool synchronous) {
   COORM_CHECK(!passInFlight_);
   lastPassAt_ = executor_.now();
   ++passCount_;
+  metrics::increment(metrics::Event::kSchedulePasses);
 
   pruneEnded();
 
@@ -526,6 +530,7 @@ void Server::runPass(bool synchronous) {
   passSnapshot_->recapture(apps);  // in place: steady state allocates nothing
   passEpoch_ = stateEpoch_;
   passInFlight_ = true;
+  metrics::add(metrics::Gauge::kPassInFlight, 1);
 
   if (!synchronous && lane_ != nullptr) {
     // Fallback commit at the pass's own timestamp: scheduled first, it
@@ -569,6 +574,7 @@ void Server::abandonPass() {
   // its captured epochs must not allow the next pass to skip re-capture.
   passSnapshot_->invalidate();
   passInFlight_ = false;
+  metrics::add(metrics::Gauge::kPassInFlight, -1);
   Executor::cancel(commitEvent_);
   commitEvent_ = nullptr;
 }
@@ -576,6 +582,7 @@ void Server::abandonPass() {
 void Server::commitPass() {
   COORM_CHECK(passInFlight_);
   passInFlight_ = false;
+  metrics::add(metrics::Gauge::kPassInFlight, -1);
   Executor::cancel(commitEvent_);
   commitEvent_ = nullptr;
 
@@ -594,6 +601,7 @@ void Server::commitPass() {
   }
   if (stateEpoch_ != passEpoch_) {
     ++overlappedPasses_;
+    metrics::increment(metrics::Event::kSchedulePassesOverlapped);
     COORM_LOG(LogLevel::kDebug, "rms")
         << "pass " << passCount_ << " overlapped "
         << (stateEpoch_ - passEpoch_) << " message(s); next pass armed";

@@ -40,6 +40,8 @@
 
 #include "coorm/common/executor.hpp"
 #include "coorm/common/ids.hpp"
+#include "coorm/common/metrics.hpp"
+#include "coorm/common/runtime_options.hpp"
 #include "coorm/profile/view.hpp"
 #include "coorm/rms/app_link.hpp"
 #include "coorm/rms/machine.hpp"
@@ -155,6 +157,18 @@ class Server {
     /// inline on the executor thread). Observable behaviour is
     /// bit-identical either way.
     bool pipeline = true;
+
+    /// Projection of the shared runtime-tuning surface
+    /// (common/runtime_options.hpp): the four shared knobs come from
+    /// `runtime`, everything else keeps its default.
+    [[nodiscard]] static Config fromRuntime(const RuntimeOptions& runtime) {
+      Config config;
+      config.reschedInterval = runtime.reschedInterval;
+      config.strictEquiPartition = runtime.strictEquiPartition;
+      config.threads = runtime.threads;
+      config.pipeline = runtime.pipeline;
+      return config;
+    }
   };
 
   Server(Executor& executor, Machine machine);  // default config
@@ -193,6 +207,13 @@ class Server {
   [[nodiscard]] CaptureStats captureStats() const {
     return passSnapshot_ != nullptr ? passSnapshot_->captureStats()
                                     : CaptureStats{};
+  }
+
+  /// Snapshot of the process-wide metrics registry (common/metrics.hpp).
+  /// The daemon's STATS reply is built from exactly this call, so a remote
+  /// query and an in-process read observe the same counters.
+  [[nodiscard]] metrics::Snapshot metricsSnapshot() const {
+    return metrics::snapshot();
   }
 
   /// Force a scheduling pass now, bypassing the re-scheduling interval;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "coorm/common/check.hpp"
+#include "coorm/common/metrics.hpp"
 #include "coorm/rms/scheduler.hpp"
 
 namespace coorm {
@@ -53,6 +54,7 @@ CaptureKind AppSnapshot::capture(AppId app, const RequestSet* preAllocations,
       capturedSets_[0] == preAllocations &&
       capturedSets_[1] == nonPreemptible && capturedSets_[2] == preemptible) {
     COORM_DCHECK(verifyClean(preAllocations, nonPreemptible, preemptible));
+    seedResults();
     return CaptureKind::kSkipped;
   }
 
@@ -62,6 +64,7 @@ CaptureKind AppSnapshot::capture(AppId app, const RequestSet* preAllocations,
   capturedEpoch_ = epoch;
 
   if (tryRefresh(app, preAllocations, nonPreemptible, preemptible)) {
+    seedResults();
     return CaptureKind::kRefreshed;
   }
 
@@ -82,7 +85,17 @@ CaptureKind AppSnapshot::capture(AppId app, const RequestSet* preAllocations,
   indexSet(nonPreemptible_);
   indexSet(preemptible_);
   summarizeDemand();
+  seedResults();
   return CaptureKind::kRebuilt;
+}
+
+void AppSnapshot::seedResults() {
+  seededResults_.resize(records_.size());
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const SnapshotRecord& rec = records_[i];
+    seededResults_[i] = {rec.nAlloc, rec.scheduledAt, rec.earliestScheduleAt,
+                         rec.fixed};
+  }
 }
 
 bool AppSnapshot::verifyClean(const RequestSet* preAllocations,
@@ -312,6 +325,24 @@ void AppSnapshot::indexSet(SetSnapshot& set) {
 }
 
 void AppSnapshot::writeBack() const {
+  // Pre-scan over the dense seed array: when the pass recomputed every
+  // result to its capture-time value, the live requests (which the seeds
+  // were read from) are already up to date — skip the scattered walk.
+  COORM_DCHECK(seededResults_.size() == records_.size());
+  bool clean = true;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const SnapshotRecord& rec = records_[i];
+    if (seededResults_[i] != ResultSeed{rec.nAlloc, rec.scheduledAt,
+                                        rec.earliestScheduleAt, rec.fixed}) {
+      clean = false;
+      break;
+    }
+  }
+  if (clean) {
+    metrics::increment(metrics::Event::kWriteBackAppsClean);
+    return;
+  }
+  metrics::increment(metrics::Event::kWriteBackAppsDirty);
   for (const SnapshotRecord& rec : records_) {
     if (rec.external) continue;
     Request* live = rec.live;
@@ -345,9 +376,18 @@ void RequestSetSnapshot::recapture(std::span<const AppSchedule> apps) {
     switch (apps_[i].capture(apps[i].app, apps[i].preAllocations,
                              apps[i].nonPreemptible, apps[i].preemptible,
                              apps[i].epoch)) {
-      case CaptureKind::kRebuilt: ++stats_.rebuilt; break;
-      case CaptureKind::kRefreshed: ++stats_.refreshed; break;
-      case CaptureKind::kSkipped: ++stats_.skipped; break;
+      case CaptureKind::kRebuilt:
+        ++stats_.rebuilt;
+        metrics::increment(metrics::Event::kSnapshotRebuilds);
+        break;
+      case CaptureKind::kRefreshed:
+        ++stats_.refreshed;
+        metrics::increment(metrics::Event::kSnapshotRefreshes);
+        break;
+      case CaptureKind::kSkipped:
+        ++stats_.skipped;
+        metrics::increment(metrics::Event::kSnapshotSkips);
+        break;
     }
     requestCount_ += apps_[i].preAllocations().size() +
                      apps_[i].nonPreemptible().size() +

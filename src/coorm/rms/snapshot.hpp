@@ -213,6 +213,13 @@ class AppSnapshot {
   /// Copies every member record's result fields onto its live request.
   /// External records are skipped. Call on the thread that owns the live
   /// requests (the server's executor thread), never while a pass still runs.
+  ///
+  /// Fast path: the result fields of every record are also seeded into a
+  /// contiguous side array at capture. When the pass recomputed every
+  /// result to its seeded value (the steady state for untouched apps), one
+  /// sequential scan of that array proves the live requests already hold
+  /// the results and the scattered per-request compare loop is skipped
+  /// entirely (metrics: write_back_apps_clean vs write_back_apps_dirty).
   void writeBack() const;
 
   /// Forgets the captured mutation epoch, forcing the next capture() to
@@ -247,12 +254,26 @@ class AppSnapshot {
   void indexSet(SetSnapshot& set);
   void summarizeDemand();
 
+  /// Result fields of one record as of capture time (== the live values,
+  /// on every capture path). Plain aggregate so the writeBack pre-scan is
+  /// one sequential sweep over a dense array.
+  struct ResultSeed {
+    NodeCount nAlloc = 0;
+    Time scheduledAt = 0;
+    Time earliestScheduleAt = 0;
+    bool fixed = false;
+    friend bool operator==(const ResultSeed&, const ResultSeed&) = default;
+  };
+  /// Re-seeds seededResults_ from the records' current result fields.
+  void seedResults();
+
   AppId app_{};
   /// Identity + mutation epoch of the population this snapshot captured;
   /// the epoch-skip fast path requires all four to match (0 = never skip).
   const RequestSet* capturedSets_[3] = {nullptr, nullptr, nullptr};
   std::uint64_t capturedEpoch_ = 0;
   std::vector<SnapshotRecord> records_;
+  std::vector<ResultSeed> seededResults_;  ///< capture-time result fields
   SetSnapshot preAllocations_;
   SetSnapshot nonPreemptible_;
   SetSnapshot preemptible_;

@@ -25,9 +25,10 @@ TEST(Cli, DefaultsWithNoArguments) {
   EXPECT_TRUE(r.options.psaTasks.empty());
   EXPECT_TRUE(r.options.swfPath.empty());
   EXPECT_EQ(r.options.until, hours(24));
-  EXPECT_FALSE(r.options.strict);
+  EXPECT_FALSE(r.options.runtime.strictEquiPartition);
   EXPECT_FALSE(r.options.showTimeline);
   EXPECT_FALSE(r.options.showTrace);
+  EXPECT_FALSE(r.options.statsQuery);
 }
 
 TEST(Cli, ParsesNodes) {
@@ -84,7 +85,7 @@ TEST(Cli, ParsesFlagsAndHorizon) {
                                "--until", "3600", "--jobs", "50",
                                "--seed", "7"});
   ASSERT_TRUE(r.ok());
-  EXPECT_TRUE(r.options.strict);
+  EXPECT_TRUE(r.options.runtime.strictEquiPartition);
   EXPECT_TRUE(r.options.showTimeline);
   EXPECT_TRUE(r.options.showTrace);
   EXPECT_EQ(r.options.until, secF(3600.0));
@@ -93,17 +94,39 @@ TEST(Cli, ParsesFlagsAndHorizon) {
 }
 
 TEST(Cli, ParsesThreads) {
-  EXPECT_EQ(parse({}).options.threads, 1);  // serial by default
+  EXPECT_EQ(parse({}).options.runtime.threads, 1);  // serial by default
   const ParseResult r = parse({"--threads", "4"});
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(r.options.threads, 4);
+  EXPECT_EQ(r.options.runtime.threads, 4);
 }
 
 TEST(Cli, ParsesPipeline) {
-  EXPECT_TRUE(parse({}).options.pipeline);  // pipelined serving by default
-  const ParseResult r = parse({"--no-pipeline"});
+  // Pipelined serving by default.
+  EXPECT_TRUE(parse({}).options.runtime.pipeline);
+  const ParseResult off = parse({"--pipeline", "off"});
+  ASSERT_TRUE(off.ok());
+  EXPECT_FALSE(off.options.runtime.pipeline);
+  const ParseResult on = parse({"--pipeline", "on"});
+  ASSERT_TRUE(on.ok());
+  EXPECT_TRUE(on.options.runtime.pipeline);
+  EXPECT_EQ(parse({"--pipeline", "maybe"}).status, ParseStatus::kError);
+  EXPECT_EQ(parse({"--pipeline"}).status, ParseStatus::kError);
+}
+
+TEST(Cli, NoPipelineAliasMatchesPipelineOff) {
+  // The pre-RuntimeOptions spelling must stay equivalent to the new one.
+  const ParseResult alias = parse({"--no-pipeline"});
+  const ParseResult canonical = parse({"--pipeline", "off"});
+  ASSERT_TRUE(alias.ok());
+  ASSERT_TRUE(canonical.ok());
+  EXPECT_EQ(alias.options.runtime.pipeline, canonical.options.runtime.pipeline);
+  EXPECT_FALSE(alias.options.runtime.pipeline);
+}
+
+TEST(Cli, ParsesStatsQuery) {
+  const ParseResult r = parse({"--stats", "--connect", "127.0.0.1:7788"});
   ASSERT_TRUE(r.ok());
-  EXPECT_FALSE(r.options.pipeline);
+  EXPECT_TRUE(r.options.statsQuery);
 }
 
 TEST(Cli, NonPositiveThreadsIsError) {
@@ -174,7 +197,7 @@ TEST(Cli, MalformedEndpointsAreErrors) {
 TEST(Cli, ParsesReschedInterval) {
   const ParseResult r = parse({"--resched", "0.05"});
   ASSERT_TRUE(r.ok());
-  EXPECT_EQ(r.options.resched, msec(50));
+  EXPECT_EQ(r.options.runtime.reschedInterval, msec(50));
   EXPECT_EQ(parse({"--resched", "0"}).status, ParseStatus::kError);
   EXPECT_EQ(parse({"--resched", "-1"}).status, ParseStatus::kError);
 }
@@ -186,8 +209,9 @@ TEST(Cli, UsageMentionsEveryOption) {
   for (const char* flag :
        {"--nodes", "--seed", "--amr", "--amr-steps", "--amr-static",
         "--overcommit", "--announce", "--psa", "--jobs", "--swf", "--strict",
-        "--threads", "--no-pipeline", "--until", "--timeline", "--trace",
-        "--listen", "--connect", "--resched", "--help"}) {
+        "--threads", "--pipeline", "--no-pipeline", "--until", "--timeline",
+        "--trace", "--listen", "--connect", "--resched", "--stats",
+        "--help"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }
 }

@@ -1,0 +1,244 @@
+// Runtime metrics (common/metrics.hpp): catalogue sanity, exactness under
+// concurrent increments (run in the TSan CI job), and the STATS admin
+// round trip over loopback TCP — a scripted daemon exchange whose wire
+// counters are pinned to exact values.
+#include "coorm/common/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <chrono>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "coorm/net/client.hpp"
+#include "coorm/net/poll_executor.hpp"
+#include "net_harness.hpp"
+
+namespace coorm {
+namespace {
+
+using metrics::Event;
+using metrics::Gauge;
+
+TEST(MetricsCatalogue, NamesAreUniqueSnakeCase) {
+  std::set<std::string> seen;
+  const auto check = [&](std::string_view name) {
+    EXPECT_FALSE(name.empty());
+    for (const char c : name) {
+      EXPECT_TRUE(std::islower(static_cast<unsigned char>(c)) ||
+                  std::isdigit(static_cast<unsigned char>(c)) || c == '_')
+          << name;
+    }
+    EXPECT_TRUE(seen.insert(std::string(name)).second)
+        << "duplicate name " << name;
+  };
+  for (std::size_t i = 0; i < metrics::kEventCount; ++i) {
+    check(metrics::name(static_cast<Event>(i)));
+  }
+  for (std::size_t i = 0; i < metrics::kGaugeCount; ++i) {
+    check(metrics::name(static_cast<Gauge>(i)));
+  }
+}
+
+TEST(MetricsCounters, IncrementAddValueAndReset) {
+  metrics::reset();
+  EXPECT_EQ(metrics::value(Event::kSweepSegmentsMerged), 0u);
+  metrics::increment(Event::kSweepSegmentsMerged);
+  metrics::increment(Event::kSweepSegmentsMerged, 41);
+  EXPECT_EQ(metrics::value(Event::kSweepSegmentsMerged), 42u);
+
+  EXPECT_EQ(metrics::value(Gauge::kLiveSessions), 0);
+  metrics::add(Gauge::kLiveSessions, 3);
+  metrics::add(Gauge::kLiveSessions, -1);
+  EXPECT_EQ(metrics::value(Gauge::kLiveSessions), 2);
+
+  metrics::reset();
+  EXPECT_EQ(metrics::value(Event::kSweepSegmentsMerged), 0u);
+  EXPECT_EQ(metrics::value(Gauge::kLiveSessions), 0);
+}
+
+TEST(MetricsCounters, SnapshotIndexesAndCompares) {
+  metrics::reset();
+  metrics::increment(Event::kFramesEncoded, 7);
+  metrics::add(Gauge::kArenaBytesHeld, 1024);
+  const metrics::Snapshot a = metrics::snapshot();
+  EXPECT_EQ(a[Event::kFramesEncoded], 7u);
+  EXPECT_EQ(a[Gauge::kArenaBytesHeld], 1024);
+  EXPECT_EQ(a, metrics::snapshot());
+  metrics::increment(Event::kFramesEncoded);
+  EXPECT_NE(a, metrics::snapshot());
+  metrics::reset();
+}
+
+// The whole point of relaxed atomics: concurrent increments lose nothing.
+// The TSan CI job runs this test to pin that the counters are race-free.
+TEST(MetricsCounters, ConcurrentIncrementsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50'000;
+  const std::uint64_t eventsBefore = metrics::value(Event::kArenaHits);
+  const std::int64_t gaugeBefore = metrics::value(Gauge::kPassInFlight);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kPerThread; ++i) {
+        metrics::increment(Event::kArenaHits);
+        metrics::add(Gauge::kPassInFlight, 1);
+        metrics::add(Gauge::kPassInFlight, -1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(metrics::value(Event::kArenaHits),
+            eventsBefore + std::uint64_t{kThreads} * kPerThread);
+  EXPECT_EQ(metrics::value(Gauge::kPassInFlight), gaugeBefore);
+}
+
+// ---------------------------------------------------------------------------
+// STATS over loopback TCP against a coorm_rmsd-shaped daemon.
+
+/// Server config that keeps the resched timer out of the way so the only
+/// traffic during the scripted exchange is the traffic the script sends.
+Server::Config quietConfig() {
+  Server::Config config;
+  config.reschedInterval = hours(1);
+  return config;
+}
+
+/// Polls the daemon through repeated STATS round trips until `pred` holds
+/// on a reply (events the daemon processes asynchronously — GOODBYE,
+/// EOF — land shortly after the triggering close).
+template <typename Pred>
+std::optional<metrics::Snapshot> pollStats(net::RmsClient& client,
+                                           Pred pred) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::optional<metrics::Snapshot> reply = client.stats();
+    if (!reply.has_value()) return std::nullopt;
+    if (pred(*reply)) return reply;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return std::nullopt;
+}
+
+struct NullEndpoint final : AppEndpoint {
+  void onViews(const View&, const View&) override {}
+  void onStarted(RequestId, const std::vector<NodeId>&) override {}
+  void onExpired(RequestId) override {}
+  void onEnded(RequestId) override {}
+  void onKilled() override {}
+};
+
+TEST(MetricsLoopback, StatsReplyPinsExactWireCounters) {
+  nettest::DaemonFixture daemon(quietConfig(), 64);
+  metrics::reset();  // daemon is up and idle; the script owns every frame
+
+  net::PollExecutor executor;
+  net::RmsClient client(
+      executor,
+      net::RmsClient::Config{net::Endpoint{"127.0.0.1", daemon.port()},
+                             "statsq"});
+  client.dial();
+  const std::optional<metrics::Snapshot> reply = client.stats();
+  ASSERT_TRUE(reply.has_value());
+
+  // At the instant the daemon snapshotted: exactly one frame each way —
+  // our STATS encoded (client side) and decoded (daemon side). The reply
+  // frame is encoded after the snapshot, so it is not in these numbers.
+  EXPECT_EQ((*reply)[Event::kFramesEncoded], 1u);
+  EXPECT_EQ((*reply)[Event::kFramesDecoded], 1u);
+  EXPECT_GT((*reply)[Event::kWireBytesOut], 0u);
+  EXPECT_EQ((*reply)[Event::kWireBytesIn], (*reply)[Event::kWireBytesOut]);
+  EXPECT_EQ((*reply)[Event::kDeadPeerDrops], 0u);
+  EXPECT_EQ((*reply)[Event::kBackpressureStalls], 0u);
+  EXPECT_EQ((*reply)[Gauge::kLiveSessions], 0);  // dial() opens no session
+
+  // Daemon and test share one process, so the daemon's STATS reply must
+  // agree with the in-process counters once the reply's own frame is
+  // added: one more encode (daemon) and one more decode (client).
+  const metrics::Snapshot local = metrics::snapshot();
+  EXPECT_EQ(local[Event::kFramesEncoded], 2u);
+  EXPECT_EQ(local[Event::kFramesDecoded], 2u);
+  EXPECT_EQ(local[Event::kWireBytesIn], local[Event::kWireBytesOut]);
+
+  client.disconnect();
+}
+
+TEST(MetricsLoopback, SessionsAndCleanGoodbyesAreNotDeadPeers) {
+  nettest::DaemonFixture daemon(quietConfig(), 64);
+  metrics::reset();
+
+  net::PollExecutor executor;
+  NullEndpoint endpoint;
+  net::RmsClient app(
+      executor,
+      net::RmsClient::Config{net::Endpoint{"127.0.0.1", daemon.port()},
+                             "app"});
+  app.connect(endpoint);  // HELLO/WELCOME: a session now exists
+
+  net::RmsClient statsq(
+      executor,
+      net::RmsClient::Config{net::Endpoint{"127.0.0.1", daemon.port()},
+                             "statsq"});
+  statsq.dial();
+  std::optional<metrics::Snapshot> reply = statsq.stats();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ((*reply)[Gauge::kLiveSessions], 1);
+
+  app.disconnect();  // clean GOODBYE
+  reply = pollStats(statsq, [](const metrics::Snapshot& snap) {
+    return snap[Gauge::kLiveSessions] == 0;
+  });
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ((*reply)[Gauge::kLiveSessions], 0);
+  EXPECT_EQ((*reply)[Event::kDeadPeerDrops], 0u);  // GOODBYE is not a drop
+
+  statsq.disconnect();
+}
+
+TEST(MetricsLoopback, AbruptCloseCountsAsDeadPeer) {
+  nettest::DaemonFixture daemon(quietConfig(), 64);
+  metrics::reset();
+
+  // A peer that connects and vanishes without a GOODBYE.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(daemon.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  ::close(fd);
+
+  net::PollExecutor executor;
+  net::RmsClient statsq(
+      executor,
+      net::RmsClient::Config{net::Endpoint{"127.0.0.1", daemon.port()},
+                             "statsq"});
+  statsq.dial();
+  const std::optional<metrics::Snapshot> reply =
+      pollStats(statsq, [](const metrics::Snapshot& snap) {
+        return snap[Event::kDeadPeerDrops] >= 1;
+      });
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ((*reply)[Event::kDeadPeerDrops], 1u);
+  EXPECT_EQ((*reply)[Gauge::kLiveSessions], 0);
+
+  statsq.disconnect();
+}
+
+}  // namespace
+}  // namespace coorm

@@ -154,8 +154,8 @@ TEST(WireCodec, ViewProfilesWithSentinelTimesRoundTrip) {
   // kTimeInf/kNever-adjacent values survive the i64 encoding untouched.
   View view;
   view.setCap(ClusterId{0},
-              StepFunction::fromCanonical(
-                  {{0, 5}, {kTimeInf - 1, 3}, {kTimeInf, 0}}));
+              StepFunction::fromCanonical(std::vector<Segment>{
+                  {0, 5}, {kTimeInf - 1, 3}, {kTimeInf, 0}}));
   ViewsMsg msg{view, View{}};
   std::vector<std::uint8_t> bytes;
   encode(bytes, msg);

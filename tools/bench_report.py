@@ -35,6 +35,13 @@ Each figure binary runs in the quick configuration with a single seed
 number in the committed trajectory is an evaluation regression, not
 noise); its tables are recorded under the run's "figures" key.
 
+Runtime counter snapshots fold in two ways: `--metrics FILE` records a
+COORM_METRICS_OUT dump under the run's "metrics" key, and per-benchmark
+user counters (arena_slow_path, writeback_clean, ...) are kept on each
+entry. `--require-zero COUNTER` turns such a counter into a gate — CI
+uses `--check-only --require-zero arena_slow_path` to fail the bench job
+if the segment arena ever falls back to the heap at steady state.
+
 The script needs nothing outside the Python standard library.
 """
 
@@ -96,8 +103,31 @@ def summarize(report: dict) -> tuple[dict, list[dict]]:
         }
         if "requests/s" in bench:
             entry["requests_per_s"] = round(bench["requests/s"], 1)
+        counters = {
+            key: bench[key]
+            for key in ("arena_slow_path", "writeback_clean",
+                        "writeback_dirty", "passes", "overlapped",
+                        "messages/s")
+            if key in bench
+        }
+        if counters:
+            entry["counters"] = counters
         entries.append(entry)
     return context, entries
+
+
+def check_zero_counters(entries: list[dict], names: list[str]) -> None:
+    """Exit non-zero if any entry reports a named counter != 0."""
+    offenders = [
+        f"{entry['name']}: {name} = {entry['counters'][name]}"
+        for entry in entries
+        for name in names
+        if entry.get("counters", {}).get(name) not in (None, 0, 0.0)
+    ]
+    if offenders:
+        raise SystemExit(
+            "counter(s) required to be zero are not:\n  "
+            + "\n  ".join(offenders))
 
 
 def parse_tables(text: str) -> list[dict]:
@@ -180,7 +210,19 @@ def main() -> None:
         help="figure-reproduction binary to run (quick scale, one seed) and "
              "record under the run's 'figures' key; repeatable")
     parser.add_argument(
-        "--label", required=True,
+        "--metrics", default=None, type=Path,
+        help="flat JSON counter snapshot (the bench binary's "
+             "COORM_METRICS_OUT dump) folded into the run's 'metrics' key")
+    parser.add_argument(
+        "--require-zero", action="append", default=[], metavar="COUNTER",
+        help="fail (exit 1) if any benchmark entry reports this per-bench "
+             "counter with a nonzero value; repeatable")
+    parser.add_argument(
+        "--check-only", action="store_true",
+        help="run the benchmarks and --require-zero checks without touching "
+             "the trajectory file (--label/--output not needed)")
+    parser.add_argument(
+        "--label",
         help="run label; an existing run with this label is replaced")
     parser.add_argument(
         "--commit", default=None,
@@ -189,9 +231,11 @@ def main() -> None:
         "--notes", default=None,
         help="free-form note stored with the run (optional)")
     parser.add_argument(
-        "--output", required=True, type=Path,
+        "--output", type=Path,
         help="trajectory file to update, e.g. BENCH_scheduler.json")
     args = parser.parse_args()
+    if not args.check_only and (args.label is None or args.output is None):
+        parser.error("--label and --output are required unless --check-only")
 
     if args.bench_json:
         with open(args.bench_json, encoding="utf-8") as handle:
@@ -208,6 +252,14 @@ def main() -> None:
     if not entries:
         raise SystemExit("no benchmark entries found in the report")
 
+    if args.require_zero:
+        check_zero_counters(entries, args.require_zero)
+    if args.check_only:
+        checks = (f", {len(args.require_zero)} zero-counter check(s) passed"
+                  if args.require_zero else "")
+        print(f"check-only: {len(entries)} benchmarks{checks}")
+        return
+
     run = {
         "label": args.label,
         "recorded_at": datetime.now(timezone.utc)
@@ -219,6 +271,9 @@ def main() -> None:
         run["commit"] = args.commit
     if args.notes:
         run["notes"] = args.notes
+    if args.metrics:
+        with open(args.metrics, encoding="utf-8") as handle:
+            run["metrics"] = json.load(handle)
     if args.figure:
         run["figures"] = {
             Path(binary).name: run_figure(binary) for binary in args.figure

@@ -1,6 +1,7 @@
 #include "cli_options.hpp"
 
 #include <cstdlib>
+#include <cstring>
 #include <ostream>
 
 namespace coorm::cli {
@@ -22,8 +23,10 @@ void printUsage(std::ostream& out) {
          "  --strict           strict equi-partitioning (no filling)\n"
          "  --threads N        scheduler worker threads (default 1; any\n"
          "                     value yields bit-identical schedules)\n"
-         "  --no-pipeline      serial back-to-back scheduling passes instead\n"
-         "                     of the pipelined server (identical results)\n"
+         "  --pipeline on|off  two-stage pipelined serving (default on);\n"
+         "                     off = serial back-to-back scheduling passes\n"
+         "                     (identical results). --no-pipeline is an\n"
+         "                     alias for --pipeline off\n"
          "  --until SECS       horizon when no AMR is present (default 86400)\n"
          "  --timeline         render an ASCII allocation timeline\n"
          "  --trace            dump the protocol trace\n"
@@ -32,6 +35,8 @@ void printUsage(std::ostream& out) {
          "  --connect ADDR:PORT\n"
          "                     coorm_loadgen: daemon address to dial\n"
          "  --resched SECS     re-scheduling interval (default 1.0)\n"
+         "  --stats            coorm_rmsd: query a running daemon's metrics\n"
+         "                     via --connect and print them, then exit\n"
          "  --help             this text\n";
 }
 
@@ -69,11 +74,20 @@ ParseResult parseArgs(int argc, const char* const* argv) {
     } else if (arg == "--swf" && (v = value(i))) {
       options.swfPath = v;
     } else if (arg == "--strict") {
-      options.strict = true;
+      options.runtime.strictEquiPartition = true;
     } else if (arg == "--threads" && (v = value(i))) {
-      options.threads = std::atoi(v);
-    } else if (arg == "--no-pipeline") {
-      options.pipeline = false;
+      options.runtime.threads = std::atoi(v);
+    } else if (arg == "--pipeline" && (v = value(i))) {
+      if (std::strcmp(v, "on") == 0) {
+        options.runtime.pipeline = true;
+      } else if (std::strcmp(v, "off") == 0) {
+        options.runtime.pipeline = false;
+      } else {
+        result.error = std::string("bad --pipeline value (want on|off): ") + v;
+        return result;
+      }
+    } else if (arg == "--no-pipeline") {  // alias for --pipeline off
+      options.runtime.pipeline = false;
     } else if (arg == "--until" && (v = value(i))) {
       options.until = secF(std::atof(v));
     } else if (arg == "--timeline") {
@@ -93,15 +107,17 @@ ParseResult parseArgs(int argc, const char* const* argv) {
         return result;
       }
     } else if (arg == "--resched" && (v = value(i))) {
-      options.resched = secF(std::atof(v));
+      options.runtime.reschedInterval = secF(std::atof(v));
+    } else if (arg == "--stats") {
+      options.statsQuery = true;
     } else {
       result.error = "unknown or incomplete option: " + arg;
       return result;
     }
   }
   if (options.nodes <= 0 || options.amrSteps <= 0 ||
-      options.overcommit <= 0.0 || options.threads <= 0 ||
-      options.resched <= 0) {
+      options.overcommit <= 0.0 || options.runtime.threads <= 0 ||
+      options.runtime.reschedInterval <= 0) {
     result.error = "invalid numeric option";
     return result;
   }

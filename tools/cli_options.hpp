@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "coorm/common/runtime_options.hpp"
 #include "coorm/common/time.hpp"
 #include "coorm/net/socket.hpp"
 #include "coorm/rms/machine.hpp"
@@ -33,12 +34,12 @@ struct Options {
   std::vector<Time> psaTasks;
   int syntheticJobs = 0;
   std::string swfPath;
-  bool strict = false;
-  int threads = 1;
-  /// Two-stage pipelined serving (snapshot passes on a background lane);
-  /// --no-pipeline restores the serial back-to-back server. Results are
-  /// bit-identical either way.
-  bool pipeline = true;
+  /// The shared runtime-tuning knobs (threads, pipeline, resched interval,
+  /// strict equi-partitioning), parsed once here and projected into
+  /// Server::Config / SchedulerOptions by the drivers. The old flag
+  /// spellings (--strict, --threads, --no-pipeline, --resched) remain
+  /// as aliases for the canonical forms.
+  RuntimeOptions runtime;
   Time until = hours(24);
   bool showTimeline = false;
   bool showTrace = false;
@@ -48,9 +49,9 @@ struct Options {
   /// coorm_loadgen: daemon address to dial. Unset unless --connect was
   /// given.
   std::optional<net::Endpoint> connect;
-  /// Re-scheduling interval (paper: 1 s); sub-second values make loopback
-  /// daemon demos and load generators snappy.
-  Time resched = sec(1);
+  /// coorm_rmsd --stats: dial `connect`, send a STATS admin query, print
+  /// the daemon's counters, and exit (instead of running a daemon).
+  bool statsQuery = false;
 };
 
 enum class ParseStatus {

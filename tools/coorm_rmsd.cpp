@@ -14,6 +14,8 @@
 #include <iostream>
 
 #include "cli_options.hpp"
+#include "coorm/common/metrics.hpp"
+#include "coorm/net/client.hpp"
 #include "coorm/net/daemon.hpp"
 #include "coorm/net/poll_executor.hpp"
 #include "coorm/rms/server.hpp"
@@ -39,16 +41,46 @@ int main(int argc, char** argv) {
     return 2;
   }
   const cli::Options& options = parsed.options;
+
+  // Admin query mode: dial a running daemon, print its counters, exit.
+  if (options.statsQuery) {
+    if (!options.connect) {
+      std::cerr << "coorm_rmsd: --stats needs --connect ADDR:PORT\n";
+      return 2;
+    }
+    try {
+      net::PollExecutor executor;
+      net::RmsClient client(
+          executor, net::RmsClient::Config{*options.connect, "statsq"});
+      client.dial();
+      const auto stats = client.stats();
+      client.disconnect();
+      if (!stats) {
+        std::cerr << "coorm_rmsd: stats query to "
+                  << net::toString(*options.connect) << " failed\n";
+        return 1;
+      }
+      for (std::size_t i = 0; i < metrics::kEventCount; ++i) {
+        std::cout << metrics::name(static_cast<metrics::Event>(i)) << " "
+                  << stats->events[i] << "\n";
+      }
+      for (std::size_t i = 0; i < metrics::kGaugeCount; ++i) {
+        std::cout << metrics::name(static_cast<metrics::Gauge>(i)) << " "
+                  << stats->gauges[i] << "\n";
+      }
+    } catch (const std::exception& error) {
+      std::cerr << error.what() << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
   if (!options.listen) {
     std::cerr << "coorm_rmsd: --listen ADDR:PORT is required\n";
     return 2;
   }
 
-  Server::Config config;
-  config.reschedInterval = options.resched;
-  config.strictEquiPartition = options.strict;
-  config.threads = options.threads;
-  config.pipeline = options.pipeline;
+  const Server::Config config = Server::Config::fromRuntime(options.runtime);
 
   net::PollExecutor executor;
   Server server(executor, Machine::single(options.nodes), config);

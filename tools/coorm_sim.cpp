@@ -40,10 +40,7 @@ int main(int argc, char** argv) {
 
   ScenarioConfig config;
   config.nodes = options.nodes;
-  config.server.reschedInterval = options.resched;
-  config.server.strictEquiPartition = options.strict;
-  config.server.threads = options.threads;
-  config.server.pipeline = options.pipeline;
+  config.server = Server::Config::fromRuntime(options.runtime);
   config.recordTrace = options.showTrace;
   Scenario sc(config);
   Rng rng(options.seed);
