@@ -41,6 +41,22 @@ std::string_view name(Event event) noexcept {
       return "backpressure_stalls";
     case Event::kDeadPeerDrops:
       return "dead_peer_drops";
+    case Event::kIdlePeerDrops:
+      return "idle_peer_drops";
+    case Event::kJournalRecordsAppended:
+      return "journal_records_appended";
+    case Event::kJournalBytesAppended:
+      return "journal_bytes_appended";
+    case Event::kJournalFsyncs:
+      return "journal_fsyncs";
+    case Event::kJournalCompactions:
+      return "journal_compactions";
+    case Event::kJournalRecordsReplayed:
+      return "journal_records_replayed";
+    case Event::kSessionsResumed:
+      return "sessions_resumed";
+    case Event::kReconnects:
+      return "reconnects";
     case Event::kCount_:
       break;
   }

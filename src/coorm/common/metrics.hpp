@@ -48,6 +48,14 @@ enum class Event : std::uint16_t {
   kFramesDecoded,             ///< complete wire frames delivered
   kBackpressureStalls,        ///< sends deferred to POLLOUT (kernel buffer full)
   kDeadPeerDrops,             ///< connections dropped on error/violation
+  kIdlePeerDrops,             ///< connections dropped by the idle-deadline sweep
+  kJournalRecordsAppended,    ///< records appended to the session journal
+  kJournalBytesAppended,      ///< journal bytes written (records incl. framing)
+  kJournalFsyncs,             ///< journal fsync barriers (commit boundaries)
+  kJournalCompactions,        ///< journal rewrites behind a snapshot record
+  kJournalRecordsReplayed,    ///< records replayed at startup recovery
+  kSessionsResumed,           ///< RESUME handshakes re-attaching a session
+  kReconnects,                ///< client reconnects completed (both ends count)
   kCount_,                    ///< not a counter — number of events
 };
 

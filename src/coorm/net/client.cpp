@@ -3,6 +3,7 @@
 #include <poll.h>
 #include <sys/socket.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <stdexcept>
 
@@ -10,6 +11,36 @@
 #include "coorm/common/log.hpp"
 
 namespace coorm::net {
+
+namespace {
+
+/// Writes one whole pre-encoded frame to `fd` (blocking-ish, bounded by
+/// `deadline`). Used by the resume handshake, which must not touch the
+/// client's scratch_ buffer — a resume can fire from inside sendFrame()
+/// while scratch_ still holds the frame being retried.
+bool sendAll(int fd, const std::vector<std::uint8_t>& bytes,
+             PollExecutor& executor, Time deadline) {
+  std::size_t pos = 0;
+  while (pos < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + pos, bytes.size() - pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      pos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (executor.now() > deadline) return false;
+      pollfd p{fd, POLLOUT, 0};
+      ::poll(&p, 1, 100);
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
 
 RmsClient::RmsClient(PollExecutor& executor, Config config)
     : executor_(executor), config_(std::move(config)) {}
@@ -25,40 +56,70 @@ RmsClient::~RmsClient() {
 void RmsClient::connect(AppEndpoint& endpoint) {
   COORM_CHECK(!fd_.valid());
   endpoint_ = &endpoint;
-  std::string error;
-  fd_ = connectTo(config_.server, error);
-  if (!fd_.valid()) {
-    throw std::runtime_error("RmsClient: cannot connect to " +
-                             net::toString(config_.server) + ": " + error);
-  }
+  const int attempts = std::max(config_.connectAttempts, 1);
+  std::string error = "no connect attempts";
+  bool sawTimeout = false;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ::poll(nullptr, 0, static_cast<int>(backoffDelay(attempt - 1)));
+    }
+    // Clean slate for this try: an earlier one may have died mid-handshake
+    // (chaos: a daemon can be killed between accept and WELCOME).
+    dead_ = false;
+    killedQueued_ = false;
+    pending_.clear();
+    inbound_ = FrameBuffer{};
+    app_ = AppId{};
+    token_ = 0;
 
-  encode(scratch_, HelloMsg{config_.name});
-  sendFrame();
+    fd_ = connectTo(config_.server, error);
+    if (!fd_.valid()) continue;
 
-  bool welcomed = false;
-  pumpUntil([&] {
+    encode(scratch_, HelloMsg{config_.name});
+    sendFrame();
+    if (!fd_.valid() || dead_) {
+      error = "connection lost during handshake";
+      continue;
+    }
+
+    timedOut_ = false;
     // The WELCOME is intercepted in handleFrame via app_ becoming valid.
-    welcomed = app_.valid();
-    return welcomed;
-  });
-  if (!welcomed) {
+    if (pumpUntil([&] { return app_.valid(); })) {
+      executor_.watch(fd_.get(), PollExecutor::kReadable,
+                      [this](short events) { onIo(events); });
+      return;
+    }
+    sawTimeout = timedOut_;
+    error = timedOut_ ? "handshake timed out"
+                      : "connection lost during handshake";
     fd_.reset();
     pending_.clear();  // no spurious onKilled for a connection that never was
-    throw std::runtime_error("RmsClient: handshake with " +
-                             net::toString(config_.server) + " failed");
   }
-  executor_.watch(fd_.get(), PollExecutor::kReadable,
-                  [this](short events) { onIo(events); });
+  // Never connected: leave the client reusable (not "killed") and report.
+  dead_ = false;
+  killedQueued_ = false;
+  pending_.clear();
+  if (sawTimeout) {
+    throw TimeoutError("RmsClient: handshake with " +
+                       net::toString(config_.server) + " timed out");
+  }
+  throw std::runtime_error("RmsClient: cannot connect to " +
+                           net::toString(config_.server) + ": " + error);
 }
 
 void RmsClient::dial() {
   COORM_CHECK(!fd_.valid());
-  std::string error;
-  fd_ = connectTo(config_.server, error);
-  if (!fd_.valid()) {
-    throw std::runtime_error("RmsClient: cannot connect to " +
-                             net::toString(config_.server) + ": " + error);
+  const int attempts = std::max(config_.connectAttempts, 1);
+  std::string error = "no connect attempts";
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      ::poll(nullptr, 0, static_cast<int>(backoffDelay(attempt - 1)));
+    }
+    fd_ = connectTo(config_.server, error);
+    if (fd_.valid()) return;
   }
+  throw std::runtime_error("RmsClient: cannot connect to " +
+                           net::toString(config_.server) + ": " + error);
 }
 
 RequestId RmsClient::request(const RequestSpec& spec) {
@@ -66,20 +127,34 @@ RequestId RmsClient::request(const RequestSpec& spec) {
   RequestMsg msg;
   msg.cookie = nextCookie_++;
   msg.spec = spec;
+  // Stash the awaited cookie + spec *before* sending: a resume triggered
+  // anywhere below replays exactly this REQUEST, and the server dedups by
+  // cookie if the original did land.
+  awaitingCookie_ = msg.cookie;
+  pendingSpec_ = spec;
+  ackReceived_ = false;
+  ackId_ = RequestId{};
   encode(scratch_, msg);
   sendFrame();
-  if (dead_) return RequestId{};
+  if (dead_) {
+    awaitingCookie_ = 0;
+    return RequestId{};
+  }
 
   // Pump this socket until the matching ack: the remote stand-in for the
   // in-process request()'s synchronous return. Downstream frames arriving
   // first queue up for ordinary (executor-dispatched) delivery.
-  awaitingCookie_ = msg.cookie;
-  ackReceived_ = false;
-  ackId_ = RequestId{};
-  pumpUntil([&] { return ackReceived_; });
+  timedOut_ = false;
+  const bool acked = pumpUntil([&] { return ackReceived_; });
   awaitingCookie_ = 0;
-  if (ackReceived_) ++requestsSent_;
-  return ackId_;
+  if (acked) {
+    ++requestsSent_;
+    return ackId_;
+  }
+  if (timedOut_) {
+    throw TimeoutError("RmsClient::request: no REQ_ACK within rpcTimeout");
+  }
+  return RequestId{};
 }
 
 std::optional<metrics::Snapshot> RmsClient::stats() {
@@ -90,10 +165,14 @@ std::optional<metrics::Snapshot> RmsClient::stats() {
 
   awaitingStats_ = true;
   statsReceived_ = false;
+  timedOut_ = false;
   pumpUntil([&] { return statsReceived_; });
   awaitingStats_ = false;
-  if (!statsReceived_) return std::nullopt;
-  return statsReply_;
+  if (statsReceived_) return statsReply_;
+  if (timedOut_) {
+    throw TimeoutError("RmsClient::stats: no STATS_REPLY within rpcTimeout");
+  }
+  return std::nullopt;
 }
 
 void RmsClient::done(RequestId id, std::vector<NodeId> released) {
@@ -115,7 +194,7 @@ void RmsClient::disconnect() {
 
 void RmsClient::onIo(short events) {
   if ((events & PollExecutor::kError) != 0) {
-    markDead();
+    onConnectionLost();
     return;
   }
   if ((events & PollExecutor::kReadable) != 0) readFrames();
@@ -126,7 +205,16 @@ bool RmsClient::readFrames() {
   // Parse frames that rode in with an EOF/reset before declaring the
   // connection dead: trailing deliveries must still reach the endpoint.
   const DrainStatus status = drainReadable(fd_.get(), inbound_);
+  if (!parseBuffered()) return false;
+  if (status != DrainStatus::kOk) {
+    // The peer vanished; a resume (policy permitting) revives fd_.
+    onConnectionLost();
+    return fd_.valid() && !dead_;
+  }
+  return true;
+}
 
+bool RmsClient::parseBuffered() {
   FrameView frame;
   while (fd_.valid()) {
     switch (inbound_.next(frame)) {
@@ -134,10 +222,6 @@ bool RmsClient::readFrames() {
         handleFrame(frame);
         continue;
       case FrameBuffer::Next::kNeedMore:
-        if (status != DrainStatus::kOk) {
-          markDead();
-          return false;
-        }
         return true;
       case FrameBuffer::Next::kBad:
         COORM_LOG(LogLevel::kWarn, "net") << "protocol error from server";
@@ -154,6 +238,7 @@ void RmsClient::handleFrame(const FrameView& frame) {
       WelcomeMsg msg;
       if (decode(frame.payload, msg)) {
         app_ = msg.app;
+        token_ = msg.token;  // the RESUME credential
         return;
       }
       break;
@@ -178,6 +263,7 @@ void RmsClient::handleFrame(const FrameView& frame) {
     case MsgType::kStarted: {
       StartedMsg msg;
       if (!decode(frame.payload, msg)) break;
+      if (alreadyDelivered(msg.id, 1)) return;  // resume re-announcement
       pending_.push_back(std::move(msg));
       armDrain();
       return;
@@ -185,6 +271,7 @@ void RmsClient::handleFrame(const FrameView& frame) {
     case MsgType::kExpired: {
       ExpiredMsg msg;
       if (!decode(frame.payload, msg)) break;
+      if (alreadyDelivered(msg.id, 2)) return;  // resume re-announcement
       pending_.push_back(msg);
       armDrain();
       return;
@@ -192,8 +279,23 @@ void RmsClient::handleFrame(const FrameView& frame) {
     case MsgType::kEnded: {
       EndedMsg msg;
       if (!decode(frame.payload, msg)) break;
+      if (alreadyDelivered(msg.id, 4)) return;  // resume re-announcement
       pending_.push_back(msg);
       armDrain();
+      return;
+    }
+    case MsgType::kPing: {
+      PingMsg msg;
+      if (!decode(frame.payload, msg)) break;
+      encode(scratch_, PongMsg{msg.nonce});
+      sendFrame();
+      return;
+    }
+    case MsgType::kResumeAck: {
+      // Post-commit duplicates (a late ack after a timed-out resume wait)
+      // carry no state the client still wants; drop them.
+      ResumeAckMsg msg;
+      if (!decode(frame.payload, msg)) break;
       return;
     }
     case MsgType::kStatsReply: {
@@ -273,7 +375,14 @@ void RmsClient::sendFrame() {
       poll(&p, 1, 100);
       continue;
     }
-    markDead();
+    // Connection loss mid-frame: resume (policy permitting) and re-send
+    // the whole frame — the dead daemon never acted on the partial bytes,
+    // and the server dedups a REQUEST the resume itself already replayed.
+    onConnectionLost();
+    if (fd_.valid() && !dead_) {
+      pos = 0;
+      continue;
+    }
     break;
   }
   scratch_.clear();
@@ -282,23 +391,25 @@ void RmsClient::sendFrame() {
 template <typename Pred>
 bool RmsClient::pumpUntil(Pred pred) {
   const Time deadline = executor_.now() + config_.rpcTimeout;
-  while (!pred()) {
+  while (true) {
+    // A resume may have handed over frames it read while waiting for its
+    // ack; consume those before (and instead of) blocking in poll.
+    if (!parseBuffered()) return pred();
+    if (pred()) return true;
     if (!fd_.valid() || dead_) return false;
     if (executor_.now() > deadline) {
-      COORM_LOG(LogLevel::kWarn, "net") << "rpc timeout; dropping connection";
-      markDead();
+      COORM_LOG(LogLevel::kWarn, "net") << "rpc timeout";
+      timedOut_ = true;  // the connection stays up; the caller throws
       return false;
     }
     pollfd p{fd_.get(), POLLIN, 0};
     const int rc = poll(&p, 1, 100);
-    if (rc > 0 && (p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
-      // Drain whatever arrived before the hangup, then mark dead.
-      if (!readFrames()) return pred();
-    } else if (rc > 0 && (p.revents & POLLIN) != 0) {
+    if (rc > 0 &&
+        (p.revents & (POLLIN | POLLERR | POLLHUP | POLLNVAL)) != 0) {
+      // On error/hangup: drain whatever arrived first, then resume or die.
       if (!readFrames()) return pred();
     }
   }
-  return true;
 }
 
 void RmsClient::markDead() {
@@ -314,6 +425,136 @@ void RmsClient::markDead() {
     pending_.push_back(KilledMsg{});
     armDrain();
   }
+}
+
+void RmsClient::onConnectionLost() {
+  if (dead_) return;
+  if (fd_.valid()) {
+    executor_.unwatch(fd_.get());
+    fd_.reset();
+  }
+  if (tryResume()) return;
+  markDead();
+}
+
+bool RmsClient::tryResume() {
+  if (resuming_ || !config_.reconnect || !app_.valid() || token_ == 0 ||
+      killedQueued_ || dead_) {
+    return false;
+  }
+  resuming_ = true;
+  bool resumed = false;
+  const int attempts = std::max(config_.connectAttempts, 1);
+  for (int attempt = 0; attempt < attempts && !resumed; ++attempt) {
+    if (attempt > 0) {
+      ::poll(nullptr, 0, static_cast<int>(backoffDelay(attempt - 1)));
+    }
+    std::string error;
+    Fd fd = connectTo(config_.server, error);
+    if (!fd.valid()) continue;
+
+    // RESUME handshake on the candidate socket; commit nothing until the
+    // ack says the session is still ours.
+    std::vector<std::uint8_t> buf;
+    encode(buf, ResumeMsg{app_, token_});
+    if (!sendAll(fd.get(), buf, executor_,
+                 executor_.now() + config_.rpcTimeout)) {
+      continue;
+    }
+    FrameBuffer fb;
+    FrameView frame;
+    const Time deadline = executor_.now() + config_.rpcTimeout;
+    bool got = false;
+    bool ok = false;
+    bool broken = false;
+    while (!got && !broken && executor_.now() <= deadline) {
+      pollfd p{fd.get(), POLLIN, 0};
+      const int rc = ::poll(&p, 1, 100);
+      if (rc <= 0) continue;
+      const DrainStatus status = drainReadable(fd.get(), fb);
+      while (!got && !broken) {
+        const FrameBuffer::Next next = fb.next(frame);
+        if (next == FrameBuffer::Next::kNeedMore) break;
+        if (next == FrameBuffer::Next::kBad) {
+          broken = true;
+          break;
+        }
+        if (frame.type == MsgType::kResumeAck) {
+          ResumeAckMsg msg;
+          if (decode(frame.payload, msg)) {
+            got = true;
+            ok = msg.ok;
+          } else {
+            broken = true;
+          }
+        }
+        // Anything before the ack is unexpected; skip it.
+      }
+      if (!got && status != DrainStatus::kOk) broken = true;
+    }
+    if (!got) continue;
+    if (!ok) break;  // the session is gone for real: retrying cannot help
+
+    // Commit: install the socket (with any frames that rode in behind the
+    // ack — pumpUntil/readFrames parse them), rewatch, replay the REQUEST
+    // still awaiting its ack.
+    fd_ = std::move(fd);
+    inbound_ = std::move(fb);
+    executor_.watch(fd_.get(), PollExecutor::kReadable,
+                    [this](short events) { onIo(events); });
+    if (awaitingCookie_ != 0 && !ackReceived_) {
+      RequestMsg msg;
+      msg.cookie = awaitingCookie_;
+      msg.spec = pendingSpec_;
+      buf.clear();
+      encode(buf, msg);
+      if (!sendAll(fd_.get(), buf, executor_,
+                   executor_.now() + config_.rpcTimeout)) {
+        executor_.unwatch(fd_.get());
+        fd_.reset();
+        continue;  // the new connection died instantly; keep trying
+      }
+    }
+    ++reconnects_;
+    resumed = true;
+    COORM_LOG(LogLevel::kInfo, "net")
+        << config_.name << ": session resumed after "
+        << (attempt + 1) << " attempt(s)";
+  }
+  resuming_ = false;
+  return resumed;
+}
+
+Time RmsClient::backoffDelay(int attempt) const {
+  Time d = std::max<Time>(config_.backoffBase, 1);
+  const Time cap = std::max<Time>(config_.backoffMax, 1);
+  for (int i = 0; i < attempt && d < cap; ++i) d = satAdd(d, d);
+  d = std::min(d, cap);
+  // Deterministic jitter (hash of name + attempt) lands the delay in
+  // [d/2, d]: a herd of clients killed together redials desynchronised
+  // without this code needing a PRNG.
+  std::uint64_t h = std::hash<std::string>{}(config_.name) +
+                    0x9E3779B97F4A7C15ull *
+                        (static_cast<std::uint64_t>(attempt) + 1);
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDull;
+  h ^= h >> 33;
+  return d / 2 + static_cast<Time>(h % static_cast<std::uint64_t>(d / 2 + 1));
+}
+
+bool RmsClient::alreadyDelivered(RequestId id, std::uint8_t kindBit) {
+  constexpr std::size_t kCap = 4096;
+  auto [it, fresh] = delivered_.try_emplace(id.value, std::uint8_t{0});
+  if (fresh) {
+    deliveredOrder_.push_back(id.value);
+    if (deliveredOrder_.size() > kCap) {
+      delivered_.erase(deliveredOrder_.front());
+      deliveredOrder_.pop_front();
+    }
+  }
+  if ((it->second & kindBit) != 0) return true;
+  it->second = static_cast<std::uint8_t>(it->second | kindBit);
+  return false;
 }
 
 }  // namespace coorm::net

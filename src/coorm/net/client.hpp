@@ -13,6 +13,17 @@
 //    `AppEndpoint` callbacks dispatched from the owning PollExecutor loop,
 //    in arrival order, never re-entrantly from inside a blocking wait.
 //
+// Crash safety (version 2): with Config::reconnect set, a lost connection
+// does not end the session. The client redials with exponential backoff +
+// deterministic jitter, presents the (app, token) pair its WELCOME handed
+// out in a RESUME frame, and on RESUME_ACK(ok) replays the one possibly
+// unacked REQUEST by cookie (the server dedups). The daemon re-announces
+// any started/expired/ended the client may have missed while detached —
+// at-least-once — and the client dedups those by request id, so the
+// application observes each transition exactly once across daemon
+// restarts. Only a RESUME_ACK(!ok) — session gone for real — or an
+// explicit KILLED escalates to onKilled().
+//
 // Threading: one loop thread owns the client (the same model as the
 // server side). The blocking pump polls only this client's socket, so
 // several RmsClients can share one loop without dispatching each other's
@@ -22,7 +33,9 @@
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <stdexcept>
 #include <string>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -36,14 +49,30 @@
 
 namespace coorm::net {
 
+/// A blocking RPC (connect handshake, request ack, stats) exceeded
+/// Config::rpcTimeout. The connection stays up — a late answer is
+/// discarded — so the caller may retry; only socket death ends a session.
+struct TimeoutError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
 class RmsClient final : public AppLink {
  public:
   struct Config {
     Endpoint server{};
     std::string name = "app";  ///< reported in HELLO (server diagnostics)
-    /// Bound on any blocking wait (handshake, request ack). Expiry marks
-    /// the connection dead rather than blocking the loop forever.
+    /// Bound on any blocking wait (handshake, request ack). Expiry throws
+    /// TimeoutError rather than blocking the loop forever.
     Time rpcTimeout = sec(30);
+    /// Resume a lost session instead of reporting it killed: redial with
+    /// backoff and present the WELCOME token in a RESUME frame. Requires
+    /// a daemon with a resume window (Daemon::Config::resumeGrace).
+    bool reconnect = false;
+    /// Dial attempts for connect()/dial() and for each resume cycle; the
+    /// gaps follow the backoff policy below.
+    int connectAttempts = 1;
+    Time backoffBase = msec(50);  ///< first retry delay (doubles per try)
+    Time backoffMax = sec(2);     ///< retry delay cap (jitter keeps [d/2, d])
   };
 
   RmsClient(PollExecutor& executor, Config config);
@@ -71,6 +100,9 @@ class RmsClient final : public AppLink {
   /// request() round trips completed so far (load-generator reporting).
   [[nodiscard]] std::uint64_t requestsSent() const { return requestsSent_; }
 
+  /// Successful RESUME handshakes performed so far.
+  [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
+
   /// Admin round trip: STATS → STATS_REPLY. Returns the daemon's metrics
   /// snapshot, or nullopt if the connection is dead or the wait timed out.
   /// Works on any connected client; no requests need to be in flight.
@@ -94,6 +126,9 @@ class RmsClient final : public AppLink {
   /// Drains readable socket data into the frame buffer and queues decoded
   /// downstream frames; returns false if the connection died.
   bool readFrames();
+  /// Decodes the complete frames already buffered in inbound_ (a resume
+  /// hands over frames read during its ack wait); false if that killed us.
+  bool parseBuffered();
   /// Decodes one downstream frame into the delivery queue (or stashes a
   /// REQ_ACK for a blocking request()).
   void handleFrame(const FrameView& frame);
@@ -106,6 +141,18 @@ class RmsClient final : public AppLink {
   template <typename Pred>
   bool pumpUntil(Pred pred);
   void markDead();
+  /// The socket died: resume (reconnect policy permitting) or markDead.
+  void onConnectionLost();
+  /// Redial + RESUME handshake loop. True once re-attached (socket live,
+  /// unacked REQUEST replayed); false when attempts ran out or the server
+  /// nacked (session gone).
+  bool tryResume();
+  /// Backoff delay before retry `attempt` (0-based): exponential from
+  /// backoffBase, capped at backoffMax, deterministic jitter in [d/2, d].
+  [[nodiscard]] Time backoffDelay(int attempt) const;
+  /// True (and remembered) if this notification kind was already delivered
+  /// for `id` — the dedup behind at-least-once re-announcement.
+  bool alreadyDelivered(RequestId id, std::uint8_t kindBit);
 
   PollExecutor& executor_;
   Config config_;
@@ -125,10 +172,21 @@ class RmsClient final : public AppLink {
   bool killedQueued_ = false;
   std::uint64_t nextCookie_ = 1;
   std::uint64_t requestsSent_ = 0;
-  // Blocking-request state: the cookie being awaited and its answer.
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t token_ = 0;  ///< RESUME credential from WELCOME
+  bool resuming_ = false;    ///< a resume cycle is on the stack
+  bool timedOut_ = false;    ///< last pumpUntil ended by deadline, not death
+  // Blocking-request state: the cookie being awaited and its answer. The
+  // spec rides along so a resume mid-wait can replay the REQUEST.
   std::uint64_t awaitingCookie_ = 0;
+  RequestSpec pendingSpec_{};
   bool ackReceived_ = false;
   RequestId ackId_{};
+  // Delivery dedup across resumes: request id -> bitmask of kinds
+  // (1=started, 2=expired, 4=ended) already handed to the endpoint.
+  // FIFO-bounded; re-announced duplicates are dropped here.
+  std::unordered_map<std::int64_t, std::uint8_t> delivered_;
+  std::deque<std::int64_t> deliveredOrder_;
   // Blocking-stats state, mirroring the request()/REQ_ACK pattern.
   bool awaitingStats_ = false;
   bool statsReceived_ = false;

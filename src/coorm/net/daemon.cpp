@@ -23,10 +23,12 @@ struct Daemon::Connection final : AppEndpoint {
   FrameBuffer inbound;
   std::vector<std::uint8_t> outbound;
   std::size_t outboundPos = 0;  ///< written prefix of `outbound`
-  Session* session = nullptr;   ///< null until HELLO
+  Session* session = nullptr;   ///< null until HELLO (or RESUME)
   std::string peerName;         ///< from HELLO, for diagnostics
+  Time lastActivity = 0;        ///< last inbound traffic (idle sweep)
   bool writable = false;        ///< POLLOUT interest currently registered
   bool closeWhenFlushed = false;  ///< KILLED sent; close after drain
+  bool clean = false;           ///< GOODBYE seen: disconnect, never detach
   bool dead = false;            ///< torn down; ignore further activity
   EventHandle destroyEvent;     ///< deferred destruction (cancellable)
 
@@ -72,6 +74,8 @@ Daemon::Daemon(PollExecutor& executor, Server& server, Config config)
   port_ = boundPort(listener_.get());
   executor_.watch(listener_.get(), PollExecutor::kReadable,
                   [this](short) { onAcceptable(); });
+  if (config_.idleDeadline > 0) armIdleSweep();
+  if (config_.resumeGrace > 0) armResumeReaper();
 }
 
 Daemon::~Daemon() {
@@ -88,6 +92,8 @@ std::size_t Daemon::connectionCount() const {
 void Daemon::close() {
   if (closed_) return;
   closed_ = true;
+  Executor::cancel(idleSweep_);
+  Executor::cancel(resumeReaper_);
   executor_.unwatch(listener_.get());
   listener_.reset();
   for (auto& conn : connections_) {
@@ -108,6 +114,7 @@ void Daemon::onAcceptable() {
     auto conn = std::make_unique<Connection>();
     conn->daemon = this;
     conn->fd = std::move(fd);
+    conn->lastActivity = executor_.now();
     Connection* raw = conn.get();
     executor_.watch(raw->fd.get(), PollExecutor::kReadable,
                     [this, raw](short events) { onConnectionIo(*raw, events); });
@@ -134,6 +141,7 @@ void Daemon::onConnectionIo(Connection& conn, short events) {
   // disconnect (a final DONE right before close must not be dropped, and
   // a GOODBYE right before close is a clean departure, not a dead peer).
   const DrainStatus status = drainReadable(conn.fd.get(), conn.inbound);
+  conn.lastActivity = executor_.now();
 
   FrameView frame;
   bool more = true;
@@ -167,11 +175,47 @@ void Daemon::handleFrame(Connection& conn, const FrameView& frame) {
       HelloMsg msg;
       if (!decode(frame.payload, msg) || conn.session != nullptr) break;
       conn.peerName = msg.name;
-      conn.session = server_.connect(conn);
-      encode(scratch_, WelcomeMsg{conn.session->app()});
+      conn.session = server_.connect(conn, msg.name);
+      encode(scratch_, WelcomeMsg{conn.session->app(),
+                                  server_.sessionToken(conn.session->app())});
       send(conn, MsgType::kWelcome);
       return;
     }
+    case MsgType::kResume: {
+      ResumeMsg msg;
+      if (!decode(frame.payload, msg) || conn.session != nullptr) break;
+      Session* resumed = server_.resumeSession(msg.app, msg.token, conn);
+      if (resumed != nullptr) {
+        // A half-open predecessor may still think it owns this session;
+        // neutralise it first (null the pointer so its teardown does not
+        // disconnect the session we just re-attached).
+        for (auto& other : connections_) {
+          if (other.get() != &conn && !other->dead &&
+              other->session == resumed) {
+            other->session = nullptr;
+            teardown(*other);
+          }
+        }
+        conn.session = resumed;
+        conn.peerName = "resumed app " + std::to_string(msg.app.value);
+      }
+      encode(scratch_, ResumeAckMsg{resumed != nullptr, msg.app});
+      send(conn, MsgType::kResumeAck);
+      // A nack is an answer, not a violation: the client falls back to a
+      // fresh HELLO (or gives up) on the same connection.
+      return;
+    }
+    case MsgType::kPing: {
+      PingMsg msg;
+      if (!decode(frame.payload, msg)) break;
+      encode(scratch_, PongMsg{msg.nonce});
+      send(conn, MsgType::kPong);
+      return;
+    }
+    case MsgType::kPong:
+      // Heartbeat reply; lastActivity was already refreshed on receipt.
+      if (frame.payload.size() != 8) break;
+      return;
     case MsgType::kRequest: {
       RequestMsg msg;
       if (!decode(frame.payload, msg) || conn.session == nullptr) break;
@@ -181,7 +225,7 @@ void Daemon::handleFrame(Connection& conn, const FrameView& frame) {
       RequestId id{};
       if (msg.spec.nodes > 0 && msg.spec.duration > 0 &&
           server_.machine().nodesOn(msg.spec.cluster) > 0) {
-        id = conn.session->request(msg.spec);
+        id = conn.session->request(msg.spec, msg.cookie);
       } else {
         COORM_LOG(LogLevel::kWarn, "net")
             << conn.peerName << ": invalid request spec rejected";
@@ -200,7 +244,8 @@ void Daemon::handleFrame(Connection& conn, const FrameView& frame) {
       // Legal with or without a session: admin peers (stats queries) say
       // goodbye too. teardown() handles the session-less case.
       if (!frame.payload.empty()) break;
-      teardown(conn);  // disconnects the session, like a dead peer
+      conn.clean = true;   // deliberate departure: disconnect, never detach
+      teardown(conn);
       return;
     }
     case MsgType::kStats: {
@@ -286,15 +331,54 @@ void Daemon::teardown(Connection& conn) {
   conn.dead = true;
   executor_.unwatch(conn.fd.get());
   conn.fd.reset();
-  // Map the dead peer to the protocol-level departure. Session::disconnect
-  // is a no-op on an already killed/disconnected session.
-  if (conn.session != nullptr) conn.session->disconnect();
+  // Map the dead peer to the protocol-level departure. With a resume
+  // window configured, a *vanished* peer only detaches its session (a
+  // RESUME inside the window re-attaches; the reaper disconnects it
+  // otherwise); a deliberate GOODBYE always disconnects for real. Both
+  // are no-ops on an already killed/disconnected session.
+  if (conn.session != nullptr) {
+    if (config_.resumeGrace > 0 && !conn.clean) {
+      server_.detachEndpoint(conn.session->app());
+    } else {
+      conn.session->disconnect();
+    }
+  }
   // Destroy the Connection *behind* any endpoint notifications already
   // queued on the executor: they were scheduled earlier at this same
   // timestamp, so they dispatch first (and no new ones follow — the
   // session is disconnected, and `dead` guards the object meanwhile).
   Connection* raw = &conn;
   conn.destroyEvent = executor_.after(0, [this, raw] { destroy(raw); });
+}
+
+void Daemon::armIdleSweep() {
+  const Time period = std::max<Time>(config_.idleDeadline / 2, 1);
+  idleSweep_ = executor_.after(period, [this] {
+    const Time now = executor_.now();
+    for (auto& conn : connections_) {
+      if (conn->dead) continue;
+      const Time idle = now - conn->lastActivity;
+      if (idle >= config_.idleDeadline) {
+        COORM_LOG(LogLevel::kWarn, "net")
+            << conn->peerName << ": idle for " << idle
+            << " ms; dropping peer";
+        metrics::increment(metrics::Event::kIdlePeerDrops);
+        teardown(*conn);
+      } else if (idle >= config_.idleDeadline / 2) {
+        encode(scratch_, PingMsg{++pingNonce_});
+        send(*conn, MsgType::kPing);
+      }
+    }
+    armIdleSweep();
+  });
+}
+
+void Daemon::armResumeReaper() {
+  const Time period = std::max<Time>(config_.resumeGrace / 2, 1);
+  resumeReaper_ = executor_.after(period, [this] {
+    server_.dropUnresumedBefore(executor_.now() - config_.resumeGrace);
+    armResumeReaper();
+  });
 }
 
 void Daemon::destroy(Connection* conn) {

@@ -39,6 +39,16 @@ class Daemon {
     /// Outbound-buffer cap per connection: a peer that does not drain its
     /// socket past this point is treated as dead (backpressure kill).
     std::size_t maxOutboundBytes = 64u << 20;
+    /// Idle sweep: a connection silent for this long is dropped
+    /// (idle_peer_drops); one silent for half of it is PINGed first, so a
+    /// live-but-quiet peer only has to PONG. 0 disables the sweep.
+    Time idleDeadline = 0;
+    /// Reconnect window: when > 0, a vanished peer *detaches* its session
+    /// (Server::detachEndpoint) instead of disconnecting it, and a RESUME
+    /// within this window re-attaches; sessions detached longer are
+    /// reaped. 0 restores the strict PR 5 behaviour (dead peer ==
+    /// disconnect) — half-open clients then cannot resume.
+    Time resumeGrace = 0;
   };
 
   /// Binds and starts accepting. Throws std::runtime_error if the listen
@@ -72,6 +82,10 @@ class Daemon {
   void onAcceptable();
   void onConnectionIo(Connection& conn, short events);
   void handleFrame(Connection& conn, const FrameView& frame);
+  /// Repeating timers: PING/drop silent peers, reap never-resumed
+  /// sessions. Re-armed from their own callbacks; cancelled by close().
+  void armIdleSweep();
+  void armResumeReaper();
   /// Appends an encoded frame to the connection's outbound buffer and
   /// flushes opportunistically.
   void send(Connection& conn, MsgType type);
@@ -91,6 +105,9 @@ class Daemon {
   std::vector<std::uint8_t> scratch_;  ///< frame encode buffer (reused)
   std::uint64_t framesIn_ = 0;
   std::uint64_t framesOut_ = 0;
+  std::uint64_t pingNonce_ = 0;
+  EventHandle idleSweep_;
+  EventHandle resumeReaper_;
   bool closed_ = false;
 };
 

@@ -16,6 +16,12 @@ Time PollExecutor::now() const {
       .count();
 }
 
+void PollExecutor::advanceTo(Time t) {
+  const Time current = now();
+  if (t <= current) return;
+  start_ -= std::chrono::milliseconds(t - current);
+}
+
 EventHandle PollExecutor::schedule(Time at, std::function<void()> fn) {
   auto state = std::make_shared<detail::EventState>();
   // Clamp to now: the Executor contract says `at >= now()`, but a

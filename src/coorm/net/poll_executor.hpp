@@ -47,6 +47,14 @@ class PollExecutor final : public Executor {
   /// Milliseconds since the loop was created (monotonic).
   [[nodiscard]] Time now() const override;
 
+  /// Jump the clock forward so now() reads at least `t`. Used after journal
+  /// replay: restored state carries absolute timestamps from the previous
+  /// process, so the loop's clock must not restart behind them. Timers
+  /// already scheduled keep their absolute times — ones now in the past
+  /// fire at the next dispatch, exactly as if the daemon had been running
+  /// the whole time. Never moves the clock backwards.
+  void advanceTo(Time t);
+
   /// Run `fn` at absolute time `at` on the loop thread; times in the past
   /// run as soon as the loop reaches its timer dispatch. Same-time
   /// callbacks run in scheduling order.

@@ -9,9 +9,9 @@ namespace coorm::net {
 
 bool knownMsgType(std::uint8_t raw) {
   return (raw >= static_cast<std::uint8_t>(MsgType::kHello) &&
-          raw <= static_cast<std::uint8_t>(MsgType::kStats)) ||
+          raw <= static_cast<std::uint8_t>(MsgType::kResume)) ||
          (raw >= static_cast<std::uint8_t>(MsgType::kWelcome) &&
-          raw <= static_cast<std::uint8_t>(MsgType::kStatsReply));
+          raw <= static_cast<std::uint8_t>(MsgType::kResumeAck));
 }
 
 const char* toString(MsgType type) {
@@ -29,6 +29,10 @@ const char* toString(MsgType type) {
     case MsgType::kKilled: return "KILLED";
     case MsgType::kStats: return "STATS";
     case MsgType::kStatsReply: return "STATS_REPLY";
+    case MsgType::kPing: return "PING";
+    case MsgType::kPong: return "PONG";
+    case MsgType::kResume: return "RESUME";
+    case MsgType::kResumeAck: return "RESUME_ACK";
   }
   return "?";
 }
@@ -272,6 +276,7 @@ void encode(std::vector<std::uint8_t>& out, const WelcomeMsg& msg) {
   Writer w(out);
   const std::size_t at = beginFrame(w, MsgType::kWelcome);
   w.i32(msg.app.value);
+  w.u64(msg.token);
   endFrame(w, at);
 }
 
@@ -359,6 +364,36 @@ void encode(std::vector<std::uint8_t>& out, const StatsMsg&) {
   endFrame(w, beginFrame(w, MsgType::kStats));
 }
 
+void encode(std::vector<std::uint8_t>& out, const PingMsg& msg) {
+  Writer w(out);
+  const std::size_t at = beginFrame(w, MsgType::kPing);
+  w.u64(msg.nonce);
+  endFrame(w, at);
+}
+
+void encode(std::vector<std::uint8_t>& out, const PongMsg& msg) {
+  Writer w(out);
+  const std::size_t at = beginFrame(w, MsgType::kPong);
+  w.u64(msg.nonce);
+  endFrame(w, at);
+}
+
+void encode(std::vector<std::uint8_t>& out, const ResumeMsg& msg) {
+  Writer w(out);
+  const std::size_t at = beginFrame(w, MsgType::kResume);
+  w.i32(msg.app.value);
+  w.u64(msg.token);
+  endFrame(w, at);
+}
+
+void encode(std::vector<std::uint8_t>& out, const ResumeAckMsg& msg) {
+  Writer w(out);
+  const std::size_t at = beginFrame(w, MsgType::kResumeAck);
+  w.u8(msg.ok ? 1 : 0);
+  w.i32(msg.app.value);
+  endFrame(w, at);
+}
+
 void encode(std::vector<std::uint8_t>& out, const StatsReplyMsg& msg) {
   Writer w(out);
   const std::size_t at = beginFrame(w, MsgType::kStatsReply);
@@ -391,6 +426,7 @@ bool decode(std::span<const std::uint8_t> payload, HelloMsg& out) {
 bool decode(std::span<const std::uint8_t> payload, WelcomeMsg& out) {
   Reader r(payload);
   out.app = AppId{r.i32()};
+  out.token = r.u64();
   return r.done();
 }
 
@@ -458,6 +494,34 @@ bool decode(std::span<const std::uint8_t> payload, KilledMsg&) {
 
 bool decode(std::span<const std::uint8_t> payload, StatsMsg&) {
   return payload.empty();
+}
+
+bool decode(std::span<const std::uint8_t> payload, PingMsg& out) {
+  Reader r(payload);
+  out.nonce = r.u64();
+  return r.done();
+}
+
+bool decode(std::span<const std::uint8_t> payload, PongMsg& out) {
+  Reader r(payload);
+  out.nonce = r.u64();
+  return r.done();
+}
+
+bool decode(std::span<const std::uint8_t> payload, ResumeMsg& out) {
+  Reader r(payload);
+  out.app = AppId{r.i32()};
+  out.token = r.u64();
+  return r.done();
+}
+
+bool decode(std::span<const std::uint8_t> payload, ResumeAckMsg& out) {
+  Reader r(payload);
+  const std::uint8_t ok = r.u8();
+  out.app = AppId{r.i32()};
+  if (!r.done() || ok > 1) return false;
+  out.ok = ok == 1;
+  return true;
 }
 
 bool decode(std::span<const std::uint8_t> payload, StatsReplyMsg& out) {

@@ -16,14 +16,23 @@
 //
 //   upstream (application -> RMS)      downstream (RMS -> application)
 //   ------------------------------     ---------------------------------
-//   HELLO    name                      WELCOME  appId
+//   HELLO    name                      WELCOME  appId token
 //   REQUEST  cookie spec               REQ_ACK  cookie requestId
 //   DONE     requestId released[]      VIEWS    nonPreemptive preemptive
 //   GOODBYE                            STARTED  requestId nodeIds[]
 //   STATS                              EXPIRED  requestId
-//                                      ENDED    requestId
-//                                      KILLED
+//   PING     nonce                     ENDED    requestId
+//   RESUME   appId token               KILLED
 //                                      STATS_REPLY  events[] gauges[]
+//                                      PONG     nonce
+//                                      RESUME_ACK  ok appId
+//
+// PING/PONG is the liveness probe behind the daemon's idle-session sweep
+// (either side may PING; the peer echoes the nonce). RESUME re-attaches a
+// disconnected application to its surviving (or journal-replayed) session:
+// the WELCOME hands out a per-session secret token, and a client that loses
+// its TCP connection dials back and presents (appId, token) instead of
+// HELLOing fresh — see README "Crash safety & recovery".
 //
 // STATS is an admin query, answered with a STATS_REPLY holding the
 // daemon's metrics snapshot (common/metrics.hpp) as (id, value) pairs —
@@ -60,7 +69,9 @@
 namespace coorm::net {
 
 inline constexpr std::uint16_t kMagic = 0xC052;  // "CooRMv2", squinting
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// Version 2: WELCOME gained the session resume token, and the
+/// PING/PONG/RESUME/RESUME_ACK message types joined the set.
+inline constexpr std::uint8_t kProtocolVersion = 2;
 inline constexpr std::size_t kHeaderSize = 8;
 /// Upper bound on a payload; larger length fields are a protocol error
 /// (a views push of 4096-breakpoint profiles is ~128 KiB).
@@ -73,6 +84,8 @@ enum class MsgType : std::uint8_t {
   kDone = 0x03,
   kGoodbye = 0x04,
   kStats = 0x05,
+  kPing = 0x06,
+  kResume = 0x07,
   // downstream (RMS -> application)
   kWelcome = 0x41,
   kRequestAck = 0x42,
@@ -82,6 +95,8 @@ enum class MsgType : std::uint8_t {
   kEnded = 0x46,
   kKilled = 0x47,
   kStatsReply = 0x48,
+  kPong = 0x49,
+  kResumeAck = 0x4A,
 };
 
 [[nodiscard]] bool knownMsgType(std::uint8_t raw);
@@ -96,6 +111,8 @@ struct HelloMsg {
 
 struct WelcomeMsg {
   AppId app{};
+  /// Per-session secret for the RESUME handshake (version 2).
+  std::uint64_t token = 0;
   friend bool operator==(const WelcomeMsg&, const WelcomeMsg&) = default;
 };
 
@@ -158,6 +175,35 @@ struct KilledMsg {
 /// with or without a session.
 struct StatsMsg {
   friend bool operator==(const StatsMsg&, const StatsMsg&) = default;
+};
+
+/// Liveness probe; the peer echoes the nonce back in a PONG. Either
+/// direction may probe (the daemon's idle sweep is the main sender).
+struct PingMsg {
+  std::uint64_t nonce = 0;
+  friend bool operator==(const PingMsg&, const PingMsg&) = default;
+};
+
+struct PongMsg {
+  std::uint64_t nonce = 0;
+  friend bool operator==(const PongMsg&, const PongMsg&) = default;
+};
+
+/// Re-attach to an existing session after a connection loss: the client
+/// presents the (appId, token) pair its WELCOME handed out.
+struct ResumeMsg {
+  AppId app{};
+  std::uint64_t token = 0;
+  friend bool operator==(const ResumeMsg&, const ResumeMsg&) = default;
+};
+
+/// Answer to a RESUME. `ok == false` means the session cannot be resumed
+/// (unknown app, token mismatch, or the session was killed/ended) — the
+/// client must treat the session as gone.
+struct ResumeAckMsg {
+  bool ok = false;
+  AppId app{};
+  friend bool operator==(const ResumeAckMsg&, const ResumeAckMsg&) = default;
 };
 
 /// The daemon's metrics snapshot. Encoded as explicit (id, value) pairs;
@@ -251,6 +297,10 @@ void encode(std::vector<std::uint8_t>& out, const EndedMsg& msg);
 void encode(std::vector<std::uint8_t>& out, const KilledMsg& msg);
 void encode(std::vector<std::uint8_t>& out, const StatsMsg& msg);
 void encode(std::vector<std::uint8_t>& out, const StatsReplyMsg& msg);
+void encode(std::vector<std::uint8_t>& out, const PingMsg& msg);
+void encode(std::vector<std::uint8_t>& out, const PongMsg& msg);
+void encode(std::vector<std::uint8_t>& out, const ResumeMsg& msg);
+void encode(std::vector<std::uint8_t>& out, const ResumeAckMsg& msg);
 
 // --- frame decoding ---------------------------------------------------------
 
@@ -279,6 +329,12 @@ void encode(std::vector<std::uint8_t>& out, const StatsReplyMsg& msg);
                           StatsMsg& out);
 [[nodiscard]] bool decode(std::span<const std::uint8_t> payload,
                           StatsReplyMsg& out);
+[[nodiscard]] bool decode(std::span<const std::uint8_t> payload, PingMsg& out);
+[[nodiscard]] bool decode(std::span<const std::uint8_t> payload, PongMsg& out);
+[[nodiscard]] bool decode(std::span<const std::uint8_t> payload,
+                          ResumeMsg& out);
+[[nodiscard]] bool decode(std::span<const std::uint8_t> payload,
+                          ResumeAckMsg& out);
 
 // --- stream framing ---------------------------------------------------------
 

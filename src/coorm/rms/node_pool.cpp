@@ -66,6 +66,17 @@ void NodePool::release(std::span<const NodeId> nodes) {
   }
 }
 
+void NodePool::claim(std::span<const NodeId> nodes) {
+  for (const NodeId& node : nodes) {
+    ClusterState& st = state(node.cluster);
+    const auto index = static_cast<std::size_t>(node.index);
+    COORM_CHECK(index < st.free.size());
+    COORM_CHECK(st.free[index] && "claim of allocated node");
+    st.free[index] = false;
+    --st.freeCount;
+  }
+}
+
 bool NodePool::isFree(NodeId node) const {
   const ClusterState& st = state(node.cluster);
   const auto index = static_cast<std::size_t>(node.index);

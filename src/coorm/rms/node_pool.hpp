@@ -31,6 +31,10 @@ class NodePool {
   /// Return nodes to the pool. Double-free aborts.
   void release(std::span<const NodeId> nodes);
 
+  /// Take specific nodes by ID (journal replay restoring the exact
+  /// allocation a started request held). Aborts if any is already taken.
+  void claim(std::span<const NodeId> nodes);
+
   [[nodiscard]] bool isFree(NodeId node) const;
 
  private:

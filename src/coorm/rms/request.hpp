@@ -77,6 +77,15 @@ struct Request {
   /// wrapping a bare non-preemptible request (§3.2).
   bool implicit = false;
 
+  // --- server-side delivery bookkeeping ----------------------------------
+  // Whether the start/expiry/end notification was actually posted to an
+  // attached endpoint. Cleared by journal replay (the previous process's
+  // deliveries are unknowable), so a RESUME re-announces anything pending —
+  // at-least-once; RmsClient dedups by request id.
+  bool startNotified = false;
+  bool expiryNotified = false;
+  bool endNotified = false;
+
   [[nodiscard]] bool started() const { return startedAt != kNever; }
   [[nodiscard]] bool ended() const { return endedAt != kNever; }
 

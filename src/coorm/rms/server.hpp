@@ -34,8 +34,11 @@
 //    view allows past a grace period is killed (§3.1.4).
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "coorm/common/executor.hpp"
@@ -54,6 +57,11 @@
 namespace coorm {
 
 class AsyncLane;
+
+namespace rms {
+class Journal;
+enum class RecordType : std::uint8_t;
+}  // namespace rms
 
 /// Callbacks the RMS delivers to an application. All notifications are
 /// posted as zero-delay events on the server's executor, so application
@@ -96,6 +104,12 @@ class Session final : public AppLink {
  public:
   /// Submit a request; returns its id immediately (paper request()).
   RequestId request(const RequestSpec& spec) override;
+
+  /// Submit with an idempotency cookie (network clients): resubmitting the
+  /// same non-zero cookie — a reconnecting client replaying a REQUEST whose
+  /// ack it never saw — returns the id already assigned instead of creating
+  /// a duplicate. Cookie 0 means "no dedup" and behaves like request(spec).
+  RequestId request(const RequestSpec& spec, std::uint64_t cookie);
 
   /// Terminate a request now (paper done()). For NEXT-shrink transitions,
   /// `released` names the node IDs given back. Calling done() on a request
@@ -157,6 +171,10 @@ class Server {
     /// inline on the executor thread). Observable behaviour is
     /// bit-identical either way.
     bool pipeline = true;
+    /// Once an attached journal grows past this many bytes, the next pass
+    /// commit rewrites it as a single snapshot record (rms/journal.hpp
+    /// compaction) instead of letting it grow without bound.
+    std::uint64_t journalCompactBytes = 1u << 20;
 
     /// Projection of the shared runtime-tuning surface
     /// (common/runtime_options.hpp): the four shared knobs come from
@@ -179,7 +197,59 @@ class Server {
   Server& operator=(const Server&) = delete;
 
   /// Connect an application. The endpoint must outlive the session.
-  Session* connect(AppEndpoint& endpoint);
+  /// `name` is a diagnostic label (the wire HELLO name) kept with the
+  /// session and journaled.
+  Session* connect(AppEndpoint& endpoint, std::string name = {});
+
+  // --- crash safety & reconnect (rms/journal.hpp, net RESUME) -------------
+
+  /// Attach a journal: from here on every durable transition (session
+  /// open/close, accepted request, start, end, kill, pass commit) is
+  /// appended, with fsync barriers at the reply-gating points. If any
+  /// records were previously replayed via restoreFromJournal(), the log is
+  /// immediately compacted to one snapshot record. Not owned; pass nullptr
+  /// to detach.
+  void attachJournal(rms::Journal* journal);
+
+  /// Rebuild state from scanned journal records (rms::Journal::scan) —
+  /// call on a freshly constructed server, before attachJournal() and
+  /// before accepting connections. On success `lastTime` (if non-null)
+  /// receives the largest timestamp seen: the caller must advance a
+  /// real-time executor to it (PollExecutor::advanceTo) so restored
+  /// absolute times stay in the past. Returns false and sets `error` on
+  /// any semantically inconsistent record — treat like corruption and
+  /// refuse startup. Restored sessions have no endpoint until a RESUME
+  /// re-attaches one.
+  bool restoreFromJournal(
+      const std::vector<std::vector<std::uint8_t>>& records, Time* lastTime,
+      std::string* error);
+
+  /// Re-attach an endpoint to a surviving (or replayed) session. Validates
+  /// the token minted at connect(); returns nullptr (and changes nothing)
+  /// on unknown app, token mismatch, or a killed/disconnected session. On
+  /// success the last-sent views are re-pushed and any expiry the client
+  /// may have missed while detached is re-announced.
+  Session* resumeSession(AppId app, std::uint64_t token,
+                         AppEndpoint& endpoint);
+
+  /// The session lost its transport but may come back: detach the endpoint
+  /// (suppressing notifications) instead of disconnecting. A later
+  /// resumeSession() re-attaches; dropUnresumedBefore() reaps it if none
+  /// arrives.
+  void detachEndpoint(AppId app);
+
+  /// Disconnect every session that has been endpoint-less since `cutoff`
+  /// or earlier — the reaper for clients that never resumed.
+  void dropUnresumedBefore(Time cutoff);
+
+  /// Token minted for the app at connect() (0 if unknown): the WELCOME
+  /// credential a client presents in RESUME.
+  [[nodiscard]] std::uint64_t sessionToken(AppId app);
+
+  /// Write a snapshot record and compact the attached journal now
+  /// (ops/test hook; pass commits do this automatically past
+  /// Config::journalCompactBytes).
+  void journalSnapshotNow();
 
   /// Register an allocation observer (several may be attached; they are
   /// invoked in registration order).
@@ -231,7 +301,16 @@ class Server {
 
   struct SessionState {
     AppId app{};
+    /// nullptr while detached: restored from a journal and not yet
+    /// resumed, or transport lost and awaiting RESUME. Notifications are
+    /// suppressed while detached.
     AppEndpoint* endpoint = nullptr;
+    std::uint64_t token = 0;     ///< RESUME credential minted at connect
+    std::string name;            ///< diagnostic label (wire HELLO name)
+    Time detachedAt = kNever;    ///< when the endpoint went away
+    /// Idempotency cookies of accepted requests (bounded, oldest-first
+    /// eviction): reconnect-replayed REQUESTs dedup against this.
+    std::vector<std::pair<std::uint64_t, RequestId>> cookieCache;
     std::unique_ptr<Session> session;
     std::vector<std::unique_ptr<Request>> owned;
     RequestSet preAllocations;
@@ -255,7 +334,8 @@ class Server {
   };
 
   // --- message handlers (called from Session) -----------------------------
-  RequestId handleRequest(SessionState& st, const RequestSpec& spec);
+  RequestId handleRequest(SessionState& st, const RequestSpec& spec,
+                          std::uint64_t cookie = 0);
   void handleDone(SessionState& st, RequestId id,
                   std::vector<NodeId> released);
   void handleDisconnect(SessionState& st);
@@ -305,6 +385,26 @@ class Server {
   void notifyViews(SessionState& st);
   void trace(const std::string& actor, const std::string& what);
 
+  // --- journal emit & replay (no-ops while journal_ == nullptr) ------------
+  void journalAppend(const std::vector<std::uint8_t>& payload);
+  void journalSyncNow();
+  void journalSessionOpen(const SessionState& st);
+  void journalRequest(const SessionState& st, const Request& r,
+                      const Request* wrapper, std::uint64_t cookie);
+  void journalStarted(const Request& r);
+  void journalEnded(const Request& r, Time endedAt, Time duration,
+                    const std::vector<NodeId>& released);
+  void journalSessionEvent(rms::RecordType type, AppId app, Time at);
+  void maybeCompactJournal();
+  [[nodiscard]] std::vector<std::uint8_t> encodeSnapshot();
+
+  SessionState& restoredSession(AppId app, std::uint64_t token,
+                                std::string name);
+  bool replayRecord(const std::vector<std::uint8_t>& payload, bool first,
+                    Time* lastTime, std::string* error);
+  bool replaySnapshot(const std::vector<std::uint8_t>& payload, Time* lastTime,
+                      std::string* error);
+
   Executor& executor_;
   Scheduler scheduler_;
   NodePool pool_;
@@ -321,6 +421,11 @@ class Server {
   Time lastPassAt_ = kNever;
   bool passPending_ = false;
   std::uint64_t passCount_ = 0;
+
+  rms::Journal* journal_ = nullptr;  ///< not owned; nullptr = no journaling
+  std::uint64_t tokenSeed_ = 0;      ///< session-token mint state
+  std::uint64_t replayedRecords_ = 0;
+  std::vector<std::uint8_t> journalScratch_;  ///< reused record buffer
 
   // --- pipeline state (all owned by the executor thread) -------------------
   std::unique_ptr<AsyncLane> lane_;  ///< present iff Config::pipeline

@@ -15,8 +15,15 @@
 // grants record counts, not id values.
 #pragma once
 
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <functional>
 #include <map>
 #include <memory>
@@ -278,6 +285,80 @@ class DaemonFixture {
   std::thread thread_;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint16_t> port_{0};
+};
+
+/// The chaos harness: a real coorm_rmsd in a fork+exec'd child process,
+/// SIGKILLable mid-run and restartable on the same journal — so a kill
+/// exercises the exact crash-recovery path an operator's daemon runs
+/// (scan, replay, clock jump, RESUME re-attach). fork+exec (rather than
+/// running the daemon in-process post-fork) keeps the child safe even
+/// when the test parent has threads, and the listen port is reserved once
+/// up front (bind + close; SO_REUSEADDR) so clients redial the same
+/// endpoint across restarts.
+class ChildDaemon {
+ public:
+  /// `binary` is the coorm_rmsd executable (tests get it injected via the
+  /// build); `extraArgs` ride after --listen/--journal.
+  ChildDaemon(std::string binary, std::string journalPath,
+              std::vector<std::string> extraArgs)
+      : binary_(std::move(binary)),
+        journalPath_(std::move(journalPath)),
+        extraArgs_(std::move(extraArgs)) {
+    std::string error;
+    const net::Fd probe = net::listenOn(net::Endpoint{"127.0.0.1", 0}, error);
+    port_ = net::boundPort(probe.get());
+  }
+
+  ~ChildDaemon() { kill(); }
+
+  ChildDaemon(const ChildDaemon&) = delete;
+  ChildDaemon& operator=(const ChildDaemon&) = delete;
+
+  void start() {
+    if (pid_ > 0) return;
+    std::vector<std::string> args = {
+        binary_, "--listen", "127.0.0.1:" + std::to_string(port_),
+        "--journal", journalPath_};
+    args.insert(args.end(), extraArgs_.begin(), extraArgs_.end());
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& arg : args) argv.push_back(arg.data());
+    argv.push_back(nullptr);
+    pid_ = ::fork();
+    if (pid_ == 0) {
+      // Child: keep stderr (recovery refusals are diagnosable in test
+      // logs) but drop the banner chatter on stdout.
+      const int devnull = ::open("/dev/null", O_WRONLY);
+      if (devnull >= 0) ::dup2(devnull, STDOUT_FILENO);
+      ::execv(binary_.c_str(), argv.data());
+      _exit(127);  // exec failed; the test sees connection refusals
+    }
+  }
+
+  /// SIGKILL, then reap: no shutdown path runs — exactly what a crash
+  /// looks like to the journal and to connected clients.
+  void kill() {
+    if (pid_ <= 0) return;
+    ::kill(pid_, SIGKILL);
+    int status = 0;
+    ::waitpid(pid_, &status, 0);
+    pid_ = -1;
+  }
+
+  void restart() {
+    kill();
+    start();
+  }
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] bool running() const { return pid_ > 0; }
+
+ private:
+  std::string binary_;
+  std::string journalPath_;
+  std::vector<std::string> extraArgs_;
+  std::uint16_t port_ = 0;
+  pid_t pid_ = -1;
 };
 
 }  // namespace coorm::nettest

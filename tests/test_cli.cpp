@@ -129,6 +129,39 @@ TEST(Cli, ParsesStatsQuery) {
   EXPECT_TRUE(r.options.statsQuery);
 }
 
+TEST(Cli, ParsesJournalPath) {
+  const ParseResult r = parse({"--journal", "/var/lib/coorm/rms.journal"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.options.journalPath, "/var/lib/coorm/rms.journal");
+  EXPECT_EQ(parse({"--journal"}).status, ParseStatus::kError);
+}
+
+TEST(Cli, JournalDefaultsEmpty) {
+  const ParseResult r = parse({});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.options.journalPath.empty());
+}
+
+TEST(Cli, ParsesIdleDeadlineAndResumeGrace) {
+  const ParseResult r =
+      parse({"--idle-deadline", "12.5", "--resume-grace", "60"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.options.idleDeadline, msec(12500));
+  EXPECT_EQ(r.options.resumeGrace, sec(60));
+}
+
+TEST(Cli, IdleDeadlineOffByDefaultResumeGraceOn) {
+  const ParseResult r = parse({});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.options.idleDeadline, 0);
+  EXPECT_EQ(r.options.resumeGrace, sec(30));
+}
+
+TEST(Cli, NegativeDeadlinesAreErrors) {
+  EXPECT_EQ(parse({"--idle-deadline", "-1"}).status, ParseStatus::kError);
+  EXPECT_EQ(parse({"--resume-grace", "-0.5"}).status, ParseStatus::kError);
+}
+
 TEST(Cli, NonPositiveThreadsIsError) {
   EXPECT_EQ(parse({"--threads", "0"}).status, ParseStatus::kError);
   EXPECT_EQ(parse({"--threads", "-2"}).status, ParseStatus::kError);

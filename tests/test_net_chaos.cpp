@@ -1,0 +1,235 @@
+// Chaos differential suite: SIGKILL the daemon mid-run, restart it on the
+// same journal, and require that the application-observed traces come out
+// *identical* to an uninterrupted in-process serial server — the crash
+// never happened as far as any client can tell.
+//
+// Two kill points (the acceptance bar asks for at least two distinct
+// ones):
+//  - between pass commits: a request is running (its start is journaled
+//    and fsync'd before the client ever hears "started"), the daemon dies,
+//    and the restarted daemon must re-arm its expiry on the recovered
+//    clock and serve the rest of its life normally;
+//  - mid-handshake: a second application's connect() spans the kill and
+//    the restart — its dial/HELLO retries (client backoff policy) bridge
+//    the outage, while the first application RESUMEs its session.
+//
+// Alignment: all injected chaos is gated on client-observed post-commit
+// events (a started/ended line in a trace), so both runs decompose into
+// the same sequence of scheduling decisions. Re-announced notifications
+// after a RESUME are deduplicated client-side; the traces would show the
+// duplication otherwise.
+#include "net_harness.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace coorm::nettest {
+namespace {
+
+bool contains(const std::vector<std::string>& trace, const std::string& line) {
+  return std::find(trace.begin(), trace.end(), line) != trace.end();
+}
+
+std::size_t eventIndex(metrics::Event event) {
+  return static_cast<std::size_t>(event);
+}
+
+/// Serial (non-pipelined) config: the reference the acceptance bar names.
+Server::Config chaosConfig() {
+  Server::Config config;
+  config.reschedInterval = msec(100);
+  config.violationGrace = sec(5);
+  config.pipeline = false;
+  return config;
+}
+
+const std::vector<std::string> kDaemonArgs = {
+    "--nodes", "16", "--resched", "0.1", "--no-pipeline",
+    "--resume-grace", "30"};
+
+std::string journalPath(const std::string& name) {
+  const std::string path = testing::TempDir() + "coorm_chaos_" + name + ".journal";
+  std::remove(path.c_str());
+  return path;
+}
+
+/// Transport whose clients survive daemon death: reconnect + RESUME with
+/// fast backoff, and enough dial attempts to bridge a restart window.
+class ReconnectTransport final : public Transport {
+ public:
+  ReconnectTransport(net::PollExecutor& executor, std::uint16_t port)
+      : executor_(executor), port_(port) {}
+
+  AppLink& add(AppEndpoint& endpoint, const std::string& name) override {
+    net::RmsClient::Config config{net::Endpoint{"127.0.0.1", port_}, name};
+    config.rpcTimeout = sec(20);
+    config.reconnect = true;
+    config.connectAttempts = 400;
+    config.backoffBase = msec(5);
+    config.backoffMax = msec(100);
+    auto client = std::make_unique<net::RmsClient>(executor_, config);
+    client->connect(endpoint);
+    clients.push_back(std::move(client));
+    return *clients.back();
+  }
+
+  std::vector<std::unique_ptr<net::RmsClient>> clients;
+
+ private:
+  net::PollExecutor& executor_;
+  std::uint16_t port_;
+};
+
+/// One app submits a 1.5 s non-preemptible request and rides it to the
+/// end; `atStarted` (remote runs only) injects the kill once the start is
+/// known committed.
+struct SoloRun {
+  ScriptApp app;
+  Scenario scenario;
+  std::function<void()> atStarted;
+
+  void wire(Transport& transport) {
+    app.onFirstViews = [this] {
+      RequestSpec spec;
+      spec.nodes = 4;
+      spec.duration = msec(1500);
+      app.submit(spec);
+    };
+    scenario.steps = {
+        {[] { return true; },
+         [this, &transport] { app.bind(transport.add(app, "solo")); }},
+        {[this] { return app.startedCount >= 1; },
+         [this] {
+           if (atStarted) atStarted();
+         }},
+    };
+    scenario.finished = [this] { return contains(app.trace, "ended #0"); };
+  }
+};
+
+/// Two apps: alpha runs a long request; beta joins only after alpha's
+/// start — in the chaos run that join spans the kill/restart window.
+struct PairRun {
+  ScriptApp alpha;
+  ScriptApp beta;
+  Scenario scenario;
+  std::function<void()> atAlphaStarted;
+
+  void wire(Transport& transport) {
+    alpha.onFirstViews = [this] {
+      RequestSpec spec;
+      spec.nodes = 6;
+      spec.duration = msec(2000);
+      alpha.submit(spec);
+    };
+    beta.onFirstViews = [this] {
+      RequestSpec spec;
+      spec.nodes = 4;
+      spec.duration = msec(800);
+      beta.submit(spec);
+    };
+    scenario.steps = {
+        {[] { return true; },
+         [this, &transport] { alpha.bind(transport.add(alpha, "alpha")); }},
+        {[this] { return alpha.startedCount >= 1; },
+         [this, &transport] {
+           if (atAlphaStarted) atAlphaStarted();
+           beta.bind(transport.add(beta, "beta"));
+         }},
+    };
+    scenario.finished = [this] {
+      return contains(alpha.trace, "ended #0") &&
+             contains(beta.trace, "ended #0");
+    };
+  }
+};
+
+TEST(NetChaos, KillBetweenPassCommitsMatchesUninterruptedServer) {
+  SoloRun reference;
+  Engine engine;
+  Server server(engine, Machine::single(16), chaosConfig());
+  InProcessTransport direct(server);
+  reference.wire(direct);
+  ASSERT_TRUE(runInProcess(engine, reference.scenario))
+      << "in-process reference run did not finish";
+
+  ChildDaemon daemon(COORM_RMSD_PATH, journalPath("passes"), kDaemonArgs);
+  daemon.start();
+  SoloRun remote;
+  // The kill point: the client has observed "started", which the daemon
+  // only sends after the pass commit fsync'd the start record — so the
+  // journal provably holds the running request when SIGKILL lands.
+  remote.atStarted = [&daemon] { daemon.restart(); };
+  net::PollExecutor clientLoop;
+  ReconnectTransport transport(clientLoop, daemon.port());
+  remote.wire(transport);
+  ASSERT_TRUE(runLoopback(clientLoop, remote.scenario, msec(600), sec(60)))
+      << "chaos run did not finish";
+
+  EXPECT_FALSE(reference.app.trace.empty());
+  EXPECT_EQ(reference.app.trace, remote.app.trace);
+  EXPECT_GE(transport.clients[0]->reconnects(), 1u);
+
+  // Satellite (f): the restarted daemon's own counters report the
+  // recovery — what `coorm_rmsd --stats --connect` prints.
+  net::RmsClient statsq(
+      clientLoop,
+      net::RmsClient::Config{net::Endpoint{"127.0.0.1", daemon.port()},
+                             "statsq"});
+  statsq.dial();
+  const auto stats = statsq.stats();
+  statsq.disconnect();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GT(stats->events[eventIndex(metrics::Event::kJournalRecordsReplayed)],
+            0u);
+  EXPECT_GE(stats->events[eventIndex(metrics::Event::kSessionsResumed)], 1u);
+  EXPECT_GE(stats->events[eventIndex(metrics::Event::kReconnects)], 1u);
+}
+
+TEST(NetChaos, KillMidHandshakeMatchesUninterruptedServer) {
+  PairRun reference;
+  Engine engine;
+  Server server(engine, Machine::single(16), chaosConfig());
+  InProcessTransport direct(server);
+  reference.wire(direct);
+  ASSERT_TRUE(runInProcess(engine, reference.scenario))
+      << "in-process reference run did not finish";
+
+  ChildDaemon daemon(COORM_RMSD_PATH, journalPath("handshake"), kDaemonArgs);
+  daemon.start();
+  PairRun remote;
+  std::thread restarter;
+  // The kill point: the daemon dies right before beta dials, and comes
+  // back ~300 ms later from another thread — beta's connect() retry loop
+  // (dial + HELLO, backoff policy) spans the outage, while alpha's
+  // established session RESUMEs. fork+exec keeps the threaded restart
+  // safe.
+  remote.atAlphaStarted = [&daemon, &restarter] {
+    daemon.kill();
+    restarter = std::thread([&daemon] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(300));
+      daemon.start();
+    });
+  };
+  net::PollExecutor clientLoop;
+  ReconnectTransport transport(clientLoop, daemon.port());
+  remote.wire(transport);
+  const bool finished =
+      runLoopback(clientLoop, remote.scenario, msec(600), sec(60));
+  if (restarter.joinable()) restarter.join();
+  ASSERT_TRUE(finished) << "chaos run did not finish";
+
+  EXPECT_FALSE(reference.alpha.trace.empty());
+  EXPECT_FALSE(reference.beta.trace.empty());
+  EXPECT_EQ(reference.alpha.trace, remote.alpha.trace);
+  EXPECT_EQ(reference.beta.trace, remote.beta.trace);
+  EXPECT_GE(transport.clients[0]->reconnects(), 1u);
+}
+
+}  // namespace
+}  // namespace coorm::nettest

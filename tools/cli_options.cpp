@@ -37,6 +37,14 @@ void printUsage(std::ostream& out) {
          "  --resched SECS     re-scheduling interval (default 1.0)\n"
          "  --stats            coorm_rmsd: query a running daemon's metrics\n"
          "                     via --connect and print them, then exit\n"
+         "  --journal FILE     coorm_rmsd: write-ahead journal; replayed on\n"
+         "                     startup to recover sessions after a crash\n"
+         "  --idle-deadline SECS\n"
+         "                     coorm_rmsd: drop peers silent for SECS\n"
+         "                     (PINGed at SECS/2; default 0 = never)\n"
+         "  --resume-grace SECS\n"
+         "                     coorm_rmsd: window a vanished client may\n"
+         "                     RESUME its session in (default 30)\n"
          "  --help             this text\n";
 }
 
@@ -110,6 +118,12 @@ ParseResult parseArgs(int argc, const char* const* argv) {
       options.runtime.reschedInterval = secF(std::atof(v));
     } else if (arg == "--stats") {
       options.statsQuery = true;
+    } else if (arg == "--journal" && (v = value(i))) {
+      options.journalPath = v;
+    } else if (arg == "--idle-deadline" && (v = value(i))) {
+      options.idleDeadline = secF(std::atof(v));
+    } else if (arg == "--resume-grace" && (v = value(i))) {
+      options.resumeGrace = secF(std::atof(v));
     } else {
       result.error = "unknown or incomplete option: " + arg;
       return result;
@@ -117,7 +131,8 @@ ParseResult parseArgs(int argc, const char* const* argv) {
   }
   if (options.nodes <= 0 || options.amrSteps <= 0 ||
       options.overcommit <= 0.0 || options.runtime.threads <= 0 ||
-      options.runtime.reschedInterval <= 0) {
+      options.runtime.reschedInterval <= 0 || options.idleDeadline < 0 ||
+      options.resumeGrace < 0) {
     result.error = "invalid numeric option";
     return result;
   }

@@ -52,6 +52,16 @@ struct Options {
   /// coorm_rmsd --stats: dial `connect`, send a STATS admin query, print
   /// the daemon's counters, and exit (instead of running a daemon).
   bool statsQuery = false;
+  /// coorm_rmsd: write-ahead journal path. On startup the daemon replays
+  /// it (rebuilding sessions/requests/allocations) before accepting
+  /// connections; empty = no crash safety.
+  std::string journalPath;
+  /// coorm_rmsd: drop peers silent for this long (0 = never). Half the
+  /// deadline triggers a PING first.
+  Time idleDeadline = 0;
+  /// coorm_rmsd: how long a vanished client's session stays resumable
+  /// before the reaper disconnects it.
+  Time resumeGrace = sec(30);
 };
 
 enum class ParseStatus {

@@ -12,12 +12,14 @@
 // observes as disconnects).
 #include <csignal>
 #include <iostream>
+#include <memory>
 
 #include "cli_options.hpp"
 #include "coorm/common/metrics.hpp"
 #include "coorm/net/client.hpp"
 #include "coorm/net/daemon.hpp"
 #include "coorm/net/poll_executor.hpp"
+#include "coorm/rms/journal.hpp"
 #include "coorm/rms/server.hpp"
 
 namespace {
@@ -83,11 +85,42 @@ int main(int argc, char** argv) {
   const Server::Config config = Server::Config::fromRuntime(options.runtime);
 
   net::PollExecutor executor;
+  // Declared before the Server so the journal outlives every Server write.
+  std::unique_ptr<rms::Journal> journal;
   Server server(executor, Machine::single(options.nodes), config);
 
+  // Crash safety: replay the journal into the fresh server (refusing
+  // corrupt-at-rest files), jump the loop clock to where the dead process
+  // left off, then attach the journal for new writes. Clients hold session
+  // tokens that survive the restart, so RESUME re-attaches them.
+  if (!options.journalPath.empty()) {
+    const rms::ScanResult scan = rms::Journal::scan(options.journalPath);
+    if (scan.refused) {
+      std::cerr << "coorm_rmsd: refusing journal " << options.journalPath
+                << ": " << scan.diagnostic << "\n";
+      return 1;
+    }
+    Time lastTime = kNever;
+    std::string error;
+    if (!server.restoreFromJournal(scan.records, &lastTime, &error)) {
+      std::cerr << "coorm_rmsd: journal replay failed: " << error << "\n";
+      return 1;
+    }
+    if (lastTime != kNever) executor.advanceTo(lastTime);
+    journal =
+        std::make_unique<rms::Journal>(options.journalPath, scan.validBytes);
+    server.attachJournal(journal.get());
+    std::cout << "coorm_rmsd: journal " << options.journalPath << ": "
+              << scan.records.size() << " records replayed"
+              << (scan.truncatedTail ? " (torn tail truncated)" : "")
+              << std::endl;
+  }
+
   try {
-    net::Daemon daemon(executor, server,
-                       net::Daemon::Config{*options.listen});
+    net::Daemon::Config daemonConfig{*options.listen};
+    daemonConfig.idleDeadline = options.idleDeadline;
+    daemonConfig.resumeGrace = options.resumeGrace;
+    net::Daemon daemon(executor, server, daemonConfig);
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
     std::cout << "coorm_rmsd: serving " << options.nodes << " nodes on "
