@@ -364,6 +364,128 @@ BENCHMARK(BM_ServerPipeline)
     ->Args({64, 2, 1})
     ->Unit(benchmark::kMillisecond);
 
+// Args: {napps, churnPct, incremental}. Steady-state lease population:
+// every application holds one started preemptible lease on one of 16
+// congested 64-node clusters (sum of wants far above capacity, so the
+// Step 2 equipartition works every breakpoint), with finite staggered
+// durations spreading ~napps/16 breakpoints per cluster. Each iteration
+// churns `churnPct`% of the applications (a small lease extension — a
+// local breakpoint move — plus the epoch bump the server does) and runs
+// one recapture + schedulePass + writeBack round at a fixed `now`.
+//
+// incremental=0 is the full-recompute reference; the /1 variant divided
+// into it is the O(changed) pass-latency claim (ISSUE 8 gates on >= 5x at
+// 10000 apps / 1% churn). The pass_apps_clean / step2_ranges_reused
+// counters (process-global deltas over the measured loop) pin that the
+// steady state really is served from the cache — CI fails the bench job
+// if either stays at zero.
+void BM_ScheduleIncremental(benchmark::State& state) {
+  const int napps = static_cast<int>(state.range(0));
+  const int churnPct = static_cast<int>(state.range(1));
+  const bool incremental = state.range(2) != 0;
+  constexpr int kClusters = 16;
+  constexpr NodeCount kNodesPerCluster = 64;
+  const Time kNow = sec(60);
+
+  Population population([] {
+    PopulationParams params;
+    params.napps = 0;  // built below: leases only, no PA/NP mix
+    return params;
+  }());
+  population.machine.clusters.clear();
+  for (int c = 0; c < kClusters; ++c) {
+    population.machine.clusters.push_back({ClusterId{c}, kNodesPerCluster});
+  }
+  Rng rng(2026);
+  std::int64_t nextId = 0;
+  for (int a = 0; a < napps; ++a) {
+    population.sets.push_back(std::make_unique<RequestSet>());
+    RequestSet* pa = population.sets.back().get();
+    population.sets.push_back(std::make_unique<RequestSet>());
+    RequestSet* np = population.sets.back().get();
+    population.sets.push_back(std::make_unique<RequestSet>());
+    RequestSet* pre = population.sets.back().get();
+    auto r = std::make_unique<Request>();
+    r->id = RequestId{nextId++};
+    r->cluster = ClusterId{a % kClusters};
+    r->nodes = rng.uniformInt(4, 12);
+    // Every 5th lease is open-ended: a congestion floor whose wants alone
+    // exceed the cluster everywhere, so the idle share is identically zero
+    // and a moved breakpoint never ripples into absent applications' views
+    // (the realistic steady state — churn with O(changed) output). The
+    // rest end staggered, spreading real Step 2 breakpoints.
+    r->duration = a % 5 == 0 ? kTimeInf : sec(600 + 11 * (a % 797));
+    r->type = RequestType::kPreemptible;
+    r->startedAt = 0;
+    r->nodeIds.push_back(
+        NodeId{r->cluster, static_cast<std::int32_t>(a / kClusters)});
+    pre->add(r.get());
+    population.owned.push_back(std::move(r));
+    ++population.requestCount;
+    AppSchedule app;
+    app.app = AppId{a};
+    app.preAllocations = pa;
+    app.nonPreemptible = np;
+    app.preemptible = pre;
+    app.epoch = 1;
+    population.apps.push_back(std::move(app));
+  }
+
+  Scheduler scheduler(population.machine, Scheduler::Config{}, [&] {
+    SchedulerOptions options{1};
+    options.incremental = incremental;
+    return options;
+  }());
+  RequestSetSnapshot snapshot;
+
+  const auto pass = [&] {
+    snapshot.recapture(population.apps);
+    scheduler.schedulePass(snapshot, kNow);
+    snapshot.writeBack();
+  };
+  pass();  // cold pass primes the cache outside the measured loop
+
+  Rng churnRng(7);
+  const metrics::Snapshot before = metrics::snapshot();
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (auto& app : population.apps) {
+      if (churnRng.uniformInt(0, 99) >= churnPct) continue;
+      Request* lease = *app.preemptible->begin();
+      if (lease->duration == kTimeInf) continue;  // the congestion floor holds
+      // Local lease extension: the breakpoint moves, the diff window
+      // around it stays narrow.
+      lease->duration += sec(churnRng.uniformInt(30, 120));
+      if (lease->duration > sec(12000)) lease->duration = sec(600);
+      ++app.epoch;
+    }
+    state.ResumeTiming();
+    pass();
+  }
+  const metrics::Snapshot after = metrics::snapshot();
+  state.counters["apps"] = static_cast<double>(napps);
+  if (incremental) {
+    state.counters["pass_apps_clean"] = static_cast<double>(
+        after[metrics::Event::kPassAppsClean] -
+        before[metrics::Event::kPassAppsClean]);
+    state.counters["pass_apps_dirty"] = static_cast<double>(
+        after[metrics::Event::kPassAppsDirty] -
+        before[metrics::Event::kPassAppsDirty]);
+    state.counters["step2_ranges_reused"] = static_cast<double>(
+        after[metrics::Event::kStep2RangesReused] -
+        before[metrics::Event::kStep2RangesReused]);
+  }
+}
+
+BENCHMARK(BM_ScheduleIncremental)
+    ->Args({1000, 1, 0})
+    ->Args({1000, 1, 1})
+    ->Args({10000, 0, 1})
+    ->Args({10000, 1, 0})
+    ->Args({10000, 1, 1})
+    ->Args({10000, 10, 1})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ToView(benchmark::State& state) {
   PopulationParams params;
   params.napps = static_cast<int>(state.range(0));

@@ -57,6 +57,16 @@ std::string_view name(Event event) noexcept {
       return "sessions_resumed";
     case Event::kReconnects:
       return "reconnects";
+    case Event::kPassAppsDirty:
+      return "pass_apps_dirty";
+    case Event::kPassAppsClean:
+      return "pass_apps_clean";
+    case Event::kStep2RangesReused:
+      return "step2_ranges_reused";
+    case Event::kLeasesRenewed:
+      return "leases_renewed";
+    case Event::kLeasesPreempted:
+      return "leases_preempted";
     case Event::kCount_:
       break;
   }

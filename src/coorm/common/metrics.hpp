@@ -56,6 +56,11 @@ enum class Event : std::uint16_t {
   kJournalRecordsReplayed,    ///< records replayed at startup recovery
   kSessionsResumed,           ///< RESUME handshakes re-attaching a session
   kReconnects,                ///< client reconnects completed (both ends count)
+  kPassAppsDirty,             ///< apps re-derived by a pass (epoch moved)
+  kPassAppsClean,             ///< apps served from the incremental cache
+  kStep2RangesReused,         ///< Step 2 output profiles reused or spliced
+  kLeasesRenewed,             ///< clean apps whose allocation carried over
+  kLeasesPreempted,           ///< clean apps whose share a dirty neighbour moved
   kCount_,                    ///< not a counter — number of events
 };
 

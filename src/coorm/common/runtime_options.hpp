@@ -27,6 +27,12 @@ struct RuntimeOptions {
   Time reschedInterval = sec(1);
   /// Strict equi-partitioning (no filling).
   bool strictEquiPartition = false;
+  /// Incremental scheduling passes: epoch-clean all-started applications
+  /// are served from the previous pass's cache and eqSchedule Step 2
+  /// rewrites only the breakpoint ranges whose inputs changed. Output is
+  /// bit-identical to a full recompute; false restores the always-full
+  /// pass.
+  bool incremental = true;
 };
 
 }  // namespace coorm

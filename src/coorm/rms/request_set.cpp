@@ -10,12 +10,16 @@ void RequestSet::add(Request* request) {
   COORM_CHECK(request != nullptr);
   COORM_DCHECK(find(request->id) == nullptr);
   items_.push_back(request);
+  ++version_;
 }
 
 void RequestSet::remove(RequestId id) {
   const auto it = std::find_if(items_.begin(), items_.end(),
                                [&](const Request* r) { return r->id == id; });
-  if (it != items_.end()) items_.erase(it);
+  if (it != items_.end()) {
+    items_.erase(it);
+    ++version_;
+  }
 }
 
 bool RequestSet::contains(const Request* request) const {

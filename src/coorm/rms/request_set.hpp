@@ -6,6 +6,7 @@
 // the set, are roots; COALLOC/NEXT edges define parent-child relations.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "coorm/rms/request.hpp"
@@ -62,11 +63,20 @@ class RequestSet {
   [[nodiscard]] bool empty() const { return items_.empty(); }
   [[nodiscard]] std::size_t size() const { return items_.size(); }
 
+  /// Monotonic membership version: bumped by every add() and by every
+  /// remove() that actually erased a member. Snapshot captures record the
+  /// versions they saw; the epoch-skip fast path cross-checks them so a
+  /// membership change whose owner forgot the `mutationEpoch` bump is
+  /// caught (debug builds assert, release builds fall back to a walk)
+  /// instead of silently serving a stale image.
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+
   [[nodiscard]] auto begin() const { return items_.begin(); }
   [[nodiscard]] auto end() const { return items_.end(); }
 
  private:
   std::vector<Request*> items_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace coorm

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "coorm/common/check.hpp"
+#include "coorm/common/metrics.hpp"
 #include "coorm/common/worker_pool.hpp"
 #include "coorm/profile/profile_sweep.hpp"
 
@@ -100,6 +101,68 @@ std::vector<NodeCount> fairDistribute(NodeCount capacity,
   return gives;
 }
 
+/// Pass-to-pass cache of the incremental scheduling path. Everything is
+/// indexed by application position in the snapshot (the scheduler requires
+/// connection order, so positions are stable between passes unless the
+/// population itself changed — which invalidates the cache wholesale).
+///
+/// The cached profiles are plain owned StepFunctions/Views: segment blocks
+/// are anonymous heap memory (segment_arena.hpp), so holding them across
+/// passes and releasing them from any later thread is safe by design.
+struct IncrementalState {
+  /// False until a pass completes; cleared at pass start (exception
+  /// safety) and by Scheduler::invalidateIncremental().
+  bool valid = false;
+  /// Identity of the snapshot object the cache describes. A different
+  /// snapshot over the same apps has independent record state, so the
+  /// capture-kind-based cleanliness argument does not transfer.
+  const void* snapshotKey = nullptr;
+  std::vector<AppId> appIds;
+
+  // --- previous pass intermediates, one slot per application --------------
+  std::vector<View> paOcc;       ///< started pre-allocation occupation
+  std::vector<View> npOcc;       ///< started non-preemptible occupation
+  std::vector<View> occPa;       ///< NP-loop pre-allocation fit occupation
+  std::vector<View> npFitted;    ///< NP-loop non-preemptible fit occupation
+  std::vector<View> occupation;  ///< eqSchedule Step 1 preemptible occupation
+  std::vector<View> npViews;     ///< final non-preemptive views (owned)
+  std::vector<View> pViews;      ///< final preemptive views (owned)
+  View vnpInitial;               ///< vnp after the pre-allocation fold
+  View vp;                       ///< clamped preemptible availability
+
+  // --- eqSchedule Step 2 per-cluster cache --------------------------------
+  std::vector<ClusterId> clusterIds;
+  NodeCount strictParticipants = 0;
+  struct ClusterCache {
+    std::vector<std::uint32_t> present;  ///< occupying apps (ascending)
+    std::vector<StepFunction> outputs;   ///< one per present slot
+    StepFunction idle;                   ///< series of every absent app
+    bool hasIdle = false;
+  };
+  std::vector<ClusterCache> clusters;
+
+  // --- per-pass scratch, kept for capacity --------------------------------
+  std::vector<char> clean;      ///< lease-clean classification
+  std::vector<char> npChanged;  ///< non-preemptive view moved vs cache
+  std::vector<char> pChanged;   ///< preemptive view moved vs cache
+  std::vector<View> oldOccupation;  ///< pre-recompute occupation (diff input)
+  std::vector<const View*> operands;
+  std::vector<std::vector<std::uint32_t>> candidates;
+  std::vector<ClusterId> newClusterIds;
+  /// Outcome of one cluster's Step 2 in the parallel phase, merged into
+  /// the per-app views serially afterwards (cluster order, like the full
+  /// path's merge loop).
+  struct ClusterDelta {
+    bool fullRecompute = false;
+    std::vector<StepFunction> row;  ///< all-apps outputs (fullRecompute)
+    std::vector<std::uint32_t> newPresent;
+    std::vector<std::uint32_t> changedPresent;  ///< present slots respliced
+    bool idleChanged = false;
+    std::uint64_t rangesReused = 0;
+  };
+  std::vector<ClusterDelta> deltas;
+};
+
 Scheduler::Scheduler(Machine machine) : Scheduler(std::move(machine), Config{}) {}
 
 Scheduler::Scheduler(Machine machine, Config config)
@@ -110,6 +173,13 @@ Scheduler::Scheduler(Machine machine, Config config, SchedulerOptions options)
   if (options.threads > 1) {
     pool_ = std::make_unique<WorkerPool>(options.threads);
   }
+  if (options.incremental) {
+    inc_ = std::make_unique<IncrementalState>();
+  }
+}
+
+void Scheduler::invalidateIncremental() const {
+  if (inc_ != nullptr) inc_->valid = false;
 }
 
 Scheduler::~Scheduler() = default;
@@ -312,6 +382,93 @@ View Scheduler::fit(SetSnapshot& set, const View& available, Time t0,
 // ---------------------------------------------------------------------------
 namespace {
 
+/// The per-breakpoint arithmetic of eqSchedule Step 2, shared between the
+/// full cluster sweep (eqScheduleCluster) and the incremental windowed
+/// re-sweep so both compute byte-identical values. An instance tracks the
+/// running per-application demands of one sweep over
+/// [avail, occupation...]; emitAt() computes every occupying application's
+/// entitlement and the idle share at the sweep's current breakpoint.
+class Step2Values {
+ public:
+  Step2Values(const ProfileSweep& sweep, std::size_t napps, bool strict,
+              NodeCount strictParticipants)
+      : napps_(napps),
+        strict_(strict),
+        strictParticipants_(strictParticipants),
+        wants_(sweep.size() - 1) {
+    for (std::size_t k = 0; k < wants_.size(); ++k) {
+      wants_[k] = std::max<NodeCount>(sweep.value(k + 1), 0);
+      sumWant_ += wants_[k];
+      if (wants_[k] > 0) ++active_;
+    }
+  }
+
+  /// Applies the most recent advance()'s changed() set to the running
+  /// demands.
+  void applyChanges(const ProfileSweep& sweep) {
+    for (const std::uint32_t idx : sweep.changed()) {
+      if (idx == 0) continue;  // avail changed; vin is re-read anyway
+      const std::size_t k = idx - 1;
+      const NodeCount want = std::max<NodeCount>(sweep.value(idx), 0);
+      sumWant_ += want - wants_[k];
+      if ((want > 0) != (wants_[k] > 0)) active_ += want > 0 ? 1 : -1;
+      wants_[k] = want;
+    }
+  }
+
+  /// Values at sweep.time(): invokes emitApp(k, value) for every occupying
+  /// application slot k and returns the idle value (what an application
+  /// without demand on this cluster may have).
+  template <typename EmitApp>
+  NodeCount emitAt(const ProfileSweep& sweep, EmitApp&& emitApp) {
+    const NodeCount vin = std::max<NodeCount>(sweep.value(0), 0);
+    const bool anyInactive = active_ < static_cast<NodeCount>(napps_);
+
+    if (strict_) {
+      // Strict equi-partitioning (§5.4 baseline): a fixed share per
+      // application that uses preemptible resources, with no filling of
+      // unused partitions.
+      return vin / std::max<NodeCount>(strictParticipants_, 1);
+    }
+    if (sumWant_ > vin) {
+      // Congested: distribute equally until nothing is left (paper lines
+      // 8–18). Every application's view shows at least the partition it
+      // is entitled to.
+      fairDistributeInto(vin, wants_, gives_);
+      const NodeCount partitions = active_ + (anyInactive ? 1 : 0);
+      const NodeCount share = partitions > 0 ? vin / partitions : 0;
+      for (std::size_t k = 0; k < wants_.size(); ++k) {
+        emitApp(k, std::max(gives_[k], share));
+      }
+      return share;
+    }
+    // Uncongested: each application sees what the others leave unused,
+    // but never less than its equi-partition (paper lines 19–25). The
+    // partition count only depends on whether the application is active,
+    // so two divisions cover every application.
+    const NodeCount shareActive = active_ > 0 ? vin / active_ : vin;
+    const NodeCount shareIdle = vin / (active_ + 1);
+    const NodeCount freeLeft = vin - sumWant_;
+    for (std::size_t k = 0; k < wants_.size(); ++k) {
+      if (wants_[k] > 0) {
+        emitApp(k, std::max(freeLeft + wants_[k], shareActive));
+      } else {
+        emitApp(k, std::max(freeLeft, shareIdle));
+      }
+    }
+    return std::max(freeLeft, shareIdle);
+  }
+
+ private:
+  std::size_t napps_;
+  bool strict_;
+  NodeCount strictParticipants_;
+  NodeCount sumWant_ = 0;
+  NodeCount active_ = 0;
+  std::vector<NodeCount> wants_;
+  std::vector<NodeCount> gives_;
+};
+
 /// Step 2 of eqSchedule for one cluster: one synchronized sweep over the
 /// merged breakpoints of `avail` and the occupation profiles decides what
 /// each application may have, writing each application's profile into
@@ -358,15 +515,7 @@ void eqScheduleCluster(ClusterId cid, const View& avail,
     fns.push_back(&occupation[i].cap(cid));
   }
   ProfileSweep sweep(fns);
-
-  NodeCount sumWant = 0;
-  NodeCount active = 0;
-  std::vector<NodeCount> wants(present.size());
-  for (std::size_t k = 0; k < present.size(); ++k) {
-    wants[k] = std::max<NodeCount>(sweep.value(k + 1), 0);
-    sumWant += wants[k];
-    if (wants[k] > 0) ++active;
-  }
+  Step2Values values(sweep, napps, strict, strictParticipants);
 
   // Arena-backed scratch: per breakpoint the emitted profiles reuse pooled
   // blocks from the sweeping thread's arena instead of fresh vectors.
@@ -376,7 +525,6 @@ void eqScheduleCluster(ClusterId cid, const View& avail,
   // mode, where it doubles as the shared fixed-share series).
   SegmentStore idleSegments;
   const bool needIdle = strict || present.size() < napps;
-  std::vector<NodeCount> gives;
   // Emit a breakpoint only when the value changes, so each output is born
   // canonical and stays proportional to its own change count rather than
   // to the merged breakpoint count.
@@ -387,54 +535,14 @@ void eqScheduleCluster(ClusterId cid, const View& avail,
   };
   for (;;) {
     const Time t = sweep.time();
-    const NodeCount vin = std::max<NodeCount>(sweep.value(0), 0);
-    const bool anyInactive = active < static_cast<NodeCount>(napps);
-
-    if (strict) {
-      // Strict equi-partitioning (§5.4 baseline): a fixed share per
-      // application that uses preemptible resources, with no filling of
-      // unused partitions.
-      const NodeCount share =
-          vin / std::max<NodeCount>(strictParticipants, 1);
-      emit(idleSegments, t, share);
-    } else if (sumWant > vin) {
-      // Congested: distribute equally until nothing is left (paper lines
-      // 8–18). Every application's view shows at least the partition it
-      // is entitled to.
-      fairDistributeInto(vin, wants, gives);
-      const NodeCount partitions = active + (anyInactive ? 1 : 0);
-      const NodeCount share = partitions > 0 ? vin / partitions : 0;
-      for (std::size_t k = 0; k < present.size(); ++k) {
-        emit(outSegments[k], t, std::max(gives[k], share));
-      }
-      if (needIdle) emit(idleSegments, t, share);
-    } else {
-      // Uncongested: each application sees what the others leave unused,
-      // but never less than its equi-partition (paper lines 19–25). The
-      // partition count only depends on whether the application is
-      // active, so two divisions cover every application.
-      const NodeCount shareActive = active > 0 ? vin / active : vin;
-      const NodeCount shareIdle = vin / (active + 1);
-      const NodeCount freeLeft = vin - sumWant;
-      for (std::size_t k = 0; k < present.size(); ++k) {
-        if (wants[k] > 0) {
-          emit(outSegments[k], t, std::max(freeLeft + wants[k], shareActive));
-        } else {
-          emit(outSegments[k], t, std::max(freeLeft, shareIdle));
-        }
-      }
-      if (needIdle) emit(idleSegments, t, std::max(freeLeft, shareIdle));
-    }
+    const NodeCount idle = values.emitAt(sweep, [&](std::size_t k,
+                                                    NodeCount value) {
+      emit(outSegments[k], t, value);
+    });
+    if (needIdle) emit(idleSegments, t, idle);
 
     if (!sweep.advance()) break;
-    for (const std::uint32_t idx : sweep.changed()) {
-      if (idx == 0) continue;  // avail changed; vin is re-read anyway
-      const std::size_t k = idx - 1;
-      const NodeCount want = std::max<NodeCount>(sweep.value(idx), 0);
-      sumWant += want - wants[k];
-      if ((want > 0) != (wants[k] > 0)) active += want > 0 ? 1 : -1;
-      wants[k] = want;
-    }
+    values.applyChanges(sweep);
   }
 
   for (std::size_t k = 0; k < present.size(); ++k) {
@@ -452,6 +560,249 @@ void eqScheduleCluster(ClusterId cid, const View& avail,
       }
       out[i] = idle;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Incremental Step 2: dirty-range diffing, windowed re-sweeps, splicing.
+// ---------------------------------------------------------------------------
+
+/// A half-open time range [lo, hi) within which a cluster's Step 2 inputs
+/// differ from the cached pass. Outside every range the inputs — and
+/// therefore, by the pointwise property of the Step 2 arithmetic (each
+/// output value at t depends only on input values at t), the outputs —
+/// are unchanged.
+struct DirtyRange {
+  Time lo;
+  Time hi;
+};
+
+/// Coarse pointwise-difference window of two canonical profiles: the
+/// functions agree outside [lo, hi). Returns false when identical. The
+/// window is the complement of the longest common segment prefix/suffix —
+/// one range per input, merged across inputs by the caller.
+bool diffWindow(std::span<const Segment> a, std::span<const Segment> b,
+                Time& lo, Time& hi) {
+  std::size_t p = 0;
+  const std::size_t maxCommon = std::min(a.size(), b.size());
+  while (p < maxCommon && a[p] == b[p]) ++p;
+  if (p == a.size() && p == b.size()) return false;
+  if (p < a.size() && p < b.size()) {
+    lo = std::min(a[p].start, b[p].start);
+  } else if (p < a.size()) {
+    lo = a[p].start;
+  } else {
+    lo = b[p].start;
+  }
+  // Pointwise agreement from the back: two canonical tails agree on
+  // [max(sa, sb), inf) whenever their segment values match, so the reverse
+  // merge extends the agreement until the values first differ. Matching
+  // values with moved starts — the signature of a lease end sliding along
+  // the timeline — thus bound the window instead of dragging it to
+  // infinity the way whole-segment suffix comparison would.
+  std::size_t ia = a.size();
+  std::size_t ib = b.size();
+  hi = kTimeInf;
+  while (ia > 0 && ib > 0 && a[ia - 1].value == b[ib - 1].value) {
+    const Time sa = a[ia - 1].start;
+    const Time sb = b[ib - 1].start;
+    hi = std::max(sa, sb);
+    if (sa >= sb) --ia;
+    if (sb >= sa) --ib;
+  }
+  if (lo >= hi) hi = kTimeInf;  // defensive: never let the window invert
+  return true;
+}
+
+/// Sorts and coalesces overlapping/adjacent dirty ranges in place.
+void mergeRanges(std::vector<DirtyRange>& ranges) {
+  std::sort(ranges.begin(), ranges.end(),
+            [](const DirtyRange& a, const DirtyRange& b) {
+              return a.lo < b.lo;
+            });
+  std::size_t out = 0;
+  for (std::size_t i = 1; i < ranges.size(); ++i) {
+    if (ranges[i].lo <= ranges[out].hi) {
+      ranges[out].hi = std::max(ranges[out].hi, ranges[i].hi);
+    } else {
+      ranges[++out] = ranges[i];
+    }
+  }
+  if (!ranges.empty()) ranges.resize(out + 1);
+}
+
+/// Splices `window` — the re-swept values over [lo, hi), emitted on-change
+/// against the value holding just before lo — into `target`. The spliced
+/// function keeps target's segments outside [lo, hi): at hi every input is
+/// back to its cached value, so the output returns to the cached series
+/// (the pointwise argument above). Returns true when the function actually
+/// changed; unchanged targets are left untouched.
+bool spliceWindow(StepFunction& target, Time lo, Time hi,
+                  const SegmentStore& window) {
+  const std::span<const Segment> old = target.segments();
+  {
+    // Unchanged fast path, O(log + |window|): emit-on-change against the
+    // cached value at lo-1 reproduces exactly the cached breakpoints in
+    // [lo, hi) when the re-sweep computed the same function — most present
+    // applications in a congested cluster, where a moved breakpoint only
+    // shifts a handful of integer fair shares. The O(|series|) rebuild
+    // below is reserved for the few that actually moved.
+    const auto atLeast = [&](Time t) {
+      return static_cast<std::size_t>(
+          std::lower_bound(old.begin(), old.end(), t,
+                           [](const Segment& seg, Time value) {
+                             return seg.start < value;
+                           }) -
+          old.begin());
+    };
+    const std::size_t p = atLeast(lo);
+    const std::size_t q = isInf(hi) ? old.size() : atLeast(hi);
+    const std::span<const Segment> win = window.span();
+    if (q - p == win.size() &&
+        std::equal(win.begin(), win.end(), old.begin() + p)) {
+      return false;
+    }
+  }
+  SegmentStore out;
+  out.reserve(old.size() + window.size() + 1);
+  std::size_t i = 0;
+  while (i < old.size() && old[i].start < lo) out.push_back(old[i++]);
+  for (const Segment& seg : window.span()) {
+    if (out.empty() || out.back().value != seg.value) out.push_back(seg);
+  }
+  if (!isInf(hi)) {
+    // Index of the cached segment containing hi (old[0].start == 0 <= hi).
+    std::size_t j = old.size() - 1;
+    {
+      std::size_t l = 0;
+      std::size_t r = old.size();
+      while (r - l > 1) {
+        const std::size_t mid = l + (r - l) / 2;
+        if (old[mid].start <= hi) {
+          l = mid;
+        } else {
+          r = mid;
+        }
+      }
+      j = l;
+    }
+    const NodeCount atHi = old[j].value;
+    if (out.empty() || out.back().value != atHi) out.push_back({hi, atHi});
+    for (std::size_t t = j + 1; t < old.size(); ++t) out.push_back(old[t]);
+  }
+
+  if (out.size() == old.size() &&
+      std::equal(out.begin(), out.end(), old.begin())) {
+    return false;  // the re-swept range reproduced the cached values
+  }
+  target = StepFunction::fromCanonical(std::move(out));
+  return true;
+}
+
+/// Re-sweeps every dirty range of one cluster and splices the recomputed
+/// values into the cached outputs in place. `slotChanged` / `idleChanged`
+/// accumulate (OR) which cached series actually moved.
+///
+/// One positioned sweep serves all ranges: construction (cursor placement,
+/// heap build, demand totals) is paid once per cluster, gaps between
+/// ranges are crossed with applyChanges() only — O(breakpoints crossed),
+/// no per-application work — and the O(present) emit runs solely at
+/// breakpoints inside a range. `ranges` must be sorted, merged and
+/// disjoint (mergeRanges), which also guarantees the cached value just
+/// before each range start is untouched by earlier splices.
+void resweepCluster(ClusterId cid, const StepFunction& availCap,
+                    std::span<const View> occupation, bool strict,
+                    NodeCount strictParticipants, std::size_t napps,
+                    std::span<const DirtyRange> ranges,
+                    IncrementalState::ClusterCache& cache,
+                    std::vector<char>& slotChanged, bool& idleChanged) {
+  const std::vector<std::uint32_t>& present = cache.present;
+  std::vector<const StepFunction*> fns;
+  fns.reserve(present.size() + 1);
+  fns.push_back(&availCap);
+  for (const std::uint32_t i : present) {
+    fns.push_back(&occupation[i].cap(cid));
+  }
+  ProfileSweep sweep(fns, ranges.front().lo);
+  Step2Values values(sweep, napps, strict, strictParticipants);
+
+  std::vector<SegmentStore> windows(present.size());
+  std::vector<NodeCount> lastVal(present.size());
+  std::vector<char> hasLast(present.size());
+  SegmentStore idleWindow;
+  NodeCount idleLast = 0;
+  bool idleHasLast = false;
+
+  std::size_t ri = 0;
+  // Window emit state: each series starts from the value its spliced
+  // prefix holds just before lo (no prefix when lo == 0, so the first
+  // breakpoint is emitted unconditionally and lands at t == 0).
+  const auto seed = [&](Time lo) {
+    const bool hasPrev = lo > 0;
+    std::fill(hasLast.begin(), hasLast.end(), hasPrev ? 1 : 0);
+    if (hasPrev) {
+      for (std::size_t k = 0; k < present.size(); ++k) {
+        lastVal[k] = cache.outputs[k].at(lo - 1);
+      }
+    }
+    idleHasLast = hasPrev;
+    idleLast = hasPrev && cache.hasIdle ? cache.idle.at(lo - 1) : 0;
+  };
+  const auto splice = [&](const DirtyRange& r) {
+    for (std::size_t k = 0; k < present.size(); ++k) {
+      if (spliceWindow(cache.outputs[k], r.lo, r.hi, windows[k])) {
+        slotChanged[k] = 1;
+      }
+      windows[k].clear();
+    }
+    if (cache.hasIdle && spliceWindow(cache.idle, r.lo, r.hi, idleWindow)) {
+      idleChanged = true;
+    }
+    idleWindow.clear();
+  };
+  seed(ranges.front().lo);
+  bool seeded = true;
+
+  for (;;) {
+    const Time t = sweep.time();
+    const Time nxt = sweep.peek();  // kTimeInf once exhausted
+    // The value interval [t, nxt) may reach several ranges: emit into each
+    // it intersects and retire every range it covers through its end.
+    while (ri < ranges.size() && ranges[ri].lo < nxt) {
+      const DirtyRange& r = ranges[ri];
+      if (t < r.hi) {
+        if (!seeded) {
+          seed(r.lo);
+          seeded = true;
+        }
+        // Clamp the first emission of the range onto its start; later
+        // breakpoints lie strictly inside, so times stay increasing.
+        const Time at = std::max(t, r.lo);
+        const NodeCount idle =
+            values.emitAt(sweep, [&](std::size_t k, NodeCount value) {
+              if (!hasLast[k] || lastVal[k] != value) {
+                windows[k].push_back({at, value});
+                lastVal[k] = value;
+                hasLast[k] = 1;
+              }
+            });
+        if (cache.hasIdle && (!idleHasLast || idleLast != idle)) {
+          idleWindow.push_back({at, idle});
+          idleLast = idle;
+          idleHasLast = true;
+        }
+      }
+      if (r.hi <= nxt) {  // no further breakpoint falls inside this range
+        splice(r);
+        ++ri;
+        seeded = false;
+      } else {
+        break;
+      }
+    }
+    if (ri >= ranges.size()) break;
+    if (!sweep.advance()) break;  // unreachable: nxt was kTimeInf above
+    values.applyChanges(sweep);
   }
 }
 
@@ -570,6 +921,10 @@ void Scheduler::schedulePass(RequestSetSnapshot& snapshot, Time now) const {
   // recycles the same pooled blocks pass over pass. Worker threads keep
   // their own thread-default arenas.
   const ArenaScope arenaScope(ctx.arena);
+  if (inc_ != nullptr) {
+    schedulePassIncremental(snapshot, now, ctx);
+    return;
+  }
   const std::span<AppSnapshot> apps = snapshot.apps();
   View vnp = machineView();  // non-preemptible resources still available
   View vp = machineView();   // preemptible resources still available
@@ -603,6 +958,7 @@ void Scheduler::schedulePass(RequestSetSnapshot& snapshot, Time now) const {
     AppSnapshot& app = apps[i];
     const View& ownStartedPa = paOcc[i];
 
+    app.viewsReused = false;  // the full pass always materializes views
     app.nonPreemptiveView = ownStartedPa;
     accumulateOne(app.nonPreemptiveView, vnp, View::Op::kAdd,
                   /*clampAtZero=*/true);
@@ -625,6 +981,365 @@ void Scheduler::schedulePass(RequestSetSnapshot& snapshot, Time now) const {
 
   vp.clampMin(0);
   eqSchedule(apps, vp, now, config_.strictEquiPartition, ctx);
+}
+
+// ---------------------------------------------------------------------------
+// Incremental pass: Algorithm 4 organised around the pass-to-pass cache.
+//
+// Cleanliness argument, applied per application below:
+//  - kSkipped capture means nothing about the app's requests mutated since
+//    the cached pass, so every record still holds that pass's results.
+//  - allStarted means every member record's results are independent of the
+//    pass's `now` and of the availability views: toView would rewrite
+//    scheduledAt = startedAt / nAlloc = heldIds / fixed = true, and fit
+//    has no non-fixed records to place (empty occupation, no vnp change).
+// Such a lease-clean app's entire per-app derivation is served from the
+// cache; everything else is recomputed with exactly the full path's
+// arithmetic, in the same order, which keeps results bit-identical at any
+// thread count (pinned by tests/test_scheduler_incremental.cpp).
+// ---------------------------------------------------------------------------
+void Scheduler::schedulePassIncremental(RequestSetSnapshot& snapshot, Time now,
+                                        const ProfileContext& ctx) const {
+  WorkerPool* const pool = ctx.pool;
+  IncrementalState& inc = *inc_;
+  const std::span<AppSnapshot> apps = snapshot.apps();
+  const std::size_t napps = apps.size();
+  const bool strict = config_.strictEquiPartition;
+
+  // The cache is positional: it describes the previous pass over this same
+  // application sequence in this same snapshot. Any membership or order
+  // change re-derives everything (while still priming the cache).
+  bool warm = inc.valid && inc.snapshotKey == &snapshot &&
+              inc.appIds.size() == napps;
+  if (warm) {
+    for (std::size_t i = 0; i < napps; ++i) {
+      if (inc.appIds[i] != apps[i].app()) {
+        warm = false;
+        break;
+      }
+    }
+  }
+  inc.valid = false;  // re-armed only when this pass completes
+  inc.snapshotKey = &snapshot;
+  inc.appIds.resize(napps);
+  for (std::size_t i = 0; i < napps; ++i) inc.appIds[i] = apps[i].app();
+
+  inc.clean.assign(napps, 0);
+  std::size_t cleanCount = 0;
+  if (warm) {
+    for (std::size_t i = 0; i < napps; ++i) {
+      if (apps[i].lastCapture() == CaptureKind::kSkipped &&
+          apps[i].allStarted()) {
+        inc.clean[i] = 1;
+        ++cleanCount;
+      }
+    }
+  }
+  metrics::increment(metrics::Event::kPassAppsClean, cleanCount);
+  metrics::increment(metrics::Event::kPassAppsDirty, napps - cleanCount);
+
+  inc.paOcc.resize(napps);
+  inc.npOcc.resize(napps);
+  inc.occPa.resize(napps);
+  inc.npFitted.resize(napps);
+  inc.occupation.resize(napps);
+  inc.npViews.resize(napps);
+  inc.pViews.resize(napps);
+  inc.oldOccupation.resize(napps);
+  inc.npChanged.assign(napps, 0);
+  inc.pChanged.assign(napps, 0);
+
+  // Started pre-allocation / non-preemptible occupations (dirty apps only:
+  // these depend exclusively on captured request attributes, so an
+  // epoch-clean app's cached views are exact).
+  parallelFor(pool, napps, [&](std::size_t i) {
+    if (inc.clean[i]) return;
+    inc.paOcc[i] = toView(apps[i].preAllocations());
+    inc.npOcc[i] = toView(apps[i].nonPreemptible());
+  });
+
+  View vnp = machineView();
+  std::vector<const View*>& operands = inc.operands;
+  operands.clear();
+  operands.reserve(napps * 2);
+  for (const View& occ : inc.paOcc) operands.push_back(&occ);
+  vnp.accumulate(operands, View::Op::kSubtract, /*clampAtZero=*/false, ctx);
+  // While vnpSame holds, vnp at the current loop position is bit-identical
+  // to the cached pass's vnp at the same position, so a clean app's cached
+  // non-preemptive view is exact without re-deriving it.
+  bool vnpSame = warm && vnp == inc.vnpInitial;
+  if (!vnpSame) inc.vnpInitial = vnp;
+
+  // Non-preemptive views and start times, in connection order — the exact
+  // full-path loop for dirty apps; lease-clean apps contribute provably
+  // empty occupations and leave vnp untouched.
+  for (std::size_t i = 0; i < napps; ++i) {
+    AppSnapshot& app = apps[i];
+    if (inc.clean[i]) {
+      inc.occPa[i] = View{};
+      inc.npFitted[i] = View{};
+      if (!vnpSame) {
+        View npView = inc.paOcc[i];
+        accumulateOne(npView, vnp, View::Op::kAdd, /*clampAtZero=*/true);
+        if (!(npView == inc.npViews[i])) {
+          inc.npViews[i] = std::move(npView);
+          inc.npChanged[i] = 1;
+        }
+      }
+      continue;
+    }
+    View npView = inc.paOcc[i];
+    accumulateOne(npView, vnp, View::Op::kAdd, /*clampAtZero=*/true);
+    View occPa = fit(app.preAllocations(), npView, now);
+
+    View npAvailable = inc.paOcc[i];
+    accumulateOne(npAvailable, occPa, View::Op::kAdd);
+    accumulateOne(npAvailable, inc.npOcc[i], View::Op::kSubtract,
+                  /*clampAtZero=*/true);
+    inc.npFitted[i] = fit(app.nonPreemptible(), npAvailable, now);
+
+    accumulateOne(vnp, occPa, View::Op::kSubtract);
+    if (vnpSame && !(occPa == inc.occPa[i])) vnpSame = false;
+    inc.occPa[i] = std::move(occPa);
+    inc.npViews[i] = std::move(npView);
+    inc.npChanged[i] = 1;
+  }
+
+  View vp = machineView();
+  operands.clear();
+  for (const View& occ : inc.npOcc) operands.push_back(&occ);
+  for (const View& occ : inc.npFitted) operands.push_back(&occ);
+  vp.accumulate(operands, View::Op::kSubtract, /*clampAtZero=*/false, ctx);
+  vp.clampMin(0);
+
+  // eqSchedule Step 1: preliminary preemptible occupations (dirty apps;
+  // an all-started app's occupation ignores both `vp` and `now`). The
+  // pre-recompute views are kept aside as the Step 2 diff baseline.
+  parallelFor(pool, napps, [&](std::size_t i) {
+    if (inc.clean[i]) return;
+    inc.oldOccupation[i] = std::move(inc.occupation[i]);
+    SetSnapshot& set = apps[i].preemptible();
+    if (set.empty()) {
+      inc.occupation[i] = View{};
+      return;
+    }
+    inc.occupation[i] = toView(set, &vp, now);
+    if (inc.occupation[i].empty()) {
+      inc.occupation[i] = fit(set, vp, now);
+    } else {
+      View freeForMe = vp;
+      accumulateOne(freeForMe, inc.occupation[i], View::Op::kSubtract,
+                    /*clampAtZero=*/true);
+      inc.occupation[i] += fit(set, freeForMe, now);
+    }
+  });
+
+  if (napps > 0) {
+    // eqSchedule Step 2, cached per cluster.
+    std::vector<ClusterId>& clusterIds = inc.newClusterIds;
+    clusterIds.clear();
+    vp.appendClusterIds(clusterIds);
+    for (const View& occ : inc.occupation) occ.appendClusterIds(clusterIds);
+    View::sortUniqueClusterIds(clusterIds);
+
+    NodeCount strictParticipants = 0;
+    if (strict) {
+      for (const AppSnapshot& app : apps) {
+        if (!app.preemptible().empty()) ++strictParticipants;
+      }
+    }
+
+    // The per-cluster caches are keyed by position in clusterIds; a change
+    // to the cluster union (or the strict participant count, a global
+    // input of every cluster) recomputes every cluster.
+    const bool step2Warm = warm && clusterIds == inc.clusterIds &&
+                           strictParticipants == inc.strictParticipants &&
+                           inc.clusters.size() == clusterIds.size();
+    if (!step2Warm) {
+      // The cached per-app views may hold entries for clusters that left
+      // the union; rebuild them from scratch so the entry sets match the
+      // full path's setCap-per-cluster construction exactly.
+      for (std::size_t i = 0; i < napps; ++i) inc.pViews[i] = View{};
+      inc.pChanged.assign(napps, 1);
+    }
+    inc.clusters.resize(clusterIds.size());
+    inc.deltas.resize(clusterIds.size());
+
+    inc.candidates.resize(clusterIds.size());
+    for (auto& list : inc.candidates) list.clear();
+    for (std::size_t i = 0; i < napps; ++i) {
+      for (const ClusterDemand& demand : apps[i].preemptibleDemand()) {
+        const auto it = std::lower_bound(clusterIds.begin(), clusterIds.end(),
+                                         demand.cluster);
+        if (it != clusterIds.end() && *it == demand.cluster) {
+          inc.candidates[static_cast<std::size_t>(it - clusterIds.begin())]
+              .push_back(static_cast<std::uint32_t>(i));
+        }
+      }
+    }
+
+    parallelFor(pool, clusterIds.size(), [&](std::size_t c) {
+      const ClusterId cid = clusterIds[c];
+      IncrementalState::ClusterCache& cc = inc.clusters[c];
+      IncrementalState::ClusterDelta& d = inc.deltas[c];
+      d.fullRecompute = false;
+      d.newPresent.clear();
+      d.changedPresent.clear();
+      d.idleChanged = false;
+      d.rangesReused = 0;
+
+      if (!strict) {
+        for (const std::uint32_t i : inc.candidates[c]) {
+          if (!inc.occupation[i].cap(cid).isZero()) d.newPresent.push_back(i);
+        }
+      }
+      if (!step2Warm || d.newPresent != cc.present) {
+        // Cold cache or membership change on this cluster: the sweep
+        // structure itself moved — recompute the whole cluster.
+        d.fullRecompute = true;
+        d.row.resize(napps);
+        eqScheduleCluster(cid, vp, inc.occupation, inc.candidates[c], strict,
+                          strictParticipants, d.row);
+        return;
+      }
+
+      // Same membership: collect the ranges where any input moved.
+      std::vector<DirtyRange> ranges;
+      Time lo = 0;
+      Time hi = 0;
+      if (diffWindow(inc.vp.cap(cid).segments(), vp.cap(cid).segments(), lo,
+                     hi)) {
+        ranges.push_back({lo, hi});
+      }
+      for (const std::uint32_t i : cc.present) {
+        if (inc.clean[i]) continue;  // occupation unchanged by definition
+        if (diffWindow(inc.oldOccupation[i].cap(cid).segments(),
+                       inc.occupation[i].cap(cid).segments(), lo, hi)) {
+          ranges.push_back({lo, hi});
+        }
+      }
+      d.rangesReused = cc.present.size() + (cc.hasIdle ? 1 : 0);
+      if (ranges.empty()) return;  // every series reused outright
+
+      mergeRanges(ranges);
+      std::vector<char> slotChanged(cc.present.size(), 0);
+      bool idleChanged = false;
+      resweepCluster(cid, vp.cap(cid), inc.occupation, strict,
+                     strictParticipants, napps, ranges, cc, slotChanged,
+                     idleChanged);
+      for (std::size_t k = 0; k < cc.present.size(); ++k) {
+        if (slotChanged[k]) d.changedPresent.push_back(
+            static_cast<std::uint32_t>(k));
+      }
+      d.idleChanged = idleChanged;
+    });
+
+    // Serial merge in cluster order (like the full path): fold each
+    // cluster's outcome into the cache and the per-app preemptive views.
+    std::uint64_t rangesReused = 0;
+    for (std::size_t c = 0; c < clusterIds.size(); ++c) {
+      const ClusterId cid = clusterIds[c];
+      IncrementalState::ClusterCache& cc = inc.clusters[c];
+      IncrementalState::ClusterDelta& d = inc.deltas[c];
+      rangesReused += d.rangesReused;
+
+      if (d.fullRecompute) {
+        cc.present = std::move(d.newPresent);
+        cc.outputs.resize(cc.present.size());
+        cc.hasIdle = strict || cc.present.size() < napps;
+        if (cc.hasIdle) {
+          // Any absent slot holds a copy of the idle series.
+          std::size_t absent = 0;
+          std::size_t k = 0;
+          while (k < cc.present.size() && cc.present[k] == absent) {
+            ++k;
+            ++absent;
+          }
+          cc.idle = d.row[absent];
+        }
+        std::size_t k = 0;
+        for (std::size_t i = 0; i < napps; ++i) {
+          const bool isPresent =
+              k < cc.present.size() && cc.present[k] == i;
+          const bool changed =
+              !step2Warm || !(d.row[i] == inc.pViews[i].cap(cid));
+          if (isPresent) {
+            cc.outputs[k] = std::move(d.row[i]);
+            if (changed) {
+              inc.pViews[i].setCap(cid, cc.outputs[k]);
+              inc.pChanged[i] = 1;
+            }
+            ++k;
+          } else if (changed) {
+            inc.pViews[i].setCap(cid, std::move(d.row[i]));
+            inc.pChanged[i] = 1;
+          }
+        }
+        continue;
+      }
+
+      for (const std::uint32_t k : d.changedPresent) {
+        const std::uint32_t i = cc.present[k];
+        inc.pViews[i].setCap(cid, cc.outputs[k]);
+        inc.pChanged[i] = 1;
+      }
+      if (d.idleChanged) {
+        std::size_t k = 0;
+        for (std::size_t i = 0; i < napps; ++i) {
+          if (!strict && k < cc.present.size() && cc.present[k] == i) {
+            ++k;
+            continue;
+          }
+          inc.pViews[i].setCap(cid, cc.idle);
+          inc.pChanged[i] = 1;
+        }
+      }
+    }
+    metrics::increment(metrics::Event::kStep2RangesReused, rangesReused);
+
+    inc.clusterIds = clusterIds;
+    inc.strictParticipants = strictParticipants;
+  } else {
+    inc.clusterIds.clear();
+    inc.clusters.clear();
+    inc.strictParticipants = 0;
+  }
+  inc.vp = std::move(vp);
+
+  // Materialize the output views. A lease-clean app whose neither view
+  // moved keeps them in the cache only: the snapshot's views stay empty
+  // and viewsReused tells the owner its stashed copies are still exact.
+  for (std::size_t i = 0; i < napps; ++i) {
+    AppSnapshot& app = apps[i];
+    if (inc.clean[i] && inc.npChanged[i] == 0 && inc.pChanged[i] == 0) {
+      app.viewsReused = true;
+      app.nonPreemptiveView = View{};
+      app.preemptiveView = View{};
+    } else {
+      app.viewsReused = false;
+      app.nonPreemptiveView = inc.npViews[i];
+      app.preemptiveView = inc.pViews[i];
+    }
+  }
+
+  // eqSchedule Step 3: reschedule dirty apps' preemptible requests against
+  // their final views. Lease-clean apps are exact already: toView would
+  // rewrite identical values and fit has nothing to place.
+  parallelFor(pool, napps, [&](std::size_t i) {
+    if (inc.clean[i]) return;
+    SetSnapshot& set = apps[i].preemptible();
+    if (set.empty()) return;
+    const View own = toView(set, &apps[i].preemptiveView, now);
+    if (own.empty()) {
+      fit(set, apps[i].preemptiveView, now);
+    } else {
+      View rest = apps[i].preemptiveView;
+      accumulateOne(rest, own, View::Op::kSubtract, /*clampAtZero=*/true);
+      fit(set, rest, now);
+    }
+  });
+
+  inc.valid = true;
 }
 
 void Scheduler::schedule(std::span<AppSchedule> apps, Time now) const {

@@ -30,6 +30,7 @@
 namespace coorm {
 
 class WorkerPool;
+struct IncrementalState;
 
 /// Fair distribution of `capacity` among `wants` (paper Algorithm 3, lines
 /// 10–18). Every demand is raised to a common water-filling level (capped
@@ -49,7 +50,7 @@ struct SchedulerOptions {
   /// Projection of the shared runtime-tuning surface
   /// (common/runtime_options.hpp).
   explicit SchedulerOptions(const RuntimeOptions& runtime)
-      : threads(runtime.threads) {}
+      : threads(runtime.threads), incremental(runtime.incremental) {}
 
   /// Worker threads for the per-cluster and per-application fan-out of a
   /// scheduling pass. <= 1 keeps every pass on the calling thread (the
@@ -57,6 +58,15 @@ struct SchedulerOptions {
   /// merged in deterministic order, so any thread count produces
   /// bit-identical schedules and views.
   int threads = 1;
+
+  /// Incremental passes: the scheduler keeps the previous pass's
+  /// intermediates and, when the snapshot reports an application as
+  /// epoch-clean with every request started, serves its derivation from
+  /// that cache; eqSchedule Step 2 re-sweeps only the breakpoint ranges
+  /// whose inputs changed and splices the clean ranges from the cached
+  /// output. Bit-identical to the full pass at every thread count (pinned
+  /// by tests/test_scheduler_incremental.cpp); false always recomputes.
+  bool incremental = true;
 };
 
 /// Per-application scheduling state: the three request sets (input, whose
@@ -175,7 +185,21 @@ class Scheduler {
 
   [[nodiscard]] const Machine& machine() const { return machine_; }
 
+  /// Drops the incremental pass-to-pass cache, forcing the next pass to
+  /// re-derive every application. Required whenever a pass's results were
+  /// computed but never written back (the server's abandoned-pass path):
+  /// the cache describes "the previous committed pass", and an abandoned
+  /// pass breaks that chain. No-op when incremental passes are off.
+  void invalidateIncremental() const;
+
  private:
+  /// The incremental variant of schedulePass: same outputs, organised
+  /// around the pass-to-pass cache in `inc_`. Cold cache (first pass,
+  /// population change, after invalidateIncremental) re-derives everything
+  /// while priming the cache; warm cache re-derives only the dirty
+  /// applications and the dirty Step 2 breakpoint ranges.
+  void schedulePassIncremental(RequestSetSnapshot& snapshot, Time now,
+                               const ProfileContext& ctx) const;
   Machine machine_;
   Config config_;
   /// Present iff options.threads > 1. Mutable because a scheduling pass is
@@ -191,6 +215,10 @@ class Scheduler {
   /// similar populations allocate nothing. Scratch, like the pool: not
   /// observable state, hence mutable; schedule() is not re-entrant.
   mutable RequestSetSnapshot scratch_;
+  /// Pass-to-pass cache of the incremental path (scheduler.cpp); null when
+  /// SchedulerOptions::incremental is false. Mutable for the same reason
+  /// as the pool: a pass is logically const, the cache is its scratch.
+  mutable std::unique_ptr<IncrementalState> inc_;
 };
 
 }  // namespace coorm

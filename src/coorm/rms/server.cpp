@@ -86,7 +86,11 @@ Server::Server(Executor& executor, Machine machine)
 Server::Server(Executor& executor, Machine machine, Config config)
     : executor_(executor),
       scheduler_(machine, Scheduler::Config{config.strictEquiPartition},
-                 SchedulerOptions{config.threads}),
+                 [&config] {
+                   SchedulerOptions options{config.threads};
+                   options.incremental = config.incremental;
+                   return options;
+                 }()),
       pool_(machine),
       config_(config) {
   if (config_.pipeline) lane_ = std::make_unique<AsyncLane>();
@@ -645,6 +649,9 @@ void Server::abandonPass() {
   // result scratch now diverges from the live requests (no write-back), so
   // its captured epochs must not allow the next pass to skip re-capture.
   passSnapshot_->invalidate();
+  // The scheduler's incremental cache now describes a pass that never
+  // committed; the next pass must not splice from it.
+  scheduler_.invalidateIncremental();
   passInFlight_ = false;
   metrics::add(metrics::Gauge::kPassInFlight, -1);
   Executor::cancel(commitEvent_);
@@ -665,6 +672,20 @@ void Server::commitPass() {
   passSnapshot_->writeBack();
   const std::span<AppSnapshot> scheduled = passSnapshot_->apps();
   for (std::size_t i = 0; i < passApps_.size(); ++i) {
+    // Lease renewal: an epoch-clean, all-started application whose views
+    // the incremental pass left in its cache keeps the stashed copies —
+    // the pass proved they are still exact. Any materialized view means
+    // the app's share moved (a dirty neighbour preempted part of it) and
+    // the stash is replaced as usual.
+    if (scheduled[i].viewsReused) {
+      metrics::increment(metrics::Event::kLeasesRenewed);
+      continue;
+    }
+    if (config_.incremental &&
+        scheduled[i].lastCapture() == CaptureKind::kSkipped &&
+        scheduled[i].allStarted()) {
+      metrics::increment(metrics::Event::kLeasesPreempted);
+    }
     // Stash freshly computed views before starting requests so violation
     // checks and pushes see consistent data.
     passApps_[i]->lastNonPreemptive =
@@ -714,14 +735,14 @@ void Server::startDueRequests() {
         for (Request* r : setFor(*st, type)) {
           if (r->started() || r->ended()) continue;
           if (r->scheduledAt > now) continue;
-          if (tryStart(*st, *r)) progress = true;
+          if (tryStart(*st, *r, now)) progress = true;
         }
       }
     }
   }
 }
 
-bool Server::tryStart(SessionState& st, Request& r) {
+bool Server::tryStart(SessionState& st, Request& r, Time now) {
   // Implicit wrapper PAs start in lockstep with the request they wrap
   // (below); if they started on their own while the wrapped request was
   // still waiting for node IDs, their window would no longer cover it.
@@ -738,7 +759,11 @@ bool Server::tryStart(SessionState& st, Request& r) {
     }
   }
 
-  const Time now = executor_.now();
+  // `now` is the commit-level timestamp from startDueRequests: every start
+  // in one commit shares one stamp, exactly as under the simulation engine
+  // (whose clock is frozen during a pass). Per-request clock reads would
+  // let wall-clock stamps straddle a millisecond and split occupation
+  // breakpoints that the serial reference merges.
   if (r.type != RequestType::kPreAllocation) {
     const NodeCount needed =
         r.type == RequestType::kPreemptible ? r.nAlloc : r.nodes;

@@ -171,6 +171,12 @@ class Server {
     /// inline on the executor thread). Observable behaviour is
     /// bit-identical either way.
     bool pipeline = true;
+    /// Incremental scheduling passes (SchedulerOptions::incremental): in
+    /// steady state, epoch-clean all-started applications keep their
+    /// previous allocation as a renewed lease (their views are served from
+    /// the scheduler's cache and the stashed copies stay valid) instead of
+    /// being re-derived each pass. Bit-identical either way.
+    bool incremental = true;
     /// Once an attached journal grows past this many bytes, the next pass
     /// commit rewrites it as a single snapshot record (rms/journal.hpp
     /// compaction) instead of letting it grow without bound.
@@ -185,6 +191,7 @@ class Server {
       config.strictEquiPartition = runtime.strictEquiPartition;
       config.threads = runtime.threads;
       config.pipeline = runtime.pipeline;
+      config.incremental = runtime.incremental;
       return config;
     }
   };
@@ -357,7 +364,7 @@ class Server {
   /// serial server's inline pass would have propagated it.
   void abandonPass();
   void startDueRequests();
-  bool tryStart(SessionState& st, Request& r);
+  bool tryStart(SessionState& st, Request& r, Time now);
   void pushViews();
   void checkViolations();
   void pruneEnded();
@@ -369,7 +376,10 @@ class Server {
   /// construction): the epoch is what lets the next pass's recapture skip
   /// the refresh walk for untouched apps. Debug builds audit each skip
   /// (AppSnapshot::verifyClean).
-  static void markDirty(SessionState& st) { ++st.mutationEpoch; }
+  static void markDirty(SessionState& st) {
+    // 0 is the "unknown, always walk" sentinel — never hand it out on wrap.
+    if (++st.mutationEpoch == 0) st.mutationEpoch = 1;
+  }
   void endRequest(SessionState& st, Request& r, std::vector<NodeId> released);
   void cancelUnstarted(SessionState& st, Request& r);
   void onExpiryTimer(AppId app, RequestId id);

@@ -48,23 +48,40 @@ CaptureKind AppSnapshot::capture(AppId app, const RequestSet* preAllocations,
   // Epoch-clean fast path: the owner reports no mutation since the epoch
   // this snapshot captured from the very same population, and the previous
   // pass's writeBack() made the result slots bit-identical to the live
-  // requests — so there is nothing to read. The audit below catches any
-  // mutation that was not reported through the epoch.
+  // requests (and re-seeded seededResults_ along the way) — so there is
+  // nothing to read at all: a skip is O(1). The audits below catch any
+  // mutation that was not reported through the epoch: the set membership
+  // versions always (falling back to a walk in release builds), the full
+  // per-record mirror in debug builds.
+  const std::uint64_t versions[3] = {
+      preAllocations != nullptr ? preAllocations->version() : 0,
+      nonPreemptible != nullptr ? nonPreemptible->version() : 0,
+      preemptible != nullptr ? preemptible->version() : 0};
   if (epoch != 0 && epoch == capturedEpoch_ && app == app_ &&
       capturedSets_[0] == preAllocations &&
       capturedSets_[1] == nonPreemptible && capturedSets_[2] == preemptible) {
-    COORM_DCHECK(verifyClean(preAllocations, nonPreemptible, preemptible));
-    seedResults();
-    return CaptureKind::kSkipped;
+    const bool versionsClean = versions[0] == capturedVersions_[0] &&
+                               versions[1] == capturedVersions_[1] &&
+                               versions[2] == capturedVersions_[2];
+    COORM_DCHECK(versionsClean);  // add/remove without a mutationEpoch bump
+    if (versionsClean) {
+      COORM_DCHECK(verifyClean(preAllocations, nonPreemptible, preemptible));
+      lastCapture_ = CaptureKind::kSkipped;
+      return CaptureKind::kSkipped;
+    }
   }
 
   capturedSets_[0] = preAllocations;
   capturedSets_[1] = nonPreemptible;
   capturedSets_[2] = preemptible;
   capturedEpoch_ = epoch;
+  capturedVersions_[0] = versions[0];
+  capturedVersions_[1] = versions[1];
+  capturedVersions_[2] = versions[2];
 
   if (tryRefresh(app, preAllocations, nonPreemptible, preemptible)) {
     seedResults();
+    lastCapture_ = CaptureKind::kRefreshed;
     return CaptureKind::kRefreshed;
   }
 
@@ -86,15 +103,18 @@ CaptureKind AppSnapshot::capture(AppId app, const RequestSet* preAllocations,
   indexSet(preemptible_);
   summarizeDemand();
   seedResults();
+  lastCapture_ = CaptureKind::kRebuilt;
   return CaptureKind::kRebuilt;
 }
 
 void AppSnapshot::seedResults() {
   seededResults_.resize(records_.size());
+  allStarted_ = true;
   for (std::size_t i = 0; i < records_.size(); ++i) {
     const SnapshotRecord& rec = records_[i];
     seededResults_[i] = {rec.nAlloc, rec.scheduledAt, rec.earliestScheduleAt,
                          rec.fixed};
+    if (!rec.external && !rec.started()) allStarted_ = false;
   }
 }
 
@@ -148,8 +168,14 @@ bool AppSnapshot::tryRefresh(AppId app, const RequestSet* preAllocations,
                                    preemptible};
   const SetSnapshot* snapSets[3] = {&preAllocations_, &nonPreemptible_,
                                     &preemptible_};
+  // Returns true when a field feeding the per-cluster demand summary moved,
+  // so the summary is only rebuilt when its inputs actually changed
+  // (membership is unchanged by construction on this path).
   const auto refresh = [](SnapshotRecord& rec) {
     const Request* r = rec.live;
+    const bool demandChanged =
+        rec.cluster != r->cluster || rec.nodes != r->nodes ||
+        rec.startedAt != r->startedAt || rec.heldIds != std::ssize(r->nodeIds);
     rec.cluster = r->cluster;
     rec.nodes = r->nodes;
     rec.duration = r->duration;
@@ -160,6 +186,7 @@ bool AppSnapshot::tryRefresh(AppId app, const RequestSet* preAllocations,
     rec.scheduledAt = r->scheduledAt;
     rec.earliestScheduleAt = r->earliestScheduleAt;
     rec.fixed = r->fixed;
+    return demandChanged;
   };
 
   // One walk verifies the topology (same members in the same order, same
@@ -168,6 +195,7 @@ bool AppSnapshot::tryRefresh(AppId app, const RequestSet* preAllocations,
   // no rollback is needed — and the scattered live requests are only read
   // once, which is what dominates a steady-state capture.
   std::size_t members = 0;
+  bool demandDirty = false;
   for (int s = 0; s < 3; ++s) {
     const std::size_t liveSize =
         liveSets[s] != nullptr ? liveSets[s]->size() : 0;
@@ -190,7 +218,7 @@ bool AppSnapshot::tryRefresh(AppId app, const RequestSet* preAllocations,
           return false;
         }
       }
-      refresh(rec);
+      if (refresh(rec) && s == 2) demandDirty = true;
     }
   }
 
@@ -200,7 +228,7 @@ bool AppSnapshot::tryRefresh(AppId app, const RequestSet* preAllocations,
   for (std::size_t i = members; i < records_.size(); ++i) {
     refresh(records_[i]);
   }
-  summarizeDemand();
+  if (demandDirty) summarizeDemand();
   return true;
 }
 
@@ -343,7 +371,13 @@ void AppSnapshot::writeBack() const {
     return;
   }
   metrics::increment(metrics::Event::kWriteBackAppsDirty);
-  for (const SnapshotRecord& rec : records_) {
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const SnapshotRecord& rec = records_[i];
+    // Re-seed as we go: after this walk the live results equal the record
+    // results again, so the next epoch-clean capture can skip without any
+    // per-record work (the clean path above left the seeds equal already).
+    seededResults_[i] = {rec.nAlloc, rec.scheduledAt, rec.earliestScheduleAt,
+                         rec.fixed};
     if (rec.external) continue;
     Request* live = rec.live;
     // Compare-before-store: between steady-state passes most results are

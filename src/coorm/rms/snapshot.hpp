@@ -210,6 +210,19 @@ class AppSnapshot {
     return preemptibleDemand_;
   }
 
+  /// How the most recent capture() obtained this image. The incremental
+  /// scheduler treats kSkipped as "nothing about this app changed since the
+  /// previous pass" — the precondition for serving it from its cache.
+  [[nodiscard]] CaptureKind lastCapture() const { return lastCapture_; }
+
+  /// True when every member record was started at the last walk (capture or
+  /// refresh). Started requests' pass results are independent of the pass's
+  /// `now` and of the availability views, which is what makes an epoch-clean
+  /// all-started app's entire re-derivation skippable; an app with any
+  /// pending request must be re-derived even when epoch-clean, because fit()
+  /// and grantAtStart() anchor pending requests at max(scheduledAt, now).
+  [[nodiscard]] bool allStarted() const { return allStarted_; }
+
   /// Copies every member record's result fields onto its live request.
   /// External records are skipped. Call on the thread that owns the live
   /// requests (the server's executor thread), never while a pass still runs.
@@ -231,6 +244,13 @@ class AppSnapshot {
 
   View nonPreemptiveView;  ///< pass output, paper V^(i)_{:P}
   View preemptiveView;     ///< pass output, paper V^(i)_P
+
+  /// Set by the incremental scheduler when this app's output views were
+  /// served unchanged from its pass-to-pass cache: the two View members
+  /// above are then deliberately left empty (the server's stashed copies
+  /// from the previous commit are already identical — a renewed lease).
+  /// Any full or partially-recomputed derivation clears it.
+  bool viewsReused = false;
 
  private:
   /// Fast path for repeated captures of an unchanged topology (same
@@ -272,8 +292,18 @@ class AppSnapshot {
   /// the epoch-skip fast path requires all four to match (0 = never skip).
   const RequestSet* capturedSets_[3] = {nullptr, nullptr, nullptr};
   std::uint64_t capturedEpoch_ = 0;
+  /// Membership versions of the captured sets: the skip fast path
+  /// cross-checks them, so an add/remove whose owner forgot the epoch bump
+  /// degrades to a walk (and asserts in debug builds) instead of serving a
+  /// stale image.
+  std::uint64_t capturedVersions_[3] = {0, 0, 0};
+  CaptureKind lastCapture_ = CaptureKind::kRebuilt;
+  bool allStarted_ = false;
   std::vector<SnapshotRecord> records_;
-  std::vector<ResultSeed> seededResults_;  ///< capture-time result fields
+  /// Capture-time result fields. Mutable: the dirty write-back path
+  /// re-seeds it from the pass results it just applied, which is what lets
+  /// an epoch-clean capture skip without any per-record work at all.
+  mutable std::vector<ResultSeed> seededResults_;
   SetSnapshot preAllocations_;
   SetSnapshot nonPreemptible_;
   SetSnapshot preemptible_;

@@ -191,6 +191,139 @@ TEST(NetChaos, KillBetweenPassCommitsMatchesUninterruptedServer) {
   EXPECT_GE(stats->events[eventIndex(metrics::Event::kReconnects)], 1u);
 }
 
+/// Steady-state lease scenario: `holder` takes two open-ended preemptible
+/// leases plus one long finite request and then goes quiet — every
+/// subsequent pass sees it epoch-clean and all-started. `ticker` keeps the
+/// pass cadence alive with a chain of short requests, so those passes
+/// classify the holder as a lease. Releasing lease #1 and then killing the
+/// daemon places the SIGKILL mid-steady-state with lease #0 still held and
+/// lease #1 freshly ended.
+struct LeaseRun {
+  ScriptApp holder;
+  ScriptApp ticker;
+  Scenario scenario;
+  std::function<void()> atSteadyState;
+
+  void wire(Transport& transport) {
+    holder.onFirstViews = [this] {
+      RequestSpec lease;
+      lease.nodes = 4;
+      lease.duration = kTimeInf;
+      lease.type = RequestType::kPreemptible;
+      holder.submit(lease);  // #0: held across the kill
+      lease.nodes = 2;
+      holder.submit(lease);  // #1: released just before the kill
+      RequestSpec finite;
+      finite.nodes = 3;
+      finite.duration = msec(4000);
+      finite.type = RequestType::kNonPreemptible;
+      holder.submit(finite);  // #2: its expiry spans the kill/restart
+    };
+    const auto tick = [this] {
+      RequestSpec spec;
+      spec.nodes = 2;
+      spec.duration = msec(500);
+      spec.type = RequestType::kNonPreemptible;
+      ticker.submit(spec);
+    };
+    ticker.onFirstViews = tick;
+    // Each resubmission waits for the views push that follows the previous
+    // request's end: the real daemon commits a pass in the wire round-trip
+    // gap between END and the next SUBMIT, so the reference run must leave
+    // the same gap or the traces diverge on those interim pushes.
+    const auto endedAndSettled = [](const ScriptApp& app, const char* mark) {
+      return contains(app.trace, mark) && !app.trace.empty() &&
+             app.trace.back().rfind("views", 0) == 0;
+    };
+    scenario.steps = {
+        {[] { return true; },
+         [this, &transport] { holder.bind(transport.add(holder, "holder")); }},
+        {[this] { return holder.startedCount >= 3; },
+         [this, &transport] { ticker.bind(transport.add(ticker, "ticker")); }},
+        {[this] { return ticker.startedCount >= 1; },
+         [this] { holder.finish(1); }},
+        {[this] { return contains(holder.trace, "ended #1"); },
+         [this] {
+           if (atSteadyState) atSteadyState();
+         }},
+        {[this, endedAndSettled] {
+           return endedAndSettled(ticker, "ended #0");
+         },
+         tick},
+        {[this, endedAndSettled] {
+           return endedAndSettled(ticker, "ended #1");
+         },
+         tick},
+    };
+    scenario.finished = [this] {
+      return contains(holder.trace, "ended #2") &&
+             contains(ticker.trace, "ended #2");
+    };
+  }
+};
+
+TEST(NetChaos, KillMidSteadyStateWithLeasesMatchesPristineServer) {
+  // Reference: pristine serial full-recompute server, uninterrupted.
+  LeaseRun reference;
+  Engine engine;
+  Server::Config pristine = chaosConfig();
+  pristine.incremental = false;
+  Server server(engine, Machine::single(16), pristine);
+  InProcessTransport direct(server);
+  reference.wire(direct);
+  ASSERT_TRUE(runInProcess(engine, reference.scenario))
+      << "in-process reference run did not finish";
+
+  // Chaos run: the daemon keeps its defaults — incremental passes on —
+  // so the kill lands while leases are being renewed from the scheduler's
+  // cache, and the restart must rebuild that state from the journal alone.
+  ChildDaemon daemon(COORM_RMSD_PATH, journalPath("leases"), kDaemonArgs);
+  daemon.start();
+  LeaseRun remote;
+  remote.atSteadyState = [&daemon] { daemon.restart(); };
+  net::PollExecutor clientLoop;
+  ReconnectTransport transport(clientLoop, daemon.port());
+  remote.wire(transport);
+  ASSERT_TRUE(runLoopback(clientLoop, remote.scenario, msec(600), sec(60)))
+      << "chaos run did not finish";
+
+  EXPECT_FALSE(reference.holder.trace.empty());
+  EXPECT_EQ(reference.holder.trace, remote.holder.trace);
+  EXPECT_EQ(reference.ticker.trace, remote.ticker.trace);
+  EXPECT_GE(transport.clients[0]->reconnects(), 1u);
+
+  // No stale-lease resurrection: the lease released before the kill
+  // started exactly once and never re-started after its end.
+  const auto startsOf = [](const std::vector<std::string>& trace,
+                           const std::string& needle) {
+    return std::count_if(trace.begin(), trace.end(),
+                         [&](const std::string& line) {
+                           return line.find(needle) != std::string::npos;
+                         });
+  };
+  EXPECT_EQ(startsOf(remote.holder.trace, "started #1"), 1);
+  EXPECT_EQ(startsOf(remote.holder.trace, "ended #1"), 1);
+
+  // The restarted daemon really ran incremental steady state: the ticker's
+  // passes classified the quiet holder as an epoch-clean lease (skipped on
+  // recapture and fed through the renew/preempt lease path) after the
+  // journal replay rebuilt its sessions.
+  net::RmsClient statsq(
+      clientLoop,
+      net::RmsClient::Config{net::Endpoint{"127.0.0.1", daemon.port()},
+                             "statsq"});
+  statsq.dial();
+  const auto stats = statsq.stats();
+  statsq.disconnect();
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GT(stats->events[eventIndex(metrics::Event::kJournalRecordsReplayed)],
+            0u);
+  EXPECT_GT(stats->events[eventIndex(metrics::Event::kPassAppsClean)], 0u);
+  EXPECT_GT(stats->events[eventIndex(metrics::Event::kLeasesRenewed)] +
+                stats->events[eventIndex(metrics::Event::kLeasesPreempted)],
+            0u);
+}
+
 TEST(NetChaos, KillMidHandshakeMatchesUninterruptedServer) {
   PairRun reference;
   Engine engine;

@@ -35,6 +35,50 @@ TEST(RequestSet, RemoveMissingIsNoop) {
   EXPECT_EQ(set.size(), 1u);
 }
 
+TEST(RequestSet, VersionBumpsOnEveryMembershipMutation) {
+  // The membership version backs the snapshot's stale-skip guard: every
+  // add() and every remove() that actually erased a member must move it,
+  // and nothing else may (a stable version is what lets the epoch-skip
+  // fast path trust its captured image).
+  Request a = makeRequest(1);
+  Request b = makeRequest(2);
+  RequestSet set;
+  const std::uint64_t v0 = set.version();
+
+  set.add(&a);
+  const std::uint64_t v1 = set.version();
+  EXPECT_NE(v1, v0);
+  set.add(&b);
+  const std::uint64_t v2 = set.version();
+  EXPECT_NE(v2, v1);
+
+  // Reads leave the version alone.
+  (void)set.find(RequestId{1});
+  (void)set.contains(&a);
+  (void)set.roots();
+  (void)set.children(a);
+  EXPECT_EQ(set.version(), v2);
+
+  // A remove() that misses is a no-op, version included.
+  set.remove(RequestId{99});
+  EXPECT_EQ(set.version(), v2);
+
+  set.remove(RequestId{1});
+  const std::uint64_t v3 = set.version();
+  EXPECT_NE(v3, v2);
+
+  // Removing the same id twice only counts once.
+  set.remove(RequestId{1});
+  EXPECT_EQ(set.version(), v3);
+
+  // Re-adding after a remove is a fresh mutation: the version must not
+  // return to a previously seen value (monotonic, never ABA).
+  set.add(&a);
+  EXPECT_NE(set.version(), v3);
+  EXPECT_NE(set.version(), v2);
+  EXPECT_NE(set.version(), v1);
+}
+
 TEST(RequestSet, FreeRequestsAreRoots) {
   Request a = makeRequest(1);
   Request b = makeRequest(2);

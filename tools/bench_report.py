@@ -40,7 +40,12 @@ COORM_METRICS_OUT dump under the run's "metrics" key, and per-benchmark
 user counters (arena_slow_path, writeback_clean, ...) are kept on each
 entry. `--require-zero COUNTER` turns such a counter into a gate — CI
 uses `--check-only --require-zero arena_slow_path` to fail the bench job
-if the segment arena ever falls back to the heap at steady state.
+if the segment arena ever falls back to the heap at steady state — and
+`--require-nonzero COUNTER` is the inverse gate: CI runs the incremental
+scheduling bench under `--check-only --require-nonzero step2_ranges_reused
+--require-nonzero pass_apps_clean` to fail the job if the pass-to-pass
+cache ever stops engaging (a silent fall-back to full recomputes would
+keep results correct but void the O(changed) claim).
 
 The script needs nothing outside the Python standard library.
 """
@@ -107,7 +112,8 @@ def summarize(report: dict) -> tuple[dict, list[dict]]:
             key: bench[key]
             for key in ("arena_slow_path", "writeback_clean",
                         "writeback_dirty", "passes", "overlapped",
-                        "messages/s")
+                        "messages/s", "pass_apps_clean", "pass_apps_dirty",
+                        "step2_ranges_reused")
             if key in bench
         }
         if counters:
@@ -127,6 +133,34 @@ def check_zero_counters(entries: list[dict], names: list[str]) -> None:
     if offenders:
         raise SystemExit(
             "counter(s) required to be zero are not:\n  "
+            + "\n  ".join(offenders))
+
+
+def check_nonzero_counters(entries: list[dict], names: list[str]) -> None:
+    """Exit non-zero unless every named counter is reported and positive.
+
+    Every entry that carries the counter must have it > 0, and at least
+    one entry must carry it at all — a silently dropped counter would
+    otherwise pass the gate (e.g. the incremental cache never engaging
+    would show up as a missing or zero step2_ranges_reused).
+    """
+    offenders = []
+    for name in names:
+        reporting = [
+            entry for entry in entries
+            if name in entry.get("counters", {})
+        ]
+        if not reporting:
+            offenders.append(f"no benchmark entry reports counter {name!r}")
+            continue
+        offenders.extend(
+            f"{entry['name']}: {name} = {entry['counters'][name]}"
+            for entry in reporting
+            if not entry["counters"][name] > 0
+        )
+    if offenders:
+        raise SystemExit(
+            "counter(s) required to be nonzero are not:\n  "
             + "\n  ".join(offenders))
 
 
@@ -218,6 +252,11 @@ def main() -> None:
         help="fail (exit 1) if any benchmark entry reports this per-bench "
              "counter with a nonzero value; repeatable")
     parser.add_argument(
+        "--require-nonzero", action="append", default=[], metavar="COUNTER",
+        help="fail (exit 1) unless at least one benchmark entry reports "
+             "this per-bench counter and every reporting entry has it > 0; "
+             "repeatable")
+    parser.add_argument(
         "--check-only", action="store_true",
         help="run the benchmarks and --require-zero checks without touching "
              "the trajectory file (--label/--output not needed)")
@@ -254,9 +293,11 @@ def main() -> None:
 
     if args.require_zero:
         check_zero_counters(entries, args.require_zero)
+    if args.require_nonzero:
+        check_nonzero_counters(entries, args.require_nonzero)
     if args.check_only:
-        checks = (f", {len(args.require_zero)} zero-counter check(s) passed"
-                  if args.require_zero else "")
+        nchecks = len(args.require_zero) + len(args.require_nonzero)
+        checks = f", {nchecks} counter check(s) passed" if nchecks else ""
         print(f"check-only: {len(entries)} benchmarks{checks}")
         return
 

@@ -27,6 +27,10 @@ void printUsage(std::ostream& out) {
          "                     off = serial back-to-back scheduling passes\n"
          "                     (identical results). --no-pipeline is an\n"
          "                     alias for --pipeline off\n"
+         "  --incremental on|off\n"
+         "                     incremental scheduling passes (default on);\n"
+         "                     off = every pass re-derives every app\n"
+         "                     (identical results)\n"
          "  --until SECS       horizon when no AMR is present (default 86400)\n"
          "  --timeline         render an ASCII allocation timeline\n"
          "  --trace            dump the protocol trace\n"
@@ -96,6 +100,16 @@ ParseResult parseArgs(int argc, const char* const* argv) {
       }
     } else if (arg == "--no-pipeline") {  // alias for --pipeline off
       options.runtime.pipeline = false;
+    } else if (arg == "--incremental" && (v = value(i))) {
+      if (std::strcmp(v, "on") == 0) {
+        options.runtime.incremental = true;
+      } else if (std::strcmp(v, "off") == 0) {
+        options.runtime.incremental = false;
+      } else {
+        result.error =
+            std::string("bad --incremental value (want on|off): ") + v;
+        return result;
+      }
     } else if (arg == "--until" && (v = value(i))) {
       options.until = secF(std::atof(v));
     } else if (arg == "--timeline") {
