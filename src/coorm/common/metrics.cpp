@@ -67,6 +67,16 @@ std::string_view name(Event event) noexcept {
       return "leases_renewed";
     case Event::kLeasesPreempted:
       return "leases_preempted";
+    case Event::kViewsDeltaSent:
+      return "views_delta_sent";
+    case Event::kViewsDeltaBytesSaved:
+      return "views_delta_bytes_saved";
+    case Event::kViewsResync:
+      return "views_resync";
+    case Event::kFramesCoalesced:
+      return "frames_coalesced";
+    case Event::kEpollWakeups:
+      return "epoll_wakeups";
     case Event::kCount_:
       break;
   }

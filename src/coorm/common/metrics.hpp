@@ -61,6 +61,11 @@ enum class Event : std::uint16_t {
   kStep2RangesReused,         ///< Step 2 output profiles reused or spliced
   kLeasesRenewed,             ///< clean apps whose allocation carried over
   kLeasesPreempted,           ///< clean apps whose share a dirty neighbour moved
+  kViewsDeltaSent,            ///< view pushes shipped as VIEWS_DELTA diffs
+  kViewsDeltaBytesSaved,      ///< full-push payload bytes avoided by deltas
+  kViewsResync,               ///< delta sessions resynced with a full push
+  kFramesCoalesced,           ///< frames batched into an already-pending flush
+  kEpollWakeups,              ///< epoll_wait returns with >= 1 ready fd
   kCount_,                    ///< not a counter — number of events
 };
 

@@ -9,6 +9,7 @@
 
 #include "coorm/common/check.hpp"
 #include "coorm/common/log.hpp"
+#include "coorm/profile/profile_diff.hpp"
 
 namespace coorm::net {
 
@@ -19,7 +20,7 @@ namespace {
 /// client's scratch_ buffer — a resume can fire from inside sendFrame()
 /// while scratch_ still holds the frame being retried.
 bool sendAll(int fd, const std::vector<std::uint8_t>& bytes,
-             PollExecutor& executor, Time deadline) {
+             Executor& executor, Time deadline) {
   std::size_t pos = 0;
   while (pos < bytes.size()) {
     const ssize_t n =
@@ -40,9 +41,21 @@ bool sendAll(int fd, const std::vector<std::uint8_t>& bytes,
   return true;
 }
 
+/// Splices one delta list onto `view`. False — the caller must resync, the
+/// view may be part-updated — when a delta names a cluster the view lacks
+/// (capRef would silently materialize a zero base and splice onto *that*).
+bool applyDeltas(View& view, const std::vector<ClusterDelta>& deltas) {
+  const std::vector<ClusterId> have = view.clusters();  // sorted
+  for (const ClusterDelta& d : deltas) {
+    if (!std::binary_search(have.begin(), have.end(), d.cluster)) return false;
+    spliceWindow(view.capRef(d.cluster), d.lo, d.hi, d.window);
+  }
+  return true;
+}
+
 }  // namespace
 
-RmsClient::RmsClient(PollExecutor& executor, Config config)
+RmsClient::RmsClient(IoExecutor& executor, Config config)
     : executor_(executor), config_(std::move(config)) {}
 
 RmsClient::~RmsClient() {
@@ -71,6 +84,10 @@ void RmsClient::connect(AppEndpoint& endpoint) {
     inbound_ = FrameBuffer{};
     app_ = AppId{};
     token_ = 0;
+    curNp_ = View{};
+    curP_ = View{};
+    viewsSeq_ = 0;
+    viewsSynced_ = false;
 
     fd_ = connectTo(config_.server, error);
     if (!fd_.valid()) continue;
@@ -85,7 +102,7 @@ void RmsClient::connect(AppEndpoint& endpoint) {
     timedOut_ = false;
     // The WELCOME is intercepted in handleFrame via app_ becoming valid.
     if (pumpUntil([&] { return app_.valid(); })) {
-      executor_.watch(fd_.get(), PollExecutor::kReadable,
+      executor_.watch(fd_.get(), IoExecutor::kReadable,
                       [this](short events) { onIo(events); });
       return;
     }
@@ -193,11 +210,11 @@ void RmsClient::disconnect() {
 }
 
 void RmsClient::onIo(short events) {
-  if ((events & PollExecutor::kError) != 0) {
+  if ((events & IoExecutor::kError) != 0) {
     onConnectionLost();
     return;
   }
-  if ((events & PollExecutor::kReadable) != 0) readFrames();
+  if ((events & IoExecutor::kReadable) != 0) readFrames();
 }
 
 bool RmsClient::readFrames() {
@@ -257,6 +274,45 @@ void RmsClient::handleFrame(const FrameView& frame) {
       ViewsMsg msg;
       if (!decode(frame.payload, msg)) break;
       pending_.push_back(std::move(msg));
+      armDrain();
+      return;
+    }
+    case MsgType::kViewsDelta: {
+      ViewsDeltaMsg msg;
+      if (!decode(frame.payload, msg)) {
+        // A malformed push is recoverable as long as its sequence number
+        // is readable: nack it and the daemon restates a full sync point.
+        // Without even a seq there is nothing to ack — protocol error.
+        if (frame.payload.size() < 4) break;
+        viewsSynced_ = false;
+        encode(scratch_, ViewsAckMsg{Reader(frame.payload).u32(),
+                                     ViewsAckMsg::Status::kResync});
+        sendFrame();
+        return;
+      }
+      if (msg.full) {
+        curNp_ = std::move(msg.nonPreemptive);
+        curP_ = std::move(msg.preemptive);
+      } else if (!viewsSynced_ || msg.baseSeq != viewsSeq_ ||
+                 !applyDeltas(curNp_, msg.nonPreemptiveDeltas) ||
+                 !applyDeltas(curP_, msg.preemptiveDeltas)) {
+        // Sequence gap or unknown cluster: drop the push (the full sync
+        // point answering the nack carries the current views) and desync
+        // so later deltas against bases we never applied are refused too.
+        viewsSynced_ = false;
+        encode(scratch_, ViewsAckMsg{msg.seq, ViewsAckMsg::Status::kResync});
+        sendFrame();
+        return;
+      }
+      viewsSeq_ = msg.seq;
+      viewsSynced_ = true;
+      encode(scratch_, ViewsAckMsg{msg.seq, ViewsAckMsg::Status::kApplied});
+      sendFrame();
+      if (dead_ || !fd_.valid()) return;  // the ack send may have killed us
+      ViewsMsg views;
+      views.nonPreemptive = curNp_;
+      views.preemptive = curP_;
+      pending_.push_back(std::move(views));
       armDrain();
       return;
     }
@@ -500,7 +556,7 @@ bool RmsClient::tryResume() {
     // still awaiting its ack.
     fd_ = std::move(fd);
     inbound_ = std::move(fb);
-    executor_.watch(fd_.get(), PollExecutor::kReadable,
+    executor_.watch(fd_.get(), IoExecutor::kReadable,
                     [this](short events) { onIo(events); });
     if (awaitingCookie_ != 0 && !ackReceived_) {
       RequestMsg msg;

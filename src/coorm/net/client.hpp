@@ -10,8 +10,17 @@
 //    server assigned — downstream frames that arrive first are queued, in
 //    order, for normal delivery;
 //  - downstream frames (views/started/expired/ended/killed) decode into
-//    `AppEndpoint` callbacks dispatched from the owning PollExecutor loop,
+//    `AppEndpoint` callbacks dispatched from the owning IoExecutor loop,
 //    in arrival order, never re-entrantly from inside a blocking wait.
+//
+// View pushes (version 3): the daemon ships sequenced VIEWS_DELTA frames.
+// The client keeps the last applied view pair; a full push replaces it, a
+// delta push splices per-cluster windows onto it (profile_diff.hpp), and
+// each applied push is VIEWS_ACKed so the daemon may diff against it. Any
+// gap, unknown cluster or undecodable window acks `resync` instead — the
+// daemon answers with a full sync point — so the views delivered to the
+// endpoint are bit-identical to full pushes at every commit, just cheaper
+// on the wire. Legacy VIEWS frames still deliver as before.
 //
 // Crash safety (version 2): with Config::reconnect set, a lost connection
 // does not end the session. The client redials with exponential backoff +
@@ -41,7 +50,7 @@
 
 #include "coorm/common/metrics.hpp"
 
-#include "coorm/net/poll_executor.hpp"
+#include "coorm/net/io_executor.hpp"
 #include "coorm/net/socket.hpp"
 #include "coorm/net/wire.hpp"
 #include "coorm/rms/app_link.hpp"
@@ -75,7 +84,7 @@ class RmsClient final : public AppLink {
     Time backoffMax = sec(2);     ///< retry delay cap (jitter keeps [d/2, d])
   };
 
-  RmsClient(PollExecutor& executor, Config config);
+  RmsClient(IoExecutor& executor, Config config);
   ~RmsClient() override;
 
   RmsClient(const RmsClient&) = delete;
@@ -154,7 +163,7 @@ class RmsClient final : public AppLink {
   /// for `id` — the dedup behind at-least-once re-announcement.
   bool alreadyDelivered(RequestId id, std::uint8_t kindBit);
 
-  PollExecutor& executor_;
+  IoExecutor& executor_;
   Config config_;
   Fd fd_;
   AppEndpoint* endpoint_ = nullptr;
@@ -191,6 +200,13 @@ class RmsClient final : public AppLink {
   bool awaitingStats_ = false;
   bool statsReceived_ = false;
   metrics::Snapshot statsReply_{};
+  // Delta-push state: the last applied view pair (the base delta pushes
+  // splice into) and its sequence number. `viewsSynced_` drops on any
+  // resync condition; only a full push raises it again.
+  View curNp_;
+  View curP_;
+  std::uint32_t viewsSeq_ = 0;
+  bool viewsSynced_ = false;
 };
 
 }  // namespace coorm::net

@@ -11,8 +11,42 @@
 #include "coorm/common/check.hpp"
 #include "coorm/common/log.hpp"
 #include "coorm/common/metrics.hpp"
+#include "coorm/profile/profile_diff.hpp"
 
 namespace coorm::net {
+
+namespace {
+
+/// Collects the per-cluster splice windows turning `prev` into `next`.
+/// Unchanged clusters are omitted. False when the cluster sets differ —
+/// a delta cannot add or drop clusters, so such pushes go out full.
+bool buildDeltas(const View& prev, const View& next,
+                 std::vector<ClusterDelta>& out) {
+  out.clear();
+  const std::vector<ClusterId> clusters = next.clusters();
+  if (clusters != prev.clusters()) return false;
+  for (const ClusterId cid : clusters) {
+    Time lo = 0;
+    Time hi = 0;
+    const std::span<const Segment> newSegs = next.cap(cid).segments();
+    if (!diffWindow(prev.cap(cid).segments(), newSegs, lo, hi)) continue;
+    ClusterDelta delta;
+    delta.cluster = cid;
+    delta.lo = lo;
+    delta.hi = hi;
+    // The window spliceWindow() expects is exactly the new profile's
+    // segments starting in [lo, hi): diffWindow guarantees the values at
+    // lo-1 agree, so emit-on-change relative to the base is the identity.
+    for (const Segment& seg : newSegs) {
+      if (seg.start >= hi) break;
+      if (seg.start >= lo) delta.window.push_back(seg);
+    }
+    out.push_back(std::move(delta));
+  }
+  return true;
+}
+
+}  // namespace
 
 /// One accepted peer: the socket-facing state plus the AppEndpoint the
 /// Server notifies. Downstream callbacks run as executor events on the
@@ -30,13 +64,26 @@ struct Daemon::Connection final : AppEndpoint {
   bool closeWhenFlushed = false;  ///< KILLED sent; close after drain
   bool clean = false;           ///< GOODBYE seen: disconnect, never detach
   bool dead = false;            ///< torn down; ignore further activity
+  bool flushArmed = false;      ///< zero-delay flush event pending
+  EventHandle flushEvent;       ///< coalesced flush (cancellable)
   EventHandle destroyEvent;     ///< deferred destruction (cancellable)
+
+  // Delta-push state. `viewSeq` numbers this connection's pushes;
+  // `acked*` is the last push the client confirmed applied (only ever the
+  // *latest* push — an ack of anything older is stale and ignored, so a
+  // delta's base is always exactly what the client holds); `sent*` is the
+  // view pair of the latest push, the base the next delta diffs against.
+  std::uint32_t viewSeq = 0;
+  std::uint32_t ackedSeq = 0;
+  bool ackedValid = false;
+  View sentNp;
+  View sentP;
+  bool sentValid = false;
 
   // --- AppEndpoint ---------------------------------------------------------
   void onViews(const View& nonPreemptive, const View& preemptive) override {
     if (dead) return;
-    encodeViews(daemon->scratch_, nonPreemptive, preemptive);
-    daemon->send(*this, MsgType::kViews);
+    daemon->pushViews(*this, nonPreemptive, preemptive);
   }
   void onStarted(RequestId id, const std::vector<NodeId>& nodeIds) override {
     if (dead) return;
@@ -63,7 +110,7 @@ struct Daemon::Connection final : AppEndpoint {
   }
 };
 
-Daemon::Daemon(PollExecutor& executor, Server& server, Config config)
+Daemon::Daemon(IoExecutor& executor, Server& server, Config config)
     : executor_(executor), server_(server), config_(config) {
   std::string error;
   listener_ = listenOn(config_.listen, error);
@@ -72,7 +119,7 @@ Daemon::Daemon(PollExecutor& executor, Server& server, Config config)
                              net::toString(config_.listen) + ": " + error);
   }
   port_ = boundPort(listener_.get());
-  executor_.watch(listener_.get(), PollExecutor::kReadable,
+  executor_.watch(listener_.get(), IoExecutor::kReadable,
                   [this](short) { onAcceptable(); });
   if (config_.idleDeadline > 0) armIdleSweep();
   if (config_.resumeGrace > 0) armResumeReaper();
@@ -98,6 +145,7 @@ void Daemon::close() {
   listener_.reset();
   for (auto& conn : connections_) {
     if (!conn->dead) teardown(*conn);
+    Executor::cancel(conn->flushEvent);
     // The deferred destroy events reference this Daemon, which may be
     // torn down before they fire; cancel them and keep the Connection
     // objects as tombstones until the destructor instead. Endpoint
@@ -116,7 +164,7 @@ void Daemon::onAcceptable() {
     conn->fd = std::move(fd);
     conn->lastActivity = executor_.now();
     Connection* raw = conn.get();
-    executor_.watch(raw->fd.get(), PollExecutor::kReadable,
+    executor_.watch(raw->fd.get(), IoExecutor::kReadable,
                     [this, raw](short events) { onConnectionIo(*raw, events); });
     connections_.push_back(std::move(conn));
   }
@@ -127,13 +175,13 @@ void Daemon::onConnectionIo(Connection& conn, short events) {
   // POLLHUP rides along with the final readable burst of a closing peer,
   // so an error/hangup must not short-circuit the read path below — it
   // only forces the drop decision at the end.
-  const bool errored = (events & PollExecutor::kError) != 0;
+  const bool errored = (events & IoExecutor::kError) != 0;
   if (!errored) {
-    if ((events & PollExecutor::kWritable) != 0) {
+    if ((events & IoExecutor::kWritable) != 0) {
       flush(conn);
       if (conn.dead) return;
     }
-    if ((events & PollExecutor::kReadable) == 0) return;
+    if ((events & IoExecutor::kReadable) == 0) return;
   }
 
   // Frames that arrived in the same burst as an EOF/reset still count:
@@ -240,6 +288,30 @@ void Daemon::handleFrame(Connection& conn, const FrameView& frame) {
       conn.session->done(msg.id, std::move(msg.released));
       return;
     }
+    case MsgType::kViewsAck: {
+      ViewsAckMsg msg;
+      if (!decode(frame.payload, msg) || conn.session == nullptr) break;
+      if (msg.status == ViewsAckMsg::Status::kApplied) {
+        // Only an ack of the *latest* push counts: it proves the client
+        // holds exactly sent{Np,P}, the base the next delta diffs
+        // against. A stale ack (raced by a newer push) proves nothing.
+        if (msg.seq == conn.viewSeq) {
+          conn.ackedSeq = msg.seq;
+          conn.ackedValid = true;
+        }
+        return;
+      }
+      // Resync request: the client lost the delta stream (gap, unknown
+      // cluster, malformed window). Restate the latest views as a full
+      // sync point; harmless if several resyncs race.
+      metrics::increment(metrics::Event::kViewsResync);
+      conn.ackedValid = false;
+      if (conn.sentValid) {
+        encodeViewsFull(scratch_, ++conn.viewSeq, conn.sentNp, conn.sentP);
+        send(conn, MsgType::kViewsDelta);
+      }
+      return;
+    }
     case MsgType::kGoodbye: {
       // Legal with or without a session: admin peers (stats queries) say
       // goodbye too. teardown() handles the session-less case.
@@ -266,11 +338,49 @@ void Daemon::handleFrame(Connection& conn, const FrameView& frame) {
   teardown(conn);
 }
 
+void Daemon::pushViews(Connection& conn, const View& nonPreemptive,
+                       const View& preemptive) {
+  if (!config_.deltaViews) {
+    encodeViews(scratch_, nonPreemptive, preemptive);
+    send(conn, MsgType::kViews);
+    return;
+  }
+  // Delta only against a base the client provably holds: the latest push,
+  // acked. Anything else (first push, unacked pipeline, post-resync,
+  // changed cluster set) ships as a full sync point.
+  const bool delta = conn.sentValid && conn.ackedValid &&
+                     buildDeltas(conn.sentNp, nonPreemptive, npDeltas_) &&
+                     buildDeltas(conn.sentP, preemptive, pDeltas_);
+  const std::uint32_t seq = ++conn.viewSeq;
+  if (delta) {
+    const std::size_t before = scratch_.size();
+    encodeViewsDelta(scratch_, seq, conn.ackedSeq, npDeltas_, pDeltas_);
+    metrics::increment(metrics::Event::kViewsDeltaSent);
+    const std::size_t fullBytes = kHeaderSize + 4 + 1 +
+                                  viewWireSize(nonPreemptive) +
+                                  viewWireSize(preemptive);
+    const std::size_t deltaBytes = scratch_.size() - before;
+    if (deltaBytes < fullBytes) {
+      metrics::increment(metrics::Event::kViewsDeltaBytesSaved,
+                         fullBytes - deltaBytes);
+    }
+  } else {
+    encodeViewsFull(scratch_, seq, nonPreemptive, preemptive);
+  }
+  send(conn, MsgType::kViewsDelta);
+  conn.sentNp = nonPreemptive;
+  conn.sentP = preemptive;
+  conn.sentValid = true;
+  // The new push is now the latest; any earlier ack no longer names it.
+  conn.ackedValid = false;
+}
+
 void Daemon::send(Connection& conn, MsgType type) {
   // The encode() overloads appended one frame to scratch_; move it into
-  // the connection's buffer and flush opportunistically.
+  // the connection's buffer.
   (void)type;
   ++framesOut_;
+  const bool hadPending = conn.outboundPos < conn.outbound.size();
   if (conn.outbound.empty()) {
     conn.outbound.swap(scratch_);
   } else {
@@ -278,7 +388,27 @@ void Daemon::send(Connection& conn, MsgType type) {
                          scratch_.end());
   }
   scratch_.clear();
-  flush(conn);
+  if (hadPending) metrics::increment(metrics::Event::kFramesCoalesced);
+
+  // Coalescing: instead of one send(2) per frame, batch every frame
+  // queued during this loop turn (all notifications of one pass commit
+  // arrive back-to-back) and flush once from a zero-delay event — it is
+  // dispatched by the same runOne() that delivered the inputs, so no
+  // extra wakeup and no added latency. The high-water mark bounds how
+  // much a burst can buffer before the kernel gets a look at it.
+  if (!config_.coalesceWrites ||
+      conn.outbound.size() - conn.outboundPos >= config_.flushHighWater) {
+    flush(conn);
+    return;
+  }
+  if (!conn.flushArmed) {
+    conn.flushArmed = true;
+    Connection* raw = &conn;
+    conn.flushEvent = executor_.after(0, [this, raw] {
+      raw->flushArmed = false;
+      if (!raw->dead) flush(*raw);
+    });
+  }
 }
 
 void Daemon::flush(Connection& conn) {
@@ -302,7 +432,7 @@ void Daemon::flush(Connection& conn) {
     conn.outboundPos = 0;
     if (conn.writable) {
       conn.writable = false;
-      executor_.updateEvents(conn.fd.get(), PollExecutor::kReadable);
+      executor_.updateEvents(conn.fd.get(), IoExecutor::kReadable);
     }
     if (conn.closeWhenFlushed) teardown(conn);
     return;
@@ -322,13 +452,15 @@ void Daemon::flush(Connection& conn) {
     conn.writable = true;
     metrics::increment(metrics::Event::kBackpressureStalls);
     executor_.updateEvents(conn.fd.get(),
-                           PollExecutor::kReadable | PollExecutor::kWritable);
+                           IoExecutor::kReadable | IoExecutor::kWritable);
   }
 }
 
 void Daemon::teardown(Connection& conn) {
   if (conn.dead) return;
   conn.dead = true;
+  Executor::cancel(conn.flushEvent);
+  conn.flushArmed = false;
   executor_.unwatch(conn.fd.get());
   conn.fd.reset();
   // Map the dead peer to the protocol-level departure. With a resume

@@ -1,7 +1,8 @@
 // The network front-end of the RMS: session multiplexing over TCP.
 //
-// A Daemon owns a listening socket on a PollExecutor loop and adapts each
-// accepted connection to the in-process protocol seam:
+// A Daemon owns a listening socket on an IoExecutor loop (poll or epoll
+// backend) and adapts each accepted connection to the in-process protocol
+// seam:
 //  - upstream frames decode into the exact calls an in-process application
 //    would make (HELLO -> Server::connect, REQUEST -> Session::request +
 //    a REQ_ACK carrying the returned id, DONE -> Session::done,
@@ -9,9 +10,15 @@
 //  - each connection *is* an AppEndpoint: the server's downstream
 //    notifications (views/started/expired/ended/killed) encode into the
 //    connection's outbound buffer in delivery order;
-//  - partial reads reassemble through FrameBuffer; writes go out
-//    opportunistically and fall back to POLLOUT-driven draining under
-//    backpressure, with a hard cap that declares a non-draining peer dead;
+//  - partial reads reassemble through FrameBuffer; writes coalesce per
+//    session (every frame of one pass commit batches into a single flush,
+//    armed as a zero-delay loop event) and fall back to POLLOUT-driven
+//    draining under backpressure, with a hard cap that declares a
+//    non-draining peer dead;
+//  - view pushes ship as sequenced VIEWS_DELTA frames: once the client
+//    acks a push, the next one carries only per-cluster splice windows
+//    against that acked base (profile/profile_diff.hpp); any nack, gap or
+//    unacked pipeline falls back to a full sequenced push;
 //  - a dead peer (EOF, socket error, protocol violation, cap overflow)
 //    maps to Session::disconnect(), exactly as if the application had
 //    left — the RMS-side cleanup path is the same code either way.
@@ -25,7 +32,7 @@
 #include <memory>
 #include <vector>
 
-#include "coorm/net/poll_executor.hpp"
+#include "coorm/net/io_executor.hpp"
 #include "coorm/net/socket.hpp"
 #include "coorm/net/wire.hpp"
 #include "coorm/rms/server.hpp"
@@ -49,11 +56,22 @@ class Daemon {
     /// reaped. 0 restores the strict PR 5 behaviour (dead peer ==
     /// disconnect) — half-open clients then cannot resume.
     Time resumeGrace = 0;
+    /// Sequenced delta view pushes (VIEWS_DELTA). false restores the v2
+    /// behaviour of a whole VIEWS frame per pass.
+    bool deltaViews = true;
+    /// Batch frames per session and flush once per loop turn (all frames
+    /// of one pass commit become one send syscall). false flushes on
+    /// every frame, as in PR 5–8.
+    bool coalesceWrites = true;
+    /// Coalescing safety valve: a session whose unflushed bytes reach
+    /// this mark flushes immediately instead of waiting for the
+    /// zero-delay flush event.
+    std::size_t flushHighWater = 256u << 10;
   };
 
   /// Binds and starts accepting. Throws std::runtime_error if the listen
   /// socket cannot be set up.
-  Daemon(PollExecutor& executor, Server& server, Config config);
+  Daemon(IoExecutor& executor, Server& server, Config config);
   ~Daemon();
 
   Daemon(const Daemon&) = delete;
@@ -86,8 +104,14 @@ class Daemon {
   /// sessions. Re-armed from their own callbacks; cancelled by close().
   void armIdleSweep();
   void armResumeReaper();
-  /// Appends an encoded frame to the connection's outbound buffer and
-  /// flushes opportunistically.
+  /// One view push: a splice-window delta when the client has acked the
+  /// previous push (and cluster sets match), a full sequenced push
+  /// otherwise, a legacy VIEWS frame with deltaViews off.
+  void pushViews(Connection& conn, const View& nonPreemptive,
+                 const View& preemptive);
+  /// Appends an encoded frame to the connection's outbound buffer;
+  /// flushes now (high-water or coalescing off) or arms the
+  /// one-per-loop-turn flush event.
   void send(Connection& conn, MsgType type);
   void flush(Connection& conn);
   /// Declares the peer gone: disconnects the session, closes the socket
@@ -96,13 +120,15 @@ class Daemon {
   void teardown(Connection& conn);
   void destroy(Connection* conn);
 
-  PollExecutor& executor_;
+  IoExecutor& executor_;
   Server& server_;
   Config config_;
   Fd listener_;
   std::uint16_t port_ = 0;
   std::vector<std::unique_ptr<Connection>> connections_;
   std::vector<std::uint8_t> scratch_;  ///< frame encode buffer (reused)
+  std::vector<ClusterDelta> npDeltas_;  ///< per-push scratch (reused)
+  std::vector<ClusterDelta> pDeltas_;
   std::uint64_t framesIn_ = 0;
   std::uint64_t framesOut_ = 0;
   std::uint64_t pingNonce_ = 0;

@@ -8,29 +8,6 @@
 
 namespace coorm::net {
 
-PollExecutor::PollExecutor() : start_(std::chrono::steady_clock::now()) {}
-
-Time PollExecutor::now() const {
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now() - start_)
-      .count();
-}
-
-void PollExecutor::advanceTo(Time t) {
-  const Time current = now();
-  if (t <= current) return;
-  start_ -= std::chrono::milliseconds(t - current);
-}
-
-EventHandle PollExecutor::schedule(Time at, std::function<void()> fn) {
-  auto state = std::make_shared<detail::EventState>();
-  // Clamp to now: the Executor contract says `at >= now()`, but a
-  // real-time caller computing `lastPass + interval` can land slightly in
-  // the past — run it at the next timer dispatch instead of rejecting.
-  timers_.push(Timer{std::max(at, now()), nextSeq_++, std::move(fn), state});
-  return state;
-}
-
 void PollExecutor::watch(int fd, short events, IoCallback cb) {
   COORM_CHECK(fd >= 0);
   COORM_CHECK(find(fd) == nullptr);
@@ -65,27 +42,7 @@ std::size_t PollExecutor::watcherCount() const {
   return n;
 }
 
-bool PollExecutor::dispatchTimers(Time deadline) {
-  bool any = false;
-  while (!timers_.empty() && timers_.top().at <= deadline) {
-    Timer timer = timers_.top();
-    timers_.pop();
-    if (timer.state->cancelled) continue;
-    timer.fn();
-    any = true;
-  }
-  return any;
-}
-
-bool PollExecutor::runOne(Time maxWait) {
-  // Bound the wait by the next pending timer (cancelled timers still bound
-  // it — they are popped for free when due).
-  Time timeout = std::max<Time>(maxWait, 0);
-  if (!timers_.empty()) {
-    const Time untilTimer = std::max<Time>(timers_.top().at - now(), 0);
-    timeout = std::min(timeout, untilTimer);
-  }
-
+bool PollExecutor::pollOnce(Time timeout) {
   // `pollSet_` is a reused member buffer: the poll set is rebuilt each
   // cycle (interest masks change freely between cycles) but allocates
   // nothing in steady state.
@@ -131,8 +88,6 @@ bool PollExecutor::runOne(Time maxWait) {
     }
   }
 
-  any = dispatchTimers(now()) || any;
-
   if (compact_) {
     watchers_.erase(std::remove_if(watchers_.begin(), watchers_.end(),
                                    [](const Watcher& w) { return w.fd < 0; }),
@@ -140,13 +95,6 @@ bool PollExecutor::runOne(Time maxWait) {
     compact_ = false;
   }
   return any;
-}
-
-void PollExecutor::run(Time slice) {
-  stopped_ = false;
-  while (!stopped_ && (watcherCount() > 0 || !timers_.empty())) {
-    runOne(slice);
-  }
 }
 
 }  // namespace coorm::net

@@ -1,105 +1,34 @@
-// A poll(2)-based socket event loop that is a real-time `Executor`.
+// The poll(2) readiness backend of `IoExecutor` — the portable fallback.
 //
-// The RMS server is written against the Executor interface so it can run on
-// the discrete-event engine (the paper's evaluation) or on a wall-clock
-// loop; this is the wall-clock loop. One thread owns the loop and
-// interleaves two event sources:
-//  - timers: a (time, sequence) priority queue exactly like sim::Engine's,
-//    driven by the monotonic clock (CLOCK_MONOTONIC via steady_clock), so
-//    wall-clock jumps never reorder events. Same-time callbacks run in
-//    scheduling order — the property the pipelined Server's fallback
-//    commit event relies on;
-//  - file descriptors: POLLIN/POLLOUT interest registered per fd, with the
-//    poll timeout bounded by the next due timer.
-//
-// The `Server` (pipeline included) runs unmodified on top: its executor
-// callbacks, message handlers and pass commits all dispatch on the loop
-// thread, while the scheduling computation itself may still ride the
-// server's background AsyncLane.
+// Walks every watched fd per wakeup (O(watched)), which is fine up to a
+// few hundred connections; the epoll backend (epoll_executor.hpp) takes
+// over beyond that. Timer semantics, same-time ordering and the
+// watch/updateEvents/unwatch contract live in the IoExecutor base, so the
+// two backends are interchangeable under the `Server`, `Daemon` and
+// `RmsClient`.
 #pragma once
 
 #include <poll.h>
 
-#include <chrono>
-#include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
-#include "coorm/common/executor.hpp"
-#include "coorm/common/time.hpp"
+#include "coorm/net/io_executor.hpp"
 
 namespace coorm::net {
 
-class PollExecutor final : public Executor {
+class PollExecutor final : public IoExecutor {
  public:
-  /// Events the callback is told about (a subset of poll(2) revents):
-  /// readable, writable, or error/hangup conditions mapped onto kError.
-  enum : short {
-    kReadable = 0x1,
-    kWritable = 0x2,
-    kError = 0x4,
-  };
-  using IoCallback = std::function<void(short events)>;
+  PollExecutor() = default;
 
-  PollExecutor();
+  void watch(int fd, short events, IoCallback cb) override;
+  void updateEvents(int fd, short events) override;
+  void unwatch(int fd) override;
+  [[nodiscard]] std::size_t watcherCount() const override;
 
-  /// Milliseconds since the loop was created (monotonic).
-  [[nodiscard]] Time now() const override;
-
-  /// Jump the clock forward so now() reads at least `t`. Used after journal
-  /// replay: restored state carries absolute timestamps from the previous
-  /// process, so the loop's clock must not restart behind them. Timers
-  /// already scheduled keep their absolute times — ones now in the past
-  /// fire at the next dispatch, exactly as if the daemon had been running
-  /// the whole time. Never moves the clock backwards.
-  void advanceTo(Time t);
-
-  /// Run `fn` at absolute time `at` on the loop thread; times in the past
-  /// run as soon as the loop reaches its timer dispatch. Same-time
-  /// callbacks run in scheduling order.
-  EventHandle schedule(Time at, std::function<void()> fn) override;
-
-  /// Register interest in `events` (kReadable|kWritable) on `fd`. One
-  /// watcher per fd; `cb` runs on the loop thread with the triggered
-  /// events. kError is always reported regardless of the mask.
-  void watch(int fd, short events, IoCallback cb);
-
-  /// Change the event mask of a watched fd (e.g. enable kWritable while an
-  /// outbound buffer drains).
-  void updateEvents(int fd, short events);
-
-  /// Remove the watcher. Safe from inside any callback (including the
-  /// watcher's own).
-  void unwatch(int fd);
-
-  /// One poll + dispatch cycle, waiting at most `maxWait` ms (bounded by
-  /// the next due timer). Returns true if any callback was dispatched.
-  bool runOne(Time maxWait);
-
-  /// Loop until stop() is called or there is nothing left to wait for
-  /// (no watched fds and no pending timers). `slice` bounds each poll so
-  /// an external stop flag (e.g. a signal handler's) is honoured promptly.
-  void run(Time slice = msec(200));
-
-  void stop() { stopped_ = true; }
-
-  [[nodiscard]] std::size_t watcherCount() const;
-  [[nodiscard]] std::size_t pendingTimers() const { return timers_.size(); }
+ protected:
+  bool pollOnce(Time timeout) override;
 
  private:
-  struct Timer {
-    Time at;
-    std::uint64_t seq;
-    std::function<void()> fn;
-    EventHandle state;
-  };
-  struct Later {
-    bool operator()(const Timer& a, const Timer& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
   struct Watcher {
     int fd = -1;  ///< -1 = tombstone (removed mid-dispatch)
     short events = 0;
@@ -107,15 +36,9 @@ class PollExecutor final : public Executor {
   };
 
   [[nodiscard]] Watcher* find(int fd);
-  /// Dispatch every timer due at `deadline` or earlier.
-  bool dispatchTimers(Time deadline);
 
-  std::chrono::steady_clock::time_point start_;
-  std::priority_queue<Timer, std::vector<Timer>, Later> timers_;
   std::vector<Watcher> watchers_;
   std::vector<pollfd> pollSet_;  ///< per-cycle scratch, reused
-  std::uint64_t nextSeq_ = 0;
-  bool stopped_ = false;
   bool compact_ = false;  ///< tombstones to sweep after dispatch
 };
 

@@ -4,6 +4,7 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -69,16 +70,23 @@ Fd listenOn(const Endpoint& endpoint, std::string& error) {
   sockaddr_in addr{};
   if (!fillAddress(endpoint, addr, error)) return Fd{};
 
-  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  // SOCK_CLOEXEC everywhere: the chaos suite fork+execs daemons, and a
+  // leaked listener or session fd in the child would hold ports (and
+  // half-open peers) hostage across restarts.
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.valid()) {
     error = std::strerror(errno);
     return Fd{};
   }
   const int one = 1;
   ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  // On Linux accepted sockets inherit listener TCP options; setting
+  // TCP_NODELAY here keeps every serving path un-Nagled even if an accept
+  // path forgets it.
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
              sizeof(addr)) != 0 ||
-      ::listen(fd.get(), 64) != 0 || !setNonBlocking(fd.get())) {
+      ::listen(fd.get(), 1024) != 0 || !setNonBlocking(fd.get())) {
     error = std::strerror(errno);
     return Fd{};
   }
@@ -98,7 +106,7 @@ Fd connectTo(const Endpoint& endpoint, std::string& error) {
   sockaddr_in addr{};
   if (!fillAddress(endpoint, addr, error)) return Fd{};
 
-  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  Fd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
   if (!fd.valid()) {
     error = std::strerror(errno);
     return Fd{};
@@ -135,12 +143,24 @@ DrainStatus drainReadable(int fd, FrameBuffer& frames) {
 }
 
 Fd acceptOn(int listenFd) {
-  Fd fd(::accept(listenFd, nullptr, nullptr));
+  // accept4 sets CLOEXEC + NONBLOCK atomically — no window where a
+  // concurrent fork could inherit the session fd.
+  Fd fd(::accept4(listenFd, nullptr, nullptr, SOCK_CLOEXEC | SOCK_NONBLOCK));
   if (!fd.valid()) return Fd{};
   const int one = 1;
   ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  if (!setNonBlocking(fd.get())) return Fd{};
   return fd;
+}
+
+std::size_t raiseFdLimit() {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) return 0;
+  if (lim.rlim_cur < lim.rlim_max) {
+    lim.rlim_cur = lim.rlim_max;
+    ::setrlimit(RLIMIT_NOFILE, &lim);  // best-effort; re-read below
+    ::getrlimit(RLIMIT_NOFILE, &lim);
+  }
+  return static_cast<std::size_t>(lim.rlim_cur);
 }
 
 }  // namespace coorm::net

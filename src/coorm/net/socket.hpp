@@ -76,6 +76,11 @@ struct Endpoint {
 /// Switches an fd to non-blocking mode; false on failure.
 bool setNonBlocking(int fd);
 
+/// Raises RLIMIT_NOFILE to its hard limit (best-effort) and returns the
+/// resulting soft limit. The C100k loadgen and fan-in benches need more
+/// than the conventional 1024-fd default.
+std::size_t raiseFdLimit();
+
 /// Result of draining a non-blocking socket's readable data.
 enum class DrainStatus {
   kOk,      ///< read everything currently available

@@ -9,9 +9,9 @@ namespace coorm::net {
 
 bool knownMsgType(std::uint8_t raw) {
   return (raw >= static_cast<std::uint8_t>(MsgType::kHello) &&
-          raw <= static_cast<std::uint8_t>(MsgType::kResume)) ||
+          raw <= static_cast<std::uint8_t>(MsgType::kViewsAck)) ||
          (raw >= static_cast<std::uint8_t>(MsgType::kWelcome) &&
-          raw <= static_cast<std::uint8_t>(MsgType::kResumeAck));
+          raw <= static_cast<std::uint8_t>(MsgType::kViewsDelta));
 }
 
 const char* toString(MsgType type) {
@@ -33,6 +33,8 @@ const char* toString(MsgType type) {
     case MsgType::kPong: return "PONG";
     case MsgType::kResume: return "RESUME";
     case MsgType::kResumeAck: return "RESUME_ACK";
+    case MsgType::kViewsAck: return "VIEWS_ACK";
+    case MsgType::kViewsDelta: return "VIEWS_DELTA";
   }
   return "?";
 }
@@ -212,6 +214,14 @@ void writeView(Writer& w, const View& view) {
   }
 }
 
+std::size_t viewWireSize(const View& view) {
+  std::size_t size = 4;  // cluster count
+  for (const ClusterId cid : view.clusters()) {
+    size += 4 + 4 + kSegmentWireSize * view.cap(cid).segments().size();
+  }
+  return size;
+}
+
 bool readView(Reader& r, View& out) {
   const std::uint32_t count = r.u32();
   if (!r.ok() || count > r.remaining() / kClusterMinWireSize) {
@@ -325,6 +335,126 @@ void encodeViews(std::vector<std::uint8_t>& out, const View& nonPreemptive,
 
 void encode(std::vector<std::uint8_t>& out, const ViewsMsg& msg) {
   encodeViews(out, msg.nonPreemptive, msg.preemptive);
+}
+
+namespace {
+
+void writeClusterDeltas(Writer& w, const std::vector<ClusterDelta>& deltas) {
+  w.u32(static_cast<std::uint32_t>(deltas.size()));
+  for (const ClusterDelta& d : deltas) {
+    w.i32(d.cluster.value);
+    w.i64(d.lo);
+    w.i64(d.hi);
+    w.u32(static_cast<std::uint32_t>(d.window.size()));
+    for (const Segment& seg : d.window) {
+      w.i64(seg.start);
+      w.i64(seg.value);
+    }
+  }
+}
+
+/// Strict window validation — see the decode(ViewsDeltaMsg) contract: a
+/// window accepted here splices onto any canonical base without breaking
+/// canonical form, so a hostile frame degrades to a resync, never an
+/// invariant trip.
+[[nodiscard]] bool readClusterDeltas(Reader& r,
+                                     std::vector<ClusterDelta>& out) {
+  constexpr std::size_t kDeltaMinWireSize = 4 + 8 + 8 + 4;  // id lo hi count
+  const std::uint32_t count = r.u32();
+  if (!r.ok() || count > r.remaining() / kDeltaMinWireSize) {
+    r.fail();
+    return false;
+  }
+  out.clear();
+  out.reserve(count);
+  ClusterId previous{};
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ClusterDelta d;
+    d.cluster = ClusterId{r.i32()};
+    if (!r.ok() || (i > 0 && !(previous < d.cluster))) {
+      r.fail();
+      return false;
+    }
+    previous = d.cluster;
+    d.lo = r.i64();
+    d.hi = r.i64();
+    if (!r.ok() || d.lo < 0 || isInf(d.lo) || d.hi <= d.lo) {
+      r.fail();
+      return false;
+    }
+    if (isInf(d.hi)) d.hi = kTimeInf;  // one canonical infinity
+    const std::uint32_t nsegs = r.u32();
+    if (!r.ok() || nsegs > r.remaining() / kSegmentWireSize ||
+        (d.lo == 0 && nsegs == 0)) {
+      // A window over lo == 0 must re-emit t=0: the spliced function has
+      // no prefix to start it. Empty windows are otherwise legal (all of
+      // the new profile's breakpoints left the range).
+      r.fail();
+      return false;
+    }
+    d.window.reserve(nsegs);
+    for (std::uint32_t j = 0; j < nsegs; ++j) {
+      Segment seg;
+      seg.start = r.i64();
+      seg.value = r.i64();
+      if (!r.ok()) return false;
+      const bool ordered =
+          j == 0 ? seg.start >= d.lo && (d.lo > 0 || seg.start == 0)
+                 : seg.start > d.window.back().start &&
+                       seg.value != d.window.back().value;
+      if (!ordered || seg.start >= d.hi || isInf(seg.start)) {
+        r.fail();
+        return false;
+      }
+      d.window.push_back(seg);
+    }
+    out.push_back(std::move(d));
+  }
+  return r.ok();
+}
+
+}  // namespace
+
+void encodeViewsFull(std::vector<std::uint8_t>& out, std::uint32_t seq,
+                     const View& nonPreemptive, const View& preemptive) {
+  Writer w(out);
+  const std::size_t at = beginFrame(w, MsgType::kViewsDelta);
+  w.u32(seq);
+  w.u8(1);
+  writeView(w, nonPreemptive);
+  writeView(w, preemptive);
+  endFrame(w, at);
+}
+
+void encodeViewsDelta(std::vector<std::uint8_t>& out, std::uint32_t seq,
+                      std::uint32_t baseSeq,
+                      const std::vector<ClusterDelta>& nonPreemptiveDeltas,
+                      const std::vector<ClusterDelta>& preemptiveDeltas) {
+  Writer w(out);
+  const std::size_t at = beginFrame(w, MsgType::kViewsDelta);
+  w.u32(seq);
+  w.u8(0);
+  w.u32(baseSeq);
+  writeClusterDeltas(w, nonPreemptiveDeltas);
+  writeClusterDeltas(w, preemptiveDeltas);
+  endFrame(w, at);
+}
+
+void encode(std::vector<std::uint8_t>& out, const ViewsDeltaMsg& msg) {
+  if (msg.full) {
+    encodeViewsFull(out, msg.seq, msg.nonPreemptive, msg.preemptive);
+  } else {
+    encodeViewsDelta(out, msg.seq, msg.baseSeq, msg.nonPreemptiveDeltas,
+                     msg.preemptiveDeltas);
+  }
+}
+
+void encode(std::vector<std::uint8_t>& out, const ViewsAckMsg& msg) {
+  Writer w(out);
+  const std::size_t at = beginFrame(w, MsgType::kViewsAck);
+  w.u32(msg.seq);
+  w.u8(static_cast<std::uint8_t>(msg.status));
+  endFrame(w, at);
 }
 
 void encodeStarted(std::vector<std::uint8_t>& out, RequestId id,
@@ -524,6 +654,31 @@ bool decode(std::span<const std::uint8_t> payload, ResumeAckMsg& out) {
   return true;
 }
 
+bool decode(std::span<const std::uint8_t> payload, ViewsDeltaMsg& out) {
+  Reader r(payload);
+  out = ViewsDeltaMsg{};
+  out.seq = r.u32();
+  const std::uint8_t flags = r.u8();
+  if (!r.ok() || flags > 1) return false;
+  out.full = flags == 1;
+  if (out.full) {
+    return readView(r, out.nonPreemptive) && readView(r, out.preemptive) &&
+           r.done();
+  }
+  out.baseSeq = r.u32();
+  return readClusterDeltas(r, out.nonPreemptiveDeltas) &&
+         readClusterDeltas(r, out.preemptiveDeltas) && r.done();
+}
+
+bool decode(std::span<const std::uint8_t> payload, ViewsAckMsg& out) {
+  Reader r(payload);
+  out.seq = r.u32();
+  const std::uint8_t status = r.u8();
+  if (!r.done() || status > 1) return false;
+  out.status = static_cast<ViewsAckMsg::Status>(status);
+  return true;
+}
+
 bool decode(std::span<const std::uint8_t> payload, StatsReplyMsg& out) {
   Reader r(payload);
   out.stats = metrics::Snapshot{};
@@ -558,15 +713,24 @@ bool decode(std::span<const std::uint8_t> payload, StatsReplyMsg& out) {
 
 void FrameBuffer::append(std::span<const std::uint8_t> data) {
   // Compact once the consumed prefix dominates: keeps a long-lived
-  // connection's buffer proportional to the unconsumed tail.
+  // connection's buffer proportional to the unconsumed tail, with the
+  // memmove amortized over at least 4 KiB of consumed bytes (a frame
+  // dribbling in one byte at a time must not memmove per byte).
   if (pos_ > 4096 && pos_ > buf_.size() / 2) {
     buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
     pos_ = 0;
+    ++compactions_;
   }
   buf_.insert(buf_.end(), data.begin(), data.end());
 }
 
 FrameBuffer::Next FrameBuffer::next(FrameView& out) {
+  if (buffered() == 0 && pos_ != 0) {
+    // Fully drained (the common case: every read parses to completion):
+    // drop the consumed prefix for free, no memmove, capacity retained.
+    buf_.clear();
+    pos_ = 0;
+  }
   if (buffered() < kHeaderSize) return Next::kNeedMore;
   const std::span<const std::uint8_t> head(buf_.data() + pos_, kHeaderSize);
   Reader r(head);

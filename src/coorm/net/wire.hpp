@@ -23,9 +23,20 @@
 //   STATS                              EXPIRED  requestId
 //   PING     nonce                     ENDED    requestId
 //   RESUME   appId token               KILLED
-//                                      STATS_REPLY  events[] gauges[]
+//   VIEWS_ACK  seq status              STATS_REPLY  events[] gauges[]
 //                                      PONG     nonce
 //                                      RESUME_ACK  ok appId
+//                                      VIEWS_DELTA  seq full|windows
+//
+// VIEWS_DELTA is the v3 steady-state replacement for VIEWS: every push
+// carries a sequence number and is either a full view pair (a sync point)
+// or, once the client has acked the previous push, per-cluster splice
+// windows against that acked base — the segment-level diff the incremental
+// scheduler already computes (profile/profile_diff.hpp), typically a few
+// dozen bytes instead of a whole multi-KiB view pair. The client applies
+// and VIEWS_ACKs each push; any gap, unknown cluster or malformed window
+// makes it ack `resync` and the daemon answers with a fresh full push.
+// Legacy VIEWS remains valid (daemons with delta pushes disabled send it).
 //
 // PING/PONG is the liveness probe behind the daemon's idle-session sweep
 // (either side may PING; the peer echoes the nonce). RESUME re-attaches a
@@ -69,9 +80,11 @@
 namespace coorm::net {
 
 inline constexpr std::uint16_t kMagic = 0xC052;  // "CooRMv2", squinting
-/// Version 2: WELCOME gained the session resume token, and the
-/// PING/PONG/RESUME/RESUME_ACK message types joined the set.
-inline constexpr std::uint8_t kProtocolVersion = 2;
+/// Version 3: sequenced delta view pushes — VIEWS_DELTA downstream (full
+/// sync points and per-cluster splice windows against the last applied
+/// push) and VIEWS_ACK upstream (applied / resync-request). Version 2
+/// added the session resume token and PING/PONG/RESUME/RESUME_ACK.
+inline constexpr std::uint8_t kProtocolVersion = 3;
 inline constexpr std::size_t kHeaderSize = 8;
 /// Upper bound on a payload; larger length fields are a protocol error
 /// (a views push of 4096-breakpoint profiles is ~128 KiB).
@@ -86,6 +99,7 @@ enum class MsgType : std::uint8_t {
   kStats = 0x05,
   kPing = 0x06,
   kResume = 0x07,
+  kViewsAck = 0x08,
   // downstream (RMS -> application)
   kWelcome = 0x41,
   kRequestAck = 0x42,
@@ -97,6 +111,7 @@ enum class MsgType : std::uint8_t {
   kStatsReply = 0x48,
   kPong = 0x49,
   kResumeAck = 0x4A,
+  kViewsDelta = 0x4B,
 };
 
 [[nodiscard]] bool knownMsgType(std::uint8_t raw);
@@ -149,6 +164,49 @@ struct ViewsMsg {
   View nonPreemptive;
   View preemptive;
   friend bool operator==(const ViewsMsg&, const ViewsMsg&) = default;
+};
+
+/// One cluster's splice window inside a delta push: the pushed view's
+/// segments whose start lies in [lo, hi) — exactly the emit-on-change
+/// window profile_diff's spliceWindow() reconstructs the new profile
+/// from, given the previously-applied one. An empty window is legal (the
+/// new profile has no breakpoints inside the changed range).
+struct ClusterDelta {
+  ClusterId cluster{};
+  Time lo = 0;
+  Time hi = 0;
+  std::vector<Segment> window;
+  friend bool operator==(const ClusterDelta&, const ClusterDelta&) = default;
+};
+
+/// Sequenced view push (VIEWS_DELTA). `full` pushes carry the complete
+/// view pair and need no base; delta pushes splice per-cluster windows
+/// into the views the client applied at `baseSeq`. Clusters absent from a
+/// delta's lists are unchanged.
+struct ViewsDeltaMsg {
+  std::uint32_t seq = 0;
+  bool full = true;
+  // full == true:
+  View nonPreemptive;
+  View preemptive;
+  // full == false:
+  std::uint32_t baseSeq = 0;
+  std::vector<ClusterDelta> nonPreemptiveDeltas;
+  std::vector<ClusterDelta> preemptiveDeltas;
+  friend bool operator==(const ViewsDeltaMsg&, const ViewsDeltaMsg&) = default;
+};
+
+/// Client's receipt for one sequenced push: `kApplied` confirms the views
+/// at `seq` are now the client's base (the daemon may diff against them);
+/// `kResync` reports a gap or decode failure and requests a full push.
+struct ViewsAckMsg {
+  enum class Status : std::uint8_t {
+    kApplied = 0,
+    kResync = 1,
+  };
+  std::uint32_t seq = 0;
+  Status status = Status::kApplied;
+  friend bool operator==(const ViewsAckMsg&, const ViewsAckMsg&) = default;
 };
 
 struct StartedMsg {
@@ -274,6 +332,10 @@ void writeView(Writer& w, const View& view);
 /// false (and a poisoned reader) on any malformation.
 [[nodiscard]] bool readView(Reader& r, View& out);
 
+/// Exact encoded size of writeView(view), without encoding — what a full
+/// push would have cost, for the views_delta_bytes_saved counter.
+[[nodiscard]] std::size_t viewWireSize(const View& view);
+
 // --- frame encoding ---------------------------------------------------------
 
 // Each overload appends one complete frame (header + payload) to `out`.
@@ -282,6 +344,15 @@ void writeView(Writer& w, const View& view);
 // daemon's per-push hot path (views can be ~128 KiB of profiles).
 void encodeViews(std::vector<std::uint8_t>& out, const View& nonPreemptive,
                  const View& preemptive);
+/// A full sequenced push (VIEWS_DELTA with the full flag) — the delta
+/// stream's sync point.
+void encodeViewsFull(std::vector<std::uint8_t>& out, std::uint32_t seq,
+                     const View& nonPreemptive, const View& preemptive);
+/// A windowed delta push against the views applied at `baseSeq`.
+void encodeViewsDelta(std::vector<std::uint8_t>& out, std::uint32_t seq,
+                      std::uint32_t baseSeq,
+                      const std::vector<ClusterDelta>& nonPreemptiveDeltas,
+                      const std::vector<ClusterDelta>& preemptiveDeltas);
 void encodeStarted(std::vector<std::uint8_t>& out, RequestId id,
                    const std::vector<NodeId>& nodeIds);
 void encode(std::vector<std::uint8_t>& out, const HelloMsg& msg);
@@ -301,6 +372,8 @@ void encode(std::vector<std::uint8_t>& out, const PingMsg& msg);
 void encode(std::vector<std::uint8_t>& out, const PongMsg& msg);
 void encode(std::vector<std::uint8_t>& out, const ResumeMsg& msg);
 void encode(std::vector<std::uint8_t>& out, const ResumeAckMsg& msg);
+void encode(std::vector<std::uint8_t>& out, const ViewsDeltaMsg& msg);
+void encode(std::vector<std::uint8_t>& out, const ViewsAckMsg& msg);
 
 // --- frame decoding ---------------------------------------------------------
 
@@ -335,6 +408,16 @@ void encode(std::vector<std::uint8_t>& out, const ResumeAckMsg& msg);
                           ResumeMsg& out);
 [[nodiscard]] bool decode(std::span<const std::uint8_t> payload,
                           ResumeAckMsg& out);
+/// Strict delta validation: every window must be spliceable onto *some*
+/// canonical base without breaking canonical form — bounds ordered,
+/// starts strictly increasing within [lo, hi), adjacent values differing,
+/// cluster ids strictly increasing, and a window over lo == 0 non-empty
+/// and starting at t=0. A frame that decodes true can never trip a
+/// StepFunction invariant, whatever base it is applied to.
+[[nodiscard]] bool decode(std::span<const std::uint8_t> payload,
+                          ViewsDeltaMsg& out);
+[[nodiscard]] bool decode(std::span<const std::uint8_t> payload,
+                          ViewsAckMsg& out);
 
 // --- stream framing ---------------------------------------------------------
 
@@ -361,10 +444,16 @@ class FrameBuffer {
   Next next(FrameView& out);
 
   [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+  /// Times the consumed prefix was memmoved away (amortized: dribbled
+  /// frames must not compact per byte — pinned by test_net_codec).
+  [[nodiscard]] std::size_t compactions() const { return compactions_; }
+  /// Bytes currently held including the consumed prefix.
+  [[nodiscard]] std::size_t storageBytes() const { return buf_.size(); }
 
  private:
   std::vector<std::uint8_t> buf_;
   std::size_t pos_ = 0;  ///< consumed prefix
+  std::size_t compactions_ = 0;
 };
 
 }  // namespace coorm::net

@@ -33,6 +33,7 @@
 
 #include "coorm/net/client.hpp"
 #include "coorm/net/daemon.hpp"
+#include "coorm/net/io_executor.hpp"
 #include "coorm/net/poll_executor.hpp"
 #include "coorm/rms/server.hpp"
 #include "coorm/sim/engine.hpp"
@@ -85,10 +86,14 @@ class ScriptApp : public AppEndpoint {
   std::function<void(int)> onStartedHook;  ///< by ordinal
   std::function<void(int)> onExpiredHook;  ///< default: finish(ordinal)
   std::function<void(int)> onEndedHook;
+  /// Every push, un-normalized — the delta-vs-full bit-identity test
+  /// records the raw View pairs the client applied.
+  std::function<void(const View&, const View&)> onViewsRaw;
 
   // --- AppEndpoint ---------------------------------------------------------
 
   void onViews(const View& nonPreemptive, const View& preemptive) override {
+    if (onViewsRaw) onViewsRaw(nonPreemptive, preemptive);
     const auto shape = [this](const View& view) {
       std::string text;
       for (const ClusterId cid : clusters_) {
@@ -180,7 +185,7 @@ class InProcessTransport final : public Transport {
 
 class LoopbackTransport final : public Transport {
  public:
-  LoopbackTransport(net::PollExecutor& executor, std::uint16_t port)
+  LoopbackTransport(net::IoExecutor& executor, std::uint16_t port)
       : executor_(executor), port_(port) {}
 
   AppLink& add(AppEndpoint& endpoint, const std::string& name) override {
@@ -193,7 +198,7 @@ class LoopbackTransport final : public Transport {
   }
 
  private:
-  net::PollExecutor& executor_;
+  net::IoExecutor& executor_;
   std::uint16_t port_;
   std::vector<std::unique_ptr<net::RmsClient>> clients_;
 };
@@ -233,7 +238,7 @@ inline bool runInProcess(Engine& engine, Scenario& scenario,
 
 /// Runs a scenario against a daemon over loopback TCP, pumping the client
 /// loop. `settle` keeps pumping after `finished` so trailing pushes land.
-inline bool runLoopback(net::PollExecutor& executor, Scenario& scenario,
+inline bool runLoopback(net::IoExecutor& executor, Scenario& scenario,
                         Time settle = msec(600), Time timeout = sec(30)) {
   const auto start = std::chrono::steady_clock::now();
   const auto deadline = start + std::chrono::milliseconds(timeout);
@@ -256,19 +261,24 @@ inline bool runLoopback(net::PollExecutor& executor, Scenario& scenario,
   return true;
 }
 
-/// A coorm_rmsd-shaped daemon on its own thread: PollExecutor + Server +
-/// net::Daemon on an ephemeral loopback port, torn down on destruction.
-/// Test-side code talks to it through TCP only.
+/// A coorm_rmsd-shaped daemon on its own thread: IoExecutor (poll or
+/// epoll backend) + Server + net::Daemon on an ephemeral loopback port,
+/// torn down on destruction. Test-side code talks to it through TCP only.
 class DaemonFixture {
  public:
-  DaemonFixture(Server::Config config, NodeCount nodes) {
-    thread_ = std::thread([this, config, nodes] {
-      net::PollExecutor executor;
-      Server server(executor, Machine::single(nodes), config);
-      net::Daemon daemon(executor, server,
-                         net::Daemon::Config{net::Endpoint{"127.0.0.1", 0}});
+  /// `mutate` (optional) edits the daemon config before the listener comes
+  /// up — backend differential tests switch deltaViews/coalescing here.
+  DaemonFixture(Server::Config config, NodeCount nodes,
+                IoBackend backend = IoBackend::kPoll,
+                std::function<void(net::Daemon::Config&)> mutate = {}) {
+    thread_ = std::thread([this, config, nodes, backend, mutate] {
+      auto executor = net::makeIoExecutor(backend);
+      Server server(*executor, Machine::single(nodes), config);
+      net::Daemon::Config daemonConfig{net::Endpoint{"127.0.0.1", 0}};
+      if (mutate) mutate(daemonConfig);
+      net::Daemon daemon(*executor, server, daemonConfig);
       port_.store(daemon.port());
-      while (!stop_.load()) executor.runOne(msec(5));
+      while (!stop_.load()) executor->runOne(msec(5));
       daemon.close();
     });
     while (port_.load() == 0) std::this_thread::yield();

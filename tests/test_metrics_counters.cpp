@@ -240,5 +240,145 @@ TEST(MetricsLoopback, AbruptCloseCountsAsDeadPeer) {
   statsq.disconnect();
 }
 
+// ---------------------------------------------------------------------------
+// C100k serving-path counters: delta pushes, write coalescing, epoll.
+
+/// One worker whose two short requests force several view-changing passes:
+/// push 1 is necessarily full; once its ack lands, later pushes go out as
+/// VIEWS_DELTA diffs, and each grant commit (STARTED + views in one pass)
+/// exercises the per-session write coalescer.
+struct ChurnScenario {
+  nettest::ScriptApp worker;
+  nettest::Scenario scenario;
+
+  void wire(nettest::Transport& transport) {
+    worker.onFirstViews = [this] {
+      RequestSpec first;
+      first.nodes = 8;
+      first.duration = msec(300);
+      worker.submit(first);
+      RequestSpec second;
+      second.nodes = 4;
+      second.duration = msec(600);
+      worker.submit(second);
+    };
+    scenario.steps = {
+        {[] { return true; },
+         [this, &transport] { worker.bind(transport.add(worker, "worker")); }},
+    };
+    scenario.finished = [this] {
+      return worker.startedCount >= 2 && worker.viewsCount >= 3;
+    };
+  }
+};
+
+TEST(MetricsLoopback, DeltaCoalescingAndEpollCountersEngage) {
+  Server::Config config;
+  config.reschedInterval = msec(100);
+  nettest::DaemonFixture daemon(config, 64, IoBackend::kEpoll);
+  metrics::reset();
+
+  ChurnScenario churn;
+  auto executor = net::makeIoExecutor(IoBackend::kEpoll);
+  nettest::LoopbackTransport loopback(*executor, daemon.port());
+  churn.wire(loopback);
+  ASSERT_TRUE(nettest::runLoopback(*executor, churn.scenario))
+      << "churn scenario did not finish";
+
+  // Assert through STATS — the same export an operator's `coorm_rmsd
+  // --stats` reads — so the new counters are pinned end to end.
+  net::PollExecutor statsLoop;
+  net::RmsClient statsq(
+      statsLoop,
+      net::RmsClient::Config{net::Endpoint{"127.0.0.1", daemon.port()},
+                             "statsq"});
+  statsq.dial();
+  const std::optional<metrics::Snapshot> reply =
+      pollStats(statsq, [](const metrics::Snapshot& snap) {
+        return snap[Event::kViewsDeltaSent] >= 1 &&
+               snap[Event::kFramesCoalesced] >= 1;
+      });
+  ASSERT_TRUE(reply.has_value())
+      << "delta/coalescing counters never engaged: delta="
+      << metrics::value(Event::kViewsDeltaSent)
+      << " coalesced=" << metrics::value(Event::kFramesCoalesced);
+  EXPECT_GE((*reply)[Event::kViewsDeltaSent], 1u);
+  EXPECT_GE((*reply)[Event::kFramesCoalesced], 1u);
+  EXPECT_EQ((*reply)[Event::kViewsResync], 0u);  // loopback never desyncs
+  EXPECT_GT((*reply)[Event::kEpollWakeups], 0u);
+  statsq.disconnect();
+}
+
+/// Speaks raw protocol v3 against the daemon: after the initial full push,
+/// a VIEWS_ACK carrying kResync must bump views_resync and produce another
+/// full (not delta) push with the next sequence number.
+TEST(MetricsLoopback, ResyncAckForcesFullRepushAndCounts) {
+  nettest::DaemonFixture daemon(quietConfig(), 64);
+  metrics::reset();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  timeval timeout{5, 0};
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout,
+                         sizeof(timeout)),
+            0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(daemon.port());
+  ASSERT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+
+  net::FrameBuffer frames;
+  const auto nextFrameOfType = [&](net::MsgType want,
+                                   net::FrameView& frame) -> bool {
+    while (true) {
+      net::FrameBuffer::Next next;
+      while ((next = frames.next(frame)) == net::FrameBuffer::Next::kFrame) {
+        if (frame.type == want) return true;
+      }
+      if (next == net::FrameBuffer::Next::kBad) return false;
+      std::uint8_t chunk[4096];
+      const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+      if (n <= 0) return false;
+      frames.append({chunk, static_cast<std::size_t>(n)});
+    }
+  };
+  const auto sendAll = [&](const std::vector<std::uint8_t>& bytes) {
+    ASSERT_EQ(::send(fd, bytes.data(), bytes.size(), 0),
+              static_cast<ssize_t>(bytes.size()));
+  };
+
+  std::vector<std::uint8_t> out;
+  net::encode(out, net::HelloMsg{"raw-v3"});
+  sendAll(out);
+
+  net::FrameView frame;
+  ASSERT_TRUE(nextFrameOfType(net::MsgType::kViewsDelta, frame));
+  net::ViewsDeltaMsg push;
+  ASSERT_TRUE(net::decode(frame.payload, push));
+  EXPECT_TRUE(push.full);  // a new session always starts from a sync point
+
+  out.clear();
+  net::encode(out, net::ViewsAckMsg{push.seq,
+                                    net::ViewsAckMsg::Status::kResync});
+  sendAll(out);
+
+  ASSERT_TRUE(nextFrameOfType(net::MsgType::kViewsDelta, frame));
+  net::ViewsDeltaMsg repush;
+  ASSERT_TRUE(net::decode(frame.payload, repush));
+  EXPECT_TRUE(repush.full);  // resync is answered with a full push
+  EXPECT_EQ(repush.seq, push.seq + 1);
+  EXPECT_EQ(repush.nonPreemptive, push.nonPreemptive);
+  EXPECT_EQ(repush.preemptive, push.preemptive);
+  EXPECT_GE(metrics::value(Event::kViewsResync), 1u);
+
+  out.clear();
+  net::encode(out, net::GoodbyeMsg{});
+  sendAll(out);
+  ::close(fd);
+}
+
 }  // namespace
 }  // namespace coorm

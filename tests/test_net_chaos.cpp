@@ -48,9 +48,20 @@ Server::Config chaosConfig() {
   return config;
 }
 
+// The chaos daemons run the full c100k serving path explicitly: epoll
+// backend, delta view pushes, write coalescing — a SIGKILL/restart must be
+// invisible through all three (the restarted daemon knows nothing of the
+// old delta sequence, so every resumed session restarts from a full push).
 const std::vector<std::string> kDaemonArgs = {
     "--nodes", "16", "--resched", "0.1", "--no-pipeline",
-    "--resume-grace", "30"};
+    "--resume-grace", "30", "--io-backend", "epoll",
+    "--delta-views", "on", "--coalesce", "on"};
+
+/// The portable poll(2) fallback, same everything else.
+const std::vector<std::string> kPollDaemonArgs = {
+    "--nodes", "16", "--resched", "0.1", "--no-pipeline",
+    "--resume-grace", "30", "--io-backend", "poll",
+    "--delta-views", "on", "--coalesce", "on"};
 
 std::string journalPath(const std::string& name) {
   const std::string path = testing::TempDir() + "coorm_chaos_" + name + ".journal";
@@ -189,6 +200,33 @@ TEST(NetChaos, KillBetweenPassCommitsMatchesUninterruptedServer) {
             0u);
   EXPECT_GE(stats->events[eventIndex(metrics::Event::kSessionsResumed)], 1u);
   EXPECT_GE(stats->events[eventIndex(metrics::Event::kReconnects)], 1u);
+}
+
+TEST(NetChaos, KillBetweenPassCommitsMatchesUnderPollFallback) {
+  // Same bar on the portable poll(2) backend: the io-backend seam must not
+  // change one observable byte, SIGKILL/restart included.
+  SoloRun reference;
+  Engine engine;
+  Server server(engine, Machine::single(16), chaosConfig());
+  InProcessTransport direct(server);
+  reference.wire(direct);
+  ASSERT_TRUE(runInProcess(engine, reference.scenario))
+      << "in-process reference run did not finish";
+
+  ChildDaemon daemon(COORM_RMSD_PATH, journalPath("passes_poll"),
+                     kPollDaemonArgs);
+  daemon.start();
+  SoloRun remote;
+  remote.atStarted = [&daemon] { daemon.restart(); };
+  net::PollExecutor clientLoop;
+  ReconnectTransport transport(clientLoop, daemon.port());
+  remote.wire(transport);
+  ASSERT_TRUE(runLoopback(clientLoop, remote.scenario, msec(600), sec(60)))
+      << "chaos run did not finish";
+
+  EXPECT_FALSE(reference.app.trace.empty());
+  EXPECT_EQ(reference.app.trace, remote.app.trace);
+  EXPECT_GE(transport.clients[0]->reconnects(), 1u);
 }
 
 /// Steady-state lease scenario: `holder` takes two open-ended preemptible

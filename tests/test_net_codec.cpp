@@ -13,9 +13,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 #include "coorm/common/rng.hpp"
+#include "coorm/profile/profile_diff.hpp"
 
 namespace coorm::net {
 namespace {
@@ -44,6 +46,38 @@ View randomView(Rng& rng) {
     view.setCap(ClusterId{c}, randomProfile(rng, 12));
   }
   return view;
+}
+
+/// Same cluster set as `base`, some profiles regenerated — the shape of
+/// consecutive per-session views between two scheduling passes.
+View mutateView(Rng& rng, const View& base) {
+  View next = base;
+  for (const ClusterId cid : base.clusters()) {
+    if (rng.uniformInt(0, 1) != 0) next.setCap(cid, randomProfile(rng, 12));
+  }
+  return next;
+}
+
+/// The daemon's delta derivation (net/daemon.cpp buildDeltas): per-cluster
+/// diffWindow plus the new profile's segments inside the window.
+std::vector<ClusterDelta> deltasBetween(const View& prev, const View& next) {
+  std::vector<ClusterDelta> out;
+  for (const ClusterId cid : next.clusters()) {
+    Time lo = 0;
+    Time hi = 0;
+    const std::span<const Segment> segs = next.cap(cid).segments();
+    if (!diffWindow(prev.cap(cid).segments(), segs, lo, hi)) continue;
+    ClusterDelta d;
+    d.cluster = cid;
+    d.lo = lo;
+    d.hi = hi;
+    for (const Segment& seg : segs) {
+      if (seg.start >= hi) break;
+      if (seg.start >= lo) d.window.push_back(seg);
+    }
+    out.push_back(std::move(d));
+  }
+  return out;
 }
 
 std::vector<NodeId> randomNodeIds(Rng& rng) {
@@ -160,6 +194,226 @@ TEST(WireCodec, ViewProfilesWithSentinelTimesRoundTrip) {
   std::vector<std::uint8_t> bytes;
   encode(bytes, msg);
   expectRoundTrip(bytes, msg);
+}
+
+// --- VIEWS_DELTA / VIEWS_ACK (protocol v3) ----------------------------------
+
+TEST(WireCodec, ViewsAckRoundTripsAndRejectsBadStatus) {
+  for (const auto status :
+       {ViewsAckMsg::Status::kApplied, ViewsAckMsg::Status::kResync}) {
+    ViewsAckMsg ack{0xdeadbeefu, status};
+    std::vector<std::uint8_t> bytes;
+    encode(bytes, ack);
+    expectRoundTrip(bytes, ack);
+  }
+  // Status bytes beyond the enum are a protocol error, not UB.
+  std::vector<std::uint8_t> bytes;
+  encode(bytes, ViewsAckMsg{7, ViewsAckMsg::Status::kApplied});
+  bytes.back() = 2;
+  FrameBuffer buffer;
+  buffer.append(bytes);
+  FrameView frame;
+  ASSERT_EQ(buffer.next(frame), FrameBuffer::Next::kFrame);
+  ViewsAckMsg out;
+  EXPECT_FALSE(decode(frame.payload, out));
+}
+
+TEST(WireCodec, ViewsDeltaFullPushesRoundTrip) {
+  Rng rng(20260801);
+  for (int iteration = 0; iteration < 100; ++iteration) {
+    ViewsDeltaMsg msg;
+    msg.seq = static_cast<std::uint32_t>(rng.uniformInt(1, 1 << 30));
+    msg.full = true;
+    msg.nonPreemptive = randomView(rng);
+    msg.preemptive = randomView(rng);
+    std::vector<std::uint8_t> bytes;
+    encodeViewsFull(bytes, msg.seq, msg.nonPreemptive, msg.preemptive);
+    expectRoundTrip(bytes, msg);
+  }
+}
+
+TEST(WireCodec, ViewsDeltaRoundTripsAndSplicesBitExactly) {
+  // The whole delta-push contract in one property: the daemon-side
+  // derivation (diffWindow + window extraction), the wire round trip, and
+  // the client-side spliceWindow application reconstruct the pushed views
+  // bit-exactly from the previously-applied ones.
+  Rng rng(20260808);
+  int nonTrivial = 0;
+  for (int iteration = 0; iteration < 200; ++iteration) {
+    const View prevNp = randomView(rng);
+    const View prevP = randomView(rng);
+    const View nextNp = mutateView(rng, prevNp);
+    const View nextP = mutateView(rng, prevP);
+    ViewsDeltaMsg msg;
+    msg.seq = static_cast<std::uint32_t>(rng.uniformInt(2, 1 << 30));
+    msg.full = false;
+    msg.baseSeq = msg.seq - 1;
+    msg.nonPreemptiveDeltas = deltasBetween(prevNp, nextNp);
+    msg.preemptiveDeltas = deltasBetween(prevP, nextP);
+    nonTrivial += msg.nonPreemptiveDeltas.empty() ? 0 : 1;
+
+    std::vector<std::uint8_t> bytes;
+    encodeViewsDelta(bytes, msg.seq, msg.baseSeq, msg.nonPreemptiveDeltas,
+                     msg.preemptiveDeltas);
+    expectRoundTrip(bytes, msg);
+
+    View np = prevNp;
+    for (const ClusterDelta& d : msg.nonPreemptiveDeltas) {
+      spliceWindow(np.capRef(d.cluster), d.lo, d.hi, d.window);
+    }
+    View p = prevP;
+    for (const ClusterDelta& d : msg.preemptiveDeltas) {
+      spliceWindow(p.capRef(d.cluster), d.lo, d.hi, d.window);
+    }
+    EXPECT_EQ(np, nextNp);
+    EXPECT_EQ(p, nextP);
+  }
+  EXPECT_GT(nonTrivial, 50);  // the generator actually produced deltas
+}
+
+TEST(WireCodec, ViewWireSizeMatchesEncoding) {
+  Rng rng(11);
+  for (int iteration = 0; iteration < 50; ++iteration) {
+    const View view = randomView(rng);
+    std::vector<std::uint8_t> bytes;
+    Writer w(bytes);
+    writeView(w, view);
+    EXPECT_EQ(bytes.size(), viewWireSize(view));
+  }
+}
+
+TEST(WireCodec, TruncatedDeltaPayloadsAreRejected) {
+  Rng rng(13);
+  const View prev = randomView(rng);
+  View next = mutateView(rng, prev);
+  next.setCap(ClusterId{9}, randomProfile(rng, 8));  // guarantee a window
+  std::vector<std::uint8_t> bytes;
+  encodeViewsDelta(bytes, 5, 4, deltasBetween(prev, next),
+                   std::vector<ClusterDelta>{});
+  FrameBuffer buffer;
+  buffer.append(bytes);
+  FrameView frame;
+  ASSERT_EQ(buffer.next(frame), FrameBuffer::Next::kFrame);
+  ViewsDeltaMsg ok;
+  ASSERT_TRUE(decode(frame.payload, ok));
+  for (std::size_t cut = 0; cut < frame.payload.size(); ++cut) {
+    ViewsDeltaMsg out;
+    EXPECT_FALSE(decode(frame.payload.first(cut), out));
+  }
+}
+
+TEST(WireCodec, MalformedDeltaWindowsAreRejected) {
+  // Windows that would break canonical form when spliced must fail decode
+  // — spliceWindow's preconditions are enforced at the trust boundary.
+  struct Case {
+    const char* what;
+    Time lo, hi;
+    std::vector<std::pair<Time, Time>> segments;  // (start, value)
+  };
+  const std::vector<Case> cases = {
+      {"hi <= lo", 10, 10, {}},
+      {"negative lo", -1, 10, {}},
+      {"window start below lo", 10, 50, {{5, 1}}},
+      {"window start at hi", 10, 50, {{50, 1}}},
+      {"window starts not increasing", 10, 50, {{20, 1}, {20, 2}}},
+      {"adjacent equal values", 10, 50, {{20, 1}, {30, 1}}},
+      {"empty window over t=0", 0, 50, {}},
+      {"window over t=0 not starting at 0", 0, 50, {{5, 1}}},
+  };
+  for (const Case& c : cases) {
+    std::vector<std::uint8_t> bytes;
+    Writer w(bytes);
+    w.u16(kMagic);
+    w.u8(kProtocolVersion);
+    w.u8(static_cast<std::uint8_t>(MsgType::kViewsDelta));
+    const std::size_t lengthAt = bytes.size();
+    w.u32(0);
+    w.u32(2);  // seq
+    w.u8(0);   // delta flags
+    w.u32(1);  // baseSeq
+    w.u32(1);  // one np delta
+    w.i32(0);
+    w.i64(c.lo);
+    w.i64(c.hi);
+    w.u32(static_cast<std::uint32_t>(c.segments.size()));
+    for (const auto& [start, value] : c.segments) {
+      w.i64(start);
+      w.i64(value);
+    }
+    w.u32(0);  // no preemptive deltas
+    w.patchU32(lengthAt,
+               static_cast<std::uint32_t>(bytes.size() - lengthAt - 4));
+    FrameBuffer buffer;
+    buffer.append(bytes);
+    FrameView frame;
+    ASSERT_EQ(buffer.next(frame), FrameBuffer::Next::kFrame) << c.what;
+    ViewsDeltaMsg out;
+    EXPECT_FALSE(decode(frame.payload, out)) << c.what;
+  }
+  // Duplicate / non-increasing cluster ids across deltas.
+  std::vector<std::uint8_t> bytes;
+  Writer w(bytes);
+  w.u16(kMagic);
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(MsgType::kViewsDelta));
+  const std::size_t lengthAt = bytes.size();
+  w.u32(0);
+  w.u32(2);
+  w.u8(0);
+  w.u32(1);
+  w.u32(2);  // two np deltas, same cluster id
+  for (int i = 0; i < 2; ++i) {
+    w.i32(3);
+    w.i64(10);
+    w.i64(20);
+    w.u32(0);
+  }
+  w.u32(0);
+  w.patchU32(lengthAt,
+             static_cast<std::uint32_t>(bytes.size() - lengthAt - 4));
+  FrameBuffer buffer;
+  buffer.append(bytes);
+  FrameView frame;
+  ASSERT_EQ(buffer.next(frame), FrameBuffer::Next::kFrame);
+  ViewsDeltaMsg out;
+  EXPECT_FALSE(decode(frame.payload, out));
+}
+
+TEST(WireCodec, DeltaBitFlipsNeverCrashAndSurvivorsSpliceSafely) {
+  // The decoder's strict validation is what lets the client splice a
+  // hostile frame without tripping StepFunction invariants: any flipped
+  // frame that still decodes must splice onto ANY base holding its
+  // clusters and yield a canonical profile (CHECKed inside StepFunction).
+  Rng rng(31337);
+  for (int iteration = 0; iteration < 400; ++iteration) {
+    const View prev = randomView(rng);
+    const View next = mutateView(rng, prev);
+    std::vector<std::uint8_t> bytes;
+    if (rng.uniformInt(0, 3) == 0) {
+      encodeViewsFull(bytes, 2, next, prev);
+    } else {
+      encodeViewsDelta(bytes, 2, 1, deltasBetween(prev, next),
+                       deltasBetween(prev, prev));
+    }
+    const std::size_t at =
+        static_cast<std::size_t>(rng.uniformInt(0, std::ssize(bytes) - 1));
+    bytes[at] ^= static_cast<std::uint8_t>(1 << rng.uniformInt(0, 7));
+
+    FrameBuffer buffer;
+    buffer.append(bytes);
+    FrameView frame;
+    FrameBuffer::Next result;
+    while ((result = buffer.next(frame)) == FrameBuffer::Next::kFrame) {
+      ViewsDeltaMsg msg;
+      if (!decode(frame.payload, msg) || msg.full) continue;
+      View base = prev;
+      const std::vector<ClusterId> have = base.clusters();
+      for (const ClusterDelta& d : msg.nonPreemptiveDeltas) {
+        if (!std::binary_search(have.begin(), have.end(), d.cluster)) break;
+        spliceWindow(base.capRef(d.cluster), d.lo, d.hi, d.window);
+      }
+    }
+  }
 }
 
 TEST(WireCodec, FramesSurviveArbitraryChunking) {
@@ -377,6 +631,60 @@ TEST(WireCodec, BitFlipsNeverCrashTheDecoder) {
         }
       }
     }
+  }
+}
+
+// --- FrameBuffer storage management -----------------------------------------
+
+TEST(FrameBuffer, DribbledFramesCompactAmortizedNotPerByte) {
+  // A frame arriving one byte at a time must not memmove the buffer per
+  // append. Two regimes are pinned:
+  //  - full drains (every frame parsed to completion before more bytes
+  //    arrive) recycle storage for free — zero compactions;
+  //  - a consumed prefix with an unconsumed tail behind it is compacted
+  //    once the prefix dominates — one memmove, amortized over >= 4 KiB.
+  std::vector<Segment> segments;
+  for (int i = 0; i < 600; ++i) {
+    segments.push_back({sec(i), (i % 2 == 0) ? 7 : 9});
+  }
+  View big;
+  big.setCap(ClusterId{0}, StepFunction::fromCanonical(std::move(segments)));
+  std::vector<std::uint8_t> stream;
+  encode(stream, ViewsMsg{big, View{}});
+  const std::size_t bigFrame = stream.size();
+  ASSERT_GT(bigFrame, 8192u);  // large enough to cross the 4 KiB threshold
+  for (int i = 0; i < 50; ++i) encode(stream, ExpiredMsg{RequestId{i}});
+
+  {  // Regime 1: dribble the whole stream, draining after every byte.
+    FrameBuffer buffer;
+    int frames = 0;
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      buffer.append({stream.data() + i, 1});
+      FrameView frame;
+      while (buffer.next(frame) == FrameBuffer::Next::kFrame) ++frames;
+    }
+    EXPECT_EQ(frames, 51);
+    EXPECT_EQ(buffer.compactions(), 0u);
+    EXPECT_EQ(buffer.buffered(), 0u);
+  }
+
+  {  // Regime 2: the big frame lands with one byte of the next frame
+    // behind it, so the drain is never total; the rest dribbles in.
+    FrameBuffer buffer;
+    buffer.append({stream.data(), bigFrame + 1});
+    FrameView frame;
+    ASSERT_EQ(buffer.next(frame), FrameBuffer::Next::kFrame);
+    ASSERT_EQ(buffer.next(frame), FrameBuffer::Next::kNeedMore);
+    int frames = 0;
+    for (std::size_t i = bigFrame + 1; i < stream.size(); ++i) {
+      buffer.append({stream.data() + i, 1});
+      while (buffer.next(frame) == FrameBuffer::Next::kFrame) ++frames;
+    }
+    EXPECT_EQ(frames, 50);
+    // The dominated prefix was memmoved away exactly once, not per byte,
+    // and storage ends bounded by the tail, not the whole history.
+    EXPECT_EQ(buffer.compactions(), 1u);
+    EXPECT_LT(buffer.storageBytes(), bigFrame);
   }
 }
 

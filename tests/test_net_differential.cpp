@@ -17,6 +17,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+
+#include "coorm/common/metrics.hpp"
+
 namespace coorm::nettest {
 namespace {
 
@@ -198,6 +202,117 @@ TEST(NetDifferential, KillAfterViolationTracesMatchInProcessServer) {
   // After the kill the claimant received the whole machine.
   ASSERT_GE(remote.claimant.granted.size(), 1u);
   EXPECT_EQ(remote.claimant.granted[0].size(), 8u);
+}
+
+// --- epoll backend (c100k serving path) -------------------------------------
+//
+// The same differential bar, daemon and clients on EpollExecutor: the
+// edge-triggered backend (plus the default delta pushes and write
+// coalescing it serves through) must be observationally identical to the
+// in-process serial server — same traces, same grants.
+
+TEST(NetDifferential, ChainShrinkTracesMatchUnderEpollBackend) {
+  ChainShrink reference;
+  Engine engine;
+  Server server(engine, Machine::single(16), chainShrinkConfig());
+  InProcessTransport direct(server);
+  reference.wire(direct);
+  ASSERT_TRUE(runInProcess(engine, reference.scenario))
+      << "in-process reference run did not finish";
+
+  ChainShrink remote;
+  DaemonFixture daemon(chainShrinkConfig(), 16, IoBackend::kEpoll);
+  auto clientLoop = net::makeIoExecutor(IoBackend::kEpoll);
+  LoopbackTransport loopback(*clientLoop, daemon.port());
+  remote.wire(loopback);
+  ASSERT_TRUE(runLoopback(*clientLoop, remote.scenario))
+      << "loopback run did not finish";
+
+  EXPECT_FALSE(reference.worker.trace.empty());
+  EXPECT_EQ(reference.worker.trace, remote.worker.trace);
+  EXPECT_EQ(reference.watcher.trace, remote.watcher.trace);
+  ASSERT_EQ(remote.worker.granted.size(), 3u);
+  EXPECT_EQ(remote.worker.granted[1].size(), 8u);
+  EXPECT_EQ(remote.worker.granted[2].size(), 4u);
+}
+
+TEST(NetDifferential, KillAfterViolationTracesMatchUnderEpollBackend) {
+  KillAfterViolation reference;
+  Engine engine;
+  Server server(engine, Machine::single(8), violationConfig());
+  InProcessTransport direct(server);
+  reference.wire(direct);
+  ASSERT_TRUE(runInProcess(engine, reference.scenario))
+      << "in-process reference run did not finish";
+
+  KillAfterViolation remote;
+  DaemonFixture daemon(violationConfig(), 8, IoBackend::kEpoll);
+  auto clientLoop = net::makeIoExecutor(IoBackend::kEpoll);
+  LoopbackTransport loopback(*clientLoop, daemon.port());
+  remote.wire(loopback);
+  ASSERT_TRUE(runLoopback(*clientLoop, remote.scenario))
+      << "loopback run did not finish";
+
+  EXPECT_FALSE(reference.holder.trace.empty());
+  EXPECT_EQ(reference.holder.trace, remote.holder.trace);
+  EXPECT_EQ(reference.claimant.trace, remote.claimant.trace);
+  EXPECT_TRUE(remote.holder.killed);
+  ASSERT_GE(remote.claimant.granted.size(), 1u);
+  EXPECT_EQ(remote.claimant.granted[0].size(), 8u);
+}
+
+// --- delta pushes vs full pushes ---------------------------------------------
+
+/// The delta transport's acceptance bar, pinned inside a single run (raw
+/// views carry absolute breakpoints, so comparing two separately-timed
+/// runs would race on millisecond jitter): a watcher that followed the
+/// whole chain through spliced VIEWS_DELTA windows must hold views
+/// bit-identical — raw View equality, not normalized shapes — to the
+/// full-flagged push a fresh verifier session receives from the same
+/// live daemon. A splice divergence is permanent (every later delta is
+/// diffed against the daemon's idea of the acked state), so if the two
+/// observers ever disagree they never converge and the wait times out.
+TEST(NetDifferential, DeltaSplicedViewsAreBitIdenticalToAFullPush) {
+  ChainShrink chain;
+  DaemonFixture daemon(chainShrinkConfig(), 16, IoBackend::kEpoll);
+  auto clientLoop = net::makeIoExecutor(IoBackend::kEpoll);
+  LoopbackTransport loopback(*clientLoop, daemon.port());
+  chain.wire(loopback);
+  // Keep the worker attached: the comparison below should see the rich
+  // mid-scenario profile (pre-allocation plus the NEXT successor), not
+  // the trivial idle machine left after a departure.
+  chain.scenario.steps.pop_back();
+  chain.scenario.finished = [&chain] {
+    return chain.viewsWhenChainEnded >= 0 &&
+           chain.worker.viewsCount > chain.viewsWhenChainEnded;
+  };
+  std::vector<std::pair<View, View>> watcherRaw;
+  chain.watcher.onViewsRaw = [&watcherRaw](const View& np, const View& p) {
+    watcherRaw.emplace_back(np, p);
+  };
+  const auto deltasBefore = metrics::value(metrics::Event::kViewsDeltaSent);
+  const auto resyncsBefore = metrics::value(metrics::Event::kViewsResync);
+  ASSERT_TRUE(runLoopback(*clientLoop, chain.scenario))
+      << "chain run did not finish";
+  ASSERT_GT(watcherRaw.size(), 1u);  // the watcher saw the chain evolve
+  EXPECT_GT(metrics::value(metrics::Event::kViewsDeltaSent), deltasBefore)
+      << "the watcher never exercised the splice path";
+
+  ScriptApp verifier;
+  std::vector<std::pair<View, View>> fullPush;
+  verifier.onViewsRaw = [&fullPush](const View& np, const View& p) {
+    fullPush.emplace_back(np, p);
+  };
+  verifier.bind(loopback.add(verifier, "verifier"));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (std::chrono::steady_clock::now() < deadline &&
+         (fullPush.empty() || watcherRaw.back() != fullPush.back())) {
+    clientLoop->runOne(msec(5));
+  }
+  ASSERT_FALSE(fullPush.empty()) << "the verifier never received views";
+  EXPECT_EQ(watcherRaw.back(), fullPush.back());
+  EXPECT_EQ(metrics::value(metrics::Event::kViewsResync), resyncsBefore);
 }
 
 }  // namespace

@@ -113,7 +113,9 @@ def summarize(report: dict) -> tuple[dict, list[dict]]:
             for key in ("arena_slow_path", "writeback_clean",
                         "writeback_dirty", "passes", "overlapped",
                         "messages/s", "pass_apps_clean", "pass_apps_dirty",
-                        "step2_ranges_reused")
+                        "step2_ranges_reused", "wire_bytes_per_pass",
+                        "views_delta_sent", "views_delta_bytes_saved",
+                        "frames_coalesced", "epoll_wakeups")
             if key in bench
         }
         if counters:
@@ -248,6 +250,12 @@ def main() -> None:
         help="flat JSON counter snapshot (the bench binary's "
              "COORM_METRICS_OUT dump) folded into the run's 'metrics' key")
     parser.add_argument(
+        "--series", action="append", default=[], metavar="NAME=FILE",
+        help="JSON series file recorded under the run's 'series' key — "
+             "e.g. connections_vs_latency=curve.json, where the file holds "
+             "a list of data points such as the coorm_loadgen ramp's "
+             "{connections, ramp_s, probe RTT percentiles}; repeatable")
+    parser.add_argument(
         "--require-zero", action="append", default=[], metavar="COUNTER",
         help="fail (exit 1) if any benchmark entry reports this per-bench "
              "counter with a nonzero value; repeatable")
@@ -315,6 +323,14 @@ def main() -> None:
     if args.metrics:
         with open(args.metrics, encoding="utf-8") as handle:
             run["metrics"] = json.load(handle)
+    if args.series:
+        run["series"] = {}
+        for spec in args.series:
+            name, sep, path = spec.partition("=")
+            if not sep or not name or not path:
+                raise SystemExit(f"--series wants NAME=FILE, got {spec!r}")
+            with open(path, encoding="utf-8") as handle:
+                run["series"][name] = json.load(handle)
     if args.figure:
         run["figures"] = {
             Path(binary).name: run_figure(binary) for binary in args.figure

@@ -49,6 +49,19 @@ void printUsage(std::ostream& out) {
          "  --resume-grace SECS\n"
          "                     coorm_rmsd: window a vanished client may\n"
          "                     RESUME its session in (default 30)\n"
+         "  --io-backend poll|epoll\n"
+         "                     readiness backend for the event loop\n"
+         "                     (default epoll where available; poll is the\n"
+         "                     portable fallback)\n"
+         "  --delta-views on|off\n"
+         "                     coorm_rmsd: sequenced VIEWS_DELTA pushes\n"
+         "                     (default on; off = full VIEWS per pass)\n"
+         "  --coalesce on|off  coorm_rmsd: batch each pass commit's frames\n"
+         "                     into one write per session (default on)\n"
+         "  --connections N    coorm_loadgen: concurrent sessions to hold\n"
+         "                     open (default 1)\n"
+         "  --probe M          coorm_loadgen: REQUEST round-trip latency\n"
+         "                     probes after the ramp (default 0 = none)\n"
          "  --help             this text\n";
 }
 
@@ -138,6 +151,39 @@ ParseResult parseArgs(int argc, const char* const* argv) {
       options.idleDeadline = secF(std::atof(v));
     } else if (arg == "--resume-grace" && (v = value(i))) {
       options.resumeGrace = secF(std::atof(v));
+    } else if (arg == "--io-backend" && (v = value(i))) {
+      if (std::strcmp(v, "poll") == 0) {
+        options.runtime.ioBackend = IoBackend::kPoll;
+      } else if (std::strcmp(v, "epoll") == 0) {
+        options.runtime.ioBackend = IoBackend::kEpoll;
+      } else {
+        result.error =
+            std::string("bad --io-backend value (want poll|epoll): ") + v;
+        return result;
+      }
+    } else if (arg == "--delta-views" && (v = value(i))) {
+      if (std::strcmp(v, "on") == 0) {
+        options.deltaViews = true;
+      } else if (std::strcmp(v, "off") == 0) {
+        options.deltaViews = false;
+      } else {
+        result.error =
+            std::string("bad --delta-views value (want on|off): ") + v;
+        return result;
+      }
+    } else if (arg == "--coalesce" && (v = value(i))) {
+      if (std::strcmp(v, "on") == 0) {
+        options.coalesce = true;
+      } else if (std::strcmp(v, "off") == 0) {
+        options.coalesce = false;
+      } else {
+        result.error = std::string("bad --coalesce value (want on|off): ") + v;
+        return result;
+      }
+    } else if (arg == "--connections" && (v = value(i))) {
+      options.connections = std::atoi(v);
+    } else if (arg == "--probe" && (v = value(i))) {
+      options.probes = std::atoi(v);
     } else {
       result.error = "unknown or incomplete option: " + arg;
       return result;
@@ -146,7 +192,8 @@ ParseResult parseArgs(int argc, const char* const* argv) {
   if (options.nodes <= 0 || options.amrSteps <= 0 ||
       options.overcommit <= 0.0 || options.runtime.threads <= 0 ||
       options.runtime.reschedInterval <= 0 || options.idleDeadline < 0 ||
-      options.resumeGrace < 0) {
+      options.resumeGrace < 0 || options.connections <= 0 ||
+      options.probes < 0) {
     result.error = "invalid numeric option";
     return result;
   }

@@ -62,6 +62,17 @@ struct Options {
   /// coorm_rmsd: how long a vanished client's session stays resumable
   /// before the reaper disconnects it.
   Time resumeGrace = sec(30);
+  /// coorm_rmsd: sequenced VIEWS_DELTA pushes (off = whole VIEWS frame
+  /// per pass, the v2 behaviour — differential-test fodder).
+  bool deltaViews = true;
+  /// coorm_rmsd: per-session write coalescing (off = one send per frame).
+  bool coalesce = true;
+  /// coorm_loadgen: concurrent AppLink sessions to hold open (ramped up
+  /// in batches so the daemon's accept loop is never the bottleneck).
+  int connections = 1;
+  /// coorm_loadgen: REQUEST round-trip latency probes to run once the
+  /// ramp is complete (0 = skip the latency report).
+  int probes = 0;
 };
 
 enum class ParseStatus {

@@ -18,7 +18,8 @@
 #include "coorm/common/metrics.hpp"
 #include "coorm/net/client.hpp"
 #include "coorm/net/daemon.hpp"
-#include "coorm/net/poll_executor.hpp"
+#include "coorm/net/io_executor.hpp"
+#include "coorm/net/socket.hpp"
 #include "coorm/rms/journal.hpp"
 #include "coorm/rms/server.hpp"
 
@@ -51,9 +52,9 @@ int main(int argc, char** argv) {
       return 2;
     }
     try {
-      net::PollExecutor executor;
+      auto executor = net::makeIoExecutor(options.runtime.ioBackend);
       net::RmsClient client(
-          executor, net::RmsClient::Config{*options.connect, "statsq"});
+          *executor, net::RmsClient::Config{*options.connect, "statsq"});
       client.dial();
       const auto stats = client.stats();
       client.disconnect();
@@ -84,7 +85,11 @@ int main(int argc, char** argv) {
 
   const Server::Config config = Server::Config::fromRuntime(options.runtime);
 
-  net::PollExecutor executor;
+  // C100k posture: lift RLIMIT_NOFILE to its hard cap before the listener
+  // exists, so accept() never starts failing mid-ramp.
+  net::raiseFdLimit();
+  auto executorPtr = net::makeIoExecutor(options.runtime.ioBackend);
+  net::IoExecutor& executor = *executorPtr;
   // Declared before the Server so the journal outlives every Server write.
   std::unique_ptr<rms::Journal> journal;
   Server server(executor, Machine::single(options.nodes), config);
@@ -120,11 +125,15 @@ int main(int argc, char** argv) {
     net::Daemon::Config daemonConfig{*options.listen};
     daemonConfig.idleDeadline = options.idleDeadline;
     daemonConfig.resumeGrace = options.resumeGrace;
+    daemonConfig.deltaViews = options.deltaViews;
+    daemonConfig.coalesceWrites = options.coalesce;
     net::Daemon daemon(executor, server, daemonConfig);
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
     std::cout << "coorm_rmsd: serving " << options.nodes << " nodes on "
-              << options.listen->host << ":" << daemon.port() << std::endl;
+              << options.listen->host << ":" << daemon.port() << " ("
+              << net::toString(options.runtime.ioBackend) << " backend)"
+              << std::endl;
 
     while (g_stop == 0) executor.runOne(msec(200));
 
