@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "coorm/common/check.hpp"
+#include "coorm/common/metrics.hpp"
 #include "coorm/net/client.hpp"
 #include "coorm/net/daemon.hpp"
 #include "coorm/net/poll_executor.hpp"
@@ -70,6 +71,7 @@ void BM_LoopbackDaemon(benchmark::State& state) {
   RequestSpec spec;
   spec.nodes = 1;
   spec.duration = hours(1);
+  const metrics::Snapshot before = metrics::snapshot();
   std::size_t turn = 0;
   for (auto _ : state) {
     RmsClient& client = *clients[turn];
@@ -82,6 +84,12 @@ void BM_LoopbackDaemon(benchmark::State& state) {
   state.counters["requests/s"] =
       benchmark::Counter(static_cast<double>(state.iterations()),
                          benchmark::Counter::kIsRate);
+  // Every REQUEST round trip lands a daemon-side RTT histogram sample
+  // (the /metrics percentile source); CI gates this stays nonzero.
+  const metrics::Snapshot after = metrics::snapshot();
+  state.counters["request_rtt_samples"] = static_cast<double>(
+      after[metrics::Histo::kRequestRttUs].count -
+      before[metrics::Histo::kRequestRttUs].count);
 
   for (auto& client : clients) client->disconnect();
 }

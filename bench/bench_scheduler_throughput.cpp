@@ -353,6 +353,12 @@ void BM_ServerPipeline(benchmark::State& state) {
   state.counters["writeback_dirty"] = static_cast<double>(
       delta[metrics::Event::kWriteBackAppsDirty] -
       before[metrics::Event::kWriteBackAppsDirty]);
+  // Every pass through the stack must land in the pass-latency histogram
+  // (the percentile source for --stats and /metrics); CI gates this stays
+  // nonzero so the observability layer cannot silently detach.
+  state.counters["pass_latency_samples"] = static_cast<double>(
+      delta[metrics::Histo::kPassLatencyUs].count -
+      before[metrics::Histo::kPassLatencyUs].count);
 }
 
 BENCHMARK(BM_ServerPipeline)

@@ -5,6 +5,7 @@ namespace coorm::metrics {
 namespace detail {
 std::array<std::atomic<std::uint64_t>, kEventCount> events{};
 std::array<std::atomic<std::int64_t>, kGaugeCount> gauges{};
+std::array<AtomicHistogram, kHistoCount> histograms{};
 }  // namespace detail
 
 std::string_view name(Event event) noexcept {
@@ -97,6 +98,34 @@ std::string_view name(Gauge gauge) noexcept {
   return "unknown_gauge";
 }
 
+std::string_view name(Histo histo) noexcept {
+  switch (histo) {
+    case Histo::kPassLatencyUs:
+      return "pass_latency_us";
+    case Histo::kPassPruneUs:
+      return "pass_prune_us";
+    case Histo::kPassCaptureUs:
+      return "pass_capture_us";
+    case Histo::kPassScheduleUs:
+      return "pass_schedule_us";
+    case Histo::kPassWriteBackUs:
+      return "pass_write_back_us";
+    case Histo::kPassViewsUs:
+      return "pass_views_us";
+    case Histo::kPassCommitUs:
+      return "pass_commit_us";
+    case Histo::kRequestRttUs:
+      return "request_rtt_us";
+    case Histo::kJournalFsyncUs:
+      return "journal_fsync_us";
+    case Histo::kWriteBatchBytes:
+      return "write_batch_bytes";
+    case Histo::kCount_:
+      break;
+  }
+  return "unknown_histogram";
+}
+
 Snapshot snapshot() noexcept {
   Snapshot copy;
   for (std::size_t i = 0; i < kEventCount; ++i) {
@@ -104,6 +133,15 @@ Snapshot snapshot() noexcept {
   }
   for (std::size_t i = 0; i < kGaugeCount; ++i) {
     copy.gauges[i] = detail::gauges[i].load(std::memory_order_relaxed);
+  }
+  for (std::size_t i = 0; i < kHistoCount; ++i) {
+    const detail::AtomicHistogram& live = detail::histograms[i];
+    HistogramData& data = copy.histos[i];
+    for (std::size_t b = 0; b < kHistoBuckets; ++b) {
+      data.buckets[b] = live.buckets[b].load(std::memory_order_relaxed);
+    }
+    data.count = live.count.load(std::memory_order_relaxed);
+    data.sum = live.sum.load(std::memory_order_relaxed);
   }
   return copy;
 }
@@ -114,6 +152,13 @@ void reset() noexcept {
   }
   for (auto& gauge : detail::gauges) {
     gauge.store(0, std::memory_order_relaxed);
+  }
+  for (auto& histogram : detail::histograms) {
+    for (auto& bucket : histogram.buckets) {
+      bucket.store(0, std::memory_order_relaxed);
+    }
+    histogram.count.store(0, std::memory_order_relaxed);
+    histogram.sum.store(0, std::memory_order_relaxed);
   }
 }
 

@@ -1,0 +1,139 @@
+#include "coorm/common/trace.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+namespace coorm::trace {
+
+namespace detail {
+
+std::atomic<bool> enabled{false};
+
+namespace {
+
+/// Spans retained per thread before the oldest fall off.
+constexpr std::size_t kRingCapacity = 16384;
+
+struct ThreadBuffer {
+  /// Guards `events` against collect()/reset() from other threads. The
+  /// owning thread is the only writer, so the lock is uncontended on the
+  /// record path except while a dump is in progress.
+  std::mutex mutex;
+  std::vector<SpanEvent> events;
+  std::size_t next = 0;  ///< ring cursor once `events` is full
+  std::uint32_t tid = 0;
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::uint32_t nextTid = 1;
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+ThreadBuffer& threadBuffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer = [] {
+    auto fresh = std::make_shared<ThreadBuffer>();
+    Registry& reg = registry();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    fresh->tid = reg.nextTid++;
+    reg.buffers.push_back(fresh);
+    return fresh;
+  }();
+  return *buffer;
+}
+
+}  // namespace
+
+void record(const char* name, std::uint64_t startNs,
+            std::uint64_t endNs) noexcept {
+  ThreadBuffer& buffer = threadBuffer();
+  const std::lock_guard<std::mutex> lock(buffer.mutex);
+  SpanEvent event{name, startNs, endNs, buffer.tid};
+  if (buffer.events.size() < kRingCapacity) {
+    buffer.events.push_back(event);
+    return;
+  }
+  buffer.events[buffer.next] = event;
+  buffer.next = (buffer.next + 1) % kRingCapacity;
+}
+
+}  // namespace detail
+
+void enable() noexcept {
+  detail::enabled.store(true, std::memory_order_relaxed);
+}
+
+void disable() noexcept {
+  detail::enabled.store(false, std::memory_order_relaxed);
+}
+
+void reset() noexcept {
+  detail::Registry& reg = detail::registry();
+  const std::lock_guard<std::mutex> registryLock(reg.mutex);
+  for (auto& buffer : reg.buffers) {
+    const std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->events.clear();
+    buffer->next = 0;
+  }
+}
+
+std::vector<SpanEvent> collect() {
+  std::vector<SpanEvent> all;
+  detail::Registry& reg = detail::registry();
+  const std::lock_guard<std::mutex> registryLock(reg.mutex);
+  for (auto& buffer : reg.buffers) {
+    const std::lock_guard<std::mutex> lock(buffer->mutex);
+    // Ring order: [next, end) is the older half once wrapped.
+    for (std::size_t i = buffer->next; i < buffer->events.size(); ++i) {
+      all.push_back(buffer->events[i]);
+    }
+    for (std::size_t i = 0; i < buffer->next; ++i) {
+      all.push_back(buffer->events[i]);
+    }
+  }
+  return all;
+}
+
+bool writeChromeTrace(const std::string& path, std::string* error) {
+  std::vector<SpanEvent> events = collect();
+  std::sort(events.begin(), events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              return a.startNs < b.startNs;
+            });
+
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    if (error != nullptr) *error = path + ": cannot open for writing";
+    return false;
+  }
+  // Rebase timestamps so the trace starts near zero — Chrome renders
+  // absolute steady-clock nanoseconds poorly.
+  const std::uint64_t base = events.empty() ? 0 : events.front().startNs;
+  const long pid = static_cast<long>(::getpid());
+  std::fputs("{\"traceEvents\":[", file);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const SpanEvent& event = events[i];
+    const double ts = static_cast<double>(event.startNs - base) / 1000.0;
+    const double dur =
+        static_cast<double>(event.endNs - event.startNs) / 1000.0;
+    std::fprintf(file,
+                 "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":%ld,\"tid\":%u,"
+                 "\"ts\":%.3f,\"dur\":%.3f}",
+                 i == 0 ? "" : ",", event.name, pid, event.tid, ts, dur);
+  }
+  std::fputs("]}\n", file);
+  const bool ok = std::fclose(file) == 0;
+  if (!ok && error != nullptr) *error = path + ": write failed";
+  return ok;
+}
+
+}  // namespace coorm::trace

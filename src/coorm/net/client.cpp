@@ -9,6 +9,7 @@
 
 #include "coorm/common/check.hpp"
 #include "coorm/common/log.hpp"
+#include "coorm/common/trace.hpp"
 #include "coorm/profile/profile_diff.hpp"
 
 namespace coorm::net {
@@ -141,6 +142,7 @@ void RmsClient::dial() {
 
 RequestId RmsClient::request(const RequestSpec& spec) {
   if (!fd_.valid() || dead_) return RequestId{};
+  trace::Span span("request_rtt");
   RequestMsg msg;
   msg.cookie = nextCookie_++;
   msg.spec = spec;

@@ -11,6 +11,7 @@
 #include "coorm/common/check.hpp"
 #include "coorm/common/log.hpp"
 #include "coorm/common/metrics.hpp"
+#include "coorm/common/trace.hpp"
 #include "coorm/profile/profile_diff.hpp"
 
 namespace coorm::net {
@@ -265,6 +266,11 @@ void Daemon::handleFrame(Connection& conn, const FrameView& frame) {
       if (frame.payload.size() != 8) break;
       return;
     case MsgType::kRequest: {
+      // Daemon-side RTT: decode through the REQ_ACK hitting send(2) (or
+      // the coalescing buffer) — the share of client-observed latency the
+      // daemon is accountable for.
+      const metrics::Stopwatch rtt;
+      trace::Span span("request");
       RequestMsg msg;
       if (!decode(frame.payload, msg) || conn.session == nullptr) break;
       // Semantic validation the in-process caller contract promises the
@@ -280,6 +286,7 @@ void Daemon::handleFrame(Connection& conn, const FrameView& frame) {
       }
       encode(scratch_, RequestAckMsg{msg.cookie, id});
       send(conn, MsgType::kRequestAck);
+      metrics::record(metrics::Histo::kRequestRttUs, rtt.elapsedMicros());
       return;
     }
     case MsgType::kDone: {
@@ -412,11 +419,14 @@ void Daemon::send(Connection& conn, MsgType type) {
 }
 
 void Daemon::flush(Connection& conn) {
+  trace::Span span("flush");
   while (conn.outboundPos < conn.outbound.size()) {
     const ssize_t n =
         ::send(conn.fd.get(), conn.outbound.data() + conn.outboundPos,
                conn.outbound.size() - conn.outboundPos, MSG_NOSIGNAL);
     if (n > 0) {
+      metrics::record(metrics::Histo::kWriteBatchBytes,
+                      static_cast<std::uint64_t>(n));
       conn.outboundPos += static_cast<std::size_t>(n);
       continue;
     }

@@ -1,0 +1,256 @@
+#include "coorm/net/metrics_http.hpp"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "coorm/common/log.hpp"
+
+namespace coorm::net {
+
+namespace {
+
+constexpr std::size_t kMaxRequestBytes = 8192;
+
+void appendValue(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void appendValue(std::string& out, std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string renderPrometheus(const metrics::Snapshot& snap) {
+  std::string out;
+  out.reserve(8192);
+  for (std::size_t i = 0; i < metrics::kEventCount; ++i) {
+    const auto event = static_cast<metrics::Event>(i);
+    const std::string_view name = metrics::name(event);
+    out += "# TYPE coorm_";
+    out += name;
+    out += "_total counter\ncoorm_";
+    out += name;
+    out += "_total ";
+    appendValue(out, snap[event]);
+    out += '\n';
+  }
+  for (std::size_t i = 0; i < metrics::kGaugeCount; ++i) {
+    const auto gauge = static_cast<metrics::Gauge>(i);
+    const std::string_view name = metrics::name(gauge);
+    out += "# TYPE coorm_";
+    out += name;
+    out += " gauge\ncoorm_";
+    out += name;
+    out += ' ';
+    appendValue(out, snap[gauge]);
+    out += '\n';
+  }
+  for (std::size_t i = 0; i < metrics::kHistoCount; ++i) {
+    const auto histo = static_cast<metrics::Histo>(i);
+    const metrics::HistogramData& h = snap[histo];
+    const std::string_view name = metrics::name(histo);
+    out += "# TYPE coorm_";
+    out += name;
+    out += " histogram\n";
+    // Cumulative buckets at each populated bucket's upper bound. The
+    // +Inf bucket uses the bucket total (not h.count) so the series is
+    // internally consistent even when the snapshot raced a record().
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < metrics::kHistoBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      cumulative += h.buckets[b];
+      out += "coorm_";
+      out += name;
+      out += "_bucket{le=\"";
+      appendValue(out, metrics::bucketUpperBound(b));
+      out += "\"} ";
+      appendValue(out, cumulative);
+      out += '\n';
+    }
+    out += "coorm_";
+    out += name;
+    out += "_bucket{le=\"+Inf\"} ";
+    appendValue(out, cumulative);
+    out += "\ncoorm_";
+    out += name;
+    out += "_sum ";
+    appendValue(out, h.sum);
+    out += "\ncoorm_";
+    out += name;
+    out += "_count ";
+    appendValue(out, cumulative);
+    out += '\n';
+  }
+  return out;
+}
+
+/// One scrape connection: accumulate the request until the blank line,
+/// answer once, close when the answer is flushed.
+struct MetricsHttpServer::Conn {
+  Fd fd;
+  std::string inbound;
+  std::string outbound;
+  std::size_t outboundPos = 0;
+  bool responded = false;
+  bool dead = false;
+};
+
+MetricsHttpServer::MetricsHttpServer(IoExecutor& executor)
+    : executor_(executor) {}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+bool MetricsHttpServer::start(const Endpoint& listen, std::string& error) {
+  stop();
+  listenFd_ = listenOn(listen, error);
+  if (!listenFd_.valid()) return false;
+  port_ = boundPort(listenFd_.get());
+  executor_.watch(listenFd_.get(), IoExecutor::kReadable,
+                  [this](short) { onAccept(); });
+  return true;
+}
+
+void MetricsHttpServer::stop() {
+  Executor::cancel(gcEvent_);
+  if (listenFd_.valid()) {
+    executor_.unwatch(listenFd_.get());
+    listenFd_.reset();
+  }
+  for (auto& conn : conns_) {
+    if (!conn->dead) {
+      executor_.unwatch(conn->fd.get());
+      conn->fd.reset();
+    }
+  }
+  conns_.clear();
+  port_ = 0;
+}
+
+void MetricsHttpServer::onAccept() {
+  for (;;) {
+    Fd fd = acceptOn(listenFd_.get());
+    if (!fd.valid()) return;
+    auto conn = std::make_unique<Conn>();
+    conn->fd = std::move(fd);
+    Conn* raw = conn.get();
+    executor_.watch(raw->fd.get(), IoExecutor::kReadable,
+                    [this, raw](short events) { onConnEvent(*raw, events); });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void MetricsHttpServer::onConnEvent(Conn& conn, short events) {
+  if ((events & IoExecutor::kError) != 0) {
+    drop(conn);
+    return;
+  }
+  if ((events & IoExecutor::kReadable) != 0 && !conn.responded) {
+    char buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(conn.fd.get(), buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn.inbound.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n == 0) {  // EOF before a complete request
+        drop(conn);
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      drop(conn);
+      return;
+    }
+    if (conn.inbound.size() > kMaxRequestBytes) {
+      drop(conn);
+      return;
+    }
+    if (conn.inbound.find("\r\n\r\n") != std::string::npos ||
+        conn.inbound.find("\n\n") != std::string::npos) {
+      respond(conn);
+    }
+  }
+  if (!conn.dead && (events & IoExecutor::kWritable) != 0) flush(conn);
+}
+
+void MetricsHttpServer::respond(Conn& conn) {
+  conn.responded = true;
+  const std::size_t lineEnd = conn.inbound.find_first_of("\r\n");
+  const std::string line = conn.inbound.substr(
+      0, lineEnd == std::string::npos ? conn.inbound.size() : lineEnd);
+
+  std::string body;
+  const char* status = "400 Bad Request";
+  const bool isGet = line.rfind("GET ", 0) == 0;
+  if (isGet) {
+    const std::size_t pathEnd = line.find(' ', 4);
+    const std::string path = line.substr(
+        4, pathEnd == std::string::npos ? std::string::npos : pathEnd - 4);
+    if (path == "/metrics") {
+      status = "200 OK";
+      body = renderPrometheus(metrics::snapshot());
+      ++scrapes_;
+    } else {
+      status = "404 Not Found";
+      body = "not found\n";
+    }
+  }
+
+  conn.outbound = "HTTP/1.0 ";
+  conn.outbound += status;
+  conn.outbound +=
+      "\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n"
+      "Content-Length: ";
+  appendValue(conn.outbound, static_cast<std::uint64_t>(body.size()));
+  conn.outbound += "\r\nConnection: close\r\n\r\n";
+  conn.outbound += body;
+  flush(conn);
+}
+
+void MetricsHttpServer::flush(Conn& conn) {
+  while (conn.outboundPos < conn.outbound.size()) {
+    const ssize_t n =
+        ::send(conn.fd.get(), conn.outbound.data() + conn.outboundPos,
+               conn.outbound.size() - conn.outboundPos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.outboundPos += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      executor_.updateEvents(conn.fd.get(),
+                             IoExecutor::kReadable | IoExecutor::kWritable);
+      return;
+    }
+    drop(conn);
+    return;
+  }
+  drop(conn);  // answered in full: HTTP/1.0 close
+}
+
+void MetricsHttpServer::drop(Conn& conn) {
+  if (conn.dead) return;
+  conn.dead = true;
+  executor_.unwatch(conn.fd.get());
+  conn.fd.reset();
+  // Garbage-collect dead slots outside the callback's own frame: the
+  // watcher lambda that called us captures the Conn pointer.
+  Executor::cancel(gcEvent_);
+  gcEvent_ = executor_.after(0, [this] {
+    std::erase_if(conns_, [](const std::unique_ptr<Conn>& c) {
+      return c->dead;
+    });
+  });
+}
+
+}  // namespace coorm::net

@@ -1,0 +1,69 @@
+// Minimal Prometheus scrape endpoint: an HTTP/1.0 listener on the
+// daemon's IoExecutor serving `GET /metrics` as text exposition format.
+//
+// This is deliberately not a web server. One request per connection
+// (Connection: close), request line + headers parsed just enough to route
+// GET /metrics, everything else answered 404/400. It shares the event
+// loop with the Daemon, so a scrape costs the loop one accept, one read,
+// one buffered write — no threads, no allocation beyond the response
+// string.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "coorm/common/metrics.hpp"
+#include "coorm/net/io_executor.hpp"
+#include "coorm/net/socket.hpp"
+
+namespace coorm::net {
+
+/// Renders a metrics snapshot in Prometheus text exposition format
+/// (version 0.0.4): counters as `coorm_<name>_total`, gauges as
+/// `coorm_<name>`, histograms as cumulative `coorm_<name>_bucket{le=...}`
+/// series (populated buckets only, plus +Inf) with `_sum` and `_count`.
+[[nodiscard]] std::string renderPrometheus(const metrics::Snapshot& snap);
+
+/// The scrape listener. Construct, start() on an endpoint, and let the
+/// executor drive it; stop() (or destruction) closes the listener and
+/// every in-flight connection.
+class MetricsHttpServer {
+ public:
+  explicit MetricsHttpServer(IoExecutor& executor);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Binds and listens. False (with `error` set) on bind/listen failure.
+  [[nodiscard]] bool start(const Endpoint& listen, std::string& error);
+
+  /// Unwatches and closes everything. Idempotent.
+  void stop();
+
+  /// The bound port (resolves port 0); 0 when not listening.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Scrapes served (requests answered 200). For tests.
+  [[nodiscard]] std::uint64_t scrapesServed() const { return scrapes_; }
+
+ private:
+  struct Conn;
+
+  void onAccept();
+  void onConnEvent(Conn& conn, short events);
+  void respond(Conn& conn);
+  void flush(Conn& conn);
+  void drop(Conn& conn);
+
+  IoExecutor& executor_;
+  Fd listenFd_;
+  EventHandle gcEvent_;
+  std::uint16_t port_ = 0;
+  std::uint64_t scrapes_ = 0;
+  std::vector<std::unique_ptr<Conn>> conns_;
+};
+
+}  // namespace coorm::net

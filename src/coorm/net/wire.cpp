@@ -537,6 +537,26 @@ void encode(std::vector<std::uint8_t>& out, const StatsReplyMsg& msg) {
     w.u16(static_cast<std::uint16_t>(i));
     w.i64(msg.stats.gauges[i]);
   }
+  // Version 4: the histogram catalogue, sparse — only populated buckets
+  // ride the wire (a histogram is 512 buckets but rarely > a few dozen
+  // are nonzero), indices strictly ascending by construction.
+  w.u32(static_cast<std::uint32_t>(metrics::kHistoCount));
+  for (std::size_t i = 0; i < metrics::kHistoCount; ++i) {
+    const metrics::HistogramData& histo = msg.stats.histos[i];
+    w.u16(static_cast<std::uint16_t>(i));
+    w.u64(histo.count);
+    w.u64(histo.sum);
+    std::uint32_t populated = 0;
+    for (const std::uint64_t bucket : histo.buckets) {
+      if (bucket != 0) ++populated;
+    }
+    w.u32(populated);
+    for (std::size_t b = 0; b < metrics::kHistoBuckets; ++b) {
+      if (histo.buckets[b] == 0) continue;
+      w.u16(static_cast<std::uint16_t>(b));
+      w.u64(histo.buckets[b]);
+    }
+  }
   endFrame(w, at);
 }
 
@@ -703,6 +723,48 @@ bool decode(std::span<const std::uint8_t> payload, StatsReplyMsg& out) {
     const std::uint16_t id = r.u16();
     const std::int64_t value = r.i64();
     if (id < metrics::kGaugeCount) out.stats.gauges[id] = value;
+  }
+  // Version-3 peers end the payload here; the histogram catalogue is a
+  // version-4 addition.
+  if (r.ok() && r.remaining() == 0) return r.done();
+  // Each histogram record is at least id u16 + count/sum u64 + u32.
+  constexpr std::size_t kHistoHeaderSize = 2 + 8 + 8 + 4;
+  const std::uint32_t histoCount = r.u32();
+  if (!r.ok() || histoCount > r.remaining() / kHistoHeaderSize) {
+    r.fail();
+    return false;
+  }
+  for (std::uint32_t i = 0; i < histoCount; ++i) {
+    const std::uint16_t id = r.u16();
+    const std::uint64_t count = r.u64();
+    const std::uint64_t sum = r.u64();
+    const std::uint32_t populated = r.u32();
+    if (!r.ok() || populated > r.remaining() / kPairWireSize) {
+      r.fail();
+      return false;
+    }
+    const bool known = id < metrics::kHistoCount;
+    std::uint32_t lastIndex = 0;
+    for (std::uint32_t b = 0; b < populated; ++b) {
+      const std::uint16_t index = r.u16();
+      const std::uint64_t bucket = r.u64();
+      // Indices must ascend strictly (how they are encoded); a repeat or
+      // regression is corruption, not a version skew.
+      if (b > 0 && index <= lastIndex) {
+        r.fail();
+        return false;
+      }
+      lastIndex = index;
+      // An index past our bucket count is a newer peer's finer geometry:
+      // skip the bucket, keep the record.
+      if (known && index < metrics::kHistoBuckets) {
+        out.stats.histos[id].buckets[index] = bucket;
+      }
+    }
+    if (known) {
+      out.stats.histos[id].count = count;
+      out.stats.histos[id].sum = sum;
+    }
   }
   return r.done();
 }

@@ -80,11 +80,13 @@
 namespace coorm::net {
 
 inline constexpr std::uint16_t kMagic = 0xC052;  // "CooRMv2", squinting
-/// Version 3: sequenced delta view pushes — VIEWS_DELTA downstream (full
-/// sync points and per-cluster splice windows against the last applied
-/// push) and VIEWS_ACK upstream (applied / resync-request). Version 2
-/// added the session resume token and PING/PONG/RESUME/RESUME_ACK.
-inline constexpr std::uint8_t kProtocolVersion = 3;
+/// Version 4: STATS_REPLY carries the latency/size histogram catalogue
+/// (sparse bucket vectors after the counter pairs). Version 3 added
+/// sequenced delta view pushes — VIEWS_DELTA downstream (full sync points
+/// and per-cluster splice windows against the last applied push) and
+/// VIEWS_ACK upstream (applied / resync-request). Version 2 added the
+/// session resume token and PING/PONG/RESUME/RESUME_ACK.
+inline constexpr std::uint8_t kProtocolVersion = 4;
 inline constexpr std::size_t kHeaderSize = 8;
 /// Upper bound on a payload; larger length fields are a protocol error
 /// (a views push of 4096-breakpoint profiles is ~128 KiB).
@@ -264,9 +266,12 @@ struct ResumeAckMsg {
   friend bool operator==(const ResumeAckMsg&, const ResumeAckMsg&) = default;
 };
 
-/// The daemon's metrics snapshot. Encoded as explicit (id, value) pairs;
-/// decoding ignores unknown ids, so old clients read new daemons (and vice
-/// versa) without a version bump.
+/// The daemon's metrics snapshot. Counters and gauges are explicit
+/// (id, value) pairs; version 4 appends the histogram catalogue as
+/// (id, count, sum, sparse ascending bucket vector) records. Decoding
+/// ignores unknown ids and out-of-range bucket indices — a newer peer's
+/// extra catalogue entries read cleanly — and tolerates a payload that
+/// ends after the gauges (the version-3 shape).
 struct StatsReplyMsg {
   metrics::Snapshot stats;
   friend bool operator==(const StatsReplyMsg&, const StatsReplyMsg&) = default;

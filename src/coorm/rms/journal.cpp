@@ -10,6 +10,7 @@
 
 #include "coorm/common/check.hpp"
 #include "coorm/common/metrics.hpp"
+#include "coorm/common/trace.hpp"
 #include "coorm/net/wire.hpp"
 
 namespace coorm::rms {
@@ -180,7 +181,10 @@ void Journal::append(std::span<const std::uint8_t> payload) {
 }
 
 void Journal::sync() {
+  trace::Span span("fsync");
+  const metrics::Stopwatch watch;
   COORM_CHECK(::fsync(fd_) == 0);
+  metrics::record(metrics::Histo::kJournalFsyncUs, watch.elapsedMicros());
   metrics::increment(metrics::Event::kJournalFsyncs);
 }
 

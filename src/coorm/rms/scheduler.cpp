@@ -6,6 +6,7 @@
 
 #include "coorm/common/check.hpp"
 #include "coorm/common/metrics.hpp"
+#include "coorm/common/trace.hpp"
 #include "coorm/common/worker_pool.hpp"
 #include "coorm/profile/profile_diff.hpp"
 #include "coorm/profile/profile_sweep.hpp"
@@ -706,6 +707,7 @@ void Scheduler::eqSchedule(std::span<AppSnapshot> apps, const View& available,
   // the applications fan out over the pool. Applications with an empty
   // preemptible set have no records to fix and an empty occupation — skip
   // the algebra entirely.
+  const std::uint64_t step1Start = metrics::nowNanos();
   std::vector<View> occupation(napps);
   parallelFor(pool, napps, [&](std::size_t i) {
     apps[i].preemptiveView = View{};
@@ -723,6 +725,9 @@ void Scheduler::eqSchedule(std::span<AppSnapshot> apps, const View& available,
       occupation[i] += fit(set, freeForMe, now);
     }
   });
+
+  const std::uint64_t step2Start = metrics::nowNanos();
+  trace::span("eq_step1", step1Start, step2Start);
 
   // Step 2: per piece-wise-constant interval, decide what each application
   // may have. The sweep partitions cleanly by cluster; every cluster
@@ -767,6 +772,9 @@ void Scheduler::eqSchedule(std::span<AppSnapshot> apps, const View& available,
     }
   }
 
+  const std::uint64_t step3Start = metrics::nowNanos();
+  trace::span("eq_step2", step2Start, step3Start);
+
   // Step 3: reschedule every application's preemptible requests against its
   // final view so scheduledAt and nAlloc are consistent with what we will
   // actually grant. Per-application again, so it rides the pool too.
@@ -784,6 +792,7 @@ void Scheduler::eqSchedule(std::span<AppSnapshot> apps, const View& available,
       fit(set, rest, now);
     }
   });
+  trace::span("eq_step3", step3Start, metrics::nowNanos());
 }
 
 // ---------------------------------------------------------------------------
@@ -991,6 +1000,7 @@ void Scheduler::schedulePassIncremental(RequestSetSnapshot& snapshot, Time now,
   // eqSchedule Step 1: preliminary preemptible occupations (dirty apps;
   // an all-started app's occupation ignores both `vp` and `now`). The
   // pre-recompute views are kept aside as the Step 2 diff baseline.
+  const std::uint64_t step1Start = metrics::nowNanos();
   parallelFor(pool, napps, [&](std::size_t i) {
     if (inc.clean[i]) return;
     inc.oldOccupation[i] = std::move(inc.occupation[i]);
@@ -1009,6 +1019,8 @@ void Scheduler::schedulePassIncremental(RequestSetSnapshot& snapshot, Time now,
       inc.occupation[i] += fit(set, freeForMe, now);
     }
   });
+  const std::uint64_t step2Start = metrics::nowNanos();
+  trace::span("eq_step1", step1Start, step2Start);
 
   if (napps > 0) {
     // eqSchedule Step 2, cached per cluster.
@@ -1201,6 +1213,8 @@ void Scheduler::schedulePassIncremental(RequestSetSnapshot& snapshot, Time now,
   // eqSchedule Step 3: reschedule dirty apps' preemptible requests against
   // their final views. Lease-clean apps are exact already: toView would
   // rewrite identical values and fit has nothing to place.
+  const std::uint64_t step3Start = metrics::nowNanos();
+  trace::span("eq_step2", step2Start, step3Start);
   parallelFor(pool, napps, [&](std::size_t i) {
     if (inc.clean[i]) return;
     SetSnapshot& set = apps[i].preemptible();
@@ -1214,6 +1228,7 @@ void Scheduler::schedulePassIncremental(RequestSetSnapshot& snapshot, Time now,
       fit(set, rest, now);
     }
   });
+  trace::span("eq_step3", step3Start, metrics::nowNanos());
 
   inc.valid = true;
 }

@@ -6,6 +6,7 @@
 
 #include "coorm/common/check.hpp"
 #include "coorm/common/log.hpp"
+#include "coorm/common/trace.hpp"
 #include "coorm/common/worker_pool.hpp"
 #include "coorm/net/wire.hpp"
 #include "coorm/rms/journal.hpp"
@@ -581,29 +582,43 @@ void Server::runPass(bool synchronous) {
   lastPassAt_ = executor_.now();
   ++passCount_;
   metrics::increment(metrics::Event::kSchedulePasses);
+  passPhases_ = PassPhases{};
+  passPhases_.startNs = metrics::nowNanos();
 
-  pruneEnded();
+  {
+    trace::Span span("prune");
+    const metrics::Stopwatch watch;
+    pruneEnded();
+    passPhases_.pruneUs = watch.elapsedMicros();
+    metrics::record(metrics::Histo::kPassPruneUs, passPhases_.pruneUs);
+  }
 
   // Launch: freeze the live request sets. From here until commit the pass
   // reads only the snapshot, so the executor thread is free to keep
   // handling protocol messages.
-  std::vector<AppSchedule> apps;
-  passApps_.clear();
-  for (auto& st : sessions_) {
-    if (st->killed || st->disconnected) continue;
-    AppSchedule app;
-    app.app = st->app;
-    app.preAllocations = &st->preAllocations;
-    app.nonPreemptible = &st->nonPreemptible;
-    app.preemptible = &st->preemptible;
-    app.epoch = st->mutationEpoch;
-    apps.push_back(std::move(app));
-    passApps_.push_back(st.get());
+  {
+    trace::Span span("capture");
+    const metrics::Stopwatch watch;
+    std::vector<AppSchedule> apps;
+    passApps_.clear();
+    for (auto& st : sessions_) {
+      if (st->killed || st->disconnected) continue;
+      AppSchedule app;
+      app.app = st->app;
+      app.preAllocations = &st->preAllocations;
+      app.nonPreemptible = &st->nonPreemptible;
+      app.preemptible = &st->preemptible;
+      app.epoch = st->mutationEpoch;
+      apps.push_back(std::move(app));
+      passApps_.push_back(st.get());
+    }
+    if (passSnapshot_ == nullptr) {
+      passSnapshot_ = std::make_unique<RequestSetSnapshot>();
+    }
+    passSnapshot_->recapture(apps);  // in place: steady state allocates nothing
+    passPhases_.captureUs = watch.elapsedMicros();
+    metrics::record(metrics::Histo::kPassCaptureUs, passPhases_.captureUs);
   }
-  if (passSnapshot_ == nullptr) {
-    passSnapshot_ = std::make_unique<RequestSetSnapshot>();
-  }
-  passSnapshot_->recapture(apps);  // in place: steady state allocates nothing
   passEpoch_ = stateEpoch_;
   passInFlight_ = true;
   metrics::add(metrics::Gauge::kPassInFlight, 1);
@@ -615,10 +630,22 @@ void Server::runPass(bool synchronous) {
     // event drains the pass and this event is cancelled.
     commitEvent_ = executor_.schedule(lastPassAt_, [this] { syncPass(); });
     const Time at = lastPassAt_;
-    lane_->launch([this, at] { scheduler_.schedulePass(*passSnapshot_, at); });
+    lane_->launch([this, at] {
+      trace::Span span("schedule");
+      const metrics::Stopwatch watch;
+      scheduler_.schedulePass(*passSnapshot_, at);
+      passPhases_.scheduleUs = watch.elapsedMicros();
+      metrics::record(metrics::Histo::kPassScheduleUs,
+                      passPhases_.scheduleUs);
+    });
   } else {
     try {
+      trace::Span span("schedule");
+      const metrics::Stopwatch watch;
       scheduler_.schedulePass(*passSnapshot_, lastPassAt_);
+      passPhases_.scheduleUs = watch.elapsedMicros();
+      metrics::record(metrics::Histo::kPassScheduleUs,
+                      passPhases_.scheduleUs);
     } catch (...) {
       abandonPass();
       throw;
@@ -665,32 +692,40 @@ void Server::commitPass() {
   Executor::cancel(commitEvent_);
   commitEvent_ = nullptr;
 
-  // Reconcile pass output with the live state: snapshot-known requests get
-  // exactly the attributes the serial pass would have written in place;
-  // requests and sessions that arrived mid-pass are not in the snapshot
-  // and stay untouched (their handler already re-armed the next pass).
-  passSnapshot_->writeBack();
-  const std::span<AppSnapshot> scheduled = passSnapshot_->apps();
-  for (std::size_t i = 0; i < passApps_.size(); ++i) {
-    // Lease renewal: an epoch-clean, all-started application whose views
-    // the incremental pass left in its cache keeps the stashed copies —
-    // the pass proved they are still exact. Any materialized view means
-    // the app's share moved (a dirty neighbour preempted part of it) and
-    // the stash is replaced as usual.
-    if (scheduled[i].viewsReused) {
-      metrics::increment(metrics::Event::kLeasesRenewed);
-      continue;
+  {
+    // Reconcile pass output with the live state: snapshot-known requests
+    // get exactly the attributes the serial pass would have written in
+    // place; requests and sessions that arrived mid-pass are not in the
+    // snapshot and stay untouched (their handler already re-armed the
+    // next pass).
+    trace::Span span("write_back");
+    const metrics::Stopwatch watch;
+    passSnapshot_->writeBack();
+    const std::span<AppSnapshot> scheduled = passSnapshot_->apps();
+    for (std::size_t i = 0; i < passApps_.size(); ++i) {
+      // Lease renewal: an epoch-clean, all-started application whose views
+      // the incremental pass left in its cache keeps the stashed copies —
+      // the pass proved they are still exact. Any materialized view means
+      // the app's share moved (a dirty neighbour preempted part of it) and
+      // the stash is replaced as usual.
+      if (scheduled[i].viewsReused) {
+        metrics::increment(metrics::Event::kLeasesRenewed);
+        continue;
+      }
+      if (config_.incremental &&
+          scheduled[i].lastCapture() == CaptureKind::kSkipped &&
+          scheduled[i].allStarted()) {
+        metrics::increment(metrics::Event::kLeasesPreempted);
+      }
+      // Stash freshly computed views before starting requests so violation
+      // checks and pushes see consistent data.
+      passApps_[i]->lastNonPreemptive =
+          std::move(scheduled[i].nonPreemptiveView);
+      passApps_[i]->lastPreemptive = std::move(scheduled[i].preemptiveView);
     }
-    if (config_.incremental &&
-        scheduled[i].lastCapture() == CaptureKind::kSkipped &&
-        scheduled[i].allStarted()) {
-      metrics::increment(metrics::Event::kLeasesPreempted);
-    }
-    // Stash freshly computed views before starting requests so violation
-    // checks and pushes see consistent data.
-    passApps_[i]->lastNonPreemptive =
-        std::move(scheduled[i].nonPreemptiveView);
-    passApps_[i]->lastPreemptive = std::move(scheduled[i].preemptiveView);
+    passPhases_.writeBackUs = watch.elapsedMicros();
+    metrics::record(metrics::Histo::kPassWriteBackUs,
+                    passPhases_.writeBackUs);
   }
   if (stateEpoch_ != passEpoch_) {
     ++overlappedPasses_;
@@ -700,26 +735,60 @@ void Server::commitPass() {
         << (stateEpoch_ - passEpoch_) << " message(s); next pass armed";
   }
 
-  // Push views before start notifications so applications react to starts
-  // with fresh availability information (the grant may race a view change;
-  // events are delivered in queue order).
-  pushViews();
-  startDueRequests();
-  checkViolations();
-
-  // Pass-commit barrier: the starts journaled above and this marker become
-  // durable together, before the executor dispatches any of the commit's
-  // notification events — a client never observes a start the journal
-  // could lose. This is the only fsync on the pass hot path.
-  if (journal_ != nullptr) {
-    journalScratch_.clear();
-    net::Writer w(journalScratch_);
-    w.u8(static_cast<std::uint8_t>(rms::RecordType::kPassCommit));
-    w.i64(lastPassAt_);
-    journalAppend(journalScratch_);
-    journalSyncNow();
-    maybeCompactJournal();
+  {
+    // Push views before start notifications so applications react to
+    // starts with fresh availability information (the grant may race a
+    // view change; events are delivered in queue order).
+    trace::Span span("views");
+    const metrics::Stopwatch watch;
+    pushViews();
+    passPhases_.viewsUs = watch.elapsedMicros();
+    metrics::record(metrics::Histo::kPassViewsUs, passPhases_.viewsUs);
   }
+  {
+    trace::Span span("commit");
+    const metrics::Stopwatch watch;
+    startDueRequests();
+    checkViolations();
+
+    // Pass-commit barrier: the starts journaled above and this marker
+    // become durable together, before the executor dispatches any of the
+    // commit's notification events — a client never observes a start the
+    // journal could lose. This is the only fsync on the pass hot path.
+    if (journal_ != nullptr) {
+      journalScratch_.clear();
+      net::Writer w(journalScratch_);
+      w.u8(static_cast<std::uint8_t>(rms::RecordType::kPassCommit));
+      w.i64(lastPassAt_);
+      journalAppend(journalScratch_);
+      journalSyncNow();
+      maybeCompactJournal();
+    }
+    passPhases_.commitUs = watch.elapsedMicros();
+    metrics::record(metrics::Histo::kPassCommitUs, passPhases_.commitUs);
+  }
+
+  finishPassTiming();
+}
+
+void Server::finishPassTiming() {
+  const std::uint64_t endNs = metrics::nowNanos();
+  const std::uint64_t totalUs = (endNs - passPhases_.startNs) / 1000;
+  metrics::record(metrics::Histo::kPassLatencyUs, totalUs);
+  trace::span("pass", passPhases_.startNs, endNs);
+  if (config_.slowPass <= 0 ||
+      totalUs < static_cast<std::uint64_t>(config_.slowPass) * 1000) {
+    return;
+  }
+  COORM_LOG(LogLevel::kWarn, "rms")
+      << "slow pass " << passCount_ << " at t=" << lastPassAt_
+      << "ms total_us=" << totalUs << " prune_us=" << passPhases_.pruneUs
+      << " capture_us=" << passPhases_.captureUs
+      << " schedule_us=" << passPhases_.scheduleUs
+      << " write_back_us=" << passPhases_.writeBackUs
+      << " views_us=" << passPhases_.viewsUs
+      << " commit_us=" << passPhases_.commitUs
+      << " apps=" << passApps_.size();
 }
 
 void Server::startDueRequests() {

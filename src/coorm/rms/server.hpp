@@ -181,6 +181,10 @@ class Server {
     /// commit rewrites it as a single snapshot record (rms/journal.hpp
     /// compaction) instead of letting it grow without bound.
     std::uint64_t journalCompactBytes = 1u << 20;
+    /// Log a structured one-line phase breakdown for any pass whose wall
+    /// time reaches this (milliseconds; 0 = never). Outlier forensics —
+    /// `--slow-pass-ms` on the tools.
+    Time slowPass = 0;
 
     /// Projection of the shared runtime-tuning surface
     /// (common/runtime_options.hpp): the four shared knobs come from
@@ -368,6 +372,9 @@ class Server {
   void pushViews();
   void checkViolations();
   void pruneEnded();
+  /// End-of-commit bookkeeping: pass-latency histogram sample, the "pass"
+  /// trace span, and the Config::slowPass outlier breakdown line.
+  void finishPassTiming();
 
   // --- request lifecycle ---------------------------------------------------
   /// Records a mutation of `st`'s requests or set membership. Every code
@@ -449,6 +456,21 @@ class Server {
   std::uint64_t stateEpoch_ = 0;
   std::uint64_t passEpoch_ = 0;
   std::uint64_t overlappedPasses_ = 0;
+
+  /// Wall-time breakdown of the in-flight/last pass (steady-clock ns and
+  /// per-phase µs). `scheduleUs` is written on the lane thread inside the
+  /// launched closure; the lane's completion handoff orders it before the
+  /// commit that reads it — the same contract passSnapshot_ relies on.
+  struct PassPhases {
+    std::uint64_t startNs = 0;
+    std::uint64_t pruneUs = 0;
+    std::uint64_t captureUs = 0;
+    std::uint64_t scheduleUs = 0;
+    std::uint64_t writeBackUs = 0;
+    std::uint64_t viewsUs = 0;
+    std::uint64_t commitUs = 0;
+  };
+  PassPhases passPhases_{};
 };
 
 }  // namespace coorm

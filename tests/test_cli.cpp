@@ -235,6 +235,41 @@ TEST(Cli, ParsesReschedInterval) {
   EXPECT_EQ(parse({"--resched", "-1"}).status, ParseStatus::kError);
 }
 
+TEST(Cli, ParsesTraceOut) {
+  const ParseResult r = parse({"--trace-out", "/tmp/pass.trace.json"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.options.traceOut, "/tmp/pass.trace.json");
+  EXPECT_TRUE(parse({}).options.traceOut.empty());
+  EXPECT_EQ(parse({"--trace-out"}).status, ParseStatus::kError);
+}
+
+TEST(Cli, ParsesSlowPassThreshold) {
+  const ParseResult r = parse({"--slow-pass-ms", "25"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.options.slowPassMs, 25);
+  EXPECT_EQ(parse({}).options.slowPassMs, 0);
+  EXPECT_EQ(parse({"--slow-pass-ms", "-5"}).status, ParseStatus::kError);
+  EXPECT_EQ(parse({"--slow-pass-ms"}).status, ParseStatus::kError);
+}
+
+TEST(Cli, ParsesMetricsListen) {
+  const ParseResult r = parse({"--metrics-listen", "127.0.0.1:9464"});
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r.options.metricsListen.has_value());
+  EXPECT_EQ(r.options.metricsListen->host, "127.0.0.1");
+  EXPECT_EQ(r.options.metricsListen->port, 9464);
+  EXPECT_FALSE(parse({}).options.metricsListen.has_value());
+  EXPECT_EQ(parse({"--metrics-listen", "host:"}).status, ParseStatus::kError);
+  EXPECT_EQ(parse({"--metrics-listen"}).status, ParseStatus::kError);
+}
+
+TEST(Cli, ParsesStatsAll) {
+  const ParseResult r = parse({"--stats", "--stats-all"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.options.statsAll);
+  EXPECT_FALSE(parse({}).options.statsAll);
+}
+
 TEST(Cli, UsageMentionsEveryOption) {
   std::ostringstream out;
   printUsage(out);
@@ -244,6 +279,7 @@ TEST(Cli, UsageMentionsEveryOption) {
         "--overcommit", "--announce", "--psa", "--jobs", "--swf", "--strict",
         "--threads", "--pipeline", "--no-pipeline", "--until", "--timeline",
         "--trace", "--listen", "--connect", "--resched", "--stats",
+        "--stats-all", "--trace-out", "--slow-pass-ms", "--metrics-listen",
         "--help"}) {
     EXPECT_NE(usage.find(flag), std::string::npos) << flag;
   }

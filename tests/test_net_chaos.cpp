@@ -200,6 +200,16 @@ TEST(NetChaos, KillBetweenPassCommitsMatchesUninterruptedServer) {
             0u);
   EXPECT_GE(stats->events[eventIndex(metrics::Event::kSessionsResumed)], 1u);
   EXPECT_GE(stats->events[eventIndex(metrics::Event::kReconnects)], 1u);
+  // The journal path really hit the disk after the restart: every commit
+  // appends bytes and lands an fsync barrier, and the fsync latency
+  // histogram saw the same barriers (wire v4 carries it end to end).
+  EXPECT_GT(stats->events[eventIndex(metrics::Event::kJournalBytesAppended)],
+            0u);
+  EXPECT_GT(stats->events[eventIndex(metrics::Event::kJournalFsyncs)], 0u);
+  const metrics::HistogramData& fsync =
+      stats->histos[static_cast<std::size_t>(metrics::Histo::kJournalFsyncUs)];
+  EXPECT_GT(fsync.count, 0u);
+  EXPECT_GT(fsync.totalInBuckets(), 0u);
 }
 
 TEST(NetChaos, KillBetweenPassCommitsMatchesUnderPollFallback) {

@@ -634,6 +634,167 @@ TEST(WireCodec, BitFlipsNeverCrashTheDecoder) {
   }
 }
 
+// --- extended STATS_REPLY (version 4) ---------------------------------------
+
+/// A snapshot exercising the sparse histogram encoding: bucket 0, a mid
+/// bucket, and the saturation bucket, plus a second histogram and plain
+/// counters/gauges.
+metrics::Snapshot richSnapshot() {
+  metrics::Snapshot snap{};
+  snap.events[0] = 41;
+  snap.events[metrics::kEventCount - 1] = 9;
+  snap.gauges[0] = -12;
+  metrics::HistogramData& pass =
+      snap.histos[static_cast<std::size_t>(metrics::Histo::kPassLatencyUs)];
+  pass.buckets[0] = 3;
+  pass.buckets[37] = 2;
+  pass.buckets[metrics::kHistoBuckets - 1] = 1;
+  pass.count = 6;
+  pass.sum = 123456;
+  metrics::HistogramData& rtt =
+      snap.histos[static_cast<std::size_t>(metrics::Histo::kRequestRttUs)];
+  rtt.buckets[200] = 9;
+  rtt.count = 9;
+  rtt.sum = 900;
+  return snap;
+}
+
+TEST(WireCodec, StatsReplyRoundTripsTheHistogramCatalogue) {
+  std::vector<std::uint8_t> bytes;
+  const StatsReplyMsg sent{richSnapshot()};
+  encode(bytes, sent);
+  expectRoundTrip(bytes, sent);
+}
+
+TEST(WireCodec, StatsReplyAcceptsVersion3Shape) {
+  // A version-3 peer's payload ends after the gauges; the histograms must
+  // decode as empty rather than failing the frame.
+  std::vector<std::uint8_t> payload;
+  Writer w(payload);
+  w.u32(1);
+  w.u16(0);
+  w.u64(77);
+  w.u32(1);
+  w.u16(1);
+  w.i64(-3);
+  StatsReplyMsg out;
+  ASSERT_TRUE(decode(payload, out));
+  EXPECT_EQ(out.stats.events[0], 77u);
+  EXPECT_EQ(out.stats.gauges[1], -3);
+  for (const metrics::HistogramData& h : out.stats.histos) {
+    EXPECT_EQ(h.count, 0u);
+    EXPECT_EQ(h.totalInBuckets(), 0u);
+  }
+}
+
+TEST(WireCodec, StatsReplyTruncationsAreRejectedExceptTheV3Boundary) {
+  std::vector<std::uint8_t> payload;
+  {
+    std::vector<std::uint8_t> framed;
+    encode(framed, StatsReplyMsg{richSnapshot()});
+    payload.assign(framed.begin() + 8, framed.end());  // strip frame header
+  }
+  // The id/value pair size on the wire (u16 + u64).
+  constexpr std::size_t kPair = 10;
+  const std::size_t gaugesEnd =
+      4 + metrics::kEventCount * kPair + 4 + metrics::kGaugeCount * kPair;
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    StatsReplyMsg out;
+    const bool decoded =
+        decode(std::span<const std::uint8_t>(payload.data(), cut), out);
+    if (cut == gaugesEnd) {
+      // The one legitimate strict prefix: exactly the version-3 shape.
+      EXPECT_TRUE(decoded);
+      EXPECT_EQ(out.stats.histos[0].totalInBuckets(), 0u);
+    } else {
+      EXPECT_FALSE(decoded) << "cut at " << cut;
+    }
+  }
+}
+
+TEST(WireCodec, StatsReplySkipsUnknownIdsAndForeignBuckets) {
+  // A newer peer may ship counters and histogram geometry this build does
+  // not know; records with unknown ids (and bucket indices past our 512)
+  // are skipped without failing the payload.
+  std::vector<std::uint8_t> payload;
+  Writer w(payload);
+  w.u32(1);
+  w.u16(static_cast<std::uint16_t>(metrics::kEventCount + 5));
+  w.u64(99);
+  w.u32(0);  // no gauges
+  w.u32(2);  // two histogram records
+  // Unknown histogram id: the whole record is skipped.
+  w.u16(static_cast<std::uint16_t>(metrics::kHistoCount + 2));
+  w.u64(4);
+  w.u64(400);
+  w.u32(1);
+  w.u16(3);
+  w.u64(4);
+  // Known id: one in-range bucket kept, one past our geometry dropped.
+  w.u16(static_cast<std::uint16_t>(metrics::Histo::kPassLatencyUs));
+  w.u64(5);
+  w.u64(500);
+  w.u32(2);
+  w.u16(7);
+  w.u64(4);
+  w.u16(static_cast<std::uint16_t>(metrics::kHistoBuckets + 100));
+  w.u64(1);
+  StatsReplyMsg out;
+  ASSERT_TRUE(decode(payload, out));
+  const metrics::HistogramData& pass =
+      out.stats.histos[static_cast<std::size_t>(metrics::Histo::kPassLatencyUs)];
+  EXPECT_EQ(pass.count, 5u);
+  EXPECT_EQ(pass.sum, 500u);
+  EXPECT_EQ(pass.buckets[7], 4u);
+  EXPECT_EQ(pass.totalInBuckets(), 4u);
+  for (std::size_t i = 0; i < metrics::kEventCount; ++i) {
+    EXPECT_EQ(out.stats.events[i], 0u) << "event " << i;
+  }
+}
+
+TEST(WireCodec, StatsReplyRejectsNonAscendingBucketIndices) {
+  const auto payloadWithIndices = [](std::uint16_t first,
+                                     std::uint16_t second) {
+    std::vector<std::uint8_t> payload;
+    Writer w(payload);
+    w.u32(0);  // no events
+    w.u32(0);  // no gauges
+    w.u32(1);
+    w.u16(0);
+    w.u64(2);
+    w.u64(20);
+    w.u32(2);
+    w.u16(first);
+    w.u64(1);
+    w.u16(second);
+    w.u64(1);
+    return payload;
+  };
+  StatsReplyMsg out;
+  EXPECT_TRUE(decode(payloadWithIndices(3, 9), out));   // sanity: ascending
+  EXPECT_FALSE(decode(payloadWithIndices(9, 3), out));  // regression
+  EXPECT_FALSE(decode(payloadWithIndices(9, 9), out));  // repeat
+}
+
+TEST(WireCodec, StatsReplyBitFlipsNeverCrashTheDecoder) {
+  Rng rng(20260808);
+  std::vector<std::uint8_t> pristine;
+  encode(pristine, StatsReplyMsg{richSnapshot()});
+  for (int iteration = 0; iteration < 400; ++iteration) {
+    std::vector<std::uint8_t> bytes = pristine;
+    const std::size_t at =
+        static_cast<std::size_t>(rng.uniformInt(0, std::ssize(bytes) - 1));
+    bytes[at] ^= static_cast<std::uint8_t>(1 << rng.uniformInt(0, 7));
+    FrameBuffer buffer;
+    buffer.append(bytes);
+    FrameView frame;
+    while (buffer.next(frame) == FrameBuffer::Next::kFrame) {
+      StatsReplyMsg out;
+      (void)decode(frame.payload, out);
+    }
+  }
+}
+
 // --- FrameBuffer storage management -----------------------------------------
 
 TEST(FrameBuffer, DribbledFramesCompactAmortizedNotPerByte) {

@@ -115,7 +115,8 @@ def summarize(report: dict) -> tuple[dict, list[dict]]:
                         "messages/s", "pass_apps_clean", "pass_apps_dirty",
                         "step2_ranges_reused", "wire_bytes_per_pass",
                         "views_delta_sent", "views_delta_bytes_saved",
-                        "frames_coalesced", "epoll_wakeups")
+                        "frames_coalesced", "epoll_wakeups",
+                        "pass_latency_samples", "request_rtt_samples")
             if key in bench
         }
         if counters:

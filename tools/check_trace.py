@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Validate a --trace-out Chrome trace-event file.
+
+CI's trace-smoke step runs a short simulation with tracing enabled and
+feeds the result through this script, pinning the export contract:
+
+    build/coorm_sim --jobs 8 --until 2 --trace-out pass.trace.json
+    tools/check_trace.py pass.trace.json --expect pass --expect schedule
+
+Checks (all fatal):
+  - the file is valid JSON with a top-level "traceEvents" list;
+  - every event is a complete ("ph": "X") duration event with a string
+    name, integer pid/tid and non-negative ts/dur microseconds — the
+    shape chrome://tracing and Perfetto load without warnings;
+  - every --expect NAME appears at least once (repeatable);
+  - unless --allow-empty, the trace holds at least one event.
+
+Needs nothing outside the Python standard library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import numbers
+import sys
+
+
+def fail(message: str) -> None:
+    raise SystemExit(f"check_trace: {message}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument(
+        "--expect", action="append", default=[], metavar="NAME",
+        help="span name that must appear at least once; repeatable")
+    parser.add_argument(
+        "--allow-empty", action="store_true",
+        help="accept a trace with zero events (still checks the skeleton)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as handle:
+            trace = json.load(handle)
+    except OSError as error:
+        fail(f"cannot read {args.trace}: {error}")
+    except json.JSONDecodeError as error:
+        fail(f"{args.trace}: not valid JSON: {error}")
+
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        fail(f"{args.trace}: no top-level 'traceEvents' key")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{args.trace}: 'traceEvents' is not a list")
+    if not events and not args.allow_empty:
+        fail(f"{args.trace}: trace is empty (no spans recorded)")
+
+    names: collections.Counter[str] = collections.Counter()
+    for i, event in enumerate(events):
+        where = f"{args.trace}: event {i}"
+        if not isinstance(event, dict):
+            fail(f"{where}: not an object")
+        if event.get("ph") != "X":
+            fail(f"{where}: ph is {event.get('ph')!r}, want complete 'X'")
+        name = event.get("name")
+        if not isinstance(name, str) or not name:
+            fail(f"{where}: missing span name")
+        for key in ("pid", "tid"):
+            if not isinstance(event.get(key), int):
+                fail(f"{where}: {key} is {event.get(key)!r}, want an int")
+        for key in ("ts", "dur"):
+            value = event.get(key)
+            if not isinstance(value, numbers.Real) or value < 0:
+                fail(f"{where}: {key} is {value!r}, want a number >= 0")
+        names[name] += 1
+
+    missing = [name for name in args.expect if names[name] == 0]
+    if missing:
+        seen = ", ".join(sorted(names)) or "(none)"
+        fail(f"{args.trace}: expected span(s) never recorded: "
+             f"{', '.join(missing)}; saw: {seen}")
+
+    total = sum(names.values())
+    print(f"check_trace: {args.trace}: {total} events, "
+          f"{len(names)} distinct spans ok")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

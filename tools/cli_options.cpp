@@ -62,6 +62,15 @@ void printUsage(std::ostream& out) {
          "                     open (default 1)\n"
          "  --probe M          coorm_loadgen: REQUEST round-trip latency\n"
          "                     probes after the ramp (default 0 = none)\n"
+         "  --trace-out FILE   write pass-phase/I/O spans as Chrome\n"
+         "                     trace-event JSON on exit (chrome://tracing)\n"
+         "  --slow-pass-ms N   log a one-line phase breakdown for passes\n"
+         "                     slower than N ms (default 0 = never)\n"
+         "  --metrics-listen ADDR:PORT\n"
+         "                     coorm_rmsd: serve Prometheus text format at\n"
+         "                     http://ADDR:PORT/metrics\n"
+         "  --stats-all        with --stats: print zero-valued counters and\n"
+         "                     empty histograms too\n"
          "  --help             this text\n";
 }
 
@@ -184,6 +193,18 @@ ParseResult parseArgs(int argc, const char* const* argv) {
       options.connections = std::atoi(v);
     } else if (arg == "--probe" && (v = value(i))) {
       options.probes = std::atoi(v);
+    } else if (arg == "--trace-out" && (v = value(i))) {
+      options.traceOut = v;
+    } else if (arg == "--slow-pass-ms" && (v = value(i))) {
+      options.slowPassMs = std::atoll(v);
+    } else if (arg == "--metrics-listen" && (v = value(i))) {
+      options.metricsListen = net::parseEndpoint(v);
+      if (!options.metricsListen) {
+        result.error = std::string("bad --metrics-listen endpoint: ") + v;
+        return result;
+      }
+    } else if (arg == "--stats-all") {
+      options.statsAll = true;
     } else {
       result.error = "unknown or incomplete option: " + arg;
       return result;
@@ -193,7 +214,7 @@ ParseResult parseArgs(int argc, const char* const* argv) {
       options.overcommit <= 0.0 || options.runtime.threads <= 0 ||
       options.runtime.reschedInterval <= 0 || options.idleDeadline < 0 ||
       options.resumeGrace < 0 || options.connections <= 0 ||
-      options.probes < 0) {
+      options.probes < 0 || options.slowPassMs < 0) {
     result.error = "invalid numeric option";
     return result;
   }

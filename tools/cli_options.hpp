@@ -73,6 +73,20 @@ struct Options {
   /// coorm_loadgen: REQUEST round-trip latency probes to run once the
   /// ramp is complete (0 = skip the latency report).
   int probes = 0;
+  /// All tools: dump pass-phase / I/O spans as Chrome trace-event JSON
+  /// to this file on exit (chrome://tracing, Perfetto). Empty = tracing
+  /// stays disabled (and costs one predicted branch per span site).
+  std::string traceOut;
+  /// coorm_sim / coorm_rmsd: log a one-line phase breakdown for every
+  /// scheduling pass slower than this (0 = never).
+  Time slowPassMs = 0;
+  /// coorm_rmsd: serve Prometheus text exposition at
+  /// http://ADDR:PORT/metrics on the daemon's event loop. Unset = no
+  /// scrape endpoint.
+  std::optional<net::Endpoint> metricsListen;
+  /// coorm_rmsd --stats: print zero-valued counters and empty histograms
+  /// too (default suppresses them).
+  bool statsAll = false;
 };
 
 enum class ParseStatus {

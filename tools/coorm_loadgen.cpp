@@ -36,6 +36,7 @@
 #include "coorm/apps/psa.hpp"
 #include "coorm/apps/rigid.hpp"
 #include "coorm/common/rng.hpp"
+#include "coorm/common/trace.hpp"
 #include "coorm/net/client.hpp"
 #include "coorm/net/io_executor.hpp"
 
@@ -88,6 +89,7 @@ int main(int argc, char** argv) {
   // Thousands of client sockets need headroom above the default soft
   // RLIMIT_NOFILE (often 1024).
   net::raiseFdLimit();
+  if (!options.traceOut.empty()) trace::enable();
   auto executorPtr = net::makeIoExecutor(options.runtime.ioBackend);
   net::IoExecutor& executor = *executorPtr;
   Rng rng(options.seed);
@@ -309,5 +311,14 @@ int main(int argc, char** argv) {
               << viewsApplied << " view pushes";
   }
   std::cout << std::endl;
+  if (!options.traceOut.empty()) {
+    std::string error;
+    if (!trace::writeChromeTrace(options.traceOut, &error)) {
+      std::cerr << "coorm_loadgen: --trace-out: " << error << "\n";
+      return 1;
+    }
+    std::cout << "coorm_loadgen: trace written to " << options.traceOut
+              << std::endl;
+  }
   return 0;
 }

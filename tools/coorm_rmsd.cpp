@@ -10,15 +10,22 @@
 //
 // Stops cleanly on SIGINT/SIGTERM (drops every connection, which the RMS
 // observes as disconnects).
+#include <algorithm>
 #include <csignal>
 #include <iostream>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "cli_options.hpp"
+#include "coorm/common/log.hpp"
 #include "coorm/common/metrics.hpp"
+#include "coorm/common/trace.hpp"
 #include "coorm/net/client.hpp"
 #include "coorm/net/daemon.hpp"
 #include "coorm/net/io_executor.hpp"
+#include "coorm/net/metrics_http.hpp"
 #include "coorm/net/socket.hpp"
 #include "coorm/rms/journal.hpp"
 #include "coorm/rms/server.hpp"
@@ -27,6 +34,38 @@ namespace {
 
 volatile std::sig_atomic_t g_stop = 0;
 void onSignal(int) { g_stop = 1; }
+
+/// Renders a stats snapshot as sorted `key value` lines. Zero-valued
+/// counters and empty histograms are suppressed unless `all`; histograms
+/// expand to _count/_sum/_p50/_p90/_p99/_p999 keys.
+std::vector<std::pair<std::string, std::string>> statsLines(
+    const coorm::metrics::Snapshot& stats, bool all) {
+  using namespace coorm;
+  std::vector<std::pair<std::string, std::string>> lines;
+  for (std::size_t i = 0; i < metrics::kEventCount; ++i) {
+    if (stats.events[i] == 0 && !all) continue;
+    lines.emplace_back(metrics::name(static_cast<metrics::Event>(i)),
+                       std::to_string(stats.events[i]));
+  }
+  for (std::size_t i = 0; i < metrics::kGaugeCount; ++i) {
+    if (stats.gauges[i] == 0 && !all) continue;
+    lines.emplace_back(metrics::name(static_cast<metrics::Gauge>(i)),
+                       std::to_string(stats.gauges[i]));
+  }
+  for (std::size_t i = 0; i < metrics::kHistoCount; ++i) {
+    const metrics::HistogramData& h = stats.histos[i];
+    if (h.count == 0 && !all) continue;
+    const std::string base{metrics::name(static_cast<metrics::Histo>(i))};
+    lines.emplace_back(base + "_count", std::to_string(h.count));
+    lines.emplace_back(base + "_sum", std::to_string(h.sum));
+    lines.emplace_back(base + "_p50", std::to_string(h.quantile(0.50)));
+    lines.emplace_back(base + "_p90", std::to_string(h.quantile(0.90)));
+    lines.emplace_back(base + "_p99", std::to_string(h.quantile(0.99)));
+    lines.emplace_back(base + "_p999", std::to_string(h.quantile(0.999)));
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
 
 }  // namespace
 
@@ -63,13 +102,8 @@ int main(int argc, char** argv) {
                   << net::toString(*options.connect) << " failed\n";
         return 1;
       }
-      for (std::size_t i = 0; i < metrics::kEventCount; ++i) {
-        std::cout << metrics::name(static_cast<metrics::Event>(i)) << " "
-                  << stats->events[i] << "\n";
-      }
-      for (std::size_t i = 0; i < metrics::kGaugeCount; ++i) {
-        std::cout << metrics::name(static_cast<metrics::Gauge>(i)) << " "
-                  << stats->gauges[i] << "\n";
+      for (const auto& [key, text] : statsLines(*stats, options.statsAll)) {
+        std::cout << key << " " << text << "\n";
       }
     } catch (const std::exception& error) {
       std::cerr << error.what() << "\n";
@@ -83,7 +117,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const Server::Config config = Server::Config::fromRuntime(options.runtime);
+  Server::Config config = Server::Config::fromRuntime(options.runtime);
+  config.slowPass = options.slowPassMs;
+  // The slow-pass breakdown logs at kWarn; make it visible even though
+  // the default level is off.
+  if (options.slowPassMs > 0 && logLevel() > LogLevel::kWarn) {
+    setLogLevel(LogLevel::kWarn);
+  }
+  if (!options.traceOut.empty()) trace::enable();
 
   // C100k posture: lift RLIMIT_NOFILE to its hard cap before the listener
   // exists, so accept() never starts failing mid-ramp.
@@ -128,6 +169,17 @@ int main(int argc, char** argv) {
     daemonConfig.deltaViews = options.deltaViews;
     daemonConfig.coalesceWrites = options.coalesce;
     net::Daemon daemon(executor, server, daemonConfig);
+    net::MetricsHttpServer metricsHttp(executor);
+    if (options.metricsListen) {
+      std::string error;
+      if (!metricsHttp.start(*options.metricsListen, error)) {
+        std::cerr << "coorm_rmsd: --metrics-listen: " << error << "\n";
+        return 1;
+      }
+      std::cout << "coorm_rmsd: metrics at http://"
+                << options.metricsListen->host << ":" << metricsHttp.port()
+                << "/metrics" << std::endl;
+    }
     std::signal(SIGINT, onSignal);
     std::signal(SIGTERM, onSignal);
     std::cout << "coorm_rmsd: serving " << options.nodes << " nodes on "
@@ -142,9 +194,19 @@ int main(int argc, char** argv) {
               << daemon.framesOut() << " out, " << server.passCount()
               << " passes)" << std::endl;
     daemon.close();
+    metricsHttp.stop();
   } catch (const std::exception& error) {
     std::cerr << error.what() << "\n";
     return 1;
+  }
+  if (!options.traceOut.empty()) {
+    std::string error;
+    if (!trace::writeChromeTrace(options.traceOut, &error)) {
+      std::cerr << "coorm_rmsd: --trace-out: " << error << "\n";
+      return 1;
+    }
+    std::cout << "coorm_rmsd: trace written to " << options.traceOut
+              << std::endl;
   }
   return 0;
 }

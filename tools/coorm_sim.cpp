@@ -19,6 +19,8 @@
 #include "cli_options.hpp"
 #include "coorm/amr/static_analysis.hpp"
 #include "coorm/amr/working_set.hpp"
+#include "coorm/common/log.hpp"
+#include "coorm/common/trace.hpp"
 #include "coorm/exp/scenario.hpp"
 #include "coorm/exp/table.hpp"
 #include "coorm/workload/player.hpp"
@@ -41,6 +43,11 @@ int main(int argc, char** argv) {
   ScenarioConfig config;
   config.nodes = options.nodes;
   config.server = Server::Config::fromRuntime(options.runtime);
+  config.server.slowPass = options.slowPassMs;
+  if (options.slowPassMs > 0 && logLevel() > LogLevel::kWarn) {
+    setLogLevel(LogLevel::kWarn);
+  }
+  if (!options.traceOut.empty()) trace::enable();
   config.recordTrace = options.showTrace;
   Scenario sc(config);
   Rng rng(options.seed);
@@ -170,6 +177,14 @@ int main(int argc, char** argv) {
   if (options.showTrace) {
     std::cout << "\n=== protocol trace ===\n";
     sc.trace().dump(std::cout);
+  }
+  if (!options.traceOut.empty()) {
+    std::string error;
+    if (!trace::writeChromeTrace(options.traceOut, &error)) {
+      std::cerr << "coorm_sim: --trace-out: " << error << '\n';
+      return 1;
+    }
+    std::cout << "trace written to " << options.traceOut << '\n';
   }
   return 0;
 }
